@@ -1,0 +1,93 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one of the paper's tables or figures, prints the
+same rows/series the paper reports, and saves them under
+``benchmarks/results/`` for later inspection.  Absolute numbers come from
+the simulated substrate, so the *shapes* (orderings, slopes, crossovers)
+are the claims under test, not the raw values.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Sequence
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+MIB = 1024 * 1024
+
+
+def save_results(name: str, payload: Dict) -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def print_table(title: str, headers: Sequence[str], rows: List[Sequence]) -> None:
+    """Render one experiment's output the way the paper's table/figure reads."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(header_line)
+    print("-" * len(header_line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+
+
+def fmt(value: float, digits: int = 1) -> str:
+    return f"{value:.{digits}f}"
+
+
+def ascii_chart(
+    title: str,
+    series: Dict[str, List],
+    width: int = 64,
+    height: int = 14,
+    x_label: str = "",
+    y_label: str = "",
+) -> None:
+    """Plot named series of (x, y) points as an ASCII chart.
+
+    A low-fi stand-in for the paper's gnuplot figures: enough to eyeball
+    slopes, orderings, and crossovers straight from the bench output.
+    """
+    points = [(x, y) for data in series.values() for x, y in data]
+    if not points:
+        return
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    for index, (name, data) in enumerate(series.items()):
+        mark = markers[index % len(markers)]
+        for x, y in data:
+            col = int((x - x_min) / x_span * (width - 1))
+            row = height - 1 - int((y - y_min) / y_span * (height - 1))
+            grid[row][col] = mark
+
+    print(f"\n--- {title} ---")
+    if y_label:
+        print(f"({y_label})")
+    print(f"{y_max:>10.1f} |" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        print(" " * 10 + " |" + "".join(row))
+    print(f"{y_min:>10.1f} |" + "".join(grid[-1]))
+    print(" " * 12 + "-" * width)
+    left = f"{x_min:g}"
+    right = f"{x_max:g}"
+    pad = max(1, width - len(left) - len(right))
+    print(" " * 12 + left + " " * pad + right + (f"  ({x_label})" if x_label else ""))
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} = {name}" for i, name in enumerate(series)
+    )
+    print(" " * 12 + legend)

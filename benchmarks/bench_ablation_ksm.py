@@ -1,0 +1,47 @@
+"""Ablation: KSM on vs off on the Figure 3 workload.
+
+The paper enables kernel samepage merging because every nymbox boots from
+the same base image (§4.2).  This ablation quantifies what that design
+choice buys: the same 8-nym launch sequence with the scanner disabled.
+"""
+
+from _harness import MIB, fmt, print_table, save_results
+from repro.cloud import make_dropbox
+from repro.core import NymManager, NymixConfig
+from repro.workloads.browsing import run_memory_experiment_step
+
+
+def _run(nyms: int, ksm_enabled: bool, seed: int = 3):
+    manager = NymManager(NymixConfig(seed=seed, ksm_enabled=ksm_enabled))
+    manager.add_cloud_provider(make_dropbox())
+    baseline = manager.hypervisor.memory_snapshot().used_bytes
+    used = []
+    for index in range(nyms):
+        step = run_memory_experiment_step(manager, index)
+        used.append((step.after.used_bytes - baseline) / MIB)
+    return used
+
+
+def run_ablation(nyms: int = 8):
+    return {"ksm_on": _run(nyms, True), "ksm_off": _run(nyms, False)}
+
+
+def test_ablation_ksm(benchmark):
+    result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    on, off = result["ksm_on"], result["ksm_off"]
+    print_table(
+        "Ablation: used memory (MB) with and without KSM",
+        ["nyms", "KSM on", "KSM off", "saved"],
+        [
+            (i + 1, fmt(a), fmt(b), fmt(b - a))
+            for i, (a, b) in enumerate(zip(on, off))
+        ],
+    )
+    save_results("ablation_ksm", result)
+
+    # KSM never costs memory and saves more as nyms accumulate.
+    savings = [b - a for a, b in zip(on, off)]
+    assert all(s >= 0 for s in savings)
+    assert savings[-1] > savings[0]
+    # At 8 nyms the savings are a few percent of total use (§5.2: >5%).
+    assert savings[-1] / off[-1] > 0.03

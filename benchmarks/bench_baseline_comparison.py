@@ -1,0 +1,41 @@
+"""Architecture comparison: Tails-like vs Whonix-like vs Nymix (§6).
+
+Makes the paper's related-work comparison executable: identical
+adversarial exercises against all three architectures, one row each.
+"""
+
+from _harness import print_table, save_results
+from repro.baselines import compare_architectures
+from repro.baselines.comparison import EXERCISES
+from repro.cloud import make_dropbox
+from repro.core import NymManager, NymixConfig
+
+
+def run_comparison(seed: int = 19):
+    manager = NymManager(NymixConfig(seed=seed))
+    manager.add_cloud_provider(make_dropbox())
+    return compare_architectures(manager, seed=seed)
+
+
+def test_baseline_comparison(benchmark):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    print_table(
+        "Architecture comparison (True = user protected)",
+        ["exercise"] + [row.architecture for row in rows],
+        [
+            tuple([exercise] + [row.scores[exercise] for row in rows])
+            for exercise in EXERCISES
+        ],
+    )
+    save_results(
+        "baseline_comparison",
+        {row.architecture: row.scores for row in rows},
+    )
+
+    by_name = {row.architecture: row for row in rows}
+    # The §6 narrative, asserted:
+    assert all(by_name["nymix"].scores.values())
+    assert not by_name["tails-like"].scores["exploit_contained"]
+    assert not by_name["whonix-like"].scores["stain_shed_automatically"]
+    assert not by_name["whonix-like"].scores["roles_unlinkable"]
+    assert by_name["nymix"].protected_count == len(EXERCISES)

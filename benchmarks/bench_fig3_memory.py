@@ -1,0 +1,79 @@
+"""Figure 3: RAM usage and KSM shared pages vs number of pseudonyms.
+
+Reproduces §5.2's memory experiment: launch eight nyms in succession
+(Gmail, Twitter, Youtube, Tor Blog, BBC, Facebook, Slashdot, ESPN),
+measuring used memory and KSM shared pages before and after interacting
+with each nym's site, against the expected-cost-per-nymbox dashed line.
+"""
+
+import pytest
+
+from _harness import MIB, ascii_chart, fmt, print_table, save_results
+from repro.cloud import make_dropbox
+from repro.core import NymManager, NymixConfig
+from repro.vmm.vm import VmSpec
+from repro.workloads.browsing import run_memory_experiment_step
+
+
+def run_figure3(nyms: int = 8, seed: int = 3):
+    manager = NymManager(NymixConfig(seed=seed))
+    manager.add_cloud_provider(make_dropbox())
+    expected_per_nymbox = manager.hypervisor.expected_bytes_per_nymbox(
+        VmSpec.anonvm(), VmSpec.commvm()
+    )
+    baseline = manager.hypervisor.memory_snapshot().used_bytes
+    rows = []
+    for index in range(nyms):
+        step = run_memory_experiment_step(manager, index)
+        rows.append(
+            {
+                "nyms": index + 1,
+                "site": step.hostname,
+                "used_before_mb": (step.before.used_bytes - baseline) / MIB,
+                "used_after_mb": (step.after.used_bytes - baseline) / MIB,
+                "shared_pages_before": step.before.ksm_pages_sharing,
+                "shared_pages_after": step.after.ksm_pages_sharing,
+                "expected_mb": (index + 1) * expected_per_nymbox / MIB,
+            }
+        )
+    return rows
+
+
+def test_fig3_memory_and_ksm(benchmark):
+    rows = benchmark.pedantic(run_figure3, rounds=1, iterations=1)
+    print_table(
+        "Figure 3: RAM usage and shared pages vs number of nyms",
+        ["nyms", "site", "used before (MB)", "used after (MB)",
+         "shared before (pages)", "shared after (pages)", "expected (MB)"],
+        [
+            (
+                r["nyms"], r["site"], fmt(r["used_before_mb"]), fmt(r["used_after_mb"]),
+                r["shared_pages_before"], r["shared_pages_after"], fmt(r["expected_mb"]),
+            )
+            for r in rows
+        ],
+    )
+    ascii_chart(
+        "Figure 3 (rendered)",
+        {
+            "used after": [(r["nyms"], r["used_after_mb"]) for r in rows],
+            "expected": [(r["nyms"], r["expected_mb"]) for r in rows],
+        },
+        x_label="nyms",
+        y_label="MB",
+    )
+    save_results("fig3_memory", {"rows": rows})
+
+    # Shape assertions (the paper's claims):
+    used = [r["used_after_mb"] for r in rows]
+    assert all(b > a for a, b in zip(used, used[1:])), "memory must grow per nym"
+    # Roughly the expected line: ~600 MB/nymbox.
+    slope = (used[-1] - used[0]) / (len(used) - 1)
+    assert 450 <= slope <= 750, f"per-nym cost {slope} MB outside expected band"
+    # KSM savings reach ~5% of guest memory at 8 nyms.
+    last = rows[-1]
+    saving_mb = (last["shared_pages_after"] * 4096 / MIB) * (
+        1 - 1 / max(1, len(rows))
+    )
+    assert saving_mb > 0.03 * last["used_after_mb"], "KSM savings should be >3%"
+    assert last["shared_pages_after"] > rows[0]["shared_pages_after"]

@@ -1,0 +1,55 @@
+"""Figure 4: parallel Peacekeeper scores in independent pseudonyms.
+
+Reproduces §5.2's CPU experiment: the Peacekeeper JS benchmark run
+natively (x = 0) and in 1..8 parallel nyms on a quad-core host, with the
+"expected" curve derived from the single-nym run under perfect sharing.
+"""
+
+from _harness import ascii_chart, fmt, print_table, save_results
+from repro.vmm import CpuModel
+from repro.workloads import PeacekeeperBenchmark
+
+
+def run_figure4(max_nyms: int = 8):
+    bench = PeacekeeperBenchmark(CpuModel(cores=4))
+    rows = []
+    for result in bench.sweep(max_nyms=max_nyms):
+        rows.append(
+            {
+                "nyms": result.nyms,
+                "actual": result.mean_score,
+                "expected": result.expected_score,
+            }
+        )
+    return rows
+
+
+def test_fig4_peacekeeper_scaling(benchmark):
+    rows = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+    print_table(
+        "Figure 4: average Peacekeeper score vs parallel nyms (0 = native)",
+        ["nyms", "actual score", "expected score"],
+        [(r["nyms"], fmt(r["actual"]), fmt(r["expected"])) for r in rows],
+    )
+    ascii_chart(
+        "Figure 4 (rendered)",
+        {
+            "actual": [(r["nyms"], r["actual"]) for r in rows],
+            "expected": [(r["nyms"], r["expected"]) for r in rows if r["nyms"] >= 1],
+        },
+        x_label="nyms (0 = native)",
+        y_label="Peacekeeper score",
+    )
+    save_results("fig4_cpu", {"rows": rows})
+
+    native = rows[0]["actual"]
+    single = rows[1]["actual"]
+    # ~20% virtualization overhead.
+    overhead = native / single - 1.0
+    assert 0.15 <= overhead <= 0.25, f"virtualization overhead {overhead:.2f}"
+    # Flat through 4 nyms (quad core), degrading beyond.
+    assert abs(rows[4]["actual"] - single) / single < 0.02
+    assert rows[8]["actual"] < rows[4]["actual"]
+    # Actual outperforms expected once contended.
+    for row in rows[5:]:
+        assert row["actual"] > row["expected"]

@@ -1,0 +1,52 @@
+"""Table 1: time and memory costs of using Windows as a nym (§5.5, §3.7)."""
+
+from _harness import MIB, fmt, print_table, save_results
+from repro.cloud import make_dropbox
+from repro.core import NymManager, NymixConfig
+
+PAPER_TABLE1 = {
+    "Windows Vista": {"repair_s": 133.7, "boot_s": 37.7, "size_mb": 4.9},
+    "Windows 7": {"repair_s": 129.3, "boot_s": 34.3, "size_mb": 4.5},
+    "Windows 8": {"repair_s": 157.0, "boot_s": 58.7, "size_mb": 14.0},
+}
+
+
+def run_table1(seed: int = 9):
+    manager = NymManager(NymixConfig(seed=seed))
+    manager.add_cloud_provider(make_dropbox())
+    rows = []
+    for os_name in PAPER_TABLE1:
+        report, _, _ = manager.boot_installed_os_nym(os_name)
+        rows.append(
+            {
+                "os": os_name,
+                "repair_s": report.repair_seconds,
+                "boot_s": report.boot_seconds,
+                "size_mb": report.cow_bytes / MIB,
+                "disk_modified": report.physical_disk_modified,
+            }
+        )
+    return rows
+
+
+def test_table1_installed_os_nyms(benchmark):
+    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    print_table(
+        "Table 1: installed-OS nyms (measured vs paper)",
+        ["OS", "Repair (s)", "Boot (s)", "Size (MB)", "paper repair/boot/size"],
+        [
+            (
+                r["os"], fmt(r["repair_s"]), fmt(r["boot_s"]), fmt(r["size_mb"]),
+                "{repair_s}/{boot_s}/{size_mb}".format(**PAPER_TABLE1[r["os"]]),
+            )
+            for r in rows
+        ],
+    )
+    save_results("table1_installed_os", {"rows": rows})
+
+    for row in rows:
+        paper = PAPER_TABLE1[row["os"]]
+        assert abs(row["repair_s"] - paper["repair_s"]) / paper["repair_s"] < 0.10
+        assert abs(row["boot_s"] - paper["boot_s"]) / paper["boot_s"] < 0.10
+        assert abs(row["size_mb"] - paper["size_mb"]) / paper["size_mb"] < 0.25
+        assert not row["disk_modified"]

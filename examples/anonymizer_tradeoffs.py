@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""The pluggable anonymizer spectrum (§3.3): pick your trade-off.
+
+Starts one nym per transport - incognito, Tor, Dissent, SWEET, and the
+"best of both worlds" Tor+Dissent composition - and fetches the same page
+through each, printing the cost/protection matrix.  Also demonstrates
+the transports' protocol cores: real onion peeling and a real DC-net
+round.
+
+Run:  python examples/anonymizer_tradeoffs.py
+"""
+
+from repro import NymManager, NymixConfig
+
+TRANSPORTS = ["incognito", "tor", "dissent", "sweet", "tor+dissent"]
+
+
+def main() -> None:
+    manager = NymManager(NymixConfig(seed=5))
+
+    print(f"{'transport':<13} {'start (s)':>9} {'page load (s)':>13} "
+          f"{'overhead':>9} {'destination sees':<18} protected?")
+    print("-" * 78)
+    for kind in TRANSPORTS:
+        nym = manager.create_nym(f"demo-{kind.replace('+', '-')}", anonymizer=kind)
+        load = manager.timed_browse(nym, "bbc.co.uk")
+        plan = nym.anonymizer.plan(0)
+        print(f"{kind:<13} {nym.startup.start_anonymizer_s:>9.1f} "
+              f"{load.duration_s:>13.2f} {plan.overhead_factor:>9.3f} "
+              f"{str(nym.anonymizer.exit_address()):<18} "
+              f"{nym.anonymizer.protects_network_identity}")
+
+    print("\nProtocol cores are real, not stubs:")
+    tor_nym = manager.nymboxes["demo-tor"]
+    roundtrip = tor_nym.anonymizer.send_payload(b"onion-wrapped request")
+    path = " -> ".join(tor_nym.anonymizer.current_circuit.path_nicknames)
+    print(f"  Tor: payload onion-encrypted through [{path}], "
+          f"round-tripped intact: {roundtrip == b'onion-wrapped request'}")
+
+    dissent_nym = manager.nymboxes["demo-dissent"]
+    out = dissent_nym.anonymizer.transmit_anonymously(b"dc-net slot message")
+    print(f"  Dissent: XOR pads of "
+          f"{dissent_nym.anonymizer.deployment.num_clients} clients and "
+          f"{dissent_nym.anonymizer.deployment.num_servers} anytrust servers "
+          f"cancelled to reveal: {out!r}")
+
+    print("\nIncognito is nearly free but the site sees *you*; Tor is the")
+    print("balanced default; Dissent trades throughput for provable traffic-")
+    print("analysis resistance; SWEET is the circumvention fallback; serial")
+    print("composition stacks protections at summed cost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Alice the compartmentalizer (§2): parallel, unlinkable roles.
+
+Alice keeps work, family, and a personal forum strictly separated.  This
+example runs all three roles at once, then takes the adversary's view:
+can the sites, or a network observer, link them?
+
+Run:  python examples/multi_role_browsing.py
+"""
+
+from repro import NymManager, NymixConfig
+from repro.attacks import distinguishing_bits
+from repro.core.validation import validate_system
+
+
+def main() -> None:
+    manager = NymManager(NymixConfig(seed=3))
+
+    print("Alice opens three nyms, one per role:")
+    roles = {
+        "work": ("gmail.com", "alice.professional"),
+        "family": ("facebook.com", "alice.family"),
+        "private-forum": ("blog.torproject.org", None),
+    }
+    nyms = {}
+    for role, (site, username) in roles.items():
+        nym = manager.create_nym(f"alice-{role}")
+        load = manager.timed_browse(nym, site)
+        if username:
+            nym.sign_in(site, username, f"pw-{role}")
+        nyms[role] = nym
+        print(f"  {role:<14} -> {site:<22} "
+              f"(startup {nym.startup.total_s:5.1f} s, "
+              f"exit {nym.anonymizer.exit_address()})")
+
+    print("\nWhat each destination sees:")
+    for role, (site, _) in roles.items():
+        server = manager.internet.server_named(site)
+        ips = {str(ip) for ip in server.seen_client_ips}
+        print(f"  {site:<22} saw {sorted(ips)}")
+    print(f"  Alice's real address {manager.hypervisor.public_ip} appears nowhere.")
+
+    print("\nCan an observer tell the roles apart by fingerprint?")
+    fps = [nym.anonvm.fingerprint() for nym in nyms.values()]
+    bits = distinguishing_bits(fps)
+    print(f"  fingerprint entropy across roles: {bits} bits "
+          f"({'indistinguishable' if bits == 0 else 'LINKABLE!'})")
+
+    print("\nIs any state shared between roles?")
+    work, family = nyms["work"], nyms["family"]
+    print(f"  family nym has work credentials: "
+          f"{family.browser.has_credentials_for('gmail.com')}")
+    print(f"  circuits: " + ", ".join(
+        f"{role}={nym.anonymizer.current_circuit.circ_id:#x}"
+        for role, nym in nyms.items()
+    ))
+
+    print("\nRun the paper's §5.1 validation with all three roles live:")
+    result = validate_system(manager)
+    print(f"  {result.summary()}")
+
+    print("\nThe sensitive role is done for today — discard it, keep the rest:")
+    manager.discard_nym(nyms["private-forum"])
+    print(f"  live nyms: {manager.live_nyms()}")
+    manager.timed_browse(work, "gmail.com")
+    print("  work nym keeps browsing, unaffected.")
+
+
+if __name__ == "__main__":
+    main()

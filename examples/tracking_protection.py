@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Tracking protection: what the ad network knows, with and without nyms.
+
+The §1/§2 motivation, executed: a third-party ad network embedded across
+the web builds one dossier per cookie identity.  One browser for
+everything hands it your whole life; per-role nyms hand it disconnected
+stubs; discarding a nym resets the identity entirely.
+
+Run:  python examples/tracking_protection.py
+"""
+
+from repro import NymManager, NymixConfig
+from repro.guest.trackers import AdNetwork, browse_with_trackers
+from repro.sim import SeededRng
+
+
+def main() -> None:
+    manager = NymManager(NymixConfig(seed=6))
+    network = AdNetwork(
+        "adsync",
+        embedded_on={"facebook.com", "twitter.com", "bbc.co.uk", "espn.com"},
+        rng=SeededRng(6),
+    )
+
+    print("== The pre-Nymix world: one browser for everything ==")
+    everything = manager.create_nym("everything")
+    for hostname in ("facebook.com", "twitter.com", "bbc.co.uk", "espn.com"):
+        browse_with_trackers(manager, everything, hostname, [network])
+    dossier = next(iter(network.profiles.values()))
+    print(f"  adsync profiles: {len(network.profiles)}")
+    print(f"  the single dossier spans: {sorted(set(dossier.visits))}")
+    print(f"  inferred interests: {sorted(dossier.interests())}")
+    print(f"  can link social life to sports habit: "
+          f"{network.can_link('facebook.com', 'espn.com')}")
+    manager.discard_nym(everything)
+
+    print("\n== The Nymix world: one nym per role ==")
+    fresh_network = AdNetwork(
+        "adsync",
+        embedded_on={"facebook.com", "twitter.com", "bbc.co.uk", "espn.com"},
+        rng=SeededRng(7),
+    )
+    roles = {
+        "social": ["facebook.com", "twitter.com"],
+        "news": ["bbc.co.uk"],
+        "sports": ["espn.com"],
+    }
+    for role, hostnames in roles.items():
+        nymbox = manager.create_nym(role)
+        for hostname in hostnames:
+            browse_with_trackers(manager, nymbox, hostname, [fresh_network])
+    print(f"  adsync profiles: {len(fresh_network.profiles)} (one stub per role)")
+    print(f"  largest dossier: {fresh_network.largest_dossier()} site(s)")
+    print(f"  can link social life to sports habit: "
+          f"{fresh_network.can_link('facebook.com', 'espn.com')}")
+
+    print("\n== And ephemeral nyms reset even the per-role identity ==")
+    news = manager.nymboxes["news"]
+    manager.discard_nym(news)
+    reborn = manager.create_nym("news")
+    browse_with_trackers(manager, reborn, "bbc.co.uk", [fresh_network])
+    print(f"  adsync profiles after the news nym was recycled: "
+          f"{len(fresh_network.profiles)} (the old stub is orphaned)")
+
+
+if __name__ == "__main__":
+    main()

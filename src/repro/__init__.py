@@ -1,0 +1,50 @@
+"""Nymix reproduction: managing nymboxes for identity and tracking protection.
+
+A faithful, fully simulated reimplementation of the Nymix client OS
+architecture (Wolinsky & Ford, 2014): per-pseudonym *nymboxes* (an AnonVM
+for the browser plus a CommVM for the anonymizer), pluggable anonymity
+transports (Tor, Dissent, incognito, SWEET), quasi-persistent encrypted
+nym storage in the cloud, a sanitizing SaniVM for cross-nym file
+transfer, and installed-OS nyms - on top of from-scratch substrates for
+the hypervisor, union file system, virtual network, and crypto.
+
+Quickstart::
+
+    from repro import NymManager
+    from repro.cloud import make_dropbox
+
+    manager = NymManager()
+    manager.add_cloud_provider(make_dropbox())
+    nym = manager.create_nym("reading-news")        # ephemeral by default
+    manager.timed_browse(nym, "bbc.co.uk")
+    manager.discard_nym(nym)                         # amnesia: nothing remains
+
+See DESIGN.md for the architecture map and EXPERIMENTS.md for the
+paper-vs-measured comparison of every figure and table.
+"""
+
+from repro.core.config import NymixConfig
+from repro.core.manager import InstalledOsNymReport, NymManager
+from repro.core.nym import Nym, NymUsageModel
+from repro.core.nymbox import NymBox, StartupPhases
+from repro.core.persistence import NymStore, StoreReceipt
+from repro.core.validation import ValidationResult, validate_system
+from repro.errors import NymixError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NymixConfig",
+    "NymManager",
+    "InstalledOsNymReport",
+    "Nym",
+    "NymUsageModel",
+    "NymBox",
+    "StartupPhases",
+    "NymStore",
+    "StoreReceipt",
+    "ValidationResult",
+    "validate_system",
+    "NymixError",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+import sys
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,95 @@
+"""Serial composition of anonymizers ("best of both worlds", §3.3).
+
+Nymix can chain CommVMs (or stack tools inside one CommVM): traffic enters
+the first transport, whose output feeds the second, and so on.  Costs
+compose multiplicatively (overhead) and additively (latency, startup); the
+exit address is the last stage's; identity is protected if *any* stage
+protects it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.anonymizers.base import Anonymizer, AnonymizerState, TransferPlan
+from repro.errors import AnonymizerError
+from repro.net.addresses import Ipv4Address
+
+
+class SerialComposition(Anonymizer):
+    """A chain of transports applied in order (first = closest to client)."""
+
+    kind = "serial"
+
+    def __init__(self, stages: Sequence[Anonymizer]) -> None:
+        if not stages:
+            raise AnonymizerError("a serial composition needs at least one stage")
+        first = stages[0]
+        super().__init__(first.timeline, first.internet, first.nat, first.rng)
+        self.stages: List[Anonymizer] = list(stages)
+        self.kind = "+".join(stage.kind for stage in stages)
+
+    @property
+    def protects_network_identity(self) -> bool:  # type: ignore[override]
+        return any(stage.protects_network_identity for stage in self.stages)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> float:
+        begin = self.timeline.now
+        for stage in self.stages:
+            stage.start()
+        self.started = True
+        self.startup_seconds = self.timeline.now - begin
+        return self.startup_seconds
+
+    def stop(self) -> None:
+        for stage in self.stages:
+            stage.stop()
+        super().stop()
+
+    # -- transport contract ------------------------------------------------------
+
+    def plan(self, payload_bytes: int) -> TransferPlan:
+        overhead = 1.0
+        latency = 0.0
+        handshakes = 0.0
+        ceiling = float("inf")
+        for stage in self.stages:
+            stage_plan = stage.plan(payload_bytes)
+            overhead *= stage_plan.overhead_factor
+            latency += stage_plan.path_latency_s
+            handshakes += stage_plan.handshake_rtts
+            ceiling = min(ceiling, stage_plan.per_flow_ceiling_bps)
+        return TransferPlan(
+            overhead_factor=overhead,
+            path_latency_s=latency,
+            handshake_rtts=handshakes,
+            per_flow_ceiling_bps=ceiling,
+        )
+
+    def exit_address(self) -> Ipv4Address:
+        return self.stages[-1].exit_address()
+
+    def resolve(self, hostname: str):
+        self._require_started()
+        return self.stages[-1].resolve(hostname)
+
+    # -- state ------------------------------------------------------------------
+
+    def export_state(self) -> AnonymizerState:
+        return AnonymizerState(
+            kind=self.kind,
+            payload={
+                "stages": [stage.export_state() for stage in self.stages],
+            },
+        )
+
+    def import_state(self, state: AnonymizerState) -> None:
+        if state.kind != self.kind:
+            raise AnonymizerError(
+                f"cannot import {state.kind!r} state into composition {self.kind!r}"
+            )
+        stage_states = state.payload.get("stages", [])
+        for stage, stage_state in zip(self.stages, stage_states):
+            stage.import_state(stage_state)  # type: ignore[arg-type]

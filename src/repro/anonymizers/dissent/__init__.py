@@ -1,0 +1,14 @@
+"""Dissent: anytrust DC-nets with provable traffic-analysis resistance.
+
+The paper's experimental strong-anonymity option (§3.3): based on
+Chaum's Dining Cryptographers, run in the anytrust model (clients trust
+that *at least one* server is honest).  :mod:`repro.anonymizers.dissent.dcnet`
+implements real XOR-pad rounds — ciphertexts actually combine to the
+plaintext — and :class:`~repro.anonymizers.dissent.client.DissentClient`
+adapts the protocol to the pluggable-anonymizer contract.
+"""
+
+from repro.anonymizers.dissent.dcnet import DcNetDeployment, DcNetRound
+from repro.anonymizers.dissent.client import DissentClient
+
+__all__ = ["DcNetDeployment", "DcNetRound", "DissentClient"]

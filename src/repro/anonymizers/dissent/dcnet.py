@@ -1,0 +1,134 @@
+"""DC-net rounds in the anytrust model (real XOR-pad cryptography).
+
+Every client shares an X25519-derived secret with every server.  In round
+``r`` each party expands its secrets into pseudo-random pads (ChaCha20 as
+a PRG keyed per pair, nonce = round number); a client's ciphertext is the
+XOR of all its pads and — if it owns the transmission slot — its message.
+Each server's ciphertext is the XOR of its pads with every client.  XORing
+all ciphertexts cancels every pad pairwise, revealing exactly the slot
+owner's message and nothing about who sent it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.crypto.chacha20 import chacha20_xor
+from repro.crypto.kdf import hkdf
+from repro.crypto.x25519 import x25519, x25519_keypair
+from repro.errors import AnonymizerError
+from repro.sim.rng import SeededRng
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    if len(a) != len(b):
+        raise AnonymizerError(f"XOR length mismatch: {len(a)} vs {len(b)}")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def _pad(shared_secret: bytes, round_id: int, length: int) -> bytes:
+    key = hkdf(shared_secret, salt=b"", info=b"nymix-dcnet-pad", length=32)
+    nonce = round_id.to_bytes(12, "big")
+    return chacha20_xor(key, nonce, b"\x00" * length)
+
+
+@dataclass
+class _Party:
+    name: str
+    private_key: bytes
+    public_key: bytes
+
+
+class DcNetDeployment:
+    """A fixed set of clients and anytrust servers sharing pairwise secrets."""
+
+    def __init__(self, rng: SeededRng, num_clients: int = 24, num_servers: int = 3) -> None:
+        if num_clients < 2:
+            raise AnonymizerError(f"DC-net needs >= 2 clients, got {num_clients}")
+        if num_servers < 1:
+            raise AnonymizerError(f"anytrust needs >= 1 server, got {num_servers}")
+        self.rng = rng.fork("dcnet")
+        self.clients: List[_Party] = []
+        self.servers: List[_Party] = []
+        for index in range(num_clients):
+            private, public = x25519_keypair(self.rng.fork(f"client:{index}"))
+            self.clients.append(_Party(f"client{index:02d}", private, public))
+        for index in range(num_servers):
+            private, public = x25519_keypair(self.rng.fork(f"server:{index}"))
+            self.servers.append(_Party(f"server{index}", private, public))
+        # Pairwise secrets, computed from both sides and verified equal.
+        self._secrets: Dict[tuple, bytes] = {}
+        for client in self.clients:
+            for server in self.servers:
+                from_client = x25519(client.private_key, server.public_key)
+                from_server = x25519(server.private_key, client.public_key)
+                if from_client != from_server:
+                    raise AnonymizerError("X25519 key agreement mismatch")
+                self._secrets[(client.name, server.name)] = from_client
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.clients)
+
+    @property
+    def num_servers(self) -> int:
+        return len(self.servers)
+
+    def secret(self, client_name: str, server_name: str) -> bytes:
+        return self._secrets[(client_name, server_name)]
+
+    def run_round(self, round_obj: "DcNetRound") -> bytes:
+        """Execute a full round; returns the recovered slot plaintext."""
+        return round_obj.combine(
+            [round_obj.client_ciphertext(self, c.name) for c in self.clients]
+            + [round_obj.server_ciphertext(self, s.name) for s in self.servers]
+        )
+
+
+@dataclass
+class DcNetRound:
+    """One slot transmission: who owns the slot and what they send."""
+
+    round_id: int
+    slot_bytes: int
+    owner: Optional[str] = None  # client name; None = nobody transmits
+    message: bytes = b""
+
+    def __post_init__(self) -> None:
+        if self.slot_bytes <= 0:
+            raise AnonymizerError(f"slot must be positive, got {self.slot_bytes}")
+        if len(self.message) > self.slot_bytes:
+            raise AnonymizerError(
+                f"message ({len(self.message)} B) exceeds slot ({self.slot_bytes} B)"
+            )
+
+    def _padded_message(self) -> bytes:
+        return self.message + b"\x00" * (self.slot_bytes - len(self.message))
+
+    def client_ciphertext(self, deployment: DcNetDeployment, client_name: str) -> bytes:
+        data = b"\x00" * self.slot_bytes
+        for server in deployment.servers:
+            data = _xor(
+                data, _pad(deployment.secret(client_name, server.name), self.round_id, self.slot_bytes)
+            )
+        if client_name == self.owner:
+            data = _xor(data, self._padded_message())
+        return data
+
+    def server_ciphertext(self, deployment: DcNetDeployment, server_name: str) -> bytes:
+        data = b"\x00" * self.slot_bytes
+        for client in deployment.clients:
+            data = _xor(
+                data, _pad(deployment.secret(client.name, server_name), self.round_id, self.slot_bytes)
+            )
+        return data
+
+    @staticmethod
+    def combine(ciphertexts: List[bytes]) -> bytes:
+        if not ciphertexts:
+            raise AnonymizerError("no ciphertexts to combine")
+        result = ciphertexts[0]
+        for ciphertext in ciphertexts[1:]:
+            result = _xor(result, ciphertext)
+        return result

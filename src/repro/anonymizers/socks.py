@@ -1,0 +1,110 @@
+"""SOCKS5 protocol framing (RFC 1928).
+
+Anonymizers present themselves to the AnonVM as SOCKS proxies (§4.1); the
+browser's ``--proxy-server=socks5://10.0.2.2:9050`` flag points at the
+CommVM.  This module implements real byte-level SOCKS5 message encoding
+and parsing — a handshake that doesn't round-trip correctly would be
+exactly the kind of misconfiguration Nymix exists to contain.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import NetworkError
+from repro.net.addresses import Ipv4Address
+
+SOCKS_VERSION = 5
+
+AUTH_NONE = 0x00
+CMD_CONNECT = 0x01
+CMD_UDP_ASSOCIATE = 0x03
+ATYP_IPV4 = 0x01
+ATYP_DOMAIN = 0x03
+
+REPLY_SUCCESS = 0x00
+REPLY_HOST_UNREACHABLE = 0x04
+
+
+def build_greeting() -> bytes:
+    """Client greeting offering no-auth only."""
+    return bytes([SOCKS_VERSION, 1, AUTH_NONE])
+
+
+def parse_greeting(data: bytes) -> Tuple[int, ...]:
+    if len(data) < 3 or data[0] != SOCKS_VERSION:
+        raise NetworkError(f"malformed SOCKS5 greeting: {data!r}")
+    n_methods = data[1]
+    methods = tuple(data[2 : 2 + n_methods])
+    if len(methods) != n_methods:
+        raise NetworkError("truncated SOCKS5 greeting")
+    return methods
+
+
+def build_method_selection(method: int = AUTH_NONE) -> bytes:
+    return bytes([SOCKS_VERSION, method])
+
+
+@dataclass(frozen=True)
+class ConnectRequest:
+    command: int
+    hostname: str = ""
+    ip: Ipv4Address = None
+    port: int = 0
+
+
+def build_connect(hostname: str, port: int, command: int = CMD_CONNECT) -> bytes:
+    """CONNECT request with a domain-name target (lets Tor do the DNS)."""
+    name = hostname.encode()
+    if len(name) > 255:
+        raise NetworkError(f"hostname too long for SOCKS5: {hostname!r}")
+    return (
+        bytes([SOCKS_VERSION, command, 0x00, ATYP_DOMAIN, len(name)])
+        + name
+        + struct.pack(">H", port)
+    )
+
+
+def parse_connect(data: bytes) -> ConnectRequest:
+    if len(data) < 7 or data[0] != SOCKS_VERSION:
+        raise NetworkError(f"malformed SOCKS5 request: {data!r}")
+    command, _, atyp = data[1], data[2], data[3]
+    if atyp == ATYP_DOMAIN:
+        name_len = data[4]
+        name = data[5 : 5 + name_len]
+        if len(name) != name_len or len(data) < 5 + name_len + 2:
+            raise NetworkError("truncated SOCKS5 domain request")
+        (port,) = struct.unpack(">H", data[5 + name_len : 7 + name_len])
+        return ConnectRequest(command=command, hostname=name.decode(), port=port)
+    if atyp == ATYP_IPV4:
+        if len(data) < 10:
+            raise NetworkError("truncated SOCKS5 IPv4 request")
+        ip = Ipv4Address(int.from_bytes(data[4:8], "big"))
+        (port,) = struct.unpack(">H", data[8:10])
+        return ConnectRequest(command=command, ip=ip, port=port)
+    raise NetworkError(f"unsupported SOCKS5 address type: {atyp}")
+
+
+def build_reply(code: int, bind_ip: Ipv4Address, bind_port: int) -> bytes:
+    return (
+        bytes([SOCKS_VERSION, code, 0x00, ATYP_IPV4])
+        + bind_ip.value.to_bytes(4, "big")
+        + struct.pack(">H", bind_port)
+    )
+
+
+def parse_reply(data: bytes) -> Tuple[int, Ipv4Address, int]:
+    if len(data) < 10 or data[0] != SOCKS_VERSION:
+        raise NetworkError(f"malformed SOCKS5 reply: {data!r}")
+    code = data[1]
+    ip = Ipv4Address(int.from_bytes(data[4:8], "big"))
+    (port,) = struct.unpack(">H", data[8:10])
+    return code, ip, port
+
+
+#: Round trips a full SOCKS5 negotiation costs on the AnonVM<->CommVM wire:
+#: greeting/selection plus connect/reply.  (Negligible on the virtual wire,
+#: but modelled for completeness.)
+SOCKS_HANDSHAKE_RTTS = 2

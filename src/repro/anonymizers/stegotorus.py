@@ -1,0 +1,124 @@
+"""StegoTorus: a camouflage proxy for Tor [74] (§4's circumvention need).
+
+The paper chose Chromium specifically to support StegoTorus, which
+disguises Tor's wire format as innocuous cover protocols (HTTP, say) so
+national-firewall DPI cannot pick Tor flows out of traffic.  Modelled as
+a wrapper transport: it carries an inner anonymizer's bytes inside cover
+traffic, changing the flow's *classified protocol* at the cost of cover
+overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.anonymizers.base import Anonymizer, AnonymizerState, TransferPlan
+from repro.errors import AnonymizerError
+from repro.net.addresses import Ipv4Address
+
+#: how a DPI box classifies each transport's wire format
+WIRE_PROTOCOLS = {
+    "tor": "tls-tor",  # Tor's TLS handshake is fingerprintable
+    "dissent": "dissent",
+    "incognito": "https",
+    "sweet": "smtp",
+    "stegotorus": "http",  # the whole point: looks like plain web traffic
+}
+
+
+class StegoTorusWrapper(Anonymizer):
+    """Wraps an inner anonymizer in HTTP-lookalike cover traffic."""
+
+    kind = "stegotorus"
+
+    #: cover-protocol framing roughly doubles header mass on small flows
+    COVER_OVERHEAD = 1.25
+    #: chopping/reassembly latency per round trip
+    CHOPPER_LATENCY_S = 0.040
+
+    def __init__(self, inner: Anonymizer, cover_protocol: str = "http") -> None:
+        super().__init__(inner.timeline, inner.internet, inner.nat, inner.rng)
+        self.inner = inner
+        self.cover_protocol = cover_protocol
+        self.kind = f"stegotorus({inner.kind})"
+
+    @property
+    def protects_network_identity(self) -> bool:  # type: ignore[override]
+        return self.inner.protects_network_identity
+
+    def wire_protocol(self) -> str:
+        """What a DPI classifier sees on this transport's flows."""
+        return self.cover_protocol
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> float:
+        begin = self.timeline.now
+        self.inner.start()
+        # Negotiate the steg modules with the server-side proxy.
+        self.timeline.sleep(self.rng.jitter(0.8, 0.2))
+        self.started = True
+        self.startup_seconds = self.timeline.now - begin
+        return self.startup_seconds
+
+    def stop(self) -> None:
+        self.inner.stop()
+        super().stop()
+
+    # -- transport contract ----------------------------------------------------
+
+    def plan(self, payload_bytes: int) -> TransferPlan:
+        inner_plan = self.inner.plan(payload_bytes)
+        return TransferPlan(
+            overhead_factor=inner_plan.overhead_factor * self.COVER_OVERHEAD,
+            path_latency_s=inner_plan.path_latency_s + self.CHOPPER_LATENCY_S,
+            handshake_rtts=inner_plan.handshake_rtts + 1.0,
+            per_flow_ceiling_bps=inner_plan.per_flow_ceiling_bps,
+        )
+
+    def exit_address(self) -> Ipv4Address:
+        return self.inner.exit_address()
+
+    def resolve(self, hostname: str) -> Ipv4Address:
+        self._require_started()
+        return self.inner.resolve(hostname)
+
+    def export_state(self) -> AnonymizerState:
+        return AnonymizerState(
+            kind=self.kind, payload={"inner": self.inner.export_state()}
+        )
+
+    def import_state(self, state: AnonymizerState) -> None:
+        if state.kind != self.kind:
+            raise AnonymizerError(
+                f"cannot import {state.kind!r} into {self.kind!r}"
+            )
+        inner_state = state.payload.get("inner")
+        if inner_state is not None:
+            self.inner.import_state(inner_state)  # type: ignore[arg-type]
+
+
+class DpiCensor:
+    """A national-firewall DPI box: classifies flows, blocks a protocol list.
+
+    The Tyrannistan model: Tor's wire format is blocked outright; plain
+    web and mail pass.  StegoTorus's cover protocol sails through.
+    """
+
+    def __init__(self, blocked_protocols=("tls-tor", "dissent")) -> None:
+        self.blocked_protocols = tuple(blocked_protocols)
+        self.flows_inspected = 0
+        self.flows_blocked = 0
+
+    def classify(self, anonymizer: Anonymizer) -> str:
+        if isinstance(anonymizer, StegoTorusWrapper):
+            return anonymizer.wire_protocol()
+        return WIRE_PROTOCOLS.get(anonymizer.kind, "unknown")
+
+    def allows(self, anonymizer: Anonymizer) -> bool:
+        self.flows_inspected += 1
+        protocol = self.classify(anonymizer)
+        if protocol in self.blocked_protocols:
+            self.flows_blocked += 1
+            return False
+        return True

@@ -1,0 +1,29 @@
+"""A Tor simulator: directory, relays, guards, circuits, onion crypto.
+
+Models the private Tor deployment of §5.2 (a DeterLab testbed reaching the
+real Internet) rather than the live network: relay count, bandwidths and
+path latencies are fixed and noise-free, which is exactly why the paper
+used a testbed.  Circuit handshakes use real X25519 key exchange and the
+onion layers use real ChaCha20 — peeling actually decrypts.
+"""
+
+from repro.anonymizers.tor.cells import Cell, CellCommand, CELL_SIZE, CELL_PAYLOAD_SIZE
+from repro.anonymizers.tor.circuit import Circuit
+from repro.anonymizers.tor.client import TorClient
+from repro.anonymizers.tor.directory import Consensus, DirectoryAuthority
+from repro.anonymizers.tor.guard import GuardManager
+from repro.anonymizers.tor.relay import Relay, RelayDescriptor
+
+__all__ = [
+    "Cell",
+    "CellCommand",
+    "CELL_SIZE",
+    "CELL_PAYLOAD_SIZE",
+    "Circuit",
+    "TorClient",
+    "Consensus",
+    "DirectoryAuthority",
+    "GuardManager",
+    "Relay",
+    "RelayDescriptor",
+]

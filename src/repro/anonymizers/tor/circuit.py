@@ -1,0 +1,167 @@
+"""Circuits: telescoping construction and real onion encryption."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.anonymizers.tor.relay import Relay
+from repro.crypto.chacha20 import chacha20_xor
+from repro.crypto.x25519 import x25519, x25519_keypair
+from repro.errors import CircuitError
+from repro.sim.clock import Timeline
+from repro.sim.rng import SeededRng
+
+_NONCE = b"\x00" * 12
+
+_circuit_ids = itertools.count(0x1000)
+
+
+@dataclass
+class _ClientHop:
+    relay: Relay
+    forward_key: bytes
+    backward_key: bytes
+
+
+class Circuit:
+    """A three-hop (or longer) circuit built by one Tor client.
+
+    Construction telescopes: CREATE2 to the guard, then EXTEND2 cells
+    carried through already-built hops.  Each handshake is a real X25519
+    exchange deriving per-hop ChaCha20 keys; :meth:`onion_encrypt` wraps
+    payloads in all layers and relays peel them in path order.
+    """
+
+    #: one-way latency per relay link in the testbed deployment
+    HOP_LATENCY_S = 0.025
+
+    def __init__(self, timeline: Timeline, rng: SeededRng) -> None:
+        self.timeline = timeline
+        self.rng = rng
+        self.circ_id = next(_circuit_ids)
+        self._hops: List[_ClientHop] = []
+        self.built_at = None  # type: float
+        self.build_seconds = 0.0
+        self.streams_opened = 0
+
+    # -- construction ---------------------------------------------------------
+
+    def _handshake(self, relay: Relay) -> Tuple[bytes, bytes]:
+        private, public = x25519_keypair(self.rng)
+        relay_public = relay.handle_create(self.circ_id, public)
+        shared = x25519(private, relay_public)
+        return Relay.derive_keys(shared)
+
+    def build(self, path: List[Relay]) -> float:
+        """Extend through ``path`` in order.  Returns elapsed seconds."""
+        if len(path) < 1:
+            raise CircuitError("a circuit needs at least one hop")
+        if self._hops:
+            raise CircuitError(f"circuit {self.circ_id} is already built")
+        nicknames = [r.descriptor.nickname for r in path]
+        if len(set(nicknames)) != len(nicknames):
+            raise CircuitError(f"circuit path repeats a relay: {nicknames}")
+        start = self.timeline.now
+        for position, relay in enumerate(path):
+            forward, backward = self._handshake(relay)
+            self._hops.append(_ClientHop(relay, forward, backward))
+            if position > 0:
+                path[position - 1].link_next_hop(self.circ_id, relay)
+            # The CREATE/EXTEND round trip traverses every built hop.
+            round_trip = 2 * self.HOP_LATENCY_S * (position + 1)
+            self.timeline.sleep(round_trip)
+        self.built_at = self.timeline.now
+        self.build_seconds = self.timeline.now - start
+        return self.build_seconds
+
+    @property
+    def built(self) -> bool:
+        return bool(self._hops)
+
+    @property
+    def path_nicknames(self) -> List[str]:
+        return [hop.relay.descriptor.nickname for hop in self._hops]
+
+    @property
+    def guard(self) -> Relay:
+        self._require_built()
+        return self._hops[0].relay
+
+    @property
+    def exit(self) -> Relay:
+        self._require_built()
+        return self._hops[-1].relay
+
+    def _require_built(self) -> None:
+        if not self._hops:
+            raise CircuitError(f"circuit {self.circ_id} is not built")
+
+    # -- latency ---------------------------------------------------------------
+
+    @property
+    def path_latency_s(self) -> float:
+        """One-way latency across all hops."""
+        return self.HOP_LATENCY_S * len(self._hops)
+
+    # -- onion crypto -----------------------------------------------------------
+
+    def onion_encrypt(self, plaintext: bytes) -> bytes:
+        """Wrap a forward payload in every hop's layer (exit layer innermost)."""
+        self._require_built()
+        data = plaintext
+        for hop in reversed(self._hops):
+            data = chacha20_xor(hop.forward_key, _NONCE, data)
+        return data
+
+    def relay_forward(self, onion: bytes) -> bytes:
+        """Let each relay on the path peel its layer; returns the plaintext."""
+        self._require_built()
+        data = onion
+        for hop in self._hops:
+            data = hop.relay.peel_forward(self.circ_id, data)
+        return data
+
+    def relay_backward(self, plaintext: bytes) -> bytes:
+        """Relays wrap a response from the exit back toward the client."""
+        self._require_built()
+        data = plaintext
+        for hop in reversed(self._hops):
+            data = hop.relay.wrap_backward(self.circ_id, data)
+        return data
+
+    def onion_decrypt(self, onion: bytes) -> bytes:
+        """Client removes every backward layer from a response."""
+        self._require_built()
+        data = onion
+        for hop in self._hops:
+            data = chacha20_xor(hop.backward_key, _NONCE, data)
+        return data
+
+    # -- streams -----------------------------------------------------------------
+
+    def open_stream(self, target: str) -> float:
+        """RELAY_BEGIN through the circuit; the exit records the stream.
+
+        Returns the full-path round-trip time the BEGIN/CONNECTED pair costs.
+        """
+        self._require_built()
+        begin = self.onion_encrypt(f"BEGIN {target}".encode())
+        peeled = self.relay_forward(begin)
+        if not peeled.startswith(b"BEGIN "):
+            raise CircuitError("onion layers failed to peel to the BEGIN cell")
+        self.exit.open_stream(self.circ_id, peeled[6:].decode())
+        self.streams_opened += 1
+        round_trip = 2 * self.path_latency_s
+        self.timeline.sleep(round_trip)
+        return round_trip
+
+    def destroy(self) -> None:
+        for hop in self._hops:
+            hop.relay.destroy_circuit(self.circ_id)
+        self._hops.clear()
+
+    def __repr__(self) -> str:
+        path = " -> ".join(self.path_nicknames) if self._hops else "<unbuilt>"
+        return f"Circuit({self.circ_id:#x}, {path})"

@@ -1,0 +1,100 @@
+"""The directory authority and consensus for the test Tor deployment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.anonymizers.tor.relay import Relay, RelayDescriptor
+from repro.errors import AnonymizerError
+from repro.net.addresses import Ipv4Address
+from repro.sim.rng import SeededRng
+
+
+@dataclass(frozen=True)
+class Consensus:
+    """A signed-snapshot view of the relay population."""
+
+    valid_after: float
+    descriptors: List[RelayDescriptor]
+
+    def document_bytes(self) -> int:
+        """Size of the consensus document a bootstrapping client downloads."""
+        body = "\n".join(d.summary_line() for d in self.descriptors)
+        return len(body.encode()) + 1024  # header + signatures
+
+    def guards(self) -> List[RelayDescriptor]:
+        return [d for d in self.descriptors if d.is_guard]
+
+    def exits(self) -> List[RelayDescriptor]:
+        return [d for d in self.descriptors if d.is_exit]
+
+    def middles(self) -> List[RelayDescriptor]:
+        return list(self.descriptors)
+
+    def by_nickname(self, nickname: str) -> RelayDescriptor:
+        for descriptor in self.descriptors:
+            if descriptor.nickname == nickname:
+                return descriptor
+        raise AnonymizerError(f"no relay named {nickname!r} in consensus")
+
+
+class DirectoryAuthority:
+    """Generates and serves the test deployment's relays and consensus.
+
+    One authority instance is shared by every TorClient in a run (all
+    CommVMs talk to the same deployment); each client still builds its own
+    circuits through it.
+    """
+
+    def __init__(
+        self,
+        rng: SeededRng,
+        relay_count: int = 40,
+        guard_fraction: float = 0.35,
+        exit_fraction: float = 0.35,
+        base_ip: str = "198.51.101.0",
+    ) -> None:
+        if relay_count < 3:
+            raise AnonymizerError(f"a Tor deployment needs >= 3 relays, got {relay_count}")
+        self.rng = rng.fork("directory")
+        self._relays: Dict[str, Relay] = {}
+        base = Ipv4Address.parse(base_ip)
+        for index in range(relay_count):
+            flags = {"Running", "Valid", "Stable"}
+            # Assign Guard and Exit by position to get deterministic,
+            # non-overlapping-enough pools (real networks overlap too).
+            if index < int(relay_count * guard_fraction):
+                flags.add("Guard")
+            if index >= relay_count - int(relay_count * exit_fraction):
+                flags.add("Exit")
+            bandwidth = self.rng.uniform(5_000_000, 20_000_000)
+            relay = Relay(
+                nickname=f"relay{index:03d}",
+                ip=Ipv4Address(base.value + index + 1),
+                bandwidth_bps=bandwidth,
+                flags=frozenset(flags),
+                rng=self.rng,
+            )
+            self._relays[relay.descriptor.nickname] = relay
+        self._consensus: Optional[Consensus] = None
+
+    def consensus(self, now: float = 0.0) -> Consensus:
+        if self._consensus is None:
+            self._consensus = Consensus(
+                valid_after=now,
+                descriptors=[r.descriptor for r in self._relays.values()],
+            )
+        return self._consensus
+
+    def relay(self, nickname: str) -> Relay:
+        try:
+            return self._relays[nickname]
+        except KeyError:
+            raise AnonymizerError(f"unknown relay {nickname!r}") from None
+
+    def relays(self) -> List[Relay]:
+        return list(self._relays.values())
+
+    def __len__(self) -> int:
+        return len(self._relays)

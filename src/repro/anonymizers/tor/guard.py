@@ -1,0 +1,130 @@
+"""Entry-guard selection and persistence.
+
+Guards are the heart of the §3.5 security argument for quasi-persistent
+nyms: Tor keeps the same entry relay for months because frequent rotation
+accelerates long-term intersection attacks [36].  An amnesiac nym forces
+fresh guards every boot; a persistent nym restores them.  Nymix's proposed
+mitigation for cloud-loading (the ephemeral download nym can't know the
+nym's guards yet) is to derive guard choice deterministically from the
+nym's storage location and password — implemented here as
+:meth:`GuardManager.deterministic`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.anonymizers.tor.directory import Consensus
+from repro.anonymizers.tor.relay import RelayDescriptor
+from repro.crypto.kdf import hkdf
+from repro.errors import AnonymizerError
+from repro.sim.rng import SeededRng
+
+#: Tor's default guard-set size at the time of the paper.
+DEFAULT_NUM_GUARDS = 3
+#: Guard lifetime: "Tor normally maintains the same entry relay for
+#: several months" (§3.5); 60 days expressed in seconds.
+DEFAULT_ROTATION_S = 60 * 24 * 3600.0
+
+
+def _weighted_sample(
+    rng: SeededRng, candidates: Sequence[RelayDescriptor], k: int
+) -> List[RelayDescriptor]:
+    """Bandwidth-weighted sampling without replacement (Tor's guard policy)."""
+    pool = list(candidates)
+    chosen: List[RelayDescriptor] = []
+    while pool and len(chosen) < k:
+        total = sum(d.bandwidth_bps for d in pool)
+        point = rng.uniform(0, total)
+        cumulative = 0.0
+        for descriptor in pool:
+            cumulative += descriptor.bandwidth_bps
+            if point <= cumulative:
+                chosen.append(descriptor)
+                pool.remove(descriptor)
+                break
+        else:  # floating-point edge: take the last candidate
+            chosen.append(pool.pop())
+    return chosen
+
+
+class GuardManager:
+    """Selects, remembers, and rotates entry guards for one Tor client."""
+
+    def __init__(
+        self,
+        rng: SeededRng,
+        num_guards: int = DEFAULT_NUM_GUARDS,
+        rotation_s: float = DEFAULT_ROTATION_S,
+    ) -> None:
+        if num_guards < 1:
+            raise AnonymizerError(f"need at least one guard, got {num_guards}")
+        self.rng = rng
+        self.num_guards = num_guards
+        self.rotation_s = rotation_s
+        self._guards: List[str] = []  # nicknames
+        self._selected_at: Optional[float] = None
+
+    # -- selection ------------------------------------------------------------
+
+    def ensure_guards(self, consensus: Consensus, now: float) -> List[str]:
+        """Return current guard nicknames, selecting or rotating if needed."""
+        expired = (
+            self._selected_at is not None
+            and now - self._selected_at >= self.rotation_s
+        )
+        if not self._guards or expired:
+            candidates = consensus.guards()
+            if not candidates:
+                raise AnonymizerError("consensus contains no Guard relays")
+            picked = _weighted_sample(self.rng, candidates, self.num_guards)
+            self._guards = [d.nickname for d in picked]
+            self._selected_at = now
+        return list(self._guards)
+
+    @property
+    def guards(self) -> List[str]:
+        return list(self._guards)
+
+    @property
+    def has_guards(self) -> bool:
+        return bool(self._guards)
+
+    # -- persistence (§3.5) ------------------------------------------------------
+
+    def export_state(self) -> Dict[str, object]:
+        return {
+            "guards": list(self._guards),
+            "selected_at": self._selected_at,
+            "num_guards": self.num_guards,
+        }
+
+    def import_state(self, state: Dict[str, object]) -> None:
+        guards = state.get("guards") or []
+        self._guards = [str(g) for g in guards]
+        self._selected_at = state.get("selected_at")  # type: ignore[assignment]
+
+    # -- deterministic seeding ------------------------------------------------------
+
+    @classmethod
+    def deterministic(
+        cls,
+        storage_location: str,
+        password: str,
+        num_guards: int = DEFAULT_NUM_GUARDS,
+        rotation_s: float = DEFAULT_ROTATION_S,
+    ) -> "GuardManager":
+        """Guard choice derived from (storage location, password).
+
+        The same nym loaded anywhere — including by its one-shot ephemeral
+        download nym — picks the same entry guards, closing the §3.5
+        intersection-attack gap for cloud-stored nyms.
+        """
+        seed_material = hkdf(
+            password.encode(),
+            salt=storage_location.encode(),
+            info=b"nymix-guard-seed",
+            length=8,
+        )
+        seed = int.from_bytes(seed_material, "big")
+        return cls(SeededRng(seed), num_guards=num_guards, rotation_s=rotation_s)

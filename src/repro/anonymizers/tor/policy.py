@@ -1,0 +1,134 @@
+"""Circuit management policy: lifetime rotation and stream isolation.
+
+Tor clients retire "dirty" circuits after MaxCircuitDirtiness (10 minutes
+by default) and can isolate streams — per destination, or per SOCKS
+credential — onto separate circuits so activities don't share an exit.
+Nymix's per-nym CommVMs already give *cross-nym* isolation structurally;
+the policy here governs circuit hygiene *within* one nym, and lets tests
+quantify what a shared-Tor design (the Whonix model the paper contrasts)
+would leak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.anonymizers.tor.circuit import Circuit
+from repro.errors import CircuitError
+
+#: Tor's default MaxCircuitDirtiness.
+DEFAULT_MAX_DIRTINESS_S = 600.0
+
+
+@dataclass(frozen=True)
+class IsolationPolicy:
+    """Which streams may share a circuit."""
+
+    #: retire a circuit this long after its first stream
+    max_dirtiness_s: float = DEFAULT_MAX_DIRTINESS_S
+    #: never put streams to different destinations on one circuit
+    isolate_destinations: bool = False
+    #: never put streams with different SOCKS auth tokens on one circuit
+    isolate_tokens: bool = False
+
+
+@dataclass
+class _TrackedCircuit:
+    circuit: Circuit
+    first_stream_at: Optional[float] = None
+    destinations: List[str] = field(default_factory=list)
+    tokens: List[str] = field(default_factory=list)
+
+
+class CircuitPool:
+    """Applies an :class:`IsolationPolicy` to a Tor client's circuits.
+
+    The pool is given a circuit factory (the client's ``_build_circuit``)
+    and answers "which circuit may carry this stream?", building fresh
+    circuits when the policy forbids reuse.
+    """
+
+    def __init__(self, timeline, build_circuit, policy: IsolationPolicy) -> None:
+        self.timeline = timeline
+        self._build = build_circuit
+        self.policy = policy
+        self._tracked: List[_TrackedCircuit] = []
+        self.circuits_built = 0
+        self.reuses = 0
+
+    def _is_dirty(self, tracked: _TrackedCircuit) -> bool:
+        if tracked.first_stream_at is None:
+            return False
+        return (
+            self.timeline.now - tracked.first_stream_at
+            >= self.policy.max_dirtiness_s
+        )
+
+    def _compatible(self, tracked: _TrackedCircuit, destination: str, token: str) -> bool:
+        if not tracked.circuit.built or self._is_dirty(tracked):
+            return False
+        if self.policy.isolate_destinations and tracked.destinations:
+            if destination not in tracked.destinations:
+                return False
+        if self.policy.isolate_tokens and tracked.tokens:
+            if token not in tracked.tokens:
+                return False
+        return True
+
+    def circuit_for_stream(self, destination: str, token: str = "") -> Circuit:
+        """Pick (or build) the circuit this stream is allowed to use."""
+        for tracked in self._tracked:
+            if self._compatible(tracked, destination, token):
+                self.reuses += 1
+                self._note_stream(tracked, destination, token)
+                return tracked.circuit
+        circuit = self._build()
+        if not circuit.built:
+            raise CircuitError("circuit factory returned an unbuilt circuit")
+        tracked = _TrackedCircuit(circuit=circuit)
+        self._note_stream(tracked, destination, token)
+        self._tracked.append(tracked)
+        self.circuits_built += 1
+        return circuit
+
+    def _note_stream(self, tracked: _TrackedCircuit, destination: str, token: str) -> None:
+        if tracked.first_stream_at is None:
+            tracked.first_stream_at = self.timeline.now
+        if destination not in tracked.destinations:
+            tracked.destinations.append(destination)
+        if token not in tracked.tokens:
+            tracked.tokens.append(token)
+
+    def retire_dirty(self) -> int:
+        """Destroy circuits past their dirtiness budget.  Returns count."""
+        retired = 0
+        for tracked in list(self._tracked):
+            if self._is_dirty(tracked):
+                tracked.circuit.destroy()
+                self._tracked.remove(tracked)
+                retired += 1
+        return retired
+
+    @property
+    def active_circuits(self) -> int:
+        return len(self._tracked)
+
+    def exits_seen_by(self, destination: str) -> List[str]:
+        """Which exit relays have carried streams to ``destination``."""
+        return [
+            t.circuit.exit.descriptor.nickname
+            for t in self._tracked
+            if destination in t.destinations and t.circuit.built
+        ]
+
+
+def shared_exit_linkage(pool: CircuitPool, dest_a: str, dest_b: str) -> bool:
+    """Would a colluding pair of destinations see the same exit?
+
+    This is the §3.3 hazard of *sharing* one Tor instance across nyms:
+    reused circuits let two destinations correlate a user.  Per-nym
+    CommVMs make the question moot; within a nym, destination isolation
+    answers it.
+    """
+    return bool(set(pool.exits_seen_by(dest_a)) & set(pool.exits_seen_by(dest_b)))

@@ -1,0 +1,116 @@
+"""Multi-authority consensus voting.
+
+Real Tor trusts no single directory: each authority publishes a vote
+(its view of the relay population and flags), and the consensus contains
+a relay iff a majority of authorities listed it, with flags assigned by
+per-flag majority.  A client requires the consensus to carry signatures
+from more than half the authorities it knows.
+
+The single-:class:`~repro.anonymizers.tor.directory.DirectoryAuthority`
+path stays the fast default; this module supplies the full voting
+machinery for deployments that want Byzantine directory behaviour in
+scope (e.g. testing what a single malicious authority can and cannot do).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set
+
+from repro.anonymizers.tor.directory import Consensus
+from repro.anonymizers.tor.relay import RelayDescriptor
+from repro.errors import AnonymizerError
+
+
+@dataclass(frozen=True)
+class DirectoryVote:
+    """One authority's signed view of the network."""
+
+    authority: str
+    descriptors: Dict[str, RelayDescriptor]  # by nickname
+    flags: Dict[str, FrozenSet[str]]  # nickname -> flags this authority asserts
+
+    def digest(self) -> bytes:
+        body = ";".join(
+            f"{nick}:{','.join(sorted(self.flags.get(nick, frozenset())))}"
+            for nick in sorted(self.descriptors)
+        )
+        return hashlib.sha256(f"{self.authority}|{body}".encode()).digest()
+
+
+@dataclass(frozen=True)
+class SignedConsensus:
+    """The voted consensus plus the authorities that signed it."""
+
+    consensus: Consensus
+    signers: FrozenSet[str]
+    total_authorities: int
+
+    @property
+    def quorum(self) -> bool:
+        return len(self.signers) * 2 > self.total_authorities
+
+
+def cast_vote(authority: str, descriptors: Sequence[RelayDescriptor]) -> DirectoryVote:
+    """An honest authority votes its actual view."""
+    return DirectoryVote(
+        authority=authority,
+        descriptors={d.nickname: d for d in descriptors},
+        flags={d.nickname: d.flags for d in descriptors},
+    )
+
+
+def tally_votes(votes: Sequence[DirectoryVote], valid_after: float = 0.0) -> SignedConsensus:
+    """Majority-combine votes into a consensus.
+
+    A relay enters iff a strict majority of authorities voted for it; each
+    flag is kept iff a majority of *those voting for the relay* assert it.
+    """
+    if not votes:
+        raise AnonymizerError("cannot tally zero votes")
+    authorities = [vote.authority for vote in votes]
+    if len(set(authorities)) != len(authorities):
+        raise AnonymizerError("duplicate authority votes")
+    majority = len(votes) // 2 + 1
+
+    supporters: Dict[str, List[DirectoryVote]] = {}
+    for vote in votes:
+        for nickname in vote.descriptors:
+            supporters.setdefault(nickname, []).append(vote)
+
+    descriptors: List[RelayDescriptor] = []
+    for nickname, voting in sorted(supporters.items()):
+        if len(voting) < majority:
+            continue
+        flag_votes: Dict[str, int] = {}
+        for vote in voting:
+            for flag in vote.flags.get(nickname, frozenset()):
+                flag_votes[flag] = flag_votes.get(flag, 0) + 1
+        flag_majority = len(voting) // 2 + 1
+        flags = frozenset(
+            flag for flag, count in flag_votes.items() if count >= flag_majority
+        )
+        base = voting[0].descriptors[nickname]
+        descriptors.append(
+            RelayDescriptor(
+                nickname=base.nickname,
+                ip=base.ip,
+                or_port=base.or_port,
+                bandwidth_bps=base.bandwidth_bps,
+                flags=flags,
+                onion_public_key=base.onion_public_key,
+            )
+        )
+    consensus = Consensus(valid_after=valid_after, descriptors=descriptors)
+    return SignedConsensus(
+        consensus=consensus,
+        signers=frozenset(authorities),
+        total_authorities=len(votes),
+    )
+
+
+def verify_consensus(signed: SignedConsensus, known_authorities: Set[str]) -> bool:
+    """Client-side check: enough known authorities signed?"""
+    recognized = signed.signers & known_authorities
+    return len(recognized) * 2 > len(known_authorities)

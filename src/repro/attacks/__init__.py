@@ -1,0 +1,35 @@
+"""Adversary models: the attacks Nymix's design is meant to frustrate.
+
+The paper's two-year red-team history is reproduced here as an executable
+adversary suite:
+
+* :mod:`repro.attacks.fingerprinting` — Panopticlick-style browser/VM
+  fingerprint entropy [19, 23]; Nymix's homogenization should leave zero
+  distinguishing bits between nyms.
+* :mod:`repro.attacks.staining` — evercookie/malware staining [56, 38];
+  stains must die with ephemeral and pre-configured nyms.
+* :mod:`repro.attacks.exploits` — in-AnonVM compromise trying to learn
+  the user's network identity [27, 61]; it may see only 10.0.2.15 and
+  the anonymizer's exit address.
+* :mod:`repro.attacks.intersection` — long-term intersection attacks [40]
+  and the entry-guard-rotation exposure model that motivates
+  quasi-persistent Tor state (§3.5).
+"""
+
+from repro.attacks.fingerprinting import (
+    distinguishing_bits,
+    fingerprints_distinguishable,
+)
+from repro.attacks.staining import EvercookieStain
+from repro.attacks.exploits import AnonVmCompromise, CommVmCompromise
+from repro.attacks.intersection import GuardExposureModel, IntersectionAttack
+
+__all__ = [
+    "distinguishing_bits",
+    "fingerprints_distinguishable",
+    "EvercookieStain",
+    "AnonVmCompromise",
+    "CommVmCompromise",
+    "GuardExposureModel",
+    "IntersectionAttack",
+]

@@ -1,0 +1,69 @@
+"""Fingerprinting adversaries (Panopticlick / Eckersley-style) [19, 23].
+
+A tracking site hashes every observable attribute of a visitor's browser
+and environment; if two visits hash differently the site can tell them
+apart, and if a hash is globally rare it identifies the user.  Nymix's
+defense is *structural homogeneity*: every AnonVM advertises exactly the
+same hardware and browser surface (§4.2), so the information content of
+the fingerprint across nyms — and across all Nymix users — is zero bits.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, List, Sequence, Tuple
+
+
+def _as_key(fingerprint) -> Tuple:
+    """Normalize a fingerprint object to a hashable attribute tuple."""
+    if hasattr(fingerprint, "as_tuple"):
+        return tuple(fingerprint.as_tuple())
+    if hasattr(fingerprint, "as_dict"):
+        return tuple(sorted(fingerprint.as_dict().items()))
+    if isinstance(fingerprint, dict):
+        return tuple(sorted(fingerprint.items()))
+    return tuple(fingerprint)
+
+
+def distinguishing_bits(fingerprints: Sequence) -> float:
+    """Shannon entropy (bits) an observer gains from the fingerprint.
+
+    0.0 means every fingerprint is identical — the observer learns nothing
+    that separates one visitor from another.
+    """
+    if not fingerprints:
+        return 0.0
+    counts = Counter(_as_key(fp) for fp in fingerprints)
+    total = sum(counts.values())
+    entropy = 0.0
+    for count in counts.values():
+        p = count / total
+        entropy -= p * math.log2(p)
+    return entropy
+
+
+def fingerprints_distinguishable(fingerprints: Iterable) -> bool:
+    """Can the observer tell at least two of these visitors apart?"""
+    keys = {_as_key(fp) for fp in fingerprints}
+    return len(keys) > 1
+
+
+def cpu_timing_fingerprint(durations: Sequence[float], tolerance: float = 0.02) -> List[int]:
+    """The §7 "lack of perfect homogeneity" attack: cluster hosts by timing.
+
+    A site running a CPU-intensive probe (a million digits of pi) can bin
+    visitors by how long it takes.  Returns a cluster label per visitor;
+    all-equal labels mean the timing channel also failed to distinguish.
+    """
+    labels: List[int] = []
+    centers: List[float] = []
+    for duration in durations:
+        for index, center in enumerate(centers):
+            if abs(duration - center) <= tolerance * center:
+                labels.append(index)
+                break
+        else:
+            centers.append(duration)
+            labels.append(len(centers) - 1)
+    return labels

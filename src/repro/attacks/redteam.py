@@ -1,0 +1,147 @@
+"""The red team: the paper's standing adversarial review, automated.
+
+"Beyond internal validation, Nymix has been regularly scrutinized for
+over 2 years by an independent red-team" (§5.1).  This module packages
+the whole adversary suite into one sweep against a live deployment and
+reports, per attack, what the adversary achieved — the regression suite
+a real red team would leave behind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.attacks.exploits import AnonVmCompromise, CommVmCompromise
+from repro.attacks.fingerprinting import distinguishing_bits
+from repro.attacks.staining import EvercookieStain
+from repro.core.validation import probe_isolation, validate_system
+
+
+@dataclass
+class AttackOutcome:
+    """One red-team exercise: what was attempted, what was gained."""
+
+    name: str
+    contained: bool
+    details: str
+
+
+@dataclass
+class RedTeamReport:
+    outcomes: List[AttackOutcome] = field(default_factory=list)
+
+    @property
+    def all_contained(self) -> bool:
+        return all(outcome.contained for outcome in self.outcomes)
+
+    def failures(self) -> List[AttackOutcome]:
+        return [o for o in self.outcomes if not o.contained]
+
+    def summary(self) -> str:
+        verdict = "ALL CONTAINED" if self.all_contained else "BREACHES FOUND"
+        lines = [f"red team report: {verdict} ({len(self.outcomes)} exercises)"]
+        for outcome in self.outcomes:
+            mark = "ok " if outcome.contained else "FAIL"
+            lines.append(f"  [{mark}] {outcome.name}: {outcome.details}")
+        return "\n".join(lines)
+
+
+def run_red_team(manager, nyms: int = 3) -> RedTeamReport:
+    """Run the full adversarial sweep against ``manager``.
+
+    Creates ``nyms`` fresh nyms (plus uses any already live), attacks
+    them, and reports.  Attack side effects (stains, exploit traffic) are
+    confined to the nyms this function creates, which it destroys.
+    """
+    report = RedTeamReport()
+    created = [manager.create_nym(f"redteam-{i}") for i in range(nyms)]
+    for nymbox in created:
+        manager.timed_browse(nymbox, "bbc.co.uk")
+
+    # Exercise 1: browser 0-day in every AnonVM.
+    real_ip = manager.hypervisor.public_ip
+    unmasked = []
+    for nymbox in created:
+        findings = AnonVmCompromise(nymbox).run()
+        if findings.knows_real_network_identity(real_ip):
+            unmasked.append(nymbox.nym.name)
+    report.outcomes.append(
+        AttackOutcome(
+            name="anonvm-exploit",
+            contained=not unmasked,
+            details=(
+                f"{len(created)} AnonVMs rooted; real address learned in "
+                f"{len(unmasked)} ({unmasked or 'none'})"
+            ),
+        )
+    )
+
+    # Exercise 2: anonymizer compromise (CommVM).
+    stolen = []
+    for nymbox in created:
+        findings = CommVmCompromise(nymbox, real_ip).run()
+        stolen.extend(findings.stolen_files)
+    report.outcomes.append(
+        AttackOutcome(
+            name="commvm-exploit",
+            contained=not stolen,
+            details=(
+                "CommVMs rooted: public IP leaks by design; "
+                f"browser files stolen: {stolen or 'none'}"
+            ),
+        )
+    )
+
+    # Exercise 3: fingerprint linkage across nyms.
+    bits = distinguishing_bits([n.anonvm.fingerprint() for n in created])
+    report.outcomes.append(
+        AttackOutcome(
+            name="fingerprint-linkage",
+            contained=bits == 0.0,
+            details=f"cross-nym fingerprint entropy: {bits} bits",
+        )
+    )
+
+    # Exercise 4: staining an ephemeral nym and waiting for it to return.
+    target = created[0]
+    stain = EvercookieStain("redteam-stain")
+    stain.plant(target)
+    target_name = target.nym.name
+    manager.discard_nym(target)
+    replacement = manager.create_nym(target_name)
+    created[0] = replacement
+    report.outcomes.append(
+        AttackOutcome(
+            name="evercookie-stain",
+            contained=not stain.detected(replacement),
+            details="stain planted, nym discarded, fresh nym checked",
+        )
+    )
+
+    # Exercise 5: network probes (the §5.1 matrix + idle scan).
+    validation = validate_system(manager, idle_seconds=10.0)
+    report.outcomes.append(
+        AttackOutcome(
+            name="network-probes",
+            contained=validation.passed,
+            details=validation.summary(),
+        )
+    )
+
+    # Exercise 6: cross-nym reachability specifically among our targets.
+    matrix = probe_isolation(manager)
+    report.outcomes.append(
+        AttackOutcome(
+            name="isolation-matrix",
+            contained=matrix.clean,
+            details=(
+                f"{len(matrix.allowed_pairs)} sanctioned pairs, "
+                f"{len(matrix.violations)} violations"
+            ),
+        )
+    )
+
+    for nymbox in created:
+        manager.discard_nym(nymbox)
+    return report

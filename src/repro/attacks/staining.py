@@ -1,0 +1,52 @@
+"""Staining attacks: marking a client for long-term tracking [56, 38].
+
+The GCHQ "MULLENIZE" program stained anonymous traffic by planting
+persistent markers on clients; Samy Kamkar's evercookie does the same
+from JavaScript, hiding copies of a tracking ID in every storage corner
+the browser offers.  Nymix's answer is the usage model: stains live in
+the AnonVM's writable state, so an ephemeral nym destroys them at
+teardown and a pre-configured nym sheds them at the next restore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.nymbox import NymBox
+
+#: every place an evercookie hides a copy of its ID
+_STASH_PATHS = (
+    "/home/user/.config/chromium/Cookies.evercookie",
+    "/home/user/.config/chromium/Local Storage/evercookie",
+    "/home/user/.cache/chromium/Cache/evercookie_png",
+    "/home/user/.config/chromium/IndexedDB/evercookie",
+    "/home/user/.config/flash/evercookie.sol",
+)
+
+
+@dataclass
+class EvercookieStain:
+    """An in-browser stain: plant it, then ask whether a nym still carries it."""
+
+    tracking_id: str
+
+    def plant(self, nymbox: NymBox) -> int:
+        """Write the stain into every stash the AnonVM's browser exposes."""
+        payload = f"evercookie:{self.tracking_id}".encode()
+        for path in _STASH_PATHS:
+            nymbox.anonvm.fs.write(path, payload)
+        return len(_STASH_PATHS)
+
+    def surviving_stashes(self, nymbox: NymBox) -> List[str]:
+        """Which stash copies are still readable in this nymbox?"""
+        payload = f"evercookie:{self.tracking_id}".encode()
+        found = []
+        for path in _STASH_PATHS:
+            if nymbox.anonvm.fs.exists(path) and nymbox.anonvm.fs.read(path) == payload:
+                found.append(path)
+        return found
+
+    def detected(self, nymbox: NymBox) -> bool:
+        """Can the tracking site re-identify this nym?"""
+        return bool(self.surviving_stashes(nymbox))

@@ -1,0 +1,28 @@
+"""Baseline systems: Tails-like and Whonix-like deployments (§6).
+
+The paper positions Nymix against two production systems:
+
+* **Tails** [68] — an amnesiac live OS: Tor and the browser share one
+  environment (no VM isolation), nothing persists by default, optional
+  persistence lives *on the Tails USB stick itself*.
+* **Whonix** [75] — a static, user-managed pair of VMs (workstation +
+  gateway) installed on the user's normal OS: exploit isolation like
+  Nymix's, but one long-lived browser VM for everything and one shared
+  Tor instance.
+
+These baselines implement the same adversarial probes as the Nymix
+attack suite, so tests and the comparison benchmark can score all three
+architectures on identical exercises.
+"""
+
+from repro.baselines.tails import TailsLikeSystem
+from repro.baselines.whonix import WhonixLikeSystem
+from repro.baselines.comparison import ARCHITECTURES, ComparisonRow, compare_architectures
+
+__all__ = [
+    "TailsLikeSystem",
+    "WhonixLikeSystem",
+    "ARCHITECTURES",
+    "ComparisonRow",
+    "compare_architectures",
+]

@@ -1,0 +1,122 @@
+"""A Tails-like amnesiac live system (§6 / [68]).
+
+One environment: Tor, the browser, and the user's session all share a
+single live OS booted from USB.  Amnesia is excellent (tmpfs root,
+nothing persists), but:
+
+* a browser exploit with root runs *in the same OS as the network stack*
+  and can read the real IP and MAC (no CommVM between them);
+* forgetting everything each boot forces fresh Tor entry guards per
+  session (the §3.5 intersection hazard) and fresh logins (the Sabu
+  habit hazard [63]);
+* optional persistence lives on the same USB stick — seizable evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.rng import SeededRng
+
+
+@dataclass
+class TailsSession:
+    """One boot-to-shutdown session."""
+
+    index: int
+    guards: List[str]
+    visited: List[str] = field(default_factory=list)
+    typed_credentials: List[str] = field(default_factory=list)
+    stains: Dict[str, str] = field(default_factory=dict)
+
+
+class TailsLikeSystem:
+    """The amnesiac single-environment baseline."""
+
+    name = "tails-like"
+    has_vm_isolation = False
+    has_per_role_isolation = False  # one browser for everything in a session
+    amnesiac_by_default = True
+    persistent_storage_location = "same-usb"  # the confiscation hazard
+
+    def __init__(self, rng: SeededRng, real_ip: str, guard_pool: int = 40) -> None:
+        self.rng = rng
+        self.real_ip = real_ip
+        self._guard_pool = [f"guard{i:03d}" for i in range(guard_pool)]
+        self.sessions: List[TailsSession] = []
+        self._current: Optional[TailsSession] = None
+        self.persistence_enabled = False
+        self._persistent_stains: Dict[str, str] = {}
+        self._persistent_credentials: List[str] = []
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def boot(self) -> TailsSession:
+        """Each boot selects *fresh* guards: state was forgotten."""
+        session = TailsSession(
+            index=len(self.sessions),
+            guards=self.rng.sample(self._guard_pool, 3),
+        )
+        if self.persistence_enabled:
+            session.stains.update(self._persistent_stains)
+            session.typed_credentials.extend(self._persistent_credentials)
+        self.sessions.append(session)
+        self._current = session
+        return session
+
+    def shutdown(self) -> None:
+        if self._current is None:
+            return
+        if self.persistence_enabled:
+            self._persistent_stains.update(self._current.stains)
+            self._persistent_credentials = list(self._current.typed_credentials)
+        self._current = None
+
+    @property
+    def current(self) -> TailsSession:
+        if self._current is None:
+            raise RuntimeError("tails is not booted")
+        return self._current
+
+    # -- user actions -----------------------------------------------------------
+
+    def browse(self, hostname: str) -> None:
+        self.current.visited.append(hostname)
+
+    def login(self, hostname: str, username: str, password: str) -> None:
+        """No credential binding: the user types secrets anew each session."""
+        self.current.typed_credentials.append(f"{hostname}:{username}")
+
+    # -- adversarial probes ------------------------------------------------------
+
+    def exploit_learns_real_ip(self) -> bool:
+        """Browser exploit with root: same OS as the NIC -> real IP."""
+        return True
+
+    def plant_stain(self, stain_id: str) -> None:
+        self.current.stains["evercookie"] = stain_id
+
+    def stain_survives_reboot(self, stain_id: str) -> bool:
+        self.shutdown()
+        session = self.boot()
+        return session.stains.get("evercookie") == stain_id
+
+    def guards_across_sessions(self, sessions: int) -> int:
+        """Distinct entry guards touched over N sessions (amnesia => many)."""
+        for _ in range(sessions):
+            self.boot()
+            self.shutdown()
+        distinct = set()
+        for session in self.sessions[-sessions:]:
+            distinct.update(session.guards)
+        return len(distinct)
+
+    def usb_forensics(self) -> List[str]:
+        """What a seized USB stick reveals."""
+        evidence = ["tails-distribution"]  # having Tails at all
+        if self.persistence_enabled and (
+            self._persistent_stains or self._persistent_credentials
+        ):
+            evidence.append("encrypted-persistent-volume")  # coercible [§2]
+        return evidence

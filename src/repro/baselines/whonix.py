@@ -1,0 +1,95 @@
+"""A Whonix-like static two-VM deployment (§6 / [75]).
+
+Whonix pioneered the workstation/gateway split Nymix's AnonVM/CommVM
+inherits, so browser exploits are contained.  The §6 differences:
+
+* the VM pair is *static and user-managed*: one long-lived workstation
+  image serves every activity, so a stain (or a private-browsing state
+  bug [3]) persists "for the lifetime of the nym ... unless the user
+  manually reinstalls Whonix";
+* one shared Tor instance carries every role's traffic, so circuits and
+  exit addresses can link activities (the §3.3 shared-anonymizer hazard);
+* it installs onto the user's normal OS: no boot-from-USB deniability,
+  no hardware-fingerprint defense, and the VM images themselves are
+  discoverable evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.sim.rng import SeededRng
+
+
+@dataclass
+class WhonixActivity:
+    """One user activity (a role, in Nymix terms) in the shared workstation."""
+
+    label: str
+    visited: List[str] = field(default_factory=list)
+    exit_used: str = ""
+
+
+class WhonixLikeSystem:
+    """The static two-VM baseline."""
+
+    name = "whonix-like"
+    has_vm_isolation = True
+    has_per_role_isolation = False  # one workstation VM for everything
+    amnesiac_by_default = False
+    persistent_storage_location = "installed-disk"
+
+    def __init__(self, rng: SeededRng, real_ip: str, exit_pool: int = 12) -> None:
+        self.rng = rng
+        self.real_ip = real_ip
+        self._exits = [f"exit{i:02d}" for i in range(exit_pool)]
+        # One shared Tor: a circuit (and its exit) is reused across
+        # whatever the user does within its lifetime.
+        self._current_exit = self.rng.choice(self._exits)
+        self.workstation_state: Dict[str, str] = {}  # the static VM image
+        self.activities: List[WhonixActivity] = []
+        self.reinstalls = 0
+
+    # -- user actions ------------------------------------------------------------
+
+    def do_activity(self, label: str, hostname: str) -> WhonixActivity:
+        activity = WhonixActivity(label=label)
+        activity.visited.append(hostname)
+        activity.exit_used = self._current_exit  # shared circuit!
+        self.activities.append(activity)
+        return activity
+
+    def rotate_circuit(self) -> None:
+        self._current_exit = self.rng.choice(self._exits)
+
+    # -- adversarial probes ----------------------------------------------------------
+
+    def exploit_learns_real_ip(self) -> bool:
+        """Workstation exploit is gateway-contained, like Nymix."""
+        return False
+
+    def plant_stain(self, stain_id: str) -> None:
+        self.workstation_state["evercookie"] = stain_id
+
+    def stain_survives_reboot(self, stain_id: str) -> bool:
+        """The static image carries it until a manual reinstall (§3.3)."""
+        return self.workstation_state.get("evercookie") == stain_id
+
+    def reinstall(self) -> None:
+        """The documented remedy: reset to pristine images, by hand."""
+        self.workstation_state.clear()
+        self.reinstalls += 1
+
+    def activities_linkable_by_exit(self, label_a: str, label_b: str) -> bool:
+        """Colluding destinations compare source exits across roles."""
+        exits_a = {a.exit_used for a in self.activities if a.label == label_a}
+        exits_b = {a.exit_used for a in self.activities if a.label == label_b}
+        return bool(exits_a & exits_b)
+
+    def host_forensics(self) -> List[str]:
+        """What inspecting the user's installed machine reveals."""
+        evidence = ["whonix-vm-images"]  # sitting on the normal disk
+        if self.workstation_state:
+            evidence.append("workstation-browsing-state")
+        return evidence

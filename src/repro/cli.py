@@ -1,0 +1,122 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the reproduction an operator's console:
+
+* ``validate``  — run the §5.1 validation against a live deployment
+* ``redteam``   — run the full adversarial sweep and print the report
+* ``demo``      — the quickstart workflow, narrated
+* ``catalog``   — what the simulated world contains (sites, OSes, transports)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.anonymizers.base import ANONYMIZER_REGISTRY
+from repro.cloud import make_dropbox, make_google_drive
+from repro.core import NymManager, NymixConfig
+from repro.core.validation import validate_system
+from repro.guest.installed_os import INSTALLED_OS_CATALOG
+from repro.guest.websites import WEBSITE_CATALOG
+
+
+def _make_manager(seed: int) -> NymManager:
+    manager = NymManager(NymixConfig(seed=seed))
+    manager.add_cloud_provider(make_dropbox())
+    manager.add_cloud_provider(make_google_drive())
+    return manager
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    manager = _make_manager(args.seed)
+    for index in range(args.nyms):
+        nymbox = manager.create_nym(f"validate-{index}")
+        manager.timed_browse(nymbox, "bbc.co.uk")
+    result = validate_system(manager, idle_seconds=args.idle)
+    print(result.summary())
+    return 0 if result.passed else 1
+
+
+def cmd_redteam(args: argparse.Namespace) -> int:
+    from repro.attacks.redteam import run_red_team
+
+    manager = _make_manager(args.seed)
+    report = run_red_team(manager, nyms=args.nyms)
+    print(report.summary())
+    return 0 if report.all_contained else 1
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    manager = _make_manager(args.seed)
+    manager.create_cloud_account("dropbox.com", "demo-user", "cloud-pw")
+    print("starting a fresh nym...")
+    nymbox = manager.create_nym("demo")
+    print(f"  up in {nymbox.startup.total_s:.1f} s "
+          f"(boot {nymbox.startup.boot_vm_s:.1f}, tor {nymbox.startup.start_anonymizer_s:.1f})")
+    load = manager.timed_browse(nymbox, "twitter.com")
+    print(f"  twitter.com in {load.duration_s:.1f} s via exit "
+          f"{nymbox.anonymizer.exit_address()}")
+    receipt = manager.store_nym(
+        nymbox, "demo-pw", provider_host="dropbox.com", account_username="demo-user"
+    )
+    print(f"  stored: {receipt.encrypted_bytes / 2**20:.1f} MiB encrypted")
+    manager.discard_nym(nymbox)
+    restored = manager.load_nym("demo", "demo-pw")
+    print(f"  restored with warm tor start "
+          f"({restored.startup.start_anonymizer_s:.1f} s) and "
+          f"{len(restored.browser.history)} history entries")
+    manager.discard_nym(restored)
+    print("done.")
+    return 0
+
+
+def cmd_catalog(args: argparse.Namespace) -> int:
+    print("anonymizers:")
+    for kind in sorted(ANONYMIZER_REGISTRY):
+        print(f"  {kind}")
+    print("  (compositions: any 'a+b'; camouflage: 'stegotorus[:inner]')")
+    print("websites:")
+    for hostname, site in sorted(WEBSITE_CATALOG.items()):
+        login = " [login]" if site.requires_login else ""
+        print(f"  {hostname}{login}")
+    print("installed OSes:")
+    for name, profile in INSTALLED_OS_CATALOG.items():
+        repair = f"repair ~{profile.repair_seconds:.0f}s" if profile.needs_repair else "no repair"
+        print(f"  {name} ({repair})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Nymix reproduction: manage simulated nymboxes from the shell.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    validate = commands.add_parser("validate", help="run the §5.1 validation")
+    validate.add_argument("--nyms", type=int, default=4)
+    validate.add_argument("--idle", type=float, default=30.0)
+    validate.set_defaults(func=cmd_validate)
+
+    redteam = commands.add_parser("redteam", help="run the adversarial sweep")
+    redteam.add_argument("--nyms", type=int, default=3)
+    redteam.set_defaults(func=cmd_redteam)
+
+    demo = commands.add_parser("demo", help="narrated quickstart workflow")
+    demo.set_defaults(func=cmd_demo)
+
+    catalog = commands.add_parser("catalog", help="list the simulated world")
+    catalog.set_defaults(func=cmd_catalog)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

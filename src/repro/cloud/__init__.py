@@ -1,0 +1,20 @@
+"""Cloud storage: the quasi-persistent nym backing store (§3.5).
+
+Free-to-use providers (the paper names Dropbox and Google Drive) hold
+encrypted nym snapshots under pseudonymous accounts.  Because every
+interaction is carried by the nym's anonymizer and every blob is sealed
+client-side, the provider learns neither who owns an account nor what a
+nym contains — asserted by this package's tests via the provider's own
+access log.
+"""
+
+from repro.cloud.provider import CloudAccount, CloudProvider, StoredBlob
+from repro.cloud.services import make_dropbox, make_google_drive
+
+__all__ = [
+    "CloudAccount",
+    "CloudProvider",
+    "StoredBlob",
+    "make_dropbox",
+    "make_google_drive",
+]

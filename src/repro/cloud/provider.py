@@ -1,0 +1,146 @@
+"""A cloud storage provider on the simulated Internet."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import CloudError, QuotaExceededError
+from repro.net.addresses import Ipv4Address
+from repro.net.internet import HttpResponse, Server
+
+GIB = 1024 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class StoredBlob:
+    """One object at rest: the provider sees only ciphertext and size."""
+
+    name: str
+    data: bytes
+    stored_at: float
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+@dataclass
+class CloudAccount:
+    """A (pseudonymous) account: username, password hash, quota, blobs."""
+
+    username: str
+    password: str  # the simulated provider stores it plainly; it's a sim
+    quota_bytes: int
+    blobs: Dict[str, StoredBlob] = field(default_factory=dict)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(blob.size for blob in self.blobs.values())
+
+
+@dataclass(frozen=True)
+class AccessLogEntry:
+    """What the provider can observe about one request."""
+
+    time: float
+    username: str
+    operation: str  # "login", "put", "get", "delete", "list"
+    blob_name: str
+    observed_ip: Ipv4Address
+
+
+class CloudProvider(Server):
+    """Account management plus a blob store, with an observer's-eye log.
+
+    The access log is the adversary's evidence trail: tests assert that
+    nym traffic shows only exit-relay addresses, never the user's.
+    """
+
+    def __init__(self, hostname: str, ip: str, free_quota_bytes: int = 2 * GIB) -> None:
+        super().__init__(hostname, Ipv4Address.parse(ip))
+        self.free_quota_bytes = free_quota_bytes
+        self._accounts: Dict[str, CloudAccount] = {}
+        self.access_log: List[AccessLogEntry] = []
+
+    # -- accounts -----------------------------------------------------------------
+
+    def create_account(self, username: str, password: str) -> CloudAccount:
+        if username in self._accounts:
+            raise CloudError(f"account {username!r} already exists on {self.hostname}")
+        account = CloudAccount(
+            username=username, password=password, quota_bytes=self.free_quota_bytes
+        )
+        self._accounts[username] = account
+        return account
+
+    def login(self, username: str, password: str, now: float, src_ip: Ipv4Address) -> CloudAccount:
+        account = self._accounts.get(username)
+        if account is None or account.password != password:
+            raise CloudError(f"authentication failed for {username!r}")
+        self._log(now, username, "login", "", src_ip)
+        return account
+
+    def _log(
+        self, now: float, username: str, op: str, blob: str, src_ip: Ipv4Address
+    ) -> None:
+        self.access_log.append(
+            AccessLogEntry(
+                time=now, username=username, operation=op, blob_name=blob,
+                observed_ip=src_ip,
+            )
+        )
+
+    # -- blob operations ----------------------------------------------------------------
+
+    def put(
+        self,
+        account: CloudAccount,
+        name: str,
+        data: bytes,
+        now: float,
+        src_ip: Ipv4Address,
+    ) -> StoredBlob:
+        existing = account.blobs.get(name)
+        projected = account.used_bytes - (existing.size if existing else 0) + len(data)
+        if projected > account.quota_bytes:
+            raise QuotaExceededError(
+                f"{account.username}@{self.hostname}: {projected} B exceeds quota "
+                f"{account.quota_bytes} B"
+            )
+        blob = StoredBlob(name=name, data=bytes(data), stored_at=now)
+        account.blobs[name] = blob
+        self._log(now, account.username, "put", name, src_ip)
+        return blob
+
+    def get(
+        self, account: CloudAccount, name: str, now: float, src_ip: Ipv4Address
+    ) -> StoredBlob:
+        blob = account.blobs.get(name)
+        if blob is None:
+            raise CloudError(f"no blob {name!r} in {account.username}@{self.hostname}")
+        self._log(now, account.username, "get", name, src_ip)
+        return blob
+
+    def delete(
+        self, account: CloudAccount, name: str, now: float, src_ip: Ipv4Address
+    ) -> None:
+        if name not in account.blobs:
+            raise CloudError(f"no blob {name!r} in {account.username}@{self.hostname}")
+        del account.blobs[name]
+        self._log(now, account.username, "delete", name, src_ip)
+
+    def list_blobs(
+        self, account: CloudAccount, now: float, src_ip: Ipv4Address
+    ) -> List[str]:
+        self._log(now, account.username, "list", "", src_ip)
+        return sorted(account.blobs)
+
+    # -- what the provider "knows" --------------------------------------------------
+
+    def observed_ips_for(self, username: str) -> List[Ipv4Address]:
+        return [e.observed_ip for e in self.access_log if e.username == username]
+
+    def handle(self, path: str, request_bytes: int = 500) -> HttpResponse:
+        self.requests_served += 1
+        return HttpResponse(status=200, body_bytes=4096)  # the login page

@@ -1,0 +1,15 @@
+"""Preset providers: the free-to-use services the paper names (§3.5)."""
+
+from __future__ import annotations
+
+from repro.cloud.provider import CloudProvider, GIB
+
+
+def make_dropbox() -> CloudProvider:
+    """Dropbox-like: 2 GB free tier."""
+    return CloudProvider("dropbox.com", "198.51.100.80", free_quota_bytes=2 * GIB)
+
+
+def make_google_drive() -> CloudProvider:
+    """Google-Drive-like: 15 GB free tier."""
+    return CloudProvider("drive.google.com", "198.51.100.81", free_quota_bytes=15 * GIB)

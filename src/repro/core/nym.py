@@ -1,0 +1,72 @@
+"""Nyms: pseudonym identities and their usage models (§3.5)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class NymUsageModel(enum.Enum):
+    """The three usage models the paper defines.
+
+    * ``EPHEMERAL`` — amnesiac: state lives only while the nym runs;
+      teardown securely erases everything.  The default, and the safest
+      against staining and long-term tracking.
+    * ``PERSISTENT`` — state is re-saved after *every* session: familiar,
+      convenient, but a stain acquired in one session persists for the
+      nym's lifetime.
+    * ``PRECONFIGURED`` — state was snapshotted once after setup; every
+      session starts from that pristine snapshot and changes are discarded
+      unless the user explicitly re-snapshots.  A malware infection is
+      scrubbed at the next session.
+    """
+
+    EPHEMERAL = "ephemeral"
+    PERSISTENT = "persistent"
+    PRECONFIGURED = "preconfigured"
+
+    @property
+    def quasi_persistent(self) -> bool:
+        return self is not NymUsageModel.EPHEMERAL
+
+    @property
+    def saves_after_each_session(self) -> bool:
+        return self is NymUsageModel.PERSISTENT
+
+
+@dataclass
+class Nym:
+    """A pseudonym: identity metadata bound to (at most) one live nymbox.
+
+    Nymix "maintains and structurally enforces an explicit binding between
+    each role a user plays online, the network login credentials related
+    to that role, and all client-side state" (§1) — the binding lives here
+    and in the nymbox's VM state, never in a shared password manager.
+    """
+
+    name: str
+    usage_model: NymUsageModel
+    anonymizer_kind: str
+    created_at: float
+    #: role-scoped account credentials (hostname -> username); passwords
+    #: live only in the nym's browser state, not in manager metadata
+    accounts: Dict[str, str] = field(default_factory=dict)
+    #: where the encrypted snapshot lives, for quasi-persistent nyms
+    storage_provider: Optional[str] = None
+    storage_blob: Optional[str] = None
+    save_cycles: int = 0
+
+    @property
+    def ephemeral(self) -> bool:
+        return self.usage_model is NymUsageModel.EPHEMERAL
+
+    def bind_account(self, hostname: str, username: str) -> None:
+        self.accounts[hostname] = username
+
+    def storage_location(self) -> str:
+        """Identifier used for deterministic guard seeding (§3.5)."""
+        return f"{self.storage_provider or 'local'}/{self.storage_blob or self.name}"
+
+    def __repr__(self) -> str:
+        return f"Nym({self.name!r}, {self.usage_model.value}, via {self.anonymizer_kind})"

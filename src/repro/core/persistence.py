@@ -1,0 +1,255 @@
+"""Quasi-persistent nym state: capture, seal, upload, restore (§3.5).
+
+The store workflow, exactly as the paper's §3.5 "Workflow" paragraph runs
+it: pause the nym's VMs, sync their file systems, compress and encrypt the
+writable (temporary) images, resume the VMs, and upload the ciphertext
+through the nym's own CommVM.  The cloud provider receives one opaque
+sealed blob from a Tor exit address.
+
+Only writable layers travel: the base image is the public distribution.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.anonymizers.base import AnonymizerState
+from repro.cloud.provider import CloudAccount, CloudProvider
+from repro.core.nymbox import NymBox
+from repro.crypto.aead import SealedBlob, SealedBox
+from repro.errors import PersistenceError
+from repro.sim.clock import Timeline
+from repro.sim.rng import SeededRng
+
+_MAGIC = b"NYMFS1\n"
+
+# Simulated processing rates for the pack/unpack pipeline (bytes/second).
+_COMPRESS_BPS = 60 * 1024 * 1024
+_CRYPTO_BPS = 150 * 1024 * 1024
+_KDF_SECONDS = 0.3
+_SYNC_SECONDS = 0.5
+
+
+@dataclass(frozen=True)
+class FsSnapshot:
+    """The writable layers of both VMs plus anonymizer state, as one blob."""
+
+    anon_files: Dict[str, bytes]
+    comm_files: Dict[str, bytes]
+    anonymizer_state: AnonymizerState
+
+    @classmethod
+    def capture(cls, nymbox: NymBox) -> "FsSnapshot":
+        return cls(
+            anon_files={p: nymbox.anonvm.fs.top.read(p) for p in nymbox.anonvm.fs.top.paths()},
+            comm_files={p: nymbox.commvm.fs.top.read(p) for p in nymbox.commvm.fs.top.paths()},
+            anonymizer_state=nymbox.anonymizer.export_state(),
+        )
+
+    @property
+    def raw_bytes(self) -> int:
+        return sum(len(d) for d in self.anon_files.values()) + sum(
+            len(d) for d in self.comm_files.values()
+        )
+
+    @property
+    def anonvm_fraction(self) -> float:
+        """Share of snapshot bytes from the AnonVM (≈ 85% per §5.3)."""
+        total = self.raw_bytes
+        if total == 0:
+            return 0.0
+        return sum(len(d) for d in self.anon_files.values()) / total
+
+    # -- wire format -----------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        blob_parts = []
+        manifest: Dict[str, object] = {"anon": [], "comm": [], "state": None}
+        offset = 0
+        for section, files in (("anon", self.anon_files), ("comm", self.comm_files)):
+            entries = []
+            for path in sorted(files):
+                data = files[path]
+                entries.append([path, offset, len(data)])
+                blob_parts.append(data)
+                offset += len(data)
+            manifest[section] = entries
+        manifest["state"] = {
+            "kind": self.anonymizer_state.kind,
+            "payload": self.anonymizer_state.payload,
+        }
+        header = json.dumps(manifest, sort_keys=True).encode()
+        return _MAGIC + len(header).to_bytes(4, "big") + header + b"".join(blob_parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "FsSnapshot":
+        if not data.startswith(_MAGIC):
+            raise PersistenceError("not a Nymix file-system snapshot")
+        header_len = int.from_bytes(data[len(_MAGIC) : len(_MAGIC) + 4], "big")
+        body_start = len(_MAGIC) + 4 + header_len
+        try:
+            manifest = json.loads(data[len(_MAGIC) + 4 : body_start])
+        except ValueError as exc:
+            raise PersistenceError("corrupt snapshot manifest") from exc
+        blob = data[body_start:]
+
+        def section(name: str) -> Dict[str, bytes]:
+            files = {}
+            for path, offset, length in manifest[name]:
+                chunk = blob[offset : offset + length]
+                if len(chunk) != length:
+                    raise PersistenceError(f"truncated snapshot body at {path!r}")
+                files[path] = chunk
+            return files
+
+        state = manifest["state"]
+        return cls(
+            anon_files=section("anon"),
+            comm_files=section("comm"),
+            anonymizer_state=AnonymizerState(kind=state["kind"], payload=state["payload"]),
+        )
+
+
+@dataclass(frozen=True)
+class StoreReceipt:
+    """What one save cycle produced and cost."""
+
+    nym_name: str
+    blob_name: str
+    raw_bytes: int
+    compressed_bytes: int
+    encrypted_bytes: int
+    pack_seconds: float
+    upload_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.pack_seconds + self.upload_seconds
+
+    @property
+    def compression_ratio(self) -> float:
+        if self.raw_bytes == 0:
+            return 1.0
+        return self.compressed_bytes / self.raw_bytes
+
+
+class NymStore:
+    """Seals nym snapshots and moves them to/from cloud providers."""
+
+    def __init__(self, timeline: Timeline, rng: SeededRng) -> None:
+        self.timeline = timeline
+        self.rng = rng
+
+    # -- packing ---------------------------------------------------------------
+
+    def pack(self, snapshot: FsSnapshot, password: str) -> Tuple[bytes, StoreReceipt]:
+        """Serialize -> compress -> encrypt.  Advances the timeline."""
+        start = self.timeline.now
+        raw = snapshot.to_bytes()
+        self.timeline.sleep(len(raw) / _COMPRESS_BPS)
+        compressed = zlib.compress(raw, level=6)
+        self.timeline.sleep(_KDF_SECONDS + len(compressed) / _CRYPTO_BPS)
+        box = SealedBox(password, self.rng)
+        sealed = box.seal(compressed).to_bytes()
+        receipt = StoreReceipt(
+            nym_name="",
+            blob_name="",
+            raw_bytes=snapshot.raw_bytes,
+            compressed_bytes=len(compressed),
+            encrypted_bytes=len(sealed),
+            pack_seconds=self.timeline.now - start,
+            upload_seconds=0.0,
+        )
+        return sealed, receipt
+
+    def unpack(self, sealed: bytes, password: str) -> FsSnapshot:
+        """Decrypt -> decompress -> parse.  Advances the timeline."""
+        self.timeline.sleep(_KDF_SECONDS + len(sealed) / _CRYPTO_BPS)
+        box = SealedBox(password, self.rng)
+        try:
+            compressed = box.open(SealedBlob.from_bytes(sealed))
+        except Exception as exc:
+            raise PersistenceError(f"cannot open sealed nym state: {exc}") from exc
+        self.timeline.sleep(len(compressed) / _COMPRESS_BPS)
+        return FsSnapshot.from_bytes(zlib.decompress(compressed))
+
+    # -- the full store workflow (§3.5) -----------------------------------------------
+
+    def save(
+        self,
+        nymbox: NymBox,
+        blob_name: str,
+        password: str,
+        provider: CloudProvider,
+        account: CloudAccount,
+    ) -> StoreReceipt:
+        """Pause -> sync -> pack -> resume -> upload via the nym's CommVM."""
+        anonymizer = nymbox.anonymizer
+        # Navigate to the cloud service's login page through the anonymizer.
+        anonymizer.fetch(provider.hostname, path="/login")
+        provider.login(
+            account.username, account.password, self.timeline.now, anonymizer.exit_address()
+        )
+
+        nymbox.pause()
+        self.timeline.sleep(_SYNC_SECONDS)
+        snapshot = FsSnapshot.capture(nymbox)
+        sealed, receipt = self.pack(snapshot, password)
+        nymbox.resume()
+
+        plan = anonymizer.plan(len(sealed))
+        upload_start = self.timeline.now
+        duration = nymbox.nat.stream(
+            provider.ip,
+            len(sealed),
+            label="anonymizer",
+            overhead_factor=plan.overhead_factor,
+        )
+        self.timeline.sleep(duration + plan.path_latency_s * 2)
+        provider.put(account, blob_name, sealed, self.timeline.now, anonymizer.exit_address())
+        return StoreReceipt(
+            nym_name=nymbox.nym.name,
+            blob_name=blob_name,
+            raw_bytes=receipt.raw_bytes,
+            compressed_bytes=receipt.compressed_bytes,
+            encrypted_bytes=receipt.encrypted_bytes,
+            pack_seconds=receipt.pack_seconds,
+            upload_seconds=self.timeline.now - upload_start,
+        )
+
+    # -- download (runs inside the ephemeral download nym) ------------------------------
+
+    def download(
+        self,
+        via_nymbox: NymBox,
+        blob_name: str,
+        provider: CloudProvider,
+        account: CloudAccount,
+    ) -> bytes:
+        """Fetch a sealed blob anonymously through ``via_nymbox``."""
+        anonymizer = via_nymbox.anonymizer
+        anonymizer.fetch(provider.hostname, path="/login")
+        provider.login(
+            account.username, account.password, self.timeline.now, anonymizer.exit_address()
+        )
+        blob = provider.get(account, blob_name, self.timeline.now, anonymizer.exit_address())
+        plan = anonymizer.plan(blob.size)
+        duration = via_nymbox.nat.stream(
+            provider.ip, blob.size, label="anonymizer", overhead_factor=plan.overhead_factor
+        )
+        self.timeline.sleep(duration + plan.path_latency_s * 2)
+        return blob.data
+
+    # -- restore into a fresh nymbox --------------------------------------------------
+
+    @staticmethod
+    def restore_files(nymbox: NymBox, snapshot: FsSnapshot) -> None:
+        """Write the snapshot's files into the fresh VMs' writable layers."""
+        for path, data in snapshot.anon_files.items():
+            nymbox.anonvm.fs.write(path, data)
+        for path, data in snapshot.comm_files.items():
+            nymbox.commvm.fs.write(path, data)
+        nymbox.reset_browser_index()

@@ -1,0 +1,144 @@
+"""System validation: the §5.1 methodology as executable checks.
+
+The paper validates Nymix by (a) watching an idle client's uplink with
+Wireshark — only DHCP and anonymizer traffic may appear, and the AnonVM
+must emit nothing — and (b) probing every cross-VM path — an AnonVM may
+talk only to its own CommVM, a CommVM only to the Internet, never to
+local intranets or other VMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.net.pcap import LeakAnalyzer, LeakReport
+
+
+@dataclass
+class IsolationMatrix:
+    """Outcome of the all-pairs cross-VM probe."""
+
+    allowed_pairs: List[Tuple[str, str]] = field(default_factory=list)
+    violations: List[Tuple[str, str]] = field(default_factory=list)
+    local_network_reachable_from: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations and not self.local_network_reachable_from
+
+
+@dataclass
+class ValidationResult:
+    """Everything §5.1 checks, in one report."""
+
+    leak_report: LeakReport
+    isolation: IsolationMatrix
+    anonvm_emitted_uplink_traffic: bool
+    dns_leaks: int
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.leak_report.clean
+            and self.isolation.clean
+            and not self.anonvm_emitted_uplink_traffic
+            and self.dns_leaks == 0
+        )
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        return (
+            f"[{verdict}] uplink: {self.leak_report.summary()}; "
+            f"isolation violations: {len(self.isolation.violations)}; "
+            f"anonvm uplink traffic: {self.anonvm_emitted_uplink_traffic}; "
+            f"dns leaks: {self.dns_leaks}"
+        )
+
+
+def _split_role(vm_id: str):
+    """Split 'alice-comm2' -> ('alice', 'comm', 2); None role if neither."""
+    stem, _, role = vm_id.rpartition("-")
+    if role == "anon":
+        return stem, "anon", 0
+    if role.startswith("comm"):
+        suffix = role[4:]
+        if suffix == "":
+            return stem, "comm", 1
+        if suffix.isdigit():
+            return stem, "comm", int(suffix)
+    return vm_id, None, -1
+
+
+def _expected_pair(src_id: str, dst_id: str) -> bool:
+    """Same-nym adjacency only: AnonVM<->first CommVM, and consecutive
+    CommVMs of a §3.3 serial chain."""
+    src_stem, src_role, src_pos = _split_role(src_id)
+    dst_stem, dst_role, dst_pos = _split_role(dst_id)
+    if src_stem != dst_stem or src_id == dst_id:
+        return False
+    if src_role is None or dst_role is None:
+        return False
+    if {src_role, dst_role} == {"anon", "comm"}:
+        return {src_pos, dst_pos} == {0, 1}
+    if src_role == dst_role == "comm":
+        return abs(src_pos - dst_pos) == 1
+    return False
+
+
+def probe_isolation(manager) -> IsolationMatrix:
+    """All-pairs reachability probe across every VM on the hypervisor."""
+    matrix = IsolationMatrix()
+    vms = manager.hypervisor.vms()
+    for src in vms:
+        for dst in vms:
+            if src is dst:
+                continue
+            reachable = manager.hypervisor.probe_cross_vm(src, dst)
+            expected = _expected_pair(src.vm_id, dst.vm_id)
+            if reachable and expected:
+                matrix.allowed_pairs.append((src.vm_id, dst.vm_id))
+            elif reachable and not expected:
+                matrix.violations.append((src.vm_id, dst.vm_id))
+    for nymbox in manager.nymboxes.values():
+        if manager.hypervisor.probe_local_network(nymbox.commvm):
+            matrix.local_network_reachable_from.append(nymbox.commvm.vm_id)
+    return matrix
+
+
+def count_dns_leaks(manager) -> int:
+    """DNS queries answered outside an anonymizer across all live nyms."""
+    leaks = 0
+    for nymbox in manager.nymboxes.values():
+        resolver = getattr(nymbox.anonymizer, "dns_resolver", None)
+        if resolver is not None:
+            leaks += len(resolver.direct_queries())
+    return leaks
+
+
+def validate_system(manager, idle_seconds: float = 30.0) -> ValidationResult:
+    """Run the full §5.1 validation against a live manager.
+
+    The capture is cleared, the system idles for ``idle_seconds``, and the
+    accumulated uplink traffic is analyzed; then the isolation matrix is
+    probed.  (Traffic generated *before* the call is not judged — the
+    paper's methodology inspects an idle client.)
+    """
+    capture = manager.hypervisor.host_capture
+    capture.clear()
+    manager.timeline.sleep(idle_seconds)
+    leak_report = LeakAnalyzer().analyze(capture)
+
+    anon_nic_names = {
+        nic.name
+        for nymbox in manager.nymboxes.values()
+        for nic in nymbox.anonvm.nics
+    }
+    anonvm_emitted = any(entry.sender in anon_nic_names for entry in capture.entries)
+
+    return ValidationResult(
+        leak_report=leak_report,
+        isolation=probe_isolation(manager),
+        anonvm_emitted_uplink_traffic=anonvm_emitted,
+        dns_leaks=count_dns_leaks(manager),
+    )

@@ -1,0 +1,163 @@
+"""The Nym Manager's interactive workflow (§3.5 "Workflow"), as a state machine.
+
+On boot the user faces the Nym Manager screen: *start a fresh nym* or
+*load an existing nym*.  Storing walks through name, password, and cloud
+service selection, the service's login page (fetched through the nym's
+own anonymizer), the background pause/sync/pack/upload, and the "nym has
+been saved" notification.  This module encodes those steps explicitly so
+misuse (skipping login, storing before naming) is a state error — the
+user-facing analogue of the structural protections below it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.manager import NymManager
+from repro.core.nymbox import NymBox
+from repro.core.persistence import StoreReceipt
+from repro.errors import NymStateError
+
+
+class Screen(enum.Enum):
+    """Where the user is in the Nym Manager UI."""
+
+    MAIN_MENU = "main-menu"
+    NYM_RUNNING = "nym-running"
+    STORE_DETAILS = "store-details"  # name, password, cloud service
+    CLOUD_LOGIN = "cloud-login"
+    SAVING = "saving"
+    SAVED = "saved"
+
+
+@dataclass
+class WorkflowEvent:
+    screen: Screen
+    note: str
+    at: float
+
+
+class NymManagerWorkflow:
+    """Drives one user session through the §3.5 screens."""
+
+    def __init__(self, manager: NymManager) -> None:
+        self.manager = manager
+        self.screen = Screen.MAIN_MENU
+        self.nymbox: Optional[NymBox] = None
+        self.events: List[WorkflowEvent] = []
+        self._store_name: Optional[str] = None
+        self._store_password: Optional[str] = None
+        self._provider_host: Optional[str] = None
+        self._account_username: Optional[str] = None
+        self._logged_in = False
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _note(self, note: str) -> None:
+        self.events.append(
+            WorkflowEvent(screen=self.screen, note=note, at=self.manager.timeline.now)
+        )
+
+    def _require(self, *screens: Screen) -> None:
+        if self.screen not in screens:
+            allowed = ", ".join(s.value for s in screens)
+            raise NymStateError(
+                f"workflow is on {self.screen.value!r}; action requires {allowed}"
+            )
+
+    # -- main menu ------------------------------------------------------------------
+
+    def start_fresh_nym(self, name: Optional[str] = None, anonymizer: Optional[str] = None) -> NymBox:
+        """Main menu -> "start a fresh nym"."""
+        self._require(Screen.MAIN_MENU)
+        self.nymbox = self.manager.create_nym(name=name, anonymizer=anonymizer)
+        self.screen = Screen.NYM_RUNNING
+        self._note(f"fresh nym {self.nymbox.nym.name!r} started")
+        return self.nymbox
+
+    def load_existing_nym(self, name: str, password: str) -> NymBox:
+        """Main menu -> "load an existing nym"."""
+        self._require(Screen.MAIN_MENU)
+        self.nymbox = self.manager.load_nym(name, password)
+        self.screen = Screen.NYM_RUNNING
+        self._note(f"nym {name!r} loaded from storage")
+        return self.nymbox
+
+    # -- the store flow ------------------------------------------------------------------
+
+    def open_store_dialog(self) -> None:
+        """Nym running -> "store nym"."""
+        self._require(Screen.NYM_RUNNING)
+        self.screen = Screen.STORE_DETAILS
+        self._note("store-nym dialog opened")
+
+    def enter_store_details(
+        self, name: str, password: str, provider_host: str
+    ) -> None:
+        """Enter a name, an encryption password, and pick a cloud service."""
+        self._require(Screen.STORE_DETAILS)
+        if not name or not password:
+            raise NymStateError("nym name and password are required")
+        if provider_host not in self.manager.providers:
+            raise NymStateError(f"unknown cloud service {provider_host!r}")
+        self._store_name = name
+        self._store_password = password
+        self._provider_host = provider_host
+        self.screen = Screen.CLOUD_LOGIN
+        self._note(f"navigating to {provider_host} login via the nym's anonymizer")
+
+    def login_to_cloud(self, username: str, password: str) -> None:
+        """The user signs in on the provider's page (anonymized fetch)."""
+        self._require(Screen.CLOUD_LOGIN)
+        assert self.nymbox is not None and self._provider_host is not None
+        provider = self.manager.providers[self._provider_host]
+        self.nymbox.anonymizer.fetch(self._provider_host, path="/login")
+        provider.login(
+            username, password, self.manager.timeline.now,
+            self.nymbox.anonymizer.exit_address(),
+        )
+        self._account_username = username
+        self._logged_in = True
+        self.screen = Screen.SAVING
+        self._note("cloud login complete; saving in the background")
+
+    def complete_save(self) -> StoreReceipt:
+        """Background pause/sync/pack/resume/upload, then notify."""
+        self._require(Screen.SAVING)
+        assert self.nymbox is not None
+        if not self._logged_in:
+            raise NymStateError("cannot save before cloud login")
+        receipt = self.manager.store_nym(
+            self.nymbox,
+            self._store_password,
+            provider_host=self._provider_host,
+            account_username=self._account_username,
+            blob_name=f"{self._store_name}.nymbox",
+        )
+        self.screen = Screen.SAVED
+        self._note(
+            f"nym saved ({receipt.encrypted_bytes} bytes in "
+            f"{receipt.total_seconds:.1f} s); user notified"
+        )
+        return receipt
+
+    # -- session end -------------------------------------------------------------------
+
+    def close_nym(self) -> None:
+        """Turn the nym off (from the running or saved screens)."""
+        self._require(Screen.NYM_RUNNING, Screen.SAVED)
+        assert self.nymbox is not None
+        self.manager.discard_nym(self.nymbox)
+        self._note(f"nym {self.nymbox.nym.name!r} closed (amnesia)")
+        self.nymbox = None
+        self.screen = Screen.MAIN_MENU
+        self._store_name = None
+        self._store_password = None
+        self._provider_host = None
+        self._account_username = None
+        self._logged_in = False
+
+    def transcript(self) -> List[str]:
+        return [f"[{e.at:8.1f}s] {e.screen.value}: {e.note}" for e in self.events]

@@ -1,0 +1,50 @@
+"""Key derivation: HKDF (RFC 5869) and PBKDF2 (via hashlib).
+
+HKDF seeds per-hop Tor circuit keys and the deterministic entry-guard
+selection described in §3.5 of the paper; PBKDF2 turns nym passwords into
+AEAD keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.errors import CryptoError
+
+_HASH_LEN = 32  # SHA-256
+
+
+def hkdf_extract(salt: bytes, input_key_material: bytes) -> bytes:
+    """HKDF-Extract: concentrate entropy into a pseudo-random key."""
+    if not salt:
+        salt = b"\x00" * _HASH_LEN
+    return hmac.new(salt, input_key_material, hashlib.sha256).digest()
+
+
+def hkdf_expand(pseudo_random_key: bytes, info: bytes, length: int) -> bytes:
+    """HKDF-Expand: stretch a PRK into ``length`` bytes of key material."""
+    if length > 255 * _HASH_LEN:
+        raise CryptoError(f"HKDF cannot expand to {length} bytes")
+    blocks = []
+    previous = b""
+    counter = 1
+    while sum(len(block) for block in blocks) < length:
+        previous = hmac.new(
+            pseudo_random_key, previous + info + bytes([counter]), hashlib.sha256
+        ).digest()
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def hkdf(input_key_material: bytes, salt: bytes, info: bytes, length: int) -> bytes:
+    """One-shot HKDF-Extract-then-Expand."""
+    return hkdf_expand(hkdf_extract(salt, input_key_material), info, length)
+
+
+def pbkdf2_sha256(password: bytes, salt: bytes, iterations: int, length: int) -> bytes:
+    """PBKDF2-HMAC-SHA256 (delegates to the C implementation in hashlib)."""
+    if iterations < 1:
+        raise CryptoError(f"PBKDF2 iterations must be >= 1, got {iterations}")
+    return hashlib.pbkdf2_hmac("sha256", password, salt, iterations, dklen=length)

@@ -1,0 +1,93 @@
+"""Merkle tree over disk blocks.
+
+Section 3.4 of the paper proposes (as future work) verifying every block
+loaded from the host OS partition against a well-known Merkle tree, and
+shutting down if a modified block is detected.  We implement that feature:
+:class:`MerkleTree` commits to a block device's contents and produces /
+verifies per-block inclusion proofs, which the union file system's
+verified read path consumes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import CryptoError
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+
+def _hash_leaf(data: bytes) -> bytes:
+    return hashlib.sha256(_LEAF_PREFIX + data).digest()
+
+
+def _hash_node(left: bytes, right: bytes) -> bytes:
+    return hashlib.sha256(_NODE_PREFIX + left + right).digest()
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Inclusion proof: sibling hashes from leaf to root plus the index."""
+
+    leaf_index: int
+    siblings: Tuple[bytes, ...]  # bottom-up sibling hashes
+
+
+class MerkleTree:
+    """A static Merkle tree committing to an ordered list of blocks."""
+
+    def __init__(self, blocks: Sequence[bytes]) -> None:
+        if not blocks:
+            raise CryptoError("cannot build a Merkle tree over zero blocks")
+        self._leaf_count = len(blocks)
+        # levels[0] is the leaf level; levels[-1] is [root].
+        levels: List[List[bytes]] = [[_hash_leaf(block) for block in blocks]]
+        while len(levels[-1]) > 1:
+            current = levels[-1]
+            parents = []
+            for i in range(0, len(current), 2):
+                left = current[i]
+                right = current[i + 1] if i + 1 < len(current) else left
+                parents.append(_hash_node(left, right))
+            levels.append(parents)
+        self._levels = levels
+
+    @property
+    def root(self) -> bytes:
+        return self._levels[-1][0]
+
+    @property
+    def leaf_count(self) -> int:
+        return self._leaf_count
+
+    def proof(self, leaf_index: int) -> MerkleProof:
+        """Build an inclusion proof for leaf ``leaf_index``."""
+        if not 0 <= leaf_index < self._leaf_count:
+            raise CryptoError(
+                f"leaf index {leaf_index} out of range [0, {self._leaf_count})"
+            )
+        siblings = []
+        index = leaf_index
+        for level in self._levels[:-1]:
+            sibling_index = index ^ 1
+            if sibling_index >= len(level):
+                sibling_index = index  # odd node pairs with itself
+            siblings.append(level[sibling_index])
+            index //= 2
+        return MerkleProof(leaf_index=leaf_index, siblings=tuple(siblings))
+
+    @staticmethod
+    def verify(root: bytes, block: bytes, proof: MerkleProof) -> bool:
+        """Check ``block`` against ``root`` using ``proof``."""
+        digest = _hash_leaf(block)
+        index = proof.leaf_index
+        for sibling in proof.siblings:
+            if index % 2 == 0:
+                digest = _hash_node(digest, sibling)
+            else:
+                digest = _hash_node(sibling, digest)
+            index //= 2
+        return digest == root

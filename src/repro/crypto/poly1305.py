@@ -1,0 +1,34 @@
+"""Poly1305 one-time authenticator (RFC 8439, section 2.5)."""
+
+from __future__ import annotations
+
+from repro.errors import CryptoError
+
+_P = (1 << 130) - 5
+_R_CLAMP = 0x0FFFFFFC0FFFFFFC0FFFFFFC0FFFFFFF
+
+
+def poly1305_mac(key: bytes, message: bytes) -> bytes:
+    """Compute the 16-byte Poly1305 tag of ``message`` under a 32-byte key."""
+    if len(key) != 32:
+        raise CryptoError(f"Poly1305 key must be 32 bytes, got {len(key)}")
+    r = int.from_bytes(key[:16], "little") & _R_CLAMP
+    s = int.from_bytes(key[16:], "little")
+
+    accumulator = 0
+    for start in range(0, len(message), 16):
+        chunk = message[start : start + 16]
+        block = int.from_bytes(chunk + b"\x01", "little")
+        accumulator = ((accumulator + block) * r) % _P
+    tag = (accumulator + s) & ((1 << 128) - 1)
+    return tag.to_bytes(16, "little")
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Length- and content-compare without early exit."""
+    if len(a) != len(b):
+        return False
+    result = 0
+    for x, y in zip(a, b):
+        result |= x ^ y
+    return result == 0

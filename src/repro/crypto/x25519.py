@@ -1,0 +1,81 @@
+"""X25519 Diffie-Hellman over Curve25519 (RFC 7748).
+
+Used by the Tor simulator's circuit handshake: the client performs an
+ntor-style exchange with each relay to derive per-hop onion keys.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import CryptoError
+from repro.sim.rng import SeededRng
+
+_P = 2**255 - 19
+_A24 = 121665
+
+X25519_BASE_POINT = (9).to_bytes(32, "little")
+
+
+def _decode_scalar(scalar: bytes) -> int:
+    if len(scalar) != 32:
+        raise CryptoError(f"X25519 scalar must be 32 bytes, got {len(scalar)}")
+    raw = bytearray(scalar)
+    raw[0] &= 248
+    raw[31] &= 127
+    raw[31] |= 64
+    return int.from_bytes(raw, "little")
+
+
+def _decode_u(u: bytes) -> int:
+    if len(u) != 32:
+        raise CryptoError(f"X25519 point must be 32 bytes, got {len(u)}")
+    raw = bytearray(u)
+    raw[31] &= 127  # mask the high bit per RFC 7748
+    return int.from_bytes(raw, "little") % _P
+
+
+def x25519(scalar: bytes, point: bytes) -> bytes:
+    """Scalar multiplication on Curve25519 via the Montgomery ladder."""
+    k = _decode_scalar(scalar)
+    u = _decode_u(point)
+
+    x1 = u
+    x2, z2 = 1, 0
+    x3, z3 = u, 1
+    swap = 0
+    for bit_index in reversed(range(255)):
+        bit = (k >> bit_index) & 1
+        swap ^= bit
+        if swap:
+            x2, x3 = x3, x2
+            z2, z3 = z3, z2
+        swap = bit
+
+        a = (x2 + z2) % _P
+        aa = (a * a) % _P
+        b = (x2 - z2) % _P
+        bb = (b * b) % _P
+        e = (aa - bb) % _P
+        c = (x3 + z3) % _P
+        d = (x3 - z3) % _P
+        da = (d * a) % _P
+        cb = (c * b) % _P
+        x3 = pow(da + cb, 2, _P)
+        z3 = (x1 * pow(da - cb, 2, _P)) % _P
+        x2 = (aa * bb) % _P
+        z2 = (e * (aa + _A24 * e)) % _P
+
+    if swap:
+        x2, x3 = x3, x2
+        z2, z3 = z3, z2
+
+    result = (x2 * pow(z2, _P - 2, _P)) % _P
+    return result.to_bytes(32, "little")
+
+
+def x25519_keypair(rng: SeededRng) -> Tuple[bytes, bytes]:
+    """Generate a (private, public) X25519 keypair from the seeded RNG."""
+    private = rng.token_bytes(32)
+    public = x25519(private, X25519_BASE_POINT)
+    return private, public

@@ -1,0 +1,102 @@
+"""Exception hierarchy for the Nymix reproduction.
+
+Every subsystem raises exceptions derived from :class:`NymixError` so that
+callers can distinguish simulation-substrate failures from ordinary Python
+errors.  The hierarchy mirrors the architecture: hypervisor/VM errors,
+file-system errors, network errors, anonymizer errors, storage errors, and
+nym-management errors.
+"""
+
+from __future__ import annotations
+
+
+class NymixError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(NymixError):
+    """Misuse of the discrete-event simulation kernel."""
+
+
+class CryptoError(NymixError):
+    """Cryptographic failure (bad key sizes, failed authentication...)."""
+
+
+class AuthenticationError(CryptoError):
+    """An AEAD tag or MAC failed to verify."""
+
+
+class MemoryError_(NymixError):
+    """Host physical memory exhaustion or invalid page operations."""
+
+
+class OutOfMemoryError(MemoryError_):
+    """The host cannot satisfy an allocation request."""
+
+
+class StorageError(NymixError):
+    """Block device / disk image failures."""
+
+
+class FileSystemError(NymixError):
+    """Union file system failures."""
+
+
+class ReadOnlyError(FileSystemError):
+    """Write attempted on a read-only layer or mount."""
+
+
+class IntegrityError(FileSystemError):
+    """A Merkle-verified read found a corrupted base-image block."""
+
+
+class NetworkError(NymixError):
+    """Virtual network failures."""
+
+
+class UnreachableError(NetworkError):
+    """Destination does not exist or is blocked by isolation policy."""
+
+
+class VmError(NymixError):
+    """Virtual machine lifecycle errors."""
+
+
+class VmStateError(VmError):
+    """Operation invalid in the VM's current lifecycle state."""
+
+
+class HypervisorError(NymixError):
+    """Hypervisor-level admission or configuration failure."""
+
+
+class AnonymizerError(NymixError):
+    """Anonymizer (Tor / Dissent / incognito) failures."""
+
+
+class CircuitError(AnonymizerError):
+    """Tor circuit construction or extension failed."""
+
+
+class CloudError(NymixError):
+    """Cloud storage provider failures."""
+
+
+class QuotaExceededError(CloudError):
+    """A cloud account exceeded its storage quota."""
+
+
+class SanitizeError(NymixError):
+    """SaniVM scrubbing pipeline failures."""
+
+
+class NymError(NymixError):
+    """Nym manager / nymbox lifecycle errors."""
+
+
+class NymStateError(NymError):
+    """Operation invalid for the nym's usage model or lifecycle state."""
+
+
+class PersistenceError(NymError):
+    """Saving or restoring quasi-persistent nym state failed."""

@@ -1,0 +1,30 @@
+"""Guest-side software: websites, the browser, and installed OS images.
+
+The AnonVM's untrusted interior.  :class:`Browser` models Chromium — the
+paper's browser choice (§4) — with a capped cache, cookies, history and a
+homogenized fingerprint; :mod:`repro.guest.websites` models the eight
+sites of the §5.2 memory experiment and the four of the §5.3 storage
+experiment; :mod:`repro.guest.installed_os` models the repairable
+Windows/Linux images of §3.7 / Table 1.
+"""
+
+from repro.guest.browser import Browser, BrowserFingerprint, PageLoad
+from repro.guest.installed_os import InstalledOs, INSTALLED_OS_CATALOG
+from repro.guest.websites import (
+    WEBSITE_CATALOG,
+    Website,
+    WebsiteServer,
+    populate_internet,
+)
+
+__all__ = [
+    "Browser",
+    "BrowserFingerprint",
+    "PageLoad",
+    "InstalledOs",
+    "INSTALLED_OS_CATALOG",
+    "WEBSITE_CATALOG",
+    "Website",
+    "WebsiteServer",
+    "populate_internet",
+]

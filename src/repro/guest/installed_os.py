@@ -1,0 +1,155 @@
+"""Installed operating systems bootable as (non-anonymous) nyms (§3.7).
+
+Nymix can boot the machine's already-installed OS inside a nymbox, with
+the physical disk attached read-only behind a copy-on-write overlay so no
+change ever reaches the real disk.  Windows installed on bare metal
+objects to the "hardware" change and needs a standard repair pass before
+it boots under KVM; Table 1 measures that repair time, the subsequent
+boot time, and the size of the COW overlay the repair produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import VmStateError
+from repro.sim.clock import Timeline
+from repro.sim.rng import SeededRng
+from repro.storage.block import BLOCK_SIZE, RamDisk
+from repro.storage.image import BaseImage, CowOverlay
+
+MIB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class WifiCredential:
+    """A saved wireless network login on the installed OS."""
+
+    ssid: str
+    passphrase: str
+
+
+@dataclass(frozen=True)
+class InstalledOsProfile:
+    """Measured characteristics of one installed OS (Table 1 rows)."""
+
+    name: str
+    family: str  # "windows" or "linux"
+    needs_repair: bool
+    repair_seconds: float
+    boot_seconds: float
+    repair_cow_bytes: int  # COW overlay size produced by repair + boot
+    disk_blocks: int = 65536  # 256 MiB simulated physical disk
+    #: network state §3.7 wants to leverage: saved WiFi logins
+    wifi_credentials: tuple = (
+        WifiCredential("HomeNet-5G", "correct horse battery"),
+        WifiCredential("CoffeeShopGuest", "espresso123"),
+    )
+
+
+#: Table 1 of the paper, plus a Linux row (which "usually boots without
+#: issue", i.e. zero repair).
+INSTALLED_OS_CATALOG: Dict[str, InstalledOsProfile] = {
+    profile.name: profile
+    for profile in (
+        InstalledOsProfile("Windows Vista", "windows", True, 133.7, 37.7, int(4.9 * MIB)),
+        InstalledOsProfile("Windows 7", "windows", True, 129.3, 34.3, int(4.5 * MIB)),
+        InstalledOsProfile("Windows 8", "windows", True, 157.0, 58.7, int(14.0 * MIB)),
+        InstalledOsProfile("Ubuntu 12.04", "linux", False, 0.0, 21.0, int(1.2 * MIB)),
+    )
+}
+
+
+class InstalledOs:
+    """The machine's resident OS: a physical disk plus repair state.
+
+    The physical disk is never written: :meth:`attach_cow` layers a RAM
+    overlay over it, and both repair and boot write only to the overlay.
+    """
+
+    def __init__(self, profile: InstalledOsProfile, rng: SeededRng) -> None:
+        self.profile = profile
+        self.rng = rng
+        self.physical_disk = BaseImage(
+            image_id=f"installed-{profile.name.lower().replace(' ', '-')}",
+            block_count=profile.disk_blocks,
+        )
+        self.repaired = not profile.needs_repair
+        self._overlay: Optional[CowOverlay] = None
+
+    def attach_cow(self) -> CowOverlay:
+        """Create the copy-on-write view of the physical disk."""
+        self._overlay = CowOverlay(self.physical_disk, RamDisk(self.profile.disk_blocks))
+        return self._overlay
+
+    @property
+    def overlay(self) -> CowOverlay:
+        if self._overlay is None:
+            raise VmStateError(
+                f"{self.profile.name}: attach_cow() before using the overlay"
+            )
+        return self._overlay
+
+    def _write_cow_bytes(self, total_bytes: int) -> None:
+        """Scatter ``total_bytes`` of writes across the overlay."""
+        blocks = max(1, total_bytes // BLOCK_SIZE)
+        for _ in range(blocks):
+            index = self.rng.randint(0, self.profile.disk_blocks - 1)
+            self.overlay.write_block(index, self.rng.content_bytes(BLOCK_SIZE))
+
+    def repair(self, timeline: Timeline) -> float:
+        """Run the hardware-change repair pass.  Returns elapsed seconds.
+
+        A no-op (0 s) for OSes that boot under KVM without complaint and
+        for already-repaired images.
+        """
+        if self.repaired:
+            return 0.0
+        if self._overlay is None:
+            self.attach_cow()
+        duration = self.rng.jitter(self.profile.repair_seconds, 0.04)
+        timeline.sleep(duration)
+        # Repair rewrites driver/config state; this is most of Table 1's size.
+        self._write_cow_bytes(int(self.profile.repair_cow_bytes * 0.8))
+        self.repaired = True
+        return duration
+
+    def boot(self, timeline: Timeline) -> float:
+        """Boot inside the nymbox.  Returns elapsed seconds."""
+        if not self.repaired:
+            raise VmStateError(
+                f"{self.profile.name} needs repair before it can boot under KVM"
+            )
+        if self._overlay is None:
+            self.attach_cow()
+        duration = self.rng.jitter(self.profile.boot_seconds, 0.05)
+        timeline.sleep(duration)
+        self._write_cow_bytes(int(self.profile.repair_cow_bytes * 0.2))
+        return duration
+
+    @property
+    def cow_bytes(self) -> int:
+        """Size of the copy-on-write overlay (Table 1's "Size" column)."""
+        return self.overlay.used_bytes if self._overlay is not None else 0
+
+    def network_credentials(self) -> tuple:
+        """Saved WiFi logins Nymix may reuse to join LANs (§3.7).
+
+        Reading them requires the repaired/booted OS (the credential
+        store is inside the installed system, not on raw blocks).
+        """
+        if self._overlay is None:
+            raise VmStateError(
+                f"{self.profile.name}: boot the OS before reading its WiFi store"
+            )
+        return self.profile.wifi_credentials
+
+    @property
+    def physical_disk_modified(self) -> bool:
+        """Must always be False: the real disk is untouchable through the COW."""
+        return False  # BaseImage is immutable; writes cannot reach it
+
+    def discard_session(self) -> int:
+        """Drop all COW changes (default: nothing persists, §3.7)."""
+        return self.overlay.discard_changes() if self._overlay is not None else 0

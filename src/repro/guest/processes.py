@@ -1,0 +1,73 @@
+"""Guest process tables: the in-VM software surface, homogenized.
+
+An exploit enumerating processes (`ps`, `/proc`) is another fingerprint
+channel: a distinctive daemon set distinguishes users.  Nymix VMs boot
+from one image with role-determined startup scripts, so every AnonVM
+runs exactly the same processes with the same PIDs — one more surface
+where all nyms look alike (§4.2's homogeneity goal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.vmm.vm import VirtualMachine, VmRole
+
+
+@dataclass(frozen=True)
+class GuestProcess:
+    pid: int
+    name: str
+    user: str
+
+    def ps_line(self) -> str:
+        return f"{self.pid:>5} {self.user:<8} {self.name}"
+
+
+#: deterministic per-role process sets, PIDs included (same boot order
+#: from the same image every time)
+_ROLE_TABLES = {
+    VmRole.ANONVM: (
+        (1, "init", "root"),
+        (112, "udevd", "root"),
+        (301, "Xorg", "root"),
+        (412, "openbox", "user"),
+        (498, "pulseaudio", "user"),
+        (734, "chromium", "user"),
+        (735, "chromium --type=renderer", "user"),
+    ),
+    VmRole.COMMVM: (
+        (1, "init", "root"),
+        (112, "udevd", "root"),
+        (233, "nymix-anonymizer", "anon"),
+        (234, "tor", "anon"),
+    ),
+    VmRole.SANIVM: (
+        (1, "init", "root"),
+        (112, "udevd", "root"),
+        (245, "nymix-scrubd", "sani"),
+        (246, "mat-daemon", "sani"),
+    ),
+    VmRole.HOSTOS: (
+        (4, "System", "SYSTEM"),
+        (388, "winlogon.exe", "SYSTEM"),
+        (612, "explorer.exe", "user"),
+    ),
+}
+
+
+def process_table(vm: VirtualMachine) -> List[GuestProcess]:
+    """What ``ps aux`` shows inside this guest."""
+    rows = _ROLE_TABLES.get(vm.spec.role, ((1, "init", "root"),))
+    return [GuestProcess(pid=pid, name=name, user=user) for pid, name, user in rows]
+
+
+def ps_output(vm: VirtualMachine) -> str:
+    header = "  PID USER     COMMAND"
+    return "\n".join([header] + [p.ps_line() for p in process_table(vm)])
+
+
+def process_fingerprint(vm: VirtualMachine) -> Tuple:
+    """The tuple a fingerprinting exploit would hash."""
+    return tuple((p.pid, p.name) for p in process_table(vm))

@@ -1,0 +1,163 @@
+"""The simulated web: site profiles calibrated to the paper's workloads.
+
+Two experiments depend on realistic per-site behaviour:
+
+* §5.2 (Figure 3) visits Gmail, Twitter, Youtube, Tor Blog, BBC, Facebook,
+  Slashdot and ESPN — one per nym — and measures dirtied guest memory.
+* §5.3 (Figure 6) saves/restores nyms pinned to Gmail, Facebook, Twitter
+  and the Tor Blog for ten cycles; nym size growth is dominated by the
+  Chromium cache each site accretes.
+
+Sizes are per-visit deltas: the first visit downloads the heavy landing
+payload; revisits fetch only updates (the browser cache absorbs the rest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.net.addresses import Ipv4Address
+from repro.net.internet import HttpResponse, Internet, Server
+
+MIB = 1024 * 1024
+KIB = 1024
+
+
+@dataclass(frozen=True)
+class Website:
+    """Behavioural profile of one site."""
+
+    hostname: str
+    ip: str
+    first_visit_bytes: int  # network payload of a cold landing-page load
+    revisit_bytes: int  # payload of a warm (cached) visit with fresh updates
+    cacheable_first_bytes: int  # what the cache keeps from a cold visit
+    cacheable_revisit_bytes: int  # cache growth per revisit (new content)
+    cookie_bytes: int
+    session_dirty_bytes: int  # guest RAM dirtied by rendering + JS heap
+    requires_login: bool
+
+    @property
+    def name(self) -> str:
+        return self.hostname.split(".")[0]
+
+
+def _site(
+    hostname: str,
+    ip: str,
+    first_mb: float,
+    revisit_mb: float,
+    cache_first_mb: float,
+    cache_revisit_mb: float,
+    cookie_kb: float,
+    dirty_mb: float,
+    login: bool,
+) -> Website:
+    return Website(
+        hostname=hostname,
+        ip=ip,
+        first_visit_bytes=int(first_mb * MIB),
+        revisit_bytes=int(revisit_mb * MIB),
+        cacheable_first_bytes=int(cache_first_mb * MIB),
+        cacheable_revisit_bytes=int(cache_revisit_mb * MIB),
+        cookie_bytes=int(cookie_kb * KIB),
+        session_dirty_bytes=int(dirty_mb * MIB),
+        requires_login=login,
+    )
+
+
+#: The eight sites of §5.2 plus their §5.3 storage behaviour.  Facebook is
+#: the heaviest accumulator, the Tor Blog the lightest — matching the
+#: ordering of Figure 6.
+WEBSITE_CATALOG: Dict[str, Website] = {
+    site.hostname: site
+    for site in (
+        _site("gmail.com", "198.51.100.10", 4.5, 1.2, 14.0, 3.2, 6, 95, True),
+        _site("twitter.com", "198.51.100.11", 3.0, 1.0, 9.5, 2.3, 5, 80, True),
+        _site("youtube.com", "198.51.100.12", 9.0, 4.0, 22.0, 6.0, 4, 120, False),
+        _site("blog.torproject.org", "198.51.100.13", 0.9, 0.3, 3.5, 0.9, 1, 40, False),
+        _site("bbc.co.uk", "198.51.100.14", 2.8, 1.1, 8.0, 2.0, 3, 70, False),
+        _site("facebook.com", "198.51.100.15", 5.5, 1.8, 17.5, 4.3, 8, 110, True),
+        _site("slashdot.org", "198.51.100.16", 1.4, 0.5, 4.5, 1.2, 2, 55, False),
+        _site("espn.com", "198.51.100.17", 3.5, 1.4, 10.0, 2.5, 4, 85, False),
+    )
+}
+
+#: Visit order used in the Figure 3 experiment.
+FIGURE3_VISIT_ORDER: List[str] = [
+    "gmail.com",
+    "twitter.com",
+    "youtube.com",
+    "blog.torproject.org",
+    "bbc.co.uk",
+    "facebook.com",
+    "slashdot.org",
+    "espn.com",
+]
+
+#: The four persistent-nym sites of Figure 6.
+FIGURE6_SITES: List[str] = [
+    "gmail.com",
+    "facebook.com",
+    "twitter.com",
+    "blog.torproject.org",
+]
+
+
+class WebsiteServer(Server):
+    """A site on the simulated Internet serving its profiled payloads."""
+
+    def __init__(self, site: Website) -> None:
+        super().__init__(site.hostname, Ipv4Address.parse(site.ip))
+        self.site = site
+        self._known_clients: Dict[str, int] = {}  # client id -> visit count
+
+    def handle(self, path: str, request_bytes: int = 500) -> HttpResponse:
+        self.requests_served += 1
+        client_id = path  # the fetcher passes a per-profile token as the path
+        visits = self._known_clients.get(client_id, 0)
+        self._known_clients[client_id] = visits + 1
+        if visits == 0:
+            return HttpResponse(
+                status=200,
+                body_bytes=self.site.first_visit_bytes,
+                cacheable_bytes=self.site.cacheable_first_bytes,
+                set_cookie_bytes=self.site.cookie_bytes,
+            )
+        return HttpResponse(
+            status=200,
+            body_bytes=self.site.revisit_bytes,
+            cacheable_bytes=self.site.cacheable_revisit_bytes,
+            set_cookie_bytes=0,
+        )
+
+
+class DownloadMirror(Server):
+    """The DeterLab-hosted mirror serving linux-3.14.2.tar.xz (§5.2).
+
+    kernel.org lists linux-3.14.2.tar.xz at about 76 MiB; the paper
+    guarantees the 10 Mbit/s rate by serving it from inside the testbed.
+    """
+
+    KERNEL_BYTES = 76 * MIB
+
+    def __init__(self, hostname: str = "mirror.deterlab.net", ip: str = "198.51.100.50") -> None:
+        super().__init__(hostname, Ipv4Address.parse(ip))
+
+    def handle(self, path: str, request_bytes: int = 500) -> HttpResponse:
+        self.requests_served += 1
+        return HttpResponse(status=200, body_bytes=self.KERNEL_BYTES)
+
+
+def populate_internet(internet: Internet) -> Dict[str, Server]:
+    """Register the full catalog plus the download mirror; returns by hostname."""
+    servers: Dict[str, Server] = {}
+    for site in WEBSITE_CATALOG.values():
+        server = WebsiteServer(site)
+        internet.add_server(server)
+        servers[site.hostname] = server
+    mirror = DownloadMirror()
+    internet.add_server(mirror)
+    servers[mirror.hostname] = mirror
+    return servers

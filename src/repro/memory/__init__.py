@@ -1,0 +1,36 @@
+"""Host physical memory, guest page accounting, KSM, secure erase.
+
+The evaluation in the paper (Figure 3) is about RAM: each nymbox allocates
+its full guest RAM at VM initialization, kernel samepage merging (KSM)
+claws back duplicate pages across VMs, and tearing a nym down securely
+erases its memory (the amnesia guarantee of §3.4).
+
+Guest memory is modelled at page granularity but stored as *content
+groups* (tag → page count): two pages are identical exactly when they
+carry the same content tag, which is what KSM's content scanner would
+discover by hashing real pages.  This keeps multi-gigabyte configurations
+cheap to simulate while preserving exact sharing semantics.
+"""
+
+from repro.memory.pages import (
+    PAGE_SIZE,
+    ContentTag,
+    GuestMemory,
+    MemoryStats,
+    bytes_to_pages,
+    pages_to_bytes,
+)
+from repro.memory.physmem import HostMemory
+from repro.memory.ksm import Ksm, KsmStats
+
+__all__ = [
+    "PAGE_SIZE",
+    "ContentTag",
+    "GuestMemory",
+    "MemoryStats",
+    "HostMemory",
+    "Ksm",
+    "KsmStats",
+    "bytes_to_pages",
+    "pages_to_bytes",
+]

@@ -1,0 +1,155 @@
+"""Page-granular guest memory modelled as content groups."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import MemoryError_
+
+PAGE_SIZE = 4096  # bytes, matching x86 small pages
+
+
+def bytes_to_pages(size_bytes: int) -> int:
+    """Round ``size_bytes`` up to whole pages."""
+    if size_bytes < 0:
+        raise MemoryError_(f"negative size: {size_bytes}")
+    return (size_bytes + PAGE_SIZE - 1) // PAGE_SIZE
+
+
+def pages_to_bytes(pages: int) -> int:
+    return pages * PAGE_SIZE
+
+
+# A content tag identifies *what* is on a page.  Pages in different guests
+# with equal tags hold identical bytes and are KSM merge candidates.
+#   ("zero",)                    — zero-filled page
+#   ("image", image_id, block)   — page backed by a shared disk image block
+#   ("unique", owner_id, serial) — privately dirtied page, never shareable
+ContentTag = Tuple
+
+
+ZERO_TAG: ContentTag = ("zero",)
+
+
+def image_tag(image_id: str, block: int) -> ContentTag:
+    return ("image", image_id, block)
+
+
+def unique_tag(owner_id: str, serial: int) -> ContentTag:
+    return ("unique", owner_id, serial)
+
+
+def is_mergeable(tag: ContentTag) -> bool:
+    """Unique (privately dirtied) pages never merge; shared content does."""
+    return tag[0] != "unique"
+
+
+@dataclass(frozen=True)
+class MemoryStats:
+    """Point-in-time accounting for one guest's memory."""
+
+    total_pages: int
+    zero_pages: int
+    image_pages: int
+    unique_pages: int
+
+    @property
+    def total_bytes(self) -> int:
+        return pages_to_bytes(self.total_pages)
+
+
+class GuestMemory:
+    """One guest's RAM: a multiset of page content tags.
+
+    All pages are allocated up front (KVM "obtains most of the requested
+    memory for a VM at VM initialization", §5.2); what changes over the
+    guest's lifetime is the *content* of those pages as the OS boots and
+    applications dirty them.
+    """
+
+    def __init__(self, owner_id: str, size_bytes: int) -> None:
+        if size_bytes <= 0:
+            raise MemoryError_(f"guest memory must be positive, got {size_bytes}")
+        self.owner_id = owner_id
+        self._pages: Dict[ContentTag, int] = {ZERO_TAG: bytes_to_pages(size_bytes)}
+        self._unique_serial = 0
+        self._erased = False
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def total_pages(self) -> int:
+        return sum(self._pages.values())
+
+    @property
+    def erased(self) -> bool:
+        return self._erased
+
+    def page_groups(self) -> Iterator[Tuple[ContentTag, int]]:
+        return iter(self._pages.items())
+
+    @property
+    def clean_bytes(self) -> int:
+        """Bytes not yet privately dirtied (available to :meth:`dirty`)."""
+        clean = sum(n for tag, n in self._pages.items() if tag[0] != "unique")
+        return pages_to_bytes(clean)
+
+    def stats(self) -> MemoryStats:
+        zero = self._pages.get(ZERO_TAG, 0)
+        image = sum(n for tag, n in self._pages.items() if tag[0] == "image")
+        unique = sum(n for tag, n in self._pages.items() if tag[0] == "unique")
+        return MemoryStats(
+            total_pages=self.total_pages,
+            zero_pages=zero,
+            image_pages=image,
+            unique_pages=unique,
+        )
+
+    # -- mutation ------------------------------------------------------------
+
+    def _take_pages(self, count: int) -> None:
+        """Consume ``count`` pages, preferring zero pages, then image pages."""
+        remaining = count
+        for tag in sorted(self._pages, key=lambda t: (t[0] != "zero", t)):
+            if remaining == 0:
+                break
+            if tag[0] == "unique":
+                continue
+            take = min(self._pages[tag], remaining)
+            self._pages[tag] -= take
+            if self._pages[tag] == 0:
+                del self._pages[tag]
+            remaining -= take
+        if remaining:
+            raise MemoryError_(
+                f"guest {self.owner_id}: cannot repurpose {count} pages "
+                f"({remaining} short; all pages privately dirtied)"
+            )
+
+    def map_image(self, image_id: str, size_bytes: int, first_block: int = 0) -> None:
+        """Fill pages with shared disk-image content (page-cache of the base OS)."""
+        pages = bytes_to_pages(size_bytes)
+        self._take_pages(pages)
+        for block in range(first_block, first_block + pages):
+            tag = image_tag(image_id, block)
+            self._pages[tag] = self._pages.get(tag, 0) + 1
+
+    def dirty(self, size_bytes: int) -> None:
+        """Dirty pages with private content (writes by the guest workload)."""
+        pages = bytes_to_pages(size_bytes)
+        self._take_pages(pages)
+        for _ in range(pages):
+            tag = unique_tag(self.owner_id, self._unique_serial)
+            self._unique_serial += 1
+            self._pages[tag] = 1
+
+    def dirty_pages(self, pages: int) -> None:
+        self.dirty(pages_to_bytes(pages))
+
+    def secure_erase(self) -> int:
+        """Zero every page (the §3.4 amnesia step).  Returns pages wiped."""
+        wiped = self.total_pages
+        self._pages = {ZERO_TAG: wiped}
+        self._erased = True
+        return wiped

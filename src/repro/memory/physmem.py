@@ -1,0 +1,97 @@
+"""Host physical memory: admission control and usage accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import OutOfMemoryError
+from repro.memory.ksm import Ksm
+from repro.memory.pages import GuestMemory, bytes_to_pages, pages_to_bytes
+
+MIB = 1024 * 1024
+GIB = 1024 * MIB
+
+
+@dataclass(frozen=True)
+class HostMemoryStats:
+    """Host-wide memory snapshot, after KSM savings."""
+
+    total_bytes: int
+    base_used_bytes: int  # host OS + hypervisor footprint
+    guest_allocated_bytes: int  # sum of guest RAM, pre-KSM
+    ksm_saved_bytes: int
+
+    @property
+    def used_bytes(self) -> int:
+        return self.base_used_bytes + self.guest_allocated_bytes - self.ksm_saved_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.total_bytes - self.used_bytes
+
+
+class HostMemory:
+    """The machine's RAM: guests are admitted against it, KSM reclaims from it.
+
+    ``base_used_bytes`` covers the hypervisor OS itself (the paper's test
+    machine boots Ubuntu from USB with all writes in RAM).
+    """
+
+    def __init__(
+        self,
+        total_bytes: int = 16 * GIB,
+        base_used_bytes: int = 1 * GIB,
+        ksm: Ksm = None,
+    ) -> None:
+        if total_bytes <= 0:
+            raise OutOfMemoryError(f"host memory must be positive, got {total_bytes}")
+        if base_used_bytes >= total_bytes:
+            raise OutOfMemoryError("host base usage exceeds physical memory")
+        self.total_bytes = total_bytes
+        self.base_used_bytes = base_used_bytes
+        self.ksm = ksm if ksm is not None else Ksm()
+        self._guests: Dict[str, GuestMemory] = {}
+
+    # -- admission ------------------------------------------------------------
+
+    def allocate_guest(self, owner_id: str, size_bytes: int) -> GuestMemory:
+        """Admit a new guest of ``size_bytes`` RAM or raise OutOfMemoryError."""
+        if owner_id in self._guests:
+            raise OutOfMemoryError(f"guest {owner_id!r} already has memory allocated")
+        projected = self.stats().used_bytes + pages_to_bytes(bytes_to_pages(size_bytes))
+        if projected > self.total_bytes:
+            raise OutOfMemoryError(
+                f"admitting {owner_id!r} ({size_bytes} B) would need {projected} B "
+                f"of {self.total_bytes} B physical"
+            )
+        guest = GuestMemory(owner_id, size_bytes)
+        self._guests[owner_id] = guest
+        self.ksm.register(guest)
+        return guest
+
+    def release_guest(self, owner_id: str, secure: bool = True) -> None:
+        """Tear down a guest's memory, securely erasing it first by default."""
+        guest = self._guests.pop(owner_id, None)
+        if guest is None:
+            return
+        if secure:
+            guest.secure_erase()
+        self.ksm.unregister(guest)
+
+    def guest(self, owner_id: str) -> GuestMemory:
+        return self._guests[owner_id]
+
+    def guests(self) -> List[GuestMemory]:
+        return list(self._guests.values())
+
+    # -- accounting ------------------------------------------------------------
+
+    def stats(self) -> HostMemoryStats:
+        allocated = pages_to_bytes(sum(g.total_pages for g in self._guests.values()))
+        return HostMemoryStats(
+            total_bytes=self.total_bytes,
+            base_used_bytes=self.base_used_bytes,
+            guest_allocated_bytes=allocated,
+            ksm_saved_bytes=self.ksm.stats().bytes_saved,
+        )

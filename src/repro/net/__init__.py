@@ -1,0 +1,49 @@
+"""Virtual network stack.
+
+Mirrors the data path of §4.2 of the paper: each AnonVM has exactly one
+virtual NIC wired point-to-point (a hypervisor-internal "virtual wire") to
+its CommVM; the CommVM reaches the simulated Internet through a user-mode
+masquerade NAT on the host uplink.  There is no bridge between nymboxes,
+so cross-nym traffic has nowhere to go — the §5.1 isolation property holds
+by construction, and :mod:`repro.net.pcap` provides the Wireshark-style
+capture used to validate it.
+
+Bulk data transfer is flow-level (a shared-bandwidth model with exact
+processor-sharing completion times); control-plane traffic (DHCP, DNS,
+circuit building) is packet-level so captures show realistic exchanges.
+"""
+
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.net.bandwidth import BandwidthPool, FlowResult
+from repro.net.dhcp import DhcpServer
+from repro.net.dns import DnsResolver, DnsZone
+from repro.net.frame import EthernetFrame, Ipv4Packet, Protocol, TcpSegment, UdpDatagram
+from repro.net.internet import Internet, Server
+from repro.net.link import VirtualWire
+from repro.net.nat import MasqueradeNat
+from repro.net.nic import VirtualNic
+from repro.net.pcap import CaptureEntry, LeakAnalyzer, LeakReport, PacketCapture
+
+__all__ = [
+    "Ipv4Address",
+    "MacAddress",
+    "BandwidthPool",
+    "FlowResult",
+    "DhcpServer",
+    "DnsResolver",
+    "DnsZone",
+    "EthernetFrame",
+    "Ipv4Packet",
+    "Protocol",
+    "TcpSegment",
+    "UdpDatagram",
+    "Internet",
+    "Server",
+    "VirtualWire",
+    "MasqueradeNat",
+    "VirtualNic",
+    "CaptureEntry",
+    "LeakAnalyzer",
+    "LeakReport",
+    "PacketCapture",
+]

@@ -1,0 +1,117 @@
+"""MAC and IPv4 address value types."""
+
+from __future__ import annotations
+
+from repro.errors import NetworkError
+
+
+class MacAddress:
+    """A 48-bit Ethernet address."""
+
+    def __init__(self, value: int) -> None:
+        if not 0 <= value < (1 << 48):
+            raise NetworkError(f"MAC address out of range: {value:#x}")
+        self._value = value
+
+    @classmethod
+    def parse(cls, text: str) -> "MacAddress":
+        parts = text.split(":")
+        if len(parts) != 6:
+            raise NetworkError(f"malformed MAC address: {text!r}")
+        try:
+            octets = [int(part, 16) for part in parts]
+        except ValueError as exc:
+            raise NetworkError(f"malformed MAC address: {text!r}") from exc
+        if any(not 0 <= octet <= 0xFF for octet in octets):
+            raise NetworkError(f"malformed MAC address: {text!r}")
+        value = 0
+        for octet in octets:
+            value = (value << 8) | octet
+        return cls(value)
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __str__(self) -> str:
+        octets = [(self._value >> shift) & 0xFF for shift in range(40, -8, -8)]
+        return ":".join(f"{octet:02x}" for octet in octets)
+
+    def __repr__(self) -> str:
+        return f"MacAddress({self})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MacAddress) and other._value == self._value
+
+    def __hash__(self) -> int:
+        return hash(("mac", self._value))
+
+
+# The fixed MAC QEMU assigns by default — Nymix deliberately gives every
+# AnonVM this same address so hardware identity cannot distinguish nyms.
+QEMU_DEFAULT_MAC = MacAddress.parse("52:54:00:12:34:56")
+
+
+class Ipv4Address:
+    """A 32-bit IPv4 address."""
+
+    def __init__(self, value: int) -> None:
+        if not 0 <= value < (1 << 32):
+            raise NetworkError(f"IPv4 address out of range: {value:#x}")
+        self._value = value
+
+    @classmethod
+    def parse(cls, text: str) -> "Ipv4Address":
+        parts = text.split(".")
+        if len(parts) != 4:
+            raise NetworkError(f"malformed IPv4 address: {text!r}")
+        try:
+            octets = [int(part) for part in parts]
+        except ValueError as exc:
+            raise NetworkError(f"malformed IPv4 address: {text!r}") from exc
+        if any(not 0 <= octet <= 255 for octet in octets):
+            raise NetworkError(f"malformed IPv4 address: {text!r}")
+        value = 0
+        for octet in octets:
+            value = (value << 8) | octet
+        return cls(value)
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def in_subnet(self, network: "Ipv4Address", prefix_len: int) -> bool:
+        if not 0 <= prefix_len <= 32:
+            raise NetworkError(f"bad prefix length: {prefix_len}")
+        if prefix_len == 0:
+            return True
+        mask = ((1 << prefix_len) - 1) << (32 - prefix_len)
+        return (self._value & mask) == (network.value & mask)
+
+    def is_private(self) -> bool:
+        """RFC 1918 check, used by the leak analyzer."""
+        return (
+            self.in_subnet(Ipv4Address.parse("10.0.0.0"), 8)
+            or self.in_subnet(Ipv4Address.parse("172.16.0.0"), 12)
+            or self.in_subnet(Ipv4Address.parse("192.168.0.0"), 16)
+        )
+
+    def __str__(self) -> str:
+        octets = [(self._value >> shift) & 0xFF for shift in range(24, -8, -8)]
+        return ".".join(str(octet) for octet in octets)
+
+    def __repr__(self) -> str:
+        return f"Ipv4Address({self})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Ipv4Address) and other._value == self._value
+
+    def __hash__(self) -> int:
+        return hash(("ipv4", self._value))
+
+
+# The fixed guest-side addressing QEMU user-mode networking uses; every
+# nymbox reuses these identical addresses (fingerprint homogenization, §4.2).
+GUEST_IP = Ipv4Address.parse("10.0.2.15")
+GATEWAY_IP = Ipv4Address.parse("10.0.2.2")
+DNS_IP = Ipv4Address.parse("10.0.2.3")

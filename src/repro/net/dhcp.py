@@ -1,0 +1,132 @@
+"""Minimal DHCP: the one protocol an idle Nymix host is allowed to speak.
+
+The §5.1 validation expects an idle hypervisor to emit *only* DHCP and
+anonymizer traffic.  This module provides the DISCOVER/OFFER/REQUEST/ACK
+exchange the hypervisor performs on its physical uplink at boot, so
+captures contain the realistic four-packet handshake.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import NetworkError
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.net.frame import BROADCAST_MAC, EthernetFrame, Ipv4Packet, UdpDatagram
+from repro.net.nic import VirtualNic
+from repro.sim.clock import Timeline
+
+_SERVER_PORT = 67
+_CLIENT_PORT = 68
+_UNSPECIFIED = Ipv4Address.parse("0.0.0.0")
+_BROADCAST = Ipv4Address.parse("255.255.255.255")
+
+
+@dataclass(frozen=True)
+class DhcpLease:
+    mac: MacAddress
+    ip: Ipv4Address
+    lease_seconds: float
+
+
+class DhcpServer:
+    """Allocates addresses from a pool, speaking over a NIC on a LAN wire."""
+
+    def __init__(
+        self,
+        timeline: Timeline,
+        nic: VirtualNic,
+        pool_start: Ipv4Address,
+        pool_size: int = 100,
+        lease_seconds: float = 86400.0,
+    ) -> None:
+        if pool_size <= 0:
+            raise NetworkError(f"pool size must be positive, got {pool_size}")
+        self.timeline = timeline
+        self.nic = nic
+        self.lease_seconds = lease_seconds
+        self._pool: List[Ipv4Address] = [
+            Ipv4Address(pool_start.value + offset) for offset in range(pool_size)
+        ]
+        self._leases: Dict[MacAddress, DhcpLease] = {}
+        nic.on_receive(self._handle_frame)
+
+    def _next_free_ip(self) -> Ipv4Address:
+        taken = {lease.ip for lease in self._leases.values()}
+        for candidate in self._pool:
+            if candidate not in taken:
+                return candidate
+        raise NetworkError("DHCP pool exhausted")
+
+    def lease_for(self, mac: MacAddress) -> Optional[DhcpLease]:
+        return self._leases.get(mac)
+
+    def _reply(self, dst_mac: MacAddress, kind: bytes, ip: Ipv4Address) -> None:
+        packet = Ipv4Packet(
+            src=self.nic.ip or _UNSPECIFIED,
+            dst=_BROADCAST,
+            transport=UdpDatagram(
+                src_port=_SERVER_PORT,
+                dst_port=_CLIENT_PORT,
+                payload=kind + b" " + str(ip).encode(),
+                label="dhcp",
+            ),
+        )
+        self.nic.send(EthernetFrame(src_mac=self.nic.mac, dst_mac=dst_mac, packet=packet))
+
+    def _handle_frame(self, frame: EthernetFrame) -> None:
+        packet = frame.packet
+        if packet is None or packet.label != "dhcp":
+            return
+        payload = packet.transport.payload
+        if payload.startswith(b"DISCOVER"):
+            lease = self._leases.get(frame.src_mac)
+            ip = lease.ip if lease else self._next_free_ip()
+            self._leases[frame.src_mac] = DhcpLease(frame.src_mac, ip, self.lease_seconds)
+            self._reply(frame.src_mac, b"OFFER", ip)
+        elif payload.startswith(b"REQUEST"):
+            lease = self._leases.get(frame.src_mac)
+            if lease is not None:
+                self._reply(frame.src_mac, b"ACK", lease.ip)
+
+
+class DhcpClient:
+    """Drives the 4-packet handshake from a host NIC and configures its IP."""
+
+    def __init__(self, timeline: Timeline, nic: VirtualNic) -> None:
+        self.timeline = timeline
+        self.nic = nic
+        self.acquired_ip: Optional[Ipv4Address] = None
+        nic.on_receive(self._handle_frame)
+
+    def _broadcast(self, kind: bytes) -> None:
+        packet = Ipv4Packet(
+            src=_UNSPECIFIED,
+            dst=_BROADCAST,
+            transport=UdpDatagram(
+                src_port=_CLIENT_PORT, dst_port=_SERVER_PORT, payload=kind, label="dhcp"
+            ),
+        )
+        self.nic.send(
+            EthernetFrame(src_mac=self.nic.mac, dst_mac=BROADCAST_MAC, packet=packet)
+        )
+
+    def _handle_frame(self, frame: EthernetFrame) -> None:
+        packet = frame.packet
+        if packet is None or packet.label != "dhcp":
+            return
+        payload = packet.transport.payload
+        if payload.startswith(b"OFFER"):
+            self._broadcast(b"REQUEST")
+        elif payload.startswith(b"ACK"):
+            self.acquired_ip = Ipv4Address.parse(payload.split(b" ")[1].decode())
+            self.nic.ip = self.acquired_ip
+
+    def acquire(self, timeout_s: float = 1.0) -> Ipv4Address:
+        """Run DISCOVER -> OFFER -> REQUEST -> ACK; returns the leased IP."""
+        self._broadcast(b"DISCOVER")
+        self.timeline.sleep(timeout_s)
+        if self.acquired_ip is None:
+            raise NetworkError(f"DHCP timed out on {self.nic.name!r}")
+        return self.acquired_ip

@@ -1,0 +1,63 @@
+"""DNS resolution.
+
+DNS is a classic anonymity leak: a browser that resolves names outside the
+anonymizer reveals every site visited.  Tor therefore ships a built-in DNS
+server, and Nymix points the AnonVM's resolver at the CommVM (§4.1).  The
+:class:`DnsResolver` here records *where* each query was answered so tests
+and the leak analyzer can prove no resolution escaped the anonymous path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import UnreachableError
+from repro.net.addresses import Ipv4Address
+from repro.net.internet import Internet
+
+
+@dataclass
+class DnsZone:
+    """A static hostname -> address map (a slice of the global namespace)."""
+
+    records: Dict[str, Ipv4Address] = field(default_factory=dict)
+
+    def add(self, hostname: str, ip: Ipv4Address) -> None:
+        self.records[hostname] = ip
+
+    def lookup(self, hostname: str) -> Optional[Ipv4Address]:
+        return self.records.get(hostname)
+
+
+@dataclass(frozen=True)
+class DnsQueryRecord:
+    hostname: str
+    answered_by: str  # "anonymizer" or "direct"
+    answer: Ipv4Address
+
+
+class DnsResolver:
+    """Resolves names either through an anonymizer or directly.
+
+    ``via`` tags each query's path; a query log full of "anonymizer"
+    entries and empty of "direct" ones is what a leak-free nymbox shows.
+    """
+
+    def __init__(self, internet: Internet, via: str = "anonymizer") -> None:
+        self.internet = internet
+        self.via = via
+        self.query_log: List[DnsQueryRecord] = []
+
+    def resolve(self, hostname: str) -> Ipv4Address:
+        try:
+            answer = self.internet.resolve(hostname)
+        except UnreachableError:
+            raise
+        self.query_log.append(
+            DnsQueryRecord(hostname=hostname, answered_by=self.via, answer=answer)
+        )
+        return answer
+
+    def direct_queries(self) -> List[DnsQueryRecord]:
+        return [record for record in self.query_log if record.answered_by == "direct"]

@@ -1,0 +1,132 @@
+"""UDP-to-TCP DNS conversion (§4.1).
+
+"While Tor does not support UDP redirection, it has a built-in DNS
+server.  Dissent ... does have support for UDP redirection.  For tools
+that support neither, Nymix would need to convert UDP-based DNS requests
+to TCP before transmitting them over the communication tool."
+
+This module implements that converter: it parses a minimal DNS query
+from a UDP payload, re-frames it with the RFC 1035 two-byte TCP length
+prefix, carries it over a TCP-only transport, and unframes the answer.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.errors import NetworkError
+from repro.net.addresses import Ipv4Address
+
+
+def encode_query(transaction_id: int, hostname: str) -> bytes:
+    """A minimal DNS query message (header + one QNAME question)."""
+    if not 0 <= transaction_id <= 0xFFFF:
+        raise NetworkError(f"transaction id out of range: {transaction_id}")
+    header = struct.pack(">HHHHHH", transaction_id, 0x0100, 1, 0, 0, 0)
+    qname = b""
+    for label in hostname.split("."):
+        raw = label.encode()
+        if not raw or len(raw) > 63:
+            raise NetworkError(f"bad DNS label in {hostname!r}")
+        qname += bytes([len(raw)]) + raw
+    return header + qname + b"\x00" + struct.pack(">HH", 1, 1)  # A, IN
+
+
+def decode_query(message: bytes) -> Tuple[int, str]:
+    """Parse a query back to (transaction id, hostname)."""
+    if len(message) < 12:
+        raise NetworkError("truncated DNS query")
+    (transaction_id,) = struct.unpack(">H", message[:2])
+    labels: List[str] = []
+    offset = 12
+    while True:
+        if offset >= len(message):
+            raise NetworkError("unterminated QNAME")
+        length = message[offset]
+        offset += 1
+        if length == 0:
+            break
+        labels.append(message[offset : offset + length].decode())
+        offset += length
+    return transaction_id, ".".join(labels)
+
+
+def encode_answer(transaction_id: int, hostname: str, address: Ipv4Address) -> bytes:
+    """A minimal response: echo the question, add one A record."""
+    query = encode_query(transaction_id, hostname)
+    header = struct.pack(">HHHHHH", transaction_id, 0x8180, 1, 1, 0, 0)
+    answer = (
+        b"\xc0\x0c"  # compressed name pointer to the question
+        + struct.pack(">HHIH", 1, 1, 300, 4)
+        + address.value.to_bytes(4, "big")
+    )
+    return header + query[12:] + answer
+
+
+def decode_answer(message: bytes) -> Tuple[int, Ipv4Address]:
+    """Extract (transaction id, first A record) from a response."""
+    if len(message) < 12:
+        raise NetworkError("truncated DNS response")
+    (transaction_id,) = struct.unpack(">H", message[:2])
+    if len(message) < 16:
+        raise NetworkError("DNS response carries no answer")
+    address = Ipv4Address(int.from_bytes(message[-4:], "big"))
+    return transaction_id, address
+
+
+def tcp_frame(message: bytes) -> bytes:
+    """RFC 1035 §4.2.2: DNS-over-TCP prefixes a two-byte length."""
+    if len(message) > 0xFFFF:
+        raise NetworkError("DNS message too large for TCP framing")
+    return struct.pack(">H", len(message)) + message
+
+
+def tcp_unframe(data: bytes) -> bytes:
+    if len(data) < 2:
+        raise NetworkError("truncated TCP DNS frame")
+    (length,) = struct.unpack(">H", data[:2])
+    message = data[2 : 2 + length]
+    if len(message) != length:
+        raise NetworkError("TCP DNS frame length mismatch")
+    return message
+
+
+class TcpDnsShim:
+    """Converts a guest's UDP DNS queries to TCP for TCP-only transports.
+
+    ``tcp_exchange`` is the transport hook: it takes the framed request
+    bytes and must return framed response bytes (having carried them
+    through SOCKS/whatever).  A default hook that answers from a resolver
+    function is provided for direct use.
+    """
+
+    def __init__(self, tcp_exchange: Callable[[bytes], bytes]) -> None:
+        self._exchange = tcp_exchange
+        self.queries_converted = 0
+
+    @classmethod
+    def over_resolver(cls, resolve: Callable[[str], Ipv4Address]) -> "TcpDnsShim":
+        """Build a shim whose TCP far-end answers via ``resolve``."""
+
+        def exchange(framed_request: bytes) -> bytes:
+            request = tcp_unframe(framed_request)
+            transaction_id, hostname = decode_query(request)
+            address = resolve(hostname)
+            return tcp_frame(encode_answer(transaction_id, hostname, address))
+
+        return cls(exchange)
+
+    def resolve_udp_payload(self, udp_payload: bytes) -> bytes:
+        """The full conversion: UDP query in, UDP response out."""
+        framed = tcp_frame(udp_payload)
+        response = tcp_unframe(self._exchange(framed))
+        request_id, _ = decode_query(udp_payload)
+        response_id, _ = decode_answer(response)
+        if request_id != response_id:
+            raise NetworkError(
+                f"DNS transaction id mismatch: {request_id} != {response_id}"
+            )
+        self.queries_converted += 1
+        return response

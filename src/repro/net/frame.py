@@ -1,0 +1,116 @@
+"""Frame and packet value types (object-level, not byte-serialized)."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.net.addresses import Ipv4Address, MacAddress
+
+_frame_ids = itertools.count(1)
+
+
+class Protocol(enum.Enum):
+    """IP payload protocols the stack distinguishes."""
+
+    TCP = "tcp"
+    UDP = "udp"
+    ICMP = "icmp"
+
+
+@dataclass(frozen=True)
+class UdpDatagram:
+    src_port: int
+    dst_port: int
+    payload: bytes = b""
+    label: str = ""  # human-readable protocol tag for captures ("dhcp", "dns"...)
+
+    @property
+    def size(self) -> int:
+        return 8 + len(self.payload)
+
+
+@dataclass(frozen=True)
+class TcpSegment:
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    flags: str = ""  # e.g. "SYN", "SYN/ACK", "FIN"
+    payload: bytes = b""
+    label: str = ""
+
+    @property
+    def size(self) -> int:
+        return 20 + len(self.payload)
+
+
+@dataclass(frozen=True)
+class IcmpMessage:
+    kind: str = "echo-request"
+    payload: bytes = b""
+    label: str = "icmp"
+
+    @property
+    def size(self) -> int:
+        return 8 + len(self.payload)
+
+
+Transport = Union[UdpDatagram, TcpSegment, IcmpMessage]
+
+
+@dataclass(frozen=True)
+class Ipv4Packet:
+    src: Ipv4Address
+    dst: Ipv4Address
+    transport: Transport
+    ttl: int = 64
+
+    @property
+    def protocol(self) -> Protocol:
+        if isinstance(self.transport, UdpDatagram):
+            return Protocol.UDP
+        if isinstance(self.transport, TcpSegment):
+            return Protocol.TCP
+        return Protocol.ICMP
+
+    @property
+    def size(self) -> int:
+        return 20 + self.transport.size
+
+    @property
+    def label(self) -> str:
+        return self.transport.label
+
+    def describe(self) -> str:
+        return (
+            f"{self.src} -> {self.dst} {self.protocol.value}"
+            f"{' [' + self.label + ']' if self.label else ''} ({self.size} B)"
+        )
+
+
+BROADCAST_MAC = MacAddress.parse("ff:ff:ff:ff:ff:ff")
+
+
+@dataclass(frozen=True)
+class EthernetFrame:
+    src_mac: MacAddress
+    dst_mac: MacAddress
+    packet: Optional[Ipv4Packet] = None
+    raw_payload: bytes = b""  # for non-IP probes (raw Ethernet injection tests)
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    @property
+    def size(self) -> int:
+        inner = self.packet.size if self.packet else len(self.raw_payload)
+        return 14 + inner
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.dst_mac == BROADCAST_MAC
+
+    def describe(self) -> str:
+        if self.packet is not None:
+            return self.packet.describe()
+        return f"eth {self.src_mac} -> {self.dst_mac} raw ({self.size} B)"

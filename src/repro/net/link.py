@@ -1,0 +1,82 @@
+"""Point-to-point virtual wires.
+
+The hypervisor connects each AnonVM to its CommVM with a UDP-socket
+"virtual wire" that only hypervisor-resident endpoints can touch (§4.2).
+A :class:`VirtualWire` carries frames between exactly two NICs, applying
+propagation latency; taps (packet captures) may observe both directions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import NetworkError
+from repro.net.frame import EthernetFrame
+from repro.net.nic import VirtualNic
+from repro.sim.clock import Timeline
+
+
+class VirtualWire:
+    """A two-endpoint wire with propagation latency and optional taps."""
+
+    def __init__(
+        self,
+        timeline: Timeline,
+        a: VirtualNic,
+        b: VirtualNic,
+        latency_s: float = 0.0001,
+        name: str = "",
+    ) -> None:
+        if a is b:
+            raise NetworkError("a wire needs two distinct endpoints")
+        if latency_s < 0:
+            raise NetworkError(f"negative latency: {latency_s}")
+        self.timeline = timeline
+        self.name = name or f"wire({a.name}<->{b.name})"
+        self.latency_s = latency_s
+        self._a = a
+        self._b = b
+        self._taps: List[object] = []
+        self._up = True
+        a.attach(self)
+        b.attach(self)
+
+    @property
+    def endpoints(self) -> tuple:
+        return (self._a, self._b)
+
+    @property
+    def up(self) -> bool:
+        return self._up
+
+    def take_down(self) -> None:
+        """Sever the wire (nym teardown)."""
+        self._up = False
+        self._a.detach()
+        self._b.detach()
+
+    def add_tap(self, tap: object) -> None:
+        """Attach a capture object with an ``observe(wire, sender, frame)`` method."""
+        self._taps.append(tap)
+
+    def carry(self, sender: VirtualNic, frame: EthernetFrame) -> None:
+        """Propagate ``frame`` from ``sender`` to the far end after latency."""
+        if not self._up:
+            sender.dropped_frames += 1
+            return
+        if sender is self._a:
+            receiver: Optional[VirtualNic] = self._b
+        elif sender is self._b:
+            receiver = self._a
+        else:
+            raise NetworkError(f"{sender!r} is not an endpoint of {self.name}")
+        for tap in self._taps:
+            tap.observe(self, sender, frame)  # type: ignore[attr-defined]
+        if self.latency_s == 0:
+            receiver.deliver(frame)
+        else:
+            self.timeline.after(self.latency_s, lambda: receiver.deliver(frame))
+
+    def __repr__(self) -> str:
+        state = "up" if self._up else "down"
+        return f"VirtualWire({self.name}, {state}, latency={self.latency_s * 1000:.2f}ms)"

@@ -1,0 +1,44 @@
+"""Sanitized file transfers: formats, risk analysis, scrubbing, the SaniVM.
+
+The only path data may take from the user's installed OS into a nymbox is
+through a dedicated, non-networked SaniVM (§3.6): files are risk-analyzed
+(hidden metadata, visible faces, possible watermarks), the user picks a
+scrubbing level, transforms are applied, and only then does the file move
+— via VirtFS shared folders — into the destination nym's AnonVM.
+
+File formats here are synthetic byte-level containers (:class:`SimImage`,
+:class:`SimDocument`) carrying the same classes of identifying data the
+paper worries about: EXIF GPS coordinates and camera serials [52], document
+author/revision metadata [8], faces, and steganographic watermarks [10].
+"""
+
+from repro.sanitize.fileformats import SimDocument, SimImage, parse_file
+from repro.sanitize.risks import Risk, RiskAnalyzer, RiskReport
+from repro.sanitize.mat import MatScrubber
+from repro.sanitize.transforms import (
+    PARANOIA_LEVELS,
+    ParanoiaLevel,
+    blur_faces,
+    add_noise,
+    rasterize_document,
+    strip_metadata,
+)
+from repro.sanitize.sanivm import SaniVm, TransferRecord
+
+__all__ = [
+    "SimDocument",
+    "SimImage",
+    "parse_file",
+    "Risk",
+    "RiskAnalyzer",
+    "RiskReport",
+    "MatScrubber",
+    "PARANOIA_LEVELS",
+    "ParanoiaLevel",
+    "blur_faces",
+    "add_noise",
+    "rasterize_document",
+    "strip_metadata",
+    "SaniVm",
+    "TransferRecord",
+]

@@ -1,0 +1,196 @@
+"""Synthetic image and document containers with embedded identifying data.
+
+Both formats serialize to real bytes: a magic header, a JSON metadata
+section, and a body.  Scrubbers operate on the bytes, re-parsing and
+re-serializing — so a transform that claims to remove a field has to
+actually remove it from the wire form.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import SanitizeError
+
+_IMAGE_MAGIC = b"SIMG1\n"
+_DOC_MAGIC = b"SDOC1\n"
+
+
+@dataclass(frozen=True)
+class FaceRegion:
+    """A detectable face: bounding box plus whether it is blurred."""
+
+    x: int
+    y: int
+    width: int
+    height: int
+    blurred: bool = False
+
+
+@dataclass
+class SimImage:
+    """A JPEG-like photo: pixels, EXIF, faces, an optional watermark."""
+
+    width: int
+    height: int
+    pixel_seed: int  # stands in for the visible pixel content
+    exif: Dict[str, object] = field(default_factory=dict)
+    faces: List[FaceRegion] = field(default_factory=list)
+    watermark_id: Optional[str] = None  # survives metadata stripping
+    noise_level: float = 0.0  # accumulated degradation from transforms
+
+    @classmethod
+    def camera_photo(
+        cls,
+        width: int = 4000,
+        height: int = 3000,
+        pixel_seed: int = 1,
+        gps: Optional[Tuple[float, float]] = (39.906, 116.397),
+        camera_serial: str = "NIKON-D3100-2041337",
+        faces: int = 0,
+        watermark_id: Optional[str] = None,
+    ) -> "SimImage":
+        """A photo as a smartphone/camera would write it: full of metadata."""
+        exif: Dict[str, object] = {
+            "Make": "Nikon",
+            "Model": "D3100",
+            "DateTimeOriginal": "2014:05:01 18:23:11",
+            "Software": "CameraFirmware 1.2",
+            "SerialNumber": camera_serial,
+        }
+        if gps is not None:
+            exif["GPSLatitude"], exif["GPSLongitude"] = gps
+        regions = [
+            FaceRegion(x=200 + 400 * i, y=300, width=180, height=220)
+            for i in range(faces)
+        ]
+        return cls(
+            width=width,
+            height=height,
+            pixel_seed=pixel_seed,
+            exif=exif,
+            faces=regions,
+            watermark_id=watermark_id,
+        )
+
+    # -- wire form ----------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        meta = {
+            "width": self.width,
+            "height": self.height,
+            "pixel_seed": self.pixel_seed,
+            "exif": self.exif,
+            "faces": [
+                [f.x, f.y, f.width, f.height, f.blurred] for f in self.faces
+            ],
+            "watermark_id": self.watermark_id,
+            "noise_level": self.noise_level,
+        }
+        header = json.dumps(meta, sort_keys=True).encode()
+        body = b"\xff" * min(256, self.width * self.height // 65536 + 16)
+        return _IMAGE_MAGIC + len(header).to_bytes(4, "big") + header + body
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SimImage":
+        if not data.startswith(_IMAGE_MAGIC):
+            raise SanitizeError("not a SimImage")
+        offset = len(_IMAGE_MAGIC)
+        header_len = int.from_bytes(data[offset : offset + 4], "big")
+        meta = json.loads(data[offset + 4 : offset + 4 + header_len])
+        return cls(
+            width=meta["width"],
+            height=meta["height"],
+            pixel_seed=meta["pixel_seed"],
+            exif=dict(meta["exif"]),
+            faces=[FaceRegion(*entry) for entry in meta["faces"]],
+            watermark_id=meta["watermark_id"],
+            noise_level=meta["noise_level"],
+        )
+
+    # -- what survives --------------------------------------------------------------
+
+    @property
+    def has_gps(self) -> bool:
+        return "GPSLatitude" in self.exif or "GPSLongitude" in self.exif
+
+    @property
+    def unblurred_faces(self) -> int:
+        return sum(1 for face in self.faces if not face.blurred)
+
+    @property
+    def watermark_detectable(self) -> bool:
+        """A watermark survives until noise/downscaling degrades it enough."""
+        return self.watermark_id is not None and self.noise_level < 0.25
+
+
+@dataclass
+class SimDocument:
+    """A PDF/DOC-like document: visible text plus invisible structure."""
+
+    pages: List[str]
+    metadata: Dict[str, object] = field(default_factory=dict)
+    revision_history: List[str] = field(default_factory=list)
+    hidden_text: List[str] = field(default_factory=list)  # white-on-white, cropped
+
+    @classmethod
+    def office_document(
+        cls,
+        pages: Optional[List[str]] = None,
+        author: str = "bob.realname",
+        organization: str = "State Newspaper",
+        revisions: Optional[List[str]] = None,
+        hidden_text: Optional[List[str]] = None,
+    ) -> "SimDocument":
+        """A document as an office suite writes it: author trail included."""
+        return cls(
+            pages=pages or ["Glorious economic progress continues unabated."],
+            metadata={
+                "Author": author,
+                "Organization": organization,
+                "Producer": "OfficeSuite 11.0",
+                "CreationDate": "2014-04-30T09:12:00",
+            },
+            revision_history=revisions
+            if revisions is not None
+            else ["draft by bob.realname", "edited by editor.chief"],
+            hidden_text=list(hidden_text or []),
+        )
+
+    def to_bytes(self) -> bytes:
+        meta = {
+            "pages": self.pages,
+            "metadata": self.metadata,
+            "revision_history": self.revision_history,
+            "hidden_text": self.hidden_text,
+        }
+        header = json.dumps(meta, sort_keys=True).encode()
+        return _DOC_MAGIC + len(header).to_bytes(4, "big") + header
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SimDocument":
+        if not data.startswith(_DOC_MAGIC):
+            raise SanitizeError("not a SimDocument")
+        offset = len(_DOC_MAGIC)
+        header_len = int.from_bytes(data[offset : offset + 4], "big")
+        meta = json.loads(data[offset + 4 : offset + 4 + header_len])
+        return cls(
+            pages=list(meta["pages"]),
+            metadata=dict(meta["metadata"]),
+            revision_history=list(meta["revision_history"]),
+            hidden_text=list(meta["hidden_text"]),
+        )
+
+
+SimFile = Union[SimImage, SimDocument]
+
+
+def parse_file(data: bytes) -> SimFile:
+    """Dispatch on magic bytes."""
+    if data.startswith(_IMAGE_MAGIC):
+        return SimImage.from_bytes(data)
+    if data.startswith(_DOC_MAGIC):
+        return SimDocument.from_bytes(data)
+    raise SanitizeError("unrecognized file format")

@@ -1,0 +1,99 @@
+"""User-driven, access-time scrubbing (the §6 UDAC alternative).
+
+"As an alternative to selecting files and folders to scrub, Nymix could
+employ concepts introduced by User-Driven Access Control [60].  In this
+model, a user could grant access to certain folders and files on the
+host to a specific nym.  Nymix could then delay scrubbing of files until
+the files have been accessed from within the nym."
+
+:class:`LazyGrant` implements that model on top of the SaniVM: the user
+grants a nym access to host paths up front (cheap), and the scrub runs
+on first access from inside the nym; results are cached per (path, level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.errors import SanitizeError
+from repro.sanitize.fileformats import parse_file
+from repro.sanitize.sanivm import SaniVm
+from repro.sanitize.transforms import ParanoiaLevel, apply_level
+from repro.unionfs.layer import normalize_path
+
+
+@dataclass
+class GrantRecord:
+    """One user grant: a nym may pull these host paths, at this level."""
+
+    nym_id: str
+    mount: str
+    paths: Set[str]
+    level: ParanoiaLevel
+    accesses: List[str] = field(default_factory=list)
+
+
+class LazyGrant:
+    """Grant-then-scrub-on-access mediation between host files and nyms."""
+
+    def __init__(self, sanivm: SaniVm) -> None:
+        self.sanivm = sanivm
+        self._grants: Dict[Tuple[str, str], GrantRecord] = {}
+        self._scrub_cache: Dict[Tuple[str, str, str], bytes] = {}
+        self.scrubs_performed = 0
+
+    # -- granting ------------------------------------------------------------
+
+    def grant(
+        self,
+        nym_id: str,
+        mount: str,
+        paths: List[str],
+        level: ParanoiaLevel = ParanoiaLevel.MEDIUM,
+    ) -> GrantRecord:
+        """The user grants ``nym_id`` access to ``paths`` (no scrubbing yet)."""
+        known = set(self.sanivm.list_host_files(mount))
+        normalized = {normalize_path(p) for p in paths}
+        missing = normalized - known
+        if missing:
+            raise SanitizeError(f"granting unknown paths: {sorted(missing)}")
+        record = GrantRecord(nym_id=nym_id, mount=mount, paths=normalized, level=level)
+        self._grants[(nym_id, mount)] = record
+        return record
+
+    def revoke(self, nym_id: str, mount: str) -> None:
+        self._grants.pop((nym_id, mount), None)
+
+    def granted_paths(self, nym_id: str, mount: str) -> Set[str]:
+        record = self._grants.get((nym_id, mount))
+        return set(record.paths) if record else set()
+
+    # -- access-time scrubbing ------------------------------------------------------
+
+    def access(self, nym_id: str, mount: str, path: str) -> bytes:
+        """A nym-side open(): scrub now (or hit the cache) and return bytes.
+
+        Raises :class:`SanitizeError` for paths outside the grant — the
+        nym cannot enumerate or touch anything it wasn't given.
+        """
+        path = normalize_path(path)
+        record = self._grants.get((nym_id, mount))
+        if record is None or path not in record.paths:
+            raise SanitizeError(
+                f"nym {nym_id!r} has no grant for {path!r} on {mount!r}"
+            )
+        record.accesses.append(path)
+        cache_key = (mount, path, record.level.value)
+        if cache_key not in self._scrub_cache:
+            raw = self.sanivm.read_host_file(mount, path)
+            scrubbed = apply_level(parse_file(raw), record.level)
+            self._scrub_cache[cache_key] = scrubbed.to_bytes()
+            self.scrubs_performed += 1
+            # Access-time scrubbing still costs the transform time, just later.
+            self.sanivm.timeline.sleep(1.5)
+        return self._scrub_cache[cache_key]
+
+    def access_count(self, nym_id: str, mount: str) -> int:
+        record = self._grants.get((nym_id, mount))
+        return len(record.accesses) if record else 0

@@ -1,0 +1,53 @@
+"""MAT-style metadata stripping (the Metadata Anonymisation Toolkit [71]).
+
+Field-aware scrubbing: knows which metadata fields each format carries and
+removes them while preserving visible content.  Its documented limitation
+(§4.3) — it cannot remove *visible* or *structural* identifying content —
+is preserved: faces, hidden text, and watermarks survive MAT and need the
+transforms in :mod:`repro.sanitize.transforms`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SanitizeError
+from repro.sanitize.fileformats import SimDocument, SimImage, parse_file
+from repro.sanitize.jpeg import SOI, scrub_jpeg
+
+
+class MatScrubber:
+    """Strips known metadata fields; returns freshly serialized bytes.
+
+    Handles both the synthetic containers and real byte-level JPEGs
+    (see :mod:`repro.sanitize.jpeg`), like MAT's per-format backends.
+    """
+
+    def scrub_bytes(self, data: bytes) -> bytes:
+        if data.startswith(SOI):
+            return scrub_jpeg(data)
+        parsed = parse_file(data)
+        if isinstance(parsed, SimImage):
+            return self.scrub_image(parsed).to_bytes()
+        if isinstance(parsed, SimDocument):
+            return self.scrub_document(parsed).to_bytes()
+        raise SanitizeError(f"MAT cannot scrub {type(parsed).__name__}")
+
+    def scrub_image(self, image: SimImage) -> SimImage:
+        """Remove the entire EXIF block; pixels untouched."""
+        return SimImage(
+            width=image.width,
+            height=image.height,
+            pixel_seed=image.pixel_seed,
+            exif={},
+            faces=list(image.faces),  # visible content: MAT cannot help
+            watermark_id=image.watermark_id,  # steganographic: ditto
+            noise_level=image.noise_level,
+        )
+
+    def scrub_document(self, document: SimDocument) -> SimDocument:
+        """Remove metadata and revision history; text structure untouched."""
+        return SimDocument(
+            pages=list(document.pages),
+            metadata={},
+            revision_history=[],
+            hidden_text=list(document.hidden_text),  # structural: survives MAT
+        )

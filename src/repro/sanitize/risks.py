@@ -1,0 +1,181 @@
+"""Automated risk analysis: what could identify the user in this file?"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import SanitizeError
+from repro.sanitize.fileformats import SimDocument, SimImage, parse_file
+from repro.sanitize.jpeg import SOI as JPEG_SOI, ExifData, parse_jpeg
+
+
+@dataclass(frozen=True)
+class Risk:
+    """One identified hazard in a file."""
+
+    kind: str  # "exif-gps", "exif-serial", "face", "watermark", ...
+    severity: str  # "high", "medium", "low"
+    description: str
+
+
+@dataclass
+class RiskReport:
+    """Everything the analyzer found, ready to show the user (§3.6)."""
+
+    filename: str
+    risks: List[Risk] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.risks
+
+    @property
+    def high_risks(self) -> List[Risk]:
+        return [risk for risk in self.risks if risk.severity == "high"]
+
+    def kinds(self) -> List[str]:
+        return sorted({risk.kind for risk in self.risks})
+
+    def summary(self) -> str:
+        if self.clean:
+            return f"{self.filename}: no identified risks"
+        return f"{self.filename}: {len(self.risks)} risk(s): " + ", ".join(self.kinds())
+
+
+class RiskAnalyzer:
+    """Inspects files for personally identifying material before transfer."""
+
+    def analyze_bytes(self, filename: str, data: bytes) -> RiskReport:
+        if data.startswith(JPEG_SOI):
+            return self._analyze_jpeg(filename, parse_jpeg(data).exif)
+        return self.analyze(filename, parse_file(data))
+
+    def _analyze_jpeg(self, filename: str, exif) -> RiskReport:
+        """Byte-level JPEG: risks live in its (optional) EXIF block."""
+        report = RiskReport(filename=filename)
+        if exif is None:
+            return report
+        assert isinstance(exif, ExifData)
+        if exif.gps is not None:
+            report.risks.append(
+                Risk(
+                    kind="exif-gps",
+                    severity="high",
+                    description=f"GPS coordinates in EXIF: {exif.gps[0]:.4f}, {exif.gps[1]:.4f}",
+                )
+            )
+        if exif.body_serial:
+            report.risks.append(
+                Risk(
+                    kind="exif-serial",
+                    severity="high",
+                    description=f"camera serial number: {exif.body_serial}",
+                )
+            )
+        identifying = [f for f in ("make", "model", "datetime") if getattr(exif, f)]
+        if identifying:
+            report.risks.append(
+                Risk(
+                    kind="exif-metadata",
+                    severity="medium",
+                    description=f"identifying EXIF fields: {', '.join(identifying)}",
+                )
+            )
+        return report
+
+    def analyze(self, filename: str, parsed) -> RiskReport:
+        if isinstance(parsed, SimImage):
+            return self._analyze_image(filename, parsed)
+        if isinstance(parsed, SimDocument):
+            return self._analyze_document(filename, parsed)
+        raise SanitizeError(f"cannot analyze object of type {type(parsed).__name__}")
+
+    def _analyze_image(self, filename: str, image: SimImage) -> RiskReport:
+        report = RiskReport(filename=filename)
+        if image.has_gps:
+            report.risks.append(
+                Risk(
+                    kind="exif-gps",
+                    severity="high",
+                    description=(
+                        f"GPS coordinates in EXIF: "
+                        f"{image.exif.get('GPSLatitude')}, {image.exif.get('GPSLongitude')}"
+                    ),
+                )
+            )
+        if "SerialNumber" in image.exif:
+            report.risks.append(
+                Risk(
+                    kind="exif-serial",
+                    severity="high",
+                    description=f"camera serial number: {image.exif['SerialNumber']}",
+                )
+            )
+        identifying_fields = {"Make", "Model", "Software", "DateTimeOriginal"}
+        present = identifying_fields.intersection(image.exif)
+        if present:
+            report.risks.append(
+                Risk(
+                    kind="exif-metadata",
+                    severity="medium",
+                    description=f"identifying EXIF fields: {', '.join(sorted(present))}",
+                )
+            )
+        if image.unblurred_faces:
+            report.risks.append(
+                Risk(
+                    kind="face",
+                    severity="high",
+                    description=f"{image.unblurred_faces} detectable face(s)",
+                )
+            )
+        if image.watermark_detectable:
+            report.risks.append(
+                Risk(
+                    kind="watermark",
+                    severity="medium",
+                    description="image may carry an embedded watermark",
+                )
+            )
+        return report
+
+    def _analyze_document(self, filename: str, document: SimDocument) -> RiskReport:
+        report = RiskReport(filename=filename)
+        if "Author" in document.metadata or "Organization" in document.metadata:
+            report.risks.append(
+                Risk(
+                    kind="doc-author",
+                    severity="high",
+                    description=(
+                        f"author metadata: {document.metadata.get('Author')!r} "
+                        f"/ {document.metadata.get('Organization')!r}"
+                    ),
+                )
+            )
+        if document.revision_history:
+            report.risks.append(
+                Risk(
+                    kind="doc-revisions",
+                    severity="medium",
+                    description=f"{len(document.revision_history)} revision-history entries",
+                )
+            )
+        if document.hidden_text:
+            report.risks.append(
+                Risk(
+                    kind="doc-hidden-text",
+                    severity="high",
+                    description=f"{len(document.hidden_text)} hidden text fragment(s)",
+                )
+            )
+        tool_fields = {"Producer", "CreationDate"}.intersection(document.metadata)
+        if tool_fields:
+            report.risks.append(
+                Risk(
+                    kind="doc-tool-metadata",
+                    severity="low",
+                    description=f"producing-tool fields: {', '.join(sorted(tool_fields))}",
+                )
+            )
+        return report

@@ -1,0 +1,132 @@
+"""The SaniVM: the only bridge between local data and nymboxes (§3.6, §4.3).
+
+Workflow, exactly as the paper describes it:
+
+1. On boot, Nymix mounts the computer's non-Nymix file systems read-only
+   inside the SaniVM (which has **no network interface**).
+2. The user browses those files and drops candidates into the destination
+   nym's transfer directory.
+3. The SaniVM runs the risk analyzer, presents the report, and applies the
+   user-chosen scrubbing transforms.
+4. The scrubbed file moves to a VirtFS folder shared with the hypervisor,
+   which moves it on to a folder shared with the destination AnonVM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import SanitizeError
+from repro.sanitize.fileformats import parse_file
+from repro.sanitize.risks import RiskAnalyzer, RiskReport
+from repro.sanitize.transforms import ParanoiaLevel, apply_level
+from repro.sim.clock import Timeline
+from repro.unionfs.layer import Layer, normalize_path
+from repro.vmm.virtfs import SharedFolder
+from repro.vmm.vm import VirtualMachine, VmRole
+
+#: Seconds of simulated work per transform application (viewer rendering,
+#: OpenCV passes); small but nonzero so workflows have realistic timing.
+_TRANSFORM_SECONDS = 1.5
+_ANALYSIS_SECONDS = 0.8
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """Audit entry for one sanitized transfer."""
+
+    source_path: str
+    nym_id: str
+    report: RiskReport
+    residual_report: RiskReport  # risks remaining *after* scrubbing
+    level: ParanoiaLevel
+    elapsed_s: float
+
+
+class SaniVm:
+    """Supervisory wrapper around the SANIVM guest."""
+
+    def __init__(self, timeline: Timeline, vm: VirtualMachine) -> None:
+        if vm.spec.role is not VmRole.SANIVM:
+            raise SanitizeError(f"VM {vm.vm_id!r} is not a SaniVM")
+        if vm.nics:
+            raise SanitizeError("a SaniVM must not have network interfaces")
+        self.timeline = timeline
+        self.vm = vm
+        self.analyzer = RiskAnalyzer()
+        self._host_mounts: Dict[str, Layer] = {}
+        self._nym_outboxes: Dict[str, SharedFolder] = {}
+        self.transfer_log: List[TransferRecord] = []
+
+    # -- host file systems (read-only) -----------------------------------------
+
+    def mount_host_filesystem(self, name: str, layer: Layer) -> None:
+        """Attach one of the computer's file systems, read-only."""
+        if not layer.read_only:
+            raise SanitizeError(
+                f"host filesystem {name!r} must be mounted read-only in the SaniVM"
+            )
+        self._host_mounts[name] = layer
+
+    def list_host_files(self, mount: str) -> List[str]:
+        try:
+            return list(self._host_mounts[mount].paths())
+        except KeyError:
+            raise SanitizeError(f"no host mount named {mount!r}") from None
+
+    def read_host_file(self, mount: str, path: str) -> bytes:
+        try:
+            layer = self._host_mounts[mount]
+        except KeyError:
+            raise SanitizeError(f"no host mount named {mount!r}") from None
+        return layer.read(path)
+
+    # -- per-nym transfer directories -----------------------------------------------
+
+    def outbox_for(self, nym_id: str) -> SharedFolder:
+        """The VirtFS folder whose contents flow (via the hypervisor) to a nym."""
+        if nym_id not in self._nym_outboxes:
+            self._nym_outboxes[nym_id] = SharedFolder(f"sanivm-outbox-{nym_id}")
+        return self._nym_outboxes[nym_id]
+
+    # -- the scrubbing workflow -----------------------------------------------------
+
+    def analyze(self, mount: str, path: str) -> RiskReport:
+        """Step 3a: identify risks and present them to the user."""
+        data = self.read_host_file(mount, path)
+        self.timeline.sleep(_ANALYSIS_SECONDS)
+        return self.analyzer.analyze_bytes(path, data)
+
+    def transfer(
+        self,
+        mount: str,
+        path: str,
+        nym_id: str,
+        level: ParanoiaLevel = ParanoiaLevel.MEDIUM,
+        dst_name: Optional[str] = None,
+    ) -> TransferRecord:
+        """Full §3.6 workflow: analyze, scrub at ``level``, hand off."""
+        start = self.timeline.now
+        data = self.read_host_file(mount, path)
+        self.timeline.sleep(_ANALYSIS_SECONDS)
+        report = self.analyzer.analyze_bytes(path, data)
+
+        parsed = parse_file(data)
+        scrubbed = apply_level(parsed, level)
+        self.timeline.sleep(_TRANSFORM_SECONDS * max(1, len(report.risks)))
+        scrubbed_bytes = scrubbed.to_bytes()
+        residual = self.analyzer.analyze_bytes(path, scrubbed_bytes)
+
+        dst = dst_name or normalize_path(path).rsplit("/", 1)[-1]
+        self.outbox_for(nym_id).write(dst, scrubbed_bytes)
+        record = TransferRecord(
+            source_path=path,
+            nym_id=nym_id,
+            report=report,
+            residual_report=residual,
+            level=level,
+            elapsed_s=self.timeline.now - start,
+        )
+        self.transfer_log.append(record)
+        return record

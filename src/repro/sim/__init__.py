@@ -1,0 +1,29 @@
+"""Deterministic discrete-event simulation kernel.
+
+Everything in the Nymix reproduction that involves time — VM boots, Tor
+circuit construction, page loads, downloads — runs against a single
+:class:`~repro.sim.clock.Clock` owned by a
+:class:`~repro.sim.clock.Timeline`.  The kernel is intentionally small:
+
+* :class:`Clock` — a monotonic simulated wall clock.
+* :class:`EventQueue` — a priority queue of timed callbacks.
+* :class:`Timeline` — clock + queue + seeded RNG, the object threaded
+  through the whole system.
+* :class:`SeededRng` — deterministic randomness (no wall-clock entropy).
+* :func:`processor_sharing_times` — analytic completion times for jobs
+  sharing a capacity-limited resource (used by the vCPU scheduler and the
+  network bandwidth model).
+"""
+
+from repro.sim.clock import Clock, EventQueue, ScheduledEvent, Timeline
+from repro.sim.rng import SeededRng
+from repro.sim.sharing import processor_sharing_times
+
+__all__ = [
+    "Clock",
+    "EventQueue",
+    "ScheduledEvent",
+    "Timeline",
+    "SeededRng",
+    "processor_sharing_times",
+]

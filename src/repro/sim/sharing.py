@@ -1,0 +1,68 @@
+"""Analytic processor-sharing model.
+
+Both the vCPU scheduler (Figure 4) and the NAT uplink bandwidth model
+(Figure 5) need the same primitive: *n* jobs of known size share a resource
+of fixed capacity, each receiving an equal share of whatever capacity is
+not left idle by already-finished jobs.  This module computes exact
+completion times for that model without simulating progress tick-by-tick.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import SimulationError
+
+
+def processor_sharing_times(
+    work_units: Sequence[float],
+    capacity: float,
+    max_share: float = float("inf"),
+) -> List[float]:
+    """Completion time of each job under egalitarian processor sharing.
+
+    Args:
+        work_units: Amount of work per job (e.g. bytes, cycle counts).
+        capacity: Total resource capacity in work-units per second.
+        max_share: Per-job ceiling on the rate it can consume (e.g. one
+            vCPU can use at most one physical core even if others are idle).
+
+    Returns:
+        Completion time in seconds for each job, in input order.
+
+    The model: at any instant the ``k`` unfinished jobs each proceed at
+    ``min(capacity / k, max_share)``.  Completion order follows remaining
+    work, so we process jobs shortest-first and advance an epoch clock.
+    """
+    if capacity <= 0:
+        raise SimulationError(f"capacity must be positive, got {capacity!r}")
+    if max_share <= 0:
+        raise SimulationError(f"max_share must be positive, got {max_share!r}")
+    for work in work_units:
+        if work < 0:
+            raise SimulationError(f"negative work unit: {work!r}")
+    if not work_units:
+        return []
+
+    indexed: List[Tuple[float, int]] = sorted(
+        (work, idx) for idx, work in enumerate(work_units)
+    )
+    completion = [0.0] * len(work_units)
+    now = 0.0
+    done_work = 0.0  # work already completed by every still-listed job
+    remaining = len(indexed)
+    for position, (work, idx) in enumerate(indexed):
+        active = remaining - position
+        rate = min(capacity / active, max_share)
+        # This job must still perform (work - done_work) at the current rate.
+        now += (work - done_work) / rate if work > done_work else 0.0
+        done_work = work
+        completion[idx] = now
+    return completion
+
+
+def equal_share_rate(capacity: float, jobs: int, max_share: float = float("inf")) -> float:
+    """Instantaneous per-job rate when ``jobs`` jobs share ``capacity``."""
+    if jobs <= 0:
+        raise SimulationError(f"jobs must be positive, got {jobs!r}")
+    return min(capacity / jobs, max_share)

@@ -1,0 +1,90 @@
+"""Block devices: the abstract interface and a sparse RAM-backed disk."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import ReadOnlyError, StorageError
+
+BLOCK_SIZE = 4096  # bytes
+
+_ZERO_BLOCK = b"\x00" * BLOCK_SIZE
+
+
+class BlockDevice:
+    """Abstract fixed-geometry block device."""
+
+    def __init__(self, block_count: int, read_only: bool = False) -> None:
+        if block_count <= 0:
+            raise StorageError(f"block count must be positive, got {block_count}")
+        self.block_count = block_count
+        self.read_only = read_only
+
+    @property
+    def size_bytes(self) -> int:
+        return self.block_count * BLOCK_SIZE
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.block_count:
+            raise StorageError(
+                f"block {index} out of range [0, {self.block_count}) on {self!r}"
+            )
+
+    def read_block(self, index: int) -> bytes:
+        raise NotImplementedError
+
+    def write_block(self, index: int, data: bytes) -> None:
+        raise NotImplementedError
+
+    def _check_write(self, index: int, data: bytes) -> None:
+        if self.read_only:
+            raise ReadOnlyError(f"write to read-only device {self!r}")
+        self._check_index(index)
+        if len(data) != BLOCK_SIZE:
+            raise StorageError(
+                f"block writes must be exactly {BLOCK_SIZE} bytes, got {len(data)}"
+            )
+
+
+class RamDisk(BlockDevice):
+    """Sparse RAM-backed device; unwritten blocks read as zeros."""
+
+    def __init__(self, block_count: int, read_only: bool = False) -> None:
+        super().__init__(block_count, read_only=read_only)
+        self._blocks: Dict[int, bytes] = {}
+
+    def read_block(self, index: int) -> bytes:
+        self._check_index(index)
+        return self._blocks.get(index, _ZERO_BLOCK)
+
+    def write_block(self, index: int, data: bytes) -> None:
+        self._check_write(index, data)
+        if data == _ZERO_BLOCK:
+            self._blocks.pop(index, None)  # stay sparse
+        else:
+            self._blocks[index] = bytes(data)
+
+    def discard(self, index: int) -> None:
+        """Drop a block back to the zero state (TRIM)."""
+        self._check_index(index)
+        self._blocks.pop(index, None)
+
+    @property
+    def allocated_blocks(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def used_bytes(self) -> int:
+        return self.allocated_blocks * BLOCK_SIZE
+
+    def iter_allocated(self) -> Iterator[Tuple[int, bytes]]:
+        return iter(sorted(self._blocks.items()))
+
+    def wipe(self) -> int:
+        """Securely discard every block.  Returns blocks wiped."""
+        wiped = len(self._blocks)
+        self._blocks.clear()
+        return wiped
+
+    def __repr__(self) -> str:
+        return f"RamDisk(blocks={self.block_count}, allocated={self.allocated_blocks})"

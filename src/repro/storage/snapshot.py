@@ -1,0 +1,84 @@
+"""Serializable snapshots of a COW overlay's dirty blocks.
+
+A snapshot is what the Nym Manager compresses, encrypts and ships to cloud
+storage (§3.5): only the writable layer travels, since the base image is
+the public Nymix distribution everyone already has.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import StorageError
+from repro.storage.block import BLOCK_SIZE
+from repro.storage.image import CowOverlay
+
+_HEADER = b"NYMSNAP1"
+
+
+@dataclass
+class DiskSnapshot:
+    """The dirty blocks of one overlay, keyed by block index."""
+
+    block_count: int
+    blocks: Dict[int, bytes]
+
+    @classmethod
+    def capture(cls, overlay: CowOverlay) -> "DiskSnapshot":
+        # Walk the overlay's dirty set, not the sparse RAM disk: an explicit
+        # zero write shadows the base and must survive the snapshot.
+        blocks = {
+            index: overlay.writable.read_block(index)
+            for index in overlay.dirty_indices()
+        }
+        return cls(block_count=overlay.block_count, blocks=blocks)
+
+    def apply_to(self, overlay: CowOverlay) -> None:
+        """Replay the snapshot onto a fresh overlay of matching geometry."""
+        if overlay.block_count != self.block_count:
+            raise StorageError(
+                f"snapshot geometry {self.block_count} != overlay {overlay.block_count}"
+            )
+        overlay.discard_changes()
+        for index, data in sorted(self.blocks.items()):
+            overlay.write_block(index, data)
+
+    @property
+    def raw_bytes(self) -> int:
+        return len(self.blocks) * BLOCK_SIZE
+
+    # -- wire format ---------------------------------------------------------
+
+    def to_bytes(self, compress: bool = True) -> bytes:
+        """Serialize (optionally zlib-compressed) for encryption + upload."""
+        payload = bytearray()
+        for index, data in sorted(self.blocks.items()):
+            payload += struct.pack("<I", index)
+            payload += data
+        body = zlib.compress(bytes(payload), level=6) if compress else bytes(payload)
+        flags = 1 if compress else 0
+        return _HEADER + struct.pack("<IIB", self.block_count, len(self.blocks), flags) + body
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "DiskSnapshot":
+        if len(data) < len(_HEADER) + 9 or not data.startswith(_HEADER):
+            raise StorageError("not a Nymix disk snapshot")
+        offset = len(_HEADER)
+        block_count, entries, flags = struct.unpack("<IIB", data[offset : offset + 9])
+        body = data[offset + 9 :]
+        if flags & 1:
+            body = zlib.decompress(body)
+        expected = entries * (4 + BLOCK_SIZE)
+        if len(body) != expected:
+            raise StorageError(
+                f"snapshot body length {len(body)} != expected {expected}"
+            )
+        blocks: Dict[int, bytes] = {}
+        for i in range(entries):
+            start = i * (4 + BLOCK_SIZE)
+            (index,) = struct.unpack("<I", body[start : start + 4])
+            blocks[index] = body[start + 4 : start + 4 + BLOCK_SIZE]
+        return cls(block_count=block_count, blocks=blocks)

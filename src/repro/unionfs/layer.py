@@ -1,0 +1,138 @@
+"""File-system layers: the building blocks of a union mount."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.errors import FileSystemError, ReadOnlyError
+
+
+def normalize_path(path: str) -> str:
+    """Canonicalize to an absolute, ``/``-separated path with no dots."""
+    if not path:
+        raise FileSystemError("empty path")
+    parts = []
+    for part in path.split("/"):
+        if part in ("", "."):
+            continue
+        if part == "..":
+            if not parts:
+                raise FileSystemError(f"path escapes root: {path!r}")
+            parts.pop()
+        else:
+            parts.append(part)
+    return "/" + "/".join(parts)
+
+
+class Layer:
+    """One layer of a union mount: a flat map of paths to file contents.
+
+    Directories are implicit (any path prefix of a stored file).  A layer
+    can also carry *whiteouts* — markers that hide a lower layer's file,
+    which is how deletes work without touching read-only layers.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        files: Optional[Dict[str, bytes]] = None,
+        read_only: bool = False,
+    ) -> None:
+        self.name = name
+        self.read_only = read_only
+        self._files: Dict[str, bytes] = {}
+        self._whiteouts: Set[str] = set()
+        for path, data in (files or {}).items():
+            self._files[normalize_path(path)] = bytes(data)
+
+    # -- queries ---------------------------------------------------------------
+
+    def has_file(self, path: str) -> bool:
+        return normalize_path(path) in self._files
+
+    def is_whited_out(self, path: str) -> bool:
+        return normalize_path(path) in self._whiteouts
+
+    def read(self, path: str) -> bytes:
+        path = normalize_path(path)
+        if path not in self._files:
+            raise FileSystemError(f"{path}: not present in layer {self.name!r}")
+        return self._files[path]
+
+    def paths(self) -> Iterator[str]:
+        return iter(sorted(self._files))
+
+    def items(self) -> Iterator[Tuple[str, bytes]]:
+        return iter(sorted(self._files.items()))
+
+    def whiteouts(self) -> Iterator[str]:
+        return iter(sorted(self._whiteouts))
+
+    @property
+    def file_count(self) -> int:
+        return len(self._files)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(len(data) for data in self._files.values())
+
+    # -- mutation ------------------------------------------------------------
+
+    def _check_writable(self) -> None:
+        if self.read_only:
+            raise ReadOnlyError(f"layer {self.name!r} is read-only")
+
+    def write(self, path: str, data: bytes) -> None:
+        self._check_writable()
+        path = normalize_path(path)
+        self._files[path] = bytes(data)
+        self._whiteouts.discard(path)
+
+    def remove(self, path: str) -> None:
+        self._check_writable()
+        path = normalize_path(path)
+        if path not in self._files:
+            raise FileSystemError(f"{path}: not present in layer {self.name!r}")
+        del self._files[path]
+
+    def add_whiteout(self, path: str) -> None:
+        self._check_writable()
+        path = normalize_path(path)
+        self._files.pop(path, None)
+        self._whiteouts.add(path)
+
+    def clear(self) -> int:
+        """Drop all files and whiteouts (tmpfs teardown).  Returns bytes freed."""
+        self._check_writable()
+        freed = self.used_bytes
+        self._files.clear()
+        self._whiteouts.clear()
+        return freed
+
+    def __repr__(self) -> str:
+        mode = "ro" if self.read_only else "rw"
+        return f"Layer({self.name!r}, {mode}, files={self.file_count})"
+
+
+class TmpfsLayer(Layer):
+    """A RAM-backed writable layer with a capacity limit.
+
+    Nymix gives each VM a fixed writable-image budget (e.g. 128 MB for an
+    AnonVM in §5.2); writes past the budget fail like a full tmpfs would.
+    """
+
+    def __init__(self, name: str, capacity_bytes: int) -> None:
+        super().__init__(name, read_only=False)
+        if capacity_bytes <= 0:
+            raise FileSystemError(f"tmpfs capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+
+    def write(self, path: str, data: bytes) -> None:
+        path_n = normalize_path(path)
+        existing = len(self._files.get(path_n, b""))
+        projected = self.used_bytes - existing + len(data)
+        if projected > self.capacity_bytes:
+            raise FileSystemError(
+                f"tmpfs {self.name!r} full: {projected} > {self.capacity_bytes} bytes"
+            )
+        super().write(path, data)

@@ -1,0 +1,134 @@
+"""The union mount: stacked layers with copy-on-write semantics."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.errors import FileSystemError, ReadOnlyError
+from repro.unionfs.layer import Layer, normalize_path
+
+
+class UnionMount:
+    """A stack of layers, topmost first; only the top layer may be writable.
+
+    Reads return the file from the highest layer that has it, stopping at
+    whiteouts.  Writes always land in the top layer (copy-on-write).
+    Deletes remove from the top layer and, if a lower layer still has the
+    file, record a whiteout so it stays hidden.
+    """
+
+    def __init__(self, layers: List[Layer]) -> None:
+        if not layers:
+            raise FileSystemError("a union mount needs at least one layer")
+        for lower in layers[1:]:
+            if not lower.read_only:
+                raise FileSystemError(
+                    f"lower layer {lower.name!r} must be read-only"
+                )
+        self.layers = list(layers)
+
+    @property
+    def top(self) -> Layer:
+        return self.layers[0]
+
+    @property
+    def writable(self) -> bool:
+        return not self.top.read_only
+
+    # -- reads ------------------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        path = normalize_path(path)
+        for layer in self.layers:
+            if layer.has_file(path):
+                return True
+            if layer.is_whited_out(path):
+                return False
+        return False
+
+    def read(self, path: str) -> bytes:
+        path = normalize_path(path)
+        for layer in self.layers:
+            if layer.has_file(path):
+                return layer.read(path)
+            if layer.is_whited_out(path):
+                break
+        raise FileSystemError(f"{path}: no such file in union mount")
+
+    def source_layer(self, path: str) -> Optional[str]:
+        """Name of the layer a read of ``path`` would be served from."""
+        path = normalize_path(path)
+        for layer in self.layers:
+            if layer.has_file(path):
+                return layer.name
+            if layer.is_whited_out(path):
+                return None
+        return None
+
+    def listdir(self, directory: str) -> List[str]:
+        """Immediate children (files and sub-directories) of ``directory``."""
+        directory = normalize_path(directory)
+        prefix = directory.rstrip("/") + "/" if directory != "/" else "/"
+        children: Set[str] = set()
+        hidden: Set[str] = set()
+        for layer in self.layers:
+            for path in layer.whiteouts():
+                hidden.add(path)
+            for path in layer.paths():
+                if path in hidden or not path.startswith(prefix):
+                    continue
+                remainder = path[len(prefix) :]
+                children.add(remainder.split("/", 1)[0])
+        return sorted(children)
+
+    def walk(self) -> List[str]:
+        """Every visible file path in the mount."""
+        visible: List[str] = []
+        hidden: Set[str] = set()
+        seen: Set[str] = set()
+        for layer in self.layers:
+            for path in layer.whiteouts():
+                hidden.add(path)
+            for path in layer.paths():
+                if path not in hidden and path not in seen:
+                    visible.append(path)
+                    seen.add(path)
+            # files in this layer also shadow lower ones
+            hidden.update(layer.paths())
+        return sorted(visible)
+
+    # -- writes ------------------------------------------------------------------
+
+    def write(self, path: str, data: bytes) -> None:
+        if not self.writable:
+            raise ReadOnlyError("union mount has no writable top layer")
+        self.top.write(path, data)
+
+    def remove(self, path: str) -> None:
+        if not self.writable:
+            raise ReadOnlyError("union mount has no writable top layer")
+        path = normalize_path(path)
+        if not self.exists(path):
+            # Covers both never-existed and already-whited-out paths.
+            raise FileSystemError(f"{path}: no such file in union mount")
+        if self.top.has_file(path):
+            self.top.remove(path)
+        if any(layer.has_file(path) for layer in self.layers[1:]):
+            self.top.add_whiteout(path)
+
+    # -- accounting ----------------------------------------------------------------
+
+    @property
+    def ram_bytes(self) -> int:
+        """Bytes of RAM consumed by the writable top layer."""
+        return self.top.used_bytes if self.writable else 0
+
+    def discard_changes(self) -> int:
+        """Drop every write (ephemeral-nym teardown).  Returns bytes freed."""
+        if not self.writable:
+            return 0
+        return self.top.clear()
+
+    def __repr__(self) -> str:
+        names = " -> ".join(layer.name for layer in self.layers)
+        return f"UnionMount({names})"

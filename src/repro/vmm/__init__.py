@@ -1,0 +1,33 @@
+"""Virtual machine monitor: vCPU scheduling, VM lifecycle, the hypervisor.
+
+The paper's prototype runs every nymbox as a pair of QEMU/KVM guests with
+one vCPU, a fixed 1024x768 display, identical MAC/IP addressing, and a
+three-layer union file system rooted in the shared USB base image (§4.2).
+This package reproduces those mechanics:
+
+* :class:`CpuModel` — physical cores + virtualization overhead; exact
+  processor-sharing completion times for parallel guest workloads.
+* :class:`VirtualMachine` — lifecycle (created/running/paused/shutdown),
+  guest RAM backed by :class:`~repro.memory.HostMemory`, a union-FS root,
+  NICs, and secure teardown.
+* :class:`Hypervisor` — admission control, VM factory for the
+  AnonVM/CommVM/SaniVM roles, KSM, VirtFS shared folders, the host uplink
+  with its DHCP exchange, and the packet capture used for validation.
+"""
+
+from repro.vmm.vcpu import CpuModel, ParallelRunResult
+from repro.vmm.vm import VmRole, VmState, VirtualMachine, VmSpec
+from repro.vmm.virtfs import SharedFolder
+from repro.vmm.hypervisor import Hypervisor, HostSpec
+
+__all__ = [
+    "CpuModel",
+    "ParallelRunResult",
+    "VmRole",
+    "VmState",
+    "VirtualMachine",
+    "VmSpec",
+    "SharedFolder",
+    "Hypervisor",
+    "HostSpec",
+]

@@ -1,0 +1,312 @@
+"""The Nymix hypervisor: host resources, VM factory, isolation mechanics."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import HypervisorError, UnreachableError
+from repro.memory.ksm import Ksm
+from repro.memory.physmem import GIB, HostMemory
+from repro.net.addresses import (
+    GATEWAY_IP,
+    GUEST_IP,
+    QEMU_DEFAULT_MAC,
+    Ipv4Address,
+    MacAddress,
+)
+from repro.net.dhcp import DhcpClient, DhcpServer
+from repro.net.internet import Internet
+from repro.net.link import VirtualWire
+from repro.net.nat import MasqueradeNat
+from repro.net.nic import VirtualNic
+from repro.net.pcap import PacketCapture
+from repro.sim.clock import Timeline
+from repro.unionfs.layer import Layer
+from repro.vmm.baseimage import (
+    NYMIX_IMAGE_ID,
+    build_base_layer,
+    build_vm_mount,
+    published_merkle_root,
+)
+from repro.vmm.vcpu import CpuModel
+from repro.vmm.virtfs import SharedFolder
+from repro.vmm.vm import MIB, VirtualMachine, VmRole, VmSpec
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """The physical machine (defaults: the paper's i7 quad core, 16 GB)."""
+
+    cores: int = 4
+    ram_bytes: int = 16 * GIB
+    host_base_ram_bytes: int = 1 * GIB
+    uplink_bps: float = 10_000_000.0
+    uplink_rtt_s: float = 0.080
+    public_ip: str = "203.0.113.77"
+    lan_mac: str = "00:16:3e:aa:bb:01"
+
+
+@dataclass(frozen=True)
+class MemorySnapshot:
+    """One Figure 3 measurement point."""
+
+    used_bytes: int  # host RAM in use (guests + writable FS - KSM savings)
+    guest_ram_bytes: int
+    fs_bytes: int
+    ksm_pages_sharing: int
+    ksm_pages_saved: int
+
+
+class Hypervisor:
+    """Host OS + KVM + the Nymix supervisory glue.
+
+    Owns physical memory (with KSM), the CPU model, the base image (with
+    its published Merkle root), the host uplink with packet capture, and
+    every VM.  The Nym Manager sits on top of this class.
+    """
+
+    def __init__(
+        self,
+        timeline: Timeline,
+        internet: Internet,
+        host: Optional[HostSpec] = None,
+        verify_base_image: bool = False,
+        ksm_enabled: bool = True,
+    ) -> None:
+        self.timeline = timeline
+        self.internet = internet
+        self.host = host or HostSpec()
+        self.cpu = CpuModel(cores=self.host.cores)
+        self.ksm = Ksm(enabled=ksm_enabled)
+        self.memory = HostMemory(
+            total_bytes=self.host.ram_bytes,
+            base_used_bytes=self.host.host_base_ram_bytes,
+            ksm=self.ksm,
+        )
+        self.base_layer: Layer = build_base_layer()
+        self.merkle_root = published_merkle_root(self.base_layer)
+        self.verify_base_image = verify_base_image
+        self.rng = timeline.fork_rng("hypervisor")
+
+        # Host-side capture: the Wireshark vantage point of §5.1.
+        self.host_capture = PacketCapture(timeline, name="host-uplink-capture")
+        self.public_ip = Ipv4Address.parse(self.host.public_ip)
+        self.lan_nic = VirtualNic("host-eth0", MacAddress.parse(self.host.lan_mac))
+
+        self._vms: Dict[str, VirtualMachine] = {}
+        self._nats: Dict[str, MasqueradeNat] = {}
+        self._wires: List[VirtualWire] = []
+        self._vm_counter = itertools.count(1)
+        self.emergency_halted = False
+        self.tamper_log: List[str] = []
+
+    # -- host bring-up ------------------------------------------------------
+
+    def acquire_lan_address(self) -> Ipv4Address:
+        """Run the host's DHCP handshake on a captured LAN wire."""
+        server_nic = VirtualNic(
+            "lan-dhcp-server", MacAddress.parse("00:16:3e:00:00:01"),
+            Ipv4Address.parse("192.168.1.1"),
+        )
+        wire = VirtualWire(self.timeline, self.lan_nic, server_nic, name="host-lan")
+        wire.add_tap(self.host_capture)
+        DhcpServer(self.timeline, server_nic, Ipv4Address.parse("192.168.1.100"))
+        client = DhcpClient(self.timeline, self.lan_nic)
+        return client.acquire()
+
+    # -- tamper handling (verified boot, §3.4) -----------------------------------
+
+    def _on_tamper(self, path: str) -> None:
+        self.tamper_log.append(path)
+        self.emergency_halt()
+
+    def emergency_halt(self) -> None:
+        """Safely shut down every VM (tampered base image detected)."""
+        self.emergency_halted = True
+        for vm in list(self._vms.values()):
+            if vm.state.value in ("running", "paused"):
+                vm.shutdown()
+
+    # -- VM factory ------------------------------------------------------------
+
+    def create_vm(
+        self,
+        spec: VmSpec,
+        name: str = "",
+        anonymizer: str = "",
+        base_layer: Optional[Layer] = None,
+        image_id: str = NYMIX_IMAGE_ID,
+    ) -> VirtualMachine:
+        if self.emergency_halted:
+            raise HypervisorError("hypervisor is halted (base image tamper detected)")
+        vm_id = name or f"{spec.role.value}-{next(self._vm_counter)}"
+        if vm_id in self._vms:
+            raise HypervisorError(f"VM id {vm_id!r} already exists")
+        guest_memory = self.memory.allocate_guest(vm_id, spec.ram_bytes)
+        fs = build_vm_mount(
+            role=spec.role,
+            tmpfs_bytes=spec.writable_fs_bytes,
+            base=base_layer if base_layer is not None else self.base_layer,
+            anonymizer=anonymizer,
+            merkle_root=self.merkle_root if self.verify_base_image else None,
+            on_tamper=self._on_tamper,
+        )
+        vm = VirtualMachine(
+            timeline=self.timeline,
+            vm_id=vm_id,
+            spec=spec,
+            memory=guest_memory,
+            fs=fs,
+            image_id=image_id,
+        )
+        self._vms[vm_id] = vm
+        return vm
+
+    def destroy_vm(self, vm: VirtualMachine) -> None:
+        """Shut down and securely erase a VM (the amnesia step of §3.4)."""
+        if vm.state.value in ("running", "paused", "created"):
+            vm.shutdown()
+        vm.fs.discard_changes()
+        for wire in list(self._wires):
+            if vm.nics and any(nic in wire.endpoints for nic in vm.nics):
+                wire.take_down()
+                self._wires.remove(wire)
+        self.memory.release_guest(vm.vm_id, secure=True)
+        self._nats.pop(vm.vm_id, None)
+        self._vms.pop(vm.vm_id, None)
+
+    def vm(self, vm_id: str) -> VirtualMachine:
+        return self._vms[vm_id]
+
+    def vms(self) -> List[VirtualMachine]:
+        return list(self._vms.values())
+
+    # -- nymbox wiring (§4.2) -----------------------------------------------------
+
+    def wire_nymbox(self, anonvm: VirtualMachine, commvm: VirtualMachine) -> VirtualWire:
+        """Build the private AnonVM <-> CommVM virtual wire.
+
+        Every nymbox gets the *same* guest-side MAC and IP addresses —
+        deliberate homogenization; isolation comes from the wire being a
+        distinct object per nymbox with no bridge between them.
+        """
+        anon_nic = anonvm.attach_nic(VirtualNic(f"{anonvm.vm_id}-eth0", QEMU_DEFAULT_MAC, GUEST_IP))
+        comm_inner = commvm.attach_nic(
+            VirtualNic(f"{commvm.vm_id}-eth0", QEMU_DEFAULT_MAC, GATEWAY_IP)
+        )
+        wire = VirtualWire(
+            self.timeline, anon_nic, comm_inner,
+            latency_s=0.0002, name=f"nymwire({anonvm.vm_id})",
+        )
+        self._wires.append(wire)
+        return wire
+
+    def wire_comm_chain(
+        self, upstream: VirtualMachine, downstream: VirtualMachine, position: int
+    ) -> VirtualWire:
+        """Link two CommVMs in serial (§3.3's chained-anonymizer option).
+
+        ``upstream`` is the CommVM closer to the AnonVM; ``downstream``
+        carries its output toward the Internet.  Each chain link gets its
+        own private /24 so the hops cannot be confused.
+        """
+        subnet = 3 + position
+        up_nic = upstream.attach_nic(
+            VirtualNic(
+                f"{upstream.vm_id}-eth1",
+                QEMU_DEFAULT_MAC,
+                Ipv4Address.parse(f"10.0.{subnet}.15"),
+            )
+        )
+        down_nic = downstream.attach_nic(
+            VirtualNic(
+                f"{downstream.vm_id}-eth0",
+                QEMU_DEFAULT_MAC,
+                Ipv4Address.parse(f"10.0.{subnet}.2"),
+            )
+        )
+        wire = VirtualWire(
+            self.timeline, up_nic, down_nic,
+            latency_s=0.0002, name=f"chainwire({upstream.vm_id}->{downstream.vm_id})",
+        )
+        self._wires.append(wire)
+        return wire
+
+    def attach_nat(self, commvm: VirtualMachine) -> MasqueradeNat:
+        """Give a CommVM its user-mode NAT uplink to the Internet."""
+        nat = MasqueradeNat(
+            timeline=self.timeline,
+            name=f"nat({commvm.vm_id})",
+            public_ip=self.public_ip,
+            internet=self.internet,
+            host_capture=self.host_capture,
+        )
+        self._nats[commvm.vm_id] = nat
+        return nat
+
+    def nat_for(self, commvm_id: str) -> MasqueradeNat:
+        return self._nats[commvm_id]
+
+    # -- isolation probing (§5.1 validation) ----------------------------------------
+
+    def probe_cross_vm(self, src: VirtualMachine, dst: VirtualMachine) -> bool:
+        """Attempt direct delivery from ``src`` to ``dst``.
+
+        Returns True only if a frame from ``src``'s primary NIC could reach
+        ``dst`` — i.e. they share a wire.  Used to assert the isolation
+        matrix: only an AnonVM and its own CommVM may communicate.
+        """
+        if not src.nics or not dst.nics:
+            return False
+        for src_nic in src.nics:
+            for wire in self._wires:
+                endpoints = wire.endpoints
+                if src_nic in endpoints:
+                    other = endpoints[0] if endpoints[1] is src_nic else endpoints[1]
+                    if other in dst.nics and wire.up:
+                        return True
+        return False
+
+    def probe_local_network(self, vm: VirtualMachine) -> bool:
+        """Can this VM reach the host's local intranet?  Must be False."""
+        nat = self._nats.get(vm.vm_id)
+        if nat is None:
+            return False
+        try:
+            nat.stream(Ipv4Address.parse("192.168.1.10"), 100, label="probe")
+        except UnreachableError:
+            return False
+        return True
+
+    # -- accounting ----------------------------------------------------------------
+
+    def memory_snapshot(self) -> MemorySnapshot:
+        stats = self.memory.stats()
+        ksm_stats = self.ksm.stats()
+        fs_bytes = sum(vm.fs_ram_bytes for vm in self._vms.values())
+        return MemorySnapshot(
+            used_bytes=stats.used_bytes + fs_bytes,
+            guest_ram_bytes=stats.guest_allocated_bytes,
+            fs_bytes=fs_bytes,
+            ksm_pages_sharing=ksm_stats.pages_sharing,
+            ksm_pages_saved=ksm_stats.pages_saved,
+        )
+
+    def expected_bytes_per_nymbox(
+        self, anon_spec: VmSpec, comm_spec: VmSpec
+    ) -> int:
+        """The Figure 3 dashed line: nominal RAM+disk cost of one nymbox."""
+        return (
+            anon_spec.ram_bytes
+            + comm_spec.ram_bytes
+            + anon_spec.writable_fs_bytes
+            + comm_spec.writable_fs_bytes
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Hypervisor(vms={len(self._vms)}, "
+            f"ram={self.memory.stats().used_bytes // MIB}MiB used)"
+        )

@@ -1,0 +1,66 @@
+"""VirtFS shared folders.
+
+KVM's VirtFS (9p pass-through) lets the hypervisor expose a host directory
+to a guest.  Nymix uses it twice (§4.3): the SaniVM drops scrubbed files
+into a folder shared with the hypervisor, and the hypervisor moves them
+into a folder shared with the destination AnonVM — the only cross-nym data
+path in the system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import FileSystemError
+from repro.unionfs.layer import normalize_path
+
+
+class SharedFolder:
+    """A host-side directory mountable into guests via VirtFS."""
+
+    def __init__(self, name: str, read_only: bool = False) -> None:
+        self.name = name
+        self.read_only = read_only
+        self._files: Dict[str, bytes] = {}
+
+    def write(self, path: str, data: bytes) -> None:
+        if self.read_only:
+            raise FileSystemError(f"shared folder {self.name!r} is read-only")
+        self._files[normalize_path(path)] = bytes(data)
+
+    def read(self, path: str) -> bytes:
+        path = normalize_path(path)
+        if path not in self._files:
+            raise FileSystemError(f"{path}: not present in shared folder {self.name!r}")
+        return self._files[path]
+
+    def exists(self, path: str) -> bool:
+        return normalize_path(path) in self._files
+
+    def remove(self, path: str) -> None:
+        path = normalize_path(path)
+        if path not in self._files:
+            raise FileSystemError(f"{path}: not present in shared folder {self.name!r}")
+        del self._files[path]
+
+    def move_to(self, path: str, other: "SharedFolder", dst_path: str = "") -> None:
+        """Move one file into another shared folder (the hypervisor hand-off)."""
+        data = self.read(path)
+        other.write(dst_path or path, data)
+        self.remove(path)
+
+    def paths(self) -> List[str]:
+        return sorted(self._files)
+
+    def items(self) -> Iterator[Tuple[str, bytes]]:
+        return iter(sorted(self._files.items()))
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(len(data) for data in self._files.values())
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    def __repr__(self) -> str:
+        return f"SharedFolder({self.name!r}, files={len(self._files)})"

@@ -1,0 +1,22 @@
+"""Workloads: the drivers behind the paper's evaluation experiments.
+
+* :mod:`repro.workloads.peacekeeper` — the Futuremark Peacekeeper-style
+  JavaScript benchmark of §5.2 / Figure 4.
+* :mod:`repro.workloads.download` — the parallel Linux-kernel download of
+  §5.2 / Figure 5.
+* :mod:`repro.workloads.browsing` — scripted browsing sessions for the
+  memory (Figure 3) and storage (Figure 6) experiments.
+"""
+
+from repro.workloads.peacekeeper import PeacekeeperBenchmark, PeacekeeperResult
+from repro.workloads.download import ParallelDownloadExperiment, DownloadResult
+from repro.workloads.browsing import BrowsingSession, run_memory_experiment_step
+
+__all__ = [
+    "PeacekeeperBenchmark",
+    "PeacekeeperResult",
+    "ParallelDownloadExperiment",
+    "DownloadResult",
+    "BrowsingSession",
+    "run_memory_experiment_step",
+]

@@ -1,0 +1,63 @@
+"""Scripted browsing sessions for the memory and storage experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.manager import NymManager
+from repro.core.nymbox import NymBox
+from repro.guest.websites import FIGURE3_VISIT_ORDER, WEBSITE_CATALOG
+from repro.vmm.hypervisor import MemorySnapshot
+
+
+@dataclass
+class BrowsingSession:
+    """One user session in a nym: visit a site, optionally sign in."""
+
+    hostname: str
+    sign_in: bool = False
+    username: str = ""
+    password: str = ""
+
+    def run(self, manager: NymManager, nymbox: NymBox) -> None:
+        manager.timed_browse(nymbox, self.hostname)
+        site = WEBSITE_CATALOG.get(self.hostname)
+        if self.sign_in and site is not None and site.requires_login:
+            nymbox.sign_in(
+                self.hostname,
+                self.username or f"{nymbox.nym.name}@{self.hostname}",
+                self.password or f"pw-{nymbox.nym.name}",
+            )
+
+
+@dataclass(frozen=True)
+class MemoryStep:
+    """One Figure 3 measurement: launch a nym, measure, interact, measure."""
+
+    nym_index: int
+    hostname: str
+    before: MemorySnapshot
+    after: MemorySnapshot
+
+
+def run_memory_experiment_step(
+    manager: NymManager,
+    nym_index: int,
+    hostname: Optional[str] = None,
+) -> MemoryStep:
+    """Launch the ``nym_index``-th nym (0-based) and take both measurements.
+
+    Mirrors §5.2: "Upon loading a pseudonym, we checked the current used
+    memory and KSM shared pages.  We then interacted with a website and
+    again noted the used memory and shared pages."
+    """
+    site = hostname or FIGURE3_VISIT_ORDER[nym_index % len(FIGURE3_VISIT_ORDER)]
+    nymbox = manager.create_nym(name=f"memexp-{nym_index}")
+    manager.hypervisor.ksm.scan(passes=4)
+    before = manager.hypervisor.memory_snapshot()
+    session = BrowsingSession(hostname=site, sign_in=True)
+    session.run(manager, nymbox)
+    manager.hypervisor.ksm.scan(passes=4)
+    after = manager.hypervisor.memory_snapshot()
+    return MemoryStep(nym_index=nym_index, hostname=site, before=before, after=after)

@@ -1,0 +1,108 @@
+"""The Peacekeeper-style JavaScript CPU benchmark (§5.2, Figure 4).
+
+Peacekeeper is a single-threaded browser benchmark whose score scales with
+how fast the JavaScript engine churns through a fixed suite of work.  We
+model it as a fixed work quantum; the score is calibrated so the paper's
+host scores ≈ 4800 natively, drops ~20% under virtualization, and shares
+cores beyond four parallel instances.
+
+The benchmark is memory-hungry: the paper had to grow the AnonVM to ~1 GB
+to keep Chromium from crashing — reproduced by :data:`REQUIRED_VM_RAM`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.vmm.vcpu import CpuModel
+
+MIB = 1024 * 1024
+
+#: work units in one full Peacekeeper suite run
+SUITE_WORK = 60.0
+#: score calibration: native quad-core i7 ≈ 4800 points
+SCORE_SCALE = 4800.0 * SUITE_WORK
+#: Chromium needs roughly a gigabyte to survive the suite (§5.2)
+REQUIRED_VM_RAM = 1024 * MIB
+
+
+@dataclass(frozen=True)
+class PeacekeeperResult:
+    """Figure 4's data: per-instance scores for one parallelism level."""
+
+    nyms: int  # 0 = native
+    scores: List[float]
+    expected_score: float  # perfect-sharing prediction from the 1-nym run
+
+    @property
+    def mean_score(self) -> float:
+        if not self.scores:
+            return 0.0
+        return sum(self.scores) / len(self.scores)
+
+
+class PeacekeeperBenchmark:
+    """Runs the suite natively or in N parallel single-vCPU guests."""
+
+    def __init__(self, cpu: CpuModel) -> None:
+        self.cpu = cpu
+
+    @staticmethod
+    def _score(duration_s: float) -> float:
+        if duration_s <= 0:
+            return float("inf")
+        return SCORE_SCALE / duration_s
+
+    def run_native(self) -> PeacekeeperResult:
+        duration = self.cpu.run_native(SUITE_WORK)
+        score = self._score(duration)
+        return PeacekeeperResult(nyms=0, scores=[score], expected_score=score)
+
+    def run_in_nyms(self, nyms: int) -> PeacekeeperResult:
+        """One instance per nym, all started simultaneously."""
+        if nyms < 1:
+            raise ValueError(f"nyms must be >= 1, got {nyms}")
+        results = self.cpu.run_guests_parallel([SUITE_WORK] * nyms)
+        scores = [self._score(r.duration_s) for r in results]
+        expected = self._score(self.cpu.expected_parallel_duration(SUITE_WORK, nyms))
+        return PeacekeeperResult(nyms=nyms, scores=scores, expected_score=expected)
+
+    def sweep(self, max_nyms: int = 8) -> List[PeacekeeperResult]:
+        """Native baseline followed by 1..max_nyms parallel instances."""
+        return [self.run_native()] + [self.run_in_nyms(n) for n in range(1, max_nyms + 1)]
+
+
+@dataclass(frozen=True)
+class NymboxRun:
+    """One suite run inside an actual nymbox."""
+
+    crashed: bool
+    score: float
+    reason: str = ""
+
+
+def run_in_nymbox(nymbox, cpu: CpuModel, concurrent_nyms: int = 1) -> NymboxRun:
+    """Run the suite in a real AnonVM, honoring its RAM limit.
+
+    §5.2: "certain experiments with Peacekeeper consume too much memory
+    causing Chrome to crash, therefore we had to increase the RAM
+    allocated to the AnonVM" — a default 384 MB AnonVM crashes; a 1 GB
+    one completes.
+    """
+    anonvm = nymbox.anonvm
+    if anonvm.spec.ram_bytes < REQUIRED_VM_RAM:
+        return NymboxRun(
+            crashed=True,
+            score=0.0,
+            reason=(
+                f"Chromium OOM: suite needs {REQUIRED_VM_RAM // MIB} MiB, "
+                f"AnonVM has {anonvm.spec.ram_bytes // MIB} MiB"
+            ),
+        )
+    # The suite's working set dirties most of the guest's RAM head-room.
+    head_room = max(0, anonvm.memory.clean_bytes - 64 * MIB)
+    anonvm.touch_memory(min(600 * MIB, head_room))
+    result = cpu.run_guests_parallel([SUITE_WORK] * concurrent_nyms)[0]
+    nymbox.timeline.sleep(result.duration_s)
+    return NymboxRun(crashed=False, score=SCORE_SCALE / result.duration_s)

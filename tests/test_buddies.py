@@ -1,0 +1,105 @@
+"""Buddies: anonymity metrics and the posting safeguard (§7 / [77])."""
+
+import math
+
+import pytest
+
+from repro.anonymizers.buddies import BuddiesMonitor, PostingPolicy
+from repro.errors import AnonymizerError
+
+
+def _population(n=16):
+    return {f"user{i:02d}" for i in range(n)}
+
+
+class TestBuddyMetrics:
+    def test_fresh_nym_has_full_population(self):
+        monitor = BuddiesMonitor(_population())
+        assert monitor.buddy_set_size("nym") == 16
+        assert monitor.anonymity_bits("nym") == pytest.approx(4.0)
+
+    def test_posting_shrinks_buddy_set(self):
+        monitor = BuddiesMonitor(_population())
+        online = {f"user{i:02d}" for i in range(8)}
+        decision = monitor.attempt_post("nym", online)
+        assert decision.allowed
+        assert monitor.buddy_set("nym") == online
+
+    def test_intersection_accumulates(self):
+        monitor = BuddiesMonitor(_population())
+        monitor.attempt_post("nym", {f"user{i:02d}" for i in range(8)})
+        monitor.attempt_post("nym", {f"user{i:02d}" for i in range(4, 12)})
+        assert monitor.buddy_set("nym") == {f"user{i:02d}" for i in range(4, 8)}
+
+    def test_anonymity_bits_track_log2(self):
+        monitor = BuddiesMonitor(_population())
+        monitor.attempt_post("nym", {f"user{i:02d}" for i in range(4)})
+        assert monitor.anonymity_bits("nym") == pytest.approx(2.0)
+
+
+class TestPostingSafeguard:
+    def test_block_policy_refuses_fatal_post(self):
+        monitor = BuddiesMonitor(_population(), threshold=4, policy=PostingPolicy.BLOCK)
+        monitor.attempt_post("nym", {f"user{i:02d}" for i in range(5)})
+        decision = monitor.attempt_post("nym", {"user00", "user01"})
+        assert not decision.allowed
+        assert decision.warning
+        # The buddy set is unchanged because the post never happened.
+        assert monitor.buddy_set_size("nym") == 5
+
+    def test_warn_policy_posts_anyway(self):
+        monitor = BuddiesMonitor(_population(), threshold=4, policy=PostingPolicy.WARN)
+        monitor.attempt_post("nym", {f"user{i:02d}" for i in range(5)})
+        decision = monitor.attempt_post("nym", {"user00", "user01"})
+        assert decision.allowed
+        assert decision.warning
+        assert monitor.buddy_set_size("nym") == 2
+
+    def test_threshold_one_never_blocks(self):
+        monitor = BuddiesMonitor(_population(), threshold=1)
+        decision = monitor.attempt_post("nym", {"user00"})
+        assert decision.allowed
+
+    def test_stats(self):
+        monitor = BuddiesMonitor(_population(), threshold=8)
+        monitor.attempt_post("nym", _population())
+        monitor.attempt_post("nym", {"user00"})
+        stats = monitor.stats("nym")
+        assert stats == {"posts": 1, "blocked_posts": 1, "buddy_set_size": 16}
+
+    def test_independent_nyms(self):
+        monitor = BuddiesMonitor(_population())
+        monitor.attempt_post("a", {"user00", "user01"})
+        assert monitor.buddy_set_size("b") == 16
+
+    def test_reset_restores_full_anonymity(self):
+        """Discarding a nym and starting fresh denies the adversary its
+        accumulated intersections — the ephemeral-nym defense."""
+        monitor = BuddiesMonitor(_population())
+        monitor.attempt_post("nym", {"user00", "user01"})
+        monitor.reset_nym("nym")
+        assert monitor.buddy_set_size("nym") == 16
+
+    def test_invalid_construction(self):
+        with pytest.raises(AnonymizerError):
+            BuddiesMonitor(_population(), threshold=0)
+        with pytest.raises(AnonymizerError):
+            BuddiesMonitor(set())
+
+
+class TestLongTermProtection:
+    def test_safeguard_bounds_deanonymization(self):
+        """Without Buddies, repeated posts drive the candidate set to 1;
+        with a BLOCK threshold, it never goes below the floor."""
+        import random
+
+        population = _population(32)
+        unguarded = BuddiesMonitor(population, threshold=1)
+        guarded = BuddiesMonitor(population, threshold=4, policy=PostingPolicy.BLOCK)
+        rng = random.Random(5)
+        for _ in range(40):
+            online = {u for u in population if rng.random() < 0.5} | {"user00"}
+            unguarded.attempt_post("nym", online)
+            guarded.attempt_post("nym", online)
+        assert unguarded.buddy_set_size("nym") <= 2
+        assert guarded.buddy_set_size("nym") >= 4

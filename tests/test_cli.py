@@ -1,0 +1,33 @@
+"""The operator CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_validate_passes(self, capsys):
+        code = main(["--seed", "3", "validate", "--nyms", "2", "--idle", "5"])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_redteam_contained(self, capsys):
+        code = main(["--seed", "3", "redteam", "--nyms", "2"])
+        assert code == 0
+        assert "ALL CONTAINED" in capsys.readouterr().out
+
+    def test_demo_runs(self, capsys):
+        code = main(["demo"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stored:" in out and "restored" in out
+
+    def test_catalog_lists_world(self, capsys):
+        code = main(["catalog"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tor" in out and "gmail.com" in out and "Windows 8" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

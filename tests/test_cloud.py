@@ -1,0 +1,100 @@
+"""Cloud storage providers: accounts, quotas, blobs, the observer's log."""
+
+import pytest
+
+from repro.cloud import CloudProvider, make_dropbox, make_google_drive
+from repro.errors import CloudError, QuotaExceededError
+from repro.net.addresses import Ipv4Address
+
+EXIT = Ipv4Address.parse("198.51.101.5")
+
+
+@pytest.fixture
+def provider():
+    return CloudProvider("box.example", "198.51.100.99", free_quota_bytes=1000)
+
+
+@pytest.fixture
+def account(provider):
+    return provider.create_account("anon123", "pw")
+
+
+class TestAccounts:
+    def test_create_and_login(self, provider, account):
+        logged_in = provider.login("anon123", "pw", now=1.0, src_ip=EXIT)
+        assert logged_in is account
+
+    def test_duplicate_username_rejected(self, provider, account):
+        with pytest.raises(CloudError):
+            provider.create_account("anon123", "other")
+
+    def test_wrong_password_rejected(self, provider, account):
+        with pytest.raises(CloudError):
+            provider.login("anon123", "wrong", now=1.0, src_ip=EXIT)
+
+    def test_unknown_user_rejected(self, provider):
+        with pytest.raises(CloudError):
+            provider.login("ghost", "pw", now=1.0, src_ip=EXIT)
+
+
+class TestBlobs:
+    def test_put_get_roundtrip(self, provider, account):
+        provider.put(account, "nym.bin", b"sealed", now=1.0, src_ip=EXIT)
+        blob = provider.get(account, "nym.bin", now=2.0, src_ip=EXIT)
+        assert blob.data == b"sealed"
+
+    def test_overwrite_replaces(self, provider, account):
+        provider.put(account, "nym.bin", b"v1", now=1.0, src_ip=EXIT)
+        provider.put(account, "nym.bin", b"v2-longer", now=2.0, src_ip=EXIT)
+        assert provider.get(account, "nym.bin", 3.0, EXIT).data == b"v2-longer"
+        assert account.used_bytes == 9
+
+    def test_quota_enforced(self, provider, account):
+        provider.put(account, "a", b"x" * 900, now=1.0, src_ip=EXIT)
+        with pytest.raises(QuotaExceededError):
+            provider.put(account, "b", b"x" * 200, now=2.0, src_ip=EXIT)
+
+    def test_quota_counts_replacement_correctly(self, provider, account):
+        provider.put(account, "a", b"x" * 900, now=1.0, src_ip=EXIT)
+        provider.put(account, "a", b"x" * 950, now=2.0, src_ip=EXIT)  # replaces
+
+    def test_delete(self, provider, account):
+        provider.put(account, "a", b"x", now=1.0, src_ip=EXIT)
+        provider.delete(account, "a", now=2.0, src_ip=EXIT)
+        with pytest.raises(CloudError):
+            provider.get(account, "a", 3.0, EXIT)
+
+    def test_missing_blob(self, provider, account):
+        with pytest.raises(CloudError):
+            provider.get(account, "nope", 1.0, EXIT)
+        with pytest.raises(CloudError):
+            provider.delete(account, "nope", 1.0, EXIT)
+
+    def test_list_blobs(self, provider, account):
+        provider.put(account, "b", b"2", now=1.0, src_ip=EXIT)
+        provider.put(account, "a", b"1", now=1.0, src_ip=EXIT)
+        assert provider.list_blobs(account, 2.0, EXIT) == ["a", "b"]
+
+
+class TestObserverView:
+    def test_access_log_records_ips(self, provider, account):
+        provider.login("anon123", "pw", now=1.0, src_ip=EXIT)
+        provider.put(account, "a", b"x", now=2.0, src_ip=EXIT)
+        ips = provider.observed_ips_for("anon123")
+        assert ips == [EXIT, EXIT]
+
+    def test_provider_sees_only_ciphertext_sizes(self, provider, account):
+        provider.put(account, "a", b"ciphertext-blob", now=1.0, src_ip=EXIT)
+        blob = account.blobs["a"]
+        assert blob.size == len(b"ciphertext-blob")
+
+
+class TestPresets:
+    def test_dropbox_quota(self):
+        assert make_dropbox().free_quota_bytes == 2 * 1024**3
+
+    def test_google_drive_quota(self):
+        assert make_google_drive().free_quota_bytes == 15 * 1024**3
+
+    def test_distinct_addresses(self):
+        assert make_dropbox().ip != make_google_drive().ip

@@ -1,0 +1,77 @@
+"""Serial CommVM chaining (§3.3: "connecting CommVMs in serial")."""
+
+import pytest
+
+from repro.core.validation import probe_isolation, validate_system
+
+
+@pytest.fixture
+def chained(manager):
+    return manager.create_nym("chained", anonymizer="tor+dissent", chain_commvms=True)
+
+
+class TestChainConstruction:
+    def test_one_commvm_per_stage(self, chained):
+        assert chained.commvm.vm_id == "chained-comm"
+        assert [vm.vm_id for vm in chained.extra_commvms] == ["chained-comm2"]
+        assert chained.anonymizer.kind == "tor+dissent"
+
+    def test_all_vms_running(self, chained):
+        assert all(vm.running for vm in chained.all_vms)
+
+    def test_nat_hangs_off_last_hop(self, manager, chained):
+        nat = manager.hypervisor.nat_for("chained-comm2")
+        assert nat is chained.nat
+
+    def test_memory_counts_all_vms(self, chained):
+        # AnonVM (384) + two CommVMs (128 each).
+        assert chained.memory_bytes() >= (384 + 128 + 128) * 1024 * 1024
+
+    def test_unchained_composition_uses_one_commvm(self, manager):
+        nymbox = manager.create_nym("stacked", anonymizer="tor+dissent")
+        assert nymbox.extra_commvms == []
+
+
+class TestChainIsolation:
+    def test_adjacent_hops_reachable(self, manager, chained):
+        hv = manager.hypervisor
+        assert hv.probe_cross_vm(chained.anonvm, chained.commvm)
+        assert hv.probe_cross_vm(chained.commvm, chained.extra_commvms[0])
+
+    def test_anon_cannot_skip_to_last_hop(self, manager, chained):
+        hv = manager.hypervisor
+        assert not hv.probe_cross_vm(chained.anonvm, chained.extra_commvms[0])
+
+    def test_validation_accepts_chain(self, manager, chained):
+        result = validate_system(manager)
+        assert result.passed, result.summary()
+        matrix = result.isolation
+        assert ("chained-comm", "chained-comm2") in matrix.allowed_pairs
+
+    def test_chain_isolated_from_other_nyms(self, manager, chained):
+        other = manager.create_nym("plain")
+        hv = manager.hypervisor
+        assert not hv.probe_cross_vm(chained.extra_commvms[0], other.commvm)
+        assert probe_isolation(manager).clean
+
+
+class TestChainLifecycle:
+    def test_browsing_works_through_chain(self, manager, chained):
+        load = manager.timed_browse(chained, "twitter.com")
+        assert load.payload_bytes > 0
+        server = manager.internet.server_named("twitter.com")
+        # The last stage (Dissent) fronts the traffic.
+        assert str(server.seen_client_ips[-1]) == "198.51.102.1"
+
+    def test_discard_tears_down_whole_chain(self, manager, chained):
+        vms = chained.all_vms
+        manager.discard_nym(chained)
+        for vm in vms:
+            assert vm.memory.erased
+        assert manager.live_nyms() == []
+
+    def test_pause_resume_covers_chain(self, chained):
+        chained.pause()
+        assert all(vm.state.value == "paused" for vm in chained.all_vms)
+        chained.resume()
+        assert all(vm.running for vm in chained.all_vms)

@@ -1,0 +1,98 @@
+"""NymixConfig knobs exercised through whole deployments."""
+
+import pytest
+
+from repro.cloud import make_dropbox
+from repro.core import NymManager, NymixConfig
+from repro.vmm.hypervisor import HostSpec
+
+MIB = 1024 * 1024
+GIB = 1024 * MIB
+
+
+def _manager(**kwargs) -> NymManager:
+    manager = NymManager(NymixConfig(seed=13, **kwargs))
+    manager.add_cloud_provider(make_dropbox())
+    return manager
+
+
+class TestHostSpecKnobs:
+    def test_uplink_rate_changes_download_times(self):
+        slow = _manager(host=HostSpec(uplink_bps=5_000_000.0))
+        fast = _manager(host=HostSpec(uplink_bps=50_000_000.0))
+        slow_nym = slow.create_nym("n")
+        fast_nym = fast.create_nym("n")
+        slow_load = slow.timed_browse(slow_nym, "youtube.com")
+        fast_load = fast.timed_browse(fast_nym, "youtube.com")
+        assert slow_load.duration_s > fast_load.duration_s * 2
+
+    def test_core_count_changes_contention(self):
+        from repro.workloads import PeacekeeperBenchmark
+
+        two = PeacekeeperBenchmark(_manager(host=HostSpec(cores=2)).hypervisor.cpu)
+        eight = PeacekeeperBenchmark(_manager(host=HostSpec(cores=8)).hypervisor.cpu)
+        assert two.run_in_nyms(8).mean_score < eight.run_in_nyms(8).mean_score
+
+    def test_custom_public_ip(self):
+        manager = _manager(host=HostSpec(public_ip="198.18.0.42"))
+        assert str(manager.hypervisor.public_ip) == "198.18.0.42"
+
+
+class TestAnonymityKnobs:
+    def test_relay_count_scales_directory(self):
+        small = _manager(tor_relay_count=10)
+        large = _manager(tor_relay_count=80)
+        assert len(small.directory) == 10
+        assert len(large.directory) == 80
+        large_nym = large.create_nym("n")
+        assert large_nym.anonymizer.started
+
+    def test_dissent_population(self):
+        manager = _manager(dissent_clients=12, dissent_servers=5)
+        assert manager.dcnet.num_clients == 12
+        assert manager.dcnet.num_servers == 5
+        nymbox = manager.create_nym("d", anonymizer="dissent")
+        assert nymbox.anonymizer.transmit_anonymously(b"x") == b"x"
+
+    def test_default_anonymizer(self):
+        manager = _manager(default_anonymizer="incognito")
+        assert manager.create_nym("n").anonymizer.kind == "incognito"
+
+    def test_deterministic_guards_config(self):
+        """Within one Tor network, the restored guard set depends only on
+        (storage location, password) — not on how much other activity
+        (RNG consumption) the deployment saw before the load."""
+
+        def guards_for(extra_nyms):
+            manager = NymManager(NymixConfig(seed=13, deterministic_guards=True))
+            manager.add_cloud_provider(make_dropbox())
+            manager.create_cloud_account("dropbox.com", "u", "p")
+            nymbox = manager.create_nym("alice")
+            manager.store_nym(
+                nymbox, "pw", provider_host="dropbox.com", account_username="u"
+            )
+            manager.discard_nym(nymbox)
+            # Perturb the deployment's RNG/time history before loading.
+            for index in range(extra_nyms):
+                manager.discard_nym(manager.create_nym(f"noise-{index}"))
+            restored = manager.load_nym("alice", "pw")
+            return list(restored.anonymizer.guard_manager.guards)
+
+        assert guards_for(0) == guards_for(3)
+
+
+class TestIntegrityKnobs:
+    def test_verified_base_image_full_stack(self):
+        """A whole manager with §3.4 verification on: everything still works."""
+        manager = _manager(verify_base_image=True)
+        nymbox = manager.create_nym("v")
+        load = manager.timed_browse(nymbox, "bbc.co.uk")
+        assert load.payload_bytes > 0
+        assert not manager.hypervisor.emergency_halted
+
+    def test_ksm_disabled_config(self):
+        manager = _manager(ksm_enabled=False)
+        manager.create_nym("a")
+        manager.create_nym("b")
+        manager.hypervisor.ksm.run_to_completion()
+        assert manager.hypervisor.memory_snapshot().ksm_pages_saved == 0

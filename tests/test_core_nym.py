@@ -1,0 +1,43 @@
+"""Nym metadata and usage models."""
+
+from repro.core import Nym, NymUsageModel
+
+
+class TestNymUsageModel:
+    def test_ephemeral_is_not_quasi_persistent(self):
+        assert not NymUsageModel.EPHEMERAL.quasi_persistent
+
+    def test_persistent_and_preconfigured_are(self):
+        assert NymUsageModel.PERSISTENT.quasi_persistent
+        assert NymUsageModel.PRECONFIGURED.quasi_persistent
+
+    def test_only_persistent_saves_each_session(self):
+        assert NymUsageModel.PERSISTENT.saves_after_each_session
+        assert not NymUsageModel.PRECONFIGURED.saves_after_each_session
+        assert not NymUsageModel.EPHEMERAL.saves_after_each_session
+
+
+class TestNym:
+    def _nym(self, model=NymUsageModel.EPHEMERAL):
+        return Nym(name="alice", usage_model=model, anonymizer_kind="tor", created_at=0.0)
+
+    def test_ephemeral_flag(self):
+        assert self._nym().ephemeral
+        assert not self._nym(NymUsageModel.PERSISTENT).ephemeral
+
+    def test_bind_account(self):
+        nym = self._nym()
+        nym.bind_account("twitter.com", "pseudonym123")
+        assert nym.accounts == {"twitter.com": "pseudonym123"}
+
+    def test_storage_location_default(self):
+        assert self._nym().storage_location() == "local/alice"
+
+    def test_storage_location_with_provider(self):
+        nym = self._nym()
+        nym.storage_provider = "dropbox.com"
+        nym.storage_blob = "alice.nymbox"
+        assert nym.storage_location() == "dropbox.com/alice.nymbox"
+
+    def test_repr_mentions_model(self):
+        assert "ephemeral" in repr(self._nym())

@@ -1,0 +1,199 @@
+"""Quasi-persistent nyms: snapshots, sealing, cloud round trips (§3.5)."""
+
+import pytest
+
+from repro.core import NymUsageModel
+from repro.core.persistence import FsSnapshot
+from repro.errors import PersistenceError
+
+
+@pytest.fixture
+def alice(manager):
+    nymbox = manager.create_nym("alice")
+    manager.timed_browse(nymbox, "twitter.com")
+    nymbox.sign_in("twitter.com", "pseudo", "account-pw")
+    return nymbox
+
+
+@pytest.fixture
+def dropbox_account(manager):
+    return manager.create_cloud_account("dropbox.com", "anon991", "cloud-pw")
+
+
+class TestFsSnapshot:
+    def test_capture_includes_both_vms(self, alice):
+        snapshot = FsSnapshot.capture(alice)
+        assert snapshot.anon_files
+        assert snapshot.raw_bytes > 0
+        assert snapshot.anonymizer_state.kind == "tor"
+
+    def test_anonvm_dominates_size(self, alice):
+        """§5.3: the AnonVM accounts for ~85% of pseudonym size."""
+        snapshot = FsSnapshot.capture(alice)
+        assert snapshot.anonvm_fraction > 0.8
+
+    def test_wire_roundtrip(self, alice):
+        snapshot = FsSnapshot.capture(alice)
+        parsed = FsSnapshot.from_bytes(snapshot.to_bytes())
+        assert parsed.anon_files == snapshot.anon_files
+        assert parsed.comm_files == snapshot.comm_files
+        assert parsed.anonymizer_state.kind == snapshot.anonymizer_state.kind
+
+    def test_garbage_rejected(self):
+        with pytest.raises(PersistenceError):
+            FsSnapshot.from_bytes(b"junk")
+
+
+class TestPackUnpack:
+    def test_roundtrip(self, manager, alice):
+        snapshot = FsSnapshot.capture(alice)
+        sealed, receipt = manager.store.pack(snapshot, "pw")
+        restored = manager.store.unpack(sealed, "pw")
+        assert restored.anon_files == snapshot.anon_files
+
+    def test_wrong_password(self, manager, alice):
+        sealed, _ = manager.store.pack(FsSnapshot.capture(alice), "pw")
+        with pytest.raises(PersistenceError):
+            manager.store.unpack(sealed, "wrong")
+
+    def test_receipt_sizes_ordered(self, manager, alice):
+        _, receipt = manager.store.pack(FsSnapshot.capture(alice), "pw")
+        assert receipt.compressed_bytes <= receipt.raw_bytes + 1024
+        assert receipt.encrypted_bytes == pytest.approx(receipt.compressed_bytes, rel=0.01)
+        assert 0 < receipt.compression_ratio <= 1.05
+
+    def test_pack_advances_time(self, manager, alice):
+        before = manager.timeline.now
+        manager.store.pack(FsSnapshot.capture(alice), "pw")
+        assert manager.timeline.now > before
+
+
+class TestCloudStore:
+    def test_store_and_load_roundtrip(self, manager, alice, dropbox_account):
+        history_before = list(alice.browser.history)
+        receipt = manager.store_nym(
+            alice, "nym-pw", provider_host="dropbox.com", account_username="anon991"
+        )
+        assert receipt.encrypted_bytes > 0
+        manager.discard_nym(alice)
+
+        restored = manager.load_nym("alice", "nym-pw")
+        assert restored.running
+        assert restored.browser.history == history_before
+        assert restored.browser.has_credentials_for("twitter.com")
+
+    def test_restored_nym_keeps_tor_guards(self, manager, alice, dropbox_account):
+        guards = list(alice.anonymizer.guard_manager.guards)
+        manager.store_nym(alice, "pw", provider_host="dropbox.com", account_username="anon991")
+        manager.discard_nym(alice)
+        restored = manager.load_nym("alice", "pw")
+        assert restored.anonymizer.guard_manager.guards == guards
+
+    def test_restored_start_is_warm(self, manager, alice, dropbox_account):
+        fresh_tor = alice.startup.start_anonymizer_s
+        manager.store_nym(alice, "pw", provider_host="dropbox.com", account_username="anon991")
+        manager.discard_nym(alice)
+        restored = manager.load_nym("alice", "pw")
+        assert restored.startup.start_anonymizer_s < fresh_tor
+
+    def test_load_records_ephemeral_phase(self, manager, alice, dropbox_account):
+        manager.store_nym(alice, "pw", provider_host="dropbox.com", account_username="anon991")
+        manager.discard_nym(alice)
+        restored = manager.load_nym("alice", "pw")
+        assert restored.startup.ephemeral_nym_s > 10.0
+
+    def test_loader_nym_is_destroyed(self, manager, alice, dropbox_account):
+        manager.store_nym(alice, "pw", provider_host="dropbox.com", account_username="anon991")
+        manager.discard_nym(alice)
+        manager.load_nym("alice", "pw")
+        assert "alice-loader" not in manager.live_nyms()
+
+    def test_provider_never_sees_user_ip(self, manager, alice, dropbox_account):
+        manager.store_nym(alice, "pw", provider_host="dropbox.com", account_username="anon991")
+        manager.discard_nym(alice)
+        manager.load_nym("alice", "pw")
+        provider = manager.providers["dropbox.com"]
+        for ip in provider.observed_ips_for("anon991"):
+            assert ip != manager.hypervisor.public_ip
+            assert not ip.is_private()
+
+    def test_provider_stores_only_ciphertext(self, manager, alice, dropbox_account):
+        manager.store_nym(alice, "pw", provider_host="dropbox.com", account_username="anon991")
+        blob = dropbox_account.blobs["alice.nymbox"]
+        # The browser history mentions hostnames; the blob must not.
+        assert b"twitter.com" not in blob.data
+
+    def test_cloud_needs_account(self, manager, alice):
+        from repro.errors import NymError
+
+        with pytest.raises(NymError):
+            manager.store_nym(alice, "pw", provider_host="dropbox.com")
+
+    def test_load_unknown_nym(self, manager):
+        with pytest.raises(PersistenceError):
+            manager.load_nym("ghost", "pw")
+
+    def test_load_while_running_rejected(self, manager, alice, dropbox_account):
+        manager.store_nym(alice, "pw", provider_host="dropbox.com", account_username="anon991")
+        with pytest.raises(Exception):
+            manager.load_nym("alice", "pw")
+
+
+class TestLocalStore:
+    def test_local_roundtrip(self, manager, alice):
+        manager.store_nym(alice, "pw")  # no provider: local media
+        manager.discard_nym(alice)
+        restored = manager.load_nym("alice", "pw")
+        assert restored.running
+        assert restored.startup.ephemeral_nym_s < 10.0  # no download nym needed
+
+    def test_local_leaves_record(self, manager, alice):
+        manager.store_nym(alice, "pw")
+        record = manager.stored_nyms["alice"]
+        assert record.provider_host is None
+
+
+class TestUsageModels:
+    def test_store_promotes_to_persistent(self, manager, alice, dropbox_account):
+        assert alice.nym.usage_model is NymUsageModel.EPHEMERAL
+        manager.store_nym(alice, "pw", provider_host="dropbox.com", account_username="anon991")
+        assert alice.nym.usage_model is NymUsageModel.PERSISTENT
+
+    def test_snapshot_marks_preconfigured(self, manager, alice, dropbox_account):
+        manager.snapshot_nym(alice, "pw", provider_host="dropbox.com", account_username="anon991")
+        assert alice.nym.usage_model is NymUsageModel.PRECONFIGURED
+
+    def test_close_session_persistent_resaves(self, manager, alice, dropbox_account):
+        manager.store_nym(alice, "pw", provider_host="dropbox.com", account_username="anon991")
+        cycles_before = manager.stored_nyms["alice"].save_cycles
+        receipt = manager.close_session(alice, password="pw")
+        assert receipt is not None
+        assert manager.stored_nyms["alice"].save_cycles == cycles_before + 1
+
+    def test_close_session_persistent_needs_password(self, manager, alice, dropbox_account):
+        manager.store_nym(alice, "pw", provider_host="dropbox.com", account_username="anon991")
+        with pytest.raises(PersistenceError):
+            manager.close_session(alice)
+
+    def test_close_session_preconfigured_discards(self, manager, alice, dropbox_account):
+        manager.snapshot_nym(alice, "pw", provider_host="dropbox.com", account_username="anon991")
+        cycles_before = manager.stored_nyms["alice"].save_cycles
+        receipt = manager.close_session(alice)
+        assert receipt is None
+        assert manager.stored_nyms["alice"].save_cycles == cycles_before
+
+    def test_preconfigured_session_changes_scrubbed(self, manager, alice, dropbox_account):
+        """§3.5: a stain acquired in one pre-configured session is gone at
+        the next restore."""
+        manager.snapshot_nym(alice, "pw", provider_host="dropbox.com", account_username="anon991")
+        alice.anonvm.fs.write("/home/user/.cache/stain", b"malware marker")
+        manager.close_session(alice)
+        restored = manager.load_nym("alice", "pw")
+        assert not restored.anonvm.fs.exists("/home/user/.cache/stain")
+
+    def test_persistent_session_changes_survive(self, manager, alice, dropbox_account):
+        manager.store_nym(alice, "pw", provider_host="dropbox.com", account_username="anon991")
+        alice.anonvm.fs.write("/home/user/notes.txt", b"remember me")
+        manager.close_session(alice, password="pw")
+        restored = manager.load_nym("alice", "pw")
+        assert restored.anonvm.fs.read("/home/user/notes.txt") == b"remember me"

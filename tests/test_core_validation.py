@@ -1,0 +1,76 @@
+"""The §5.1 validation: leak scan and isolation matrix."""
+
+import pytest
+
+from repro.core.validation import (
+    count_dns_leaks,
+    probe_isolation,
+    validate_system,
+)
+
+
+class TestLeakValidation:
+    def test_idle_system_is_clean(self, manager):
+        manager.create_nym("a")
+        manager.create_nym("b")
+        result = validate_system(manager)
+        assert result.passed, result.summary()
+        assert result.leak_report.clean
+        assert not result.anonvm_emitted_uplink_traffic
+
+    def test_browsing_traffic_is_all_anonymizer_labelled(self, manager):
+        nymbox = manager.create_nym("a")
+        manager.hypervisor.host_capture.clear()
+        manager.timed_browse(nymbox, "bbc.co.uk")
+        labels = set(manager.hypervisor.host_capture.by_label())
+        assert labels <= {"anonymizer"}
+
+    def test_leak_detected_if_raw_traffic_appears(self, manager):
+        manager.create_nym("a")
+        capture = manager.hypervisor.host_capture
+
+        # Simulate a broken configuration that lets unlabeled traffic out
+        # right after the scan starts.
+        manager.timeline.after(1.0, lambda: capture.record_flow("uplink", "anonvm", "", 100))
+        result = validate_system(manager, idle_seconds=5.0)
+        assert not result.passed
+        assert len(result.leak_report.leaks) == 1
+
+    def test_summary_format(self, manager):
+        manager.create_nym("a")
+        result = validate_system(manager)
+        assert "PASS" in result.summary()
+
+
+class TestIsolationMatrix:
+    def test_only_own_pairs_allowed(self, manager):
+        manager.create_nym("a")
+        manager.create_nym("b")
+        matrix = probe_isolation(manager)
+        assert matrix.clean
+        pair_names = set(matrix.allowed_pairs)
+        assert ("a-anon", "a-comm") in pair_names
+        assert ("b-anon", "b-comm") in pair_names
+        assert all(
+            {src.rsplit("-", 1)[0]} == {dst.rsplit("-", 1)[0]}
+            for src, dst in pair_names
+        )
+
+    def test_no_local_network_access(self, manager):
+        manager.create_nym("a")
+        matrix = probe_isolation(manager)
+        assert matrix.local_network_reachable_from == []
+
+    def test_matrix_scales_with_many_nyms(self, manager):
+        for index in range(4):
+            manager.create_nym(f"nym{index}")
+        matrix = probe_isolation(manager)
+        assert matrix.clean
+        assert len(matrix.allowed_pairs) == 8  # 4 nyms x 2 directions
+
+
+class TestDnsLeaks:
+    def test_no_dns_leaks_by_construction(self, manager):
+        nymbox = manager.create_nym("a")
+        manager.timed_browse(nymbox, "gmail.com")
+        assert count_dns_leaks(manager) == 0

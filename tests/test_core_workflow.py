@@ -1,0 +1,95 @@
+"""The §3.5 interactive workflow state machine."""
+
+import pytest
+
+from repro.core.workflow import NymManagerWorkflow, Screen
+from repro.errors import NymStateError
+
+
+@pytest.fixture
+def workflow(manager):
+    manager.create_cloud_account("dropbox.com", "wf-user", "cloud-pw")
+    return NymManagerWorkflow(manager)
+
+
+class TestHappyPath:
+    def test_full_store_flow(self, workflow, manager):
+        workflow.start_fresh_nym("alice")
+        assert workflow.screen is Screen.NYM_RUNNING
+        manager.timed_browse(workflow.nymbox, "twitter.com")
+
+        workflow.open_store_dialog()
+        workflow.enter_store_details("alice", "nym-pw", "dropbox.com")
+        assert workflow.screen is Screen.CLOUD_LOGIN
+        workflow.login_to_cloud("wf-user", "cloud-pw")
+        receipt = workflow.complete_save()
+        assert receipt.encrypted_bytes > 0
+        assert workflow.screen is Screen.SAVED
+
+        workflow.close_nym()
+        assert workflow.screen is Screen.MAIN_MENU
+        assert manager.live_nyms() == []
+
+    def test_load_flow_after_store(self, workflow, manager):
+        workflow.start_fresh_nym("alice")
+        workflow.open_store_dialog()
+        workflow.enter_store_details("alice", "nym-pw", "dropbox.com")
+        workflow.login_to_cloud("wf-user", "cloud-pw")
+        workflow.complete_save()
+        workflow.close_nym()
+
+        nymbox = workflow.load_existing_nym("alice", "nym-pw")
+        assert workflow.screen is Screen.NYM_RUNNING
+        assert nymbox.running
+
+    def test_transcript_records_journey(self, workflow):
+        workflow.start_fresh_nym("alice")
+        workflow.open_store_dialog()
+        transcript = workflow.transcript()
+        assert len(transcript) == 2
+        assert "fresh nym" in transcript[0]
+
+
+class TestStateErrors:
+    def test_cannot_store_from_main_menu(self, workflow):
+        with pytest.raises(NymStateError):
+            workflow.open_store_dialog()
+
+    def test_cannot_skip_details(self, workflow):
+        workflow.start_fresh_nym("alice")
+        workflow.open_store_dialog()
+        with pytest.raises(NymStateError):
+            workflow.login_to_cloud("wf-user", "cloud-pw")
+
+    def test_cannot_save_without_login(self, workflow):
+        workflow.start_fresh_nym("alice")
+        workflow.open_store_dialog()
+        workflow.enter_store_details("alice", "pw", "dropbox.com")
+        with pytest.raises(NymStateError):
+            workflow.complete_save()
+
+    def test_empty_name_rejected(self, workflow):
+        workflow.start_fresh_nym("alice")
+        workflow.open_store_dialog()
+        with pytest.raises(NymStateError):
+            workflow.enter_store_details("", "pw", "dropbox.com")
+
+    def test_unknown_provider_rejected(self, workflow):
+        workflow.start_fresh_nym("alice")
+        workflow.open_store_dialog()
+        with pytest.raises(NymStateError):
+            workflow.enter_store_details("alice", "pw", "nowhere.example")
+
+    def test_cannot_start_two_nyms_without_closing(self, workflow):
+        workflow.start_fresh_nym("alice")
+        with pytest.raises(NymStateError):
+            workflow.start_fresh_nym("bob")
+
+    def test_bad_cloud_credentials_surface(self, workflow):
+        from repro.errors import CloudError
+
+        workflow.start_fresh_nym("alice")
+        workflow.open_store_dialog()
+        workflow.enter_store_details("alice", "pw", "dropbox.com")
+        with pytest.raises(CloudError):
+            workflow.login_to_cloud("wf-user", "wrong-password")

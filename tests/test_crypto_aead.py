@@ -1,0 +1,118 @@
+"""ChaCha20-Poly1305 AEAD and the password SealedBox."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import ChaCha20Poly1305
+from repro.crypto.aead import SealedBlob, SealedBox
+from repro.errors import AuthenticationError, CryptoError
+from repro.sim import SeededRng
+
+SUNSCREEN = (
+    b"Ladies and Gentlemen of the class of '99: If I could offer you "
+    b"only one tip for the future, sunscreen would be it."
+)
+
+
+class TestAeadRfcVector:
+    def test_rfc8439_seal(self):
+        """RFC 8439 section 2.8.2: ciphertext and tag."""
+        key = bytes(range(0x80, 0xA0))
+        nonce = bytes.fromhex("070000004041424344454647")
+        aad = bytes.fromhex("50515253c0c1c2c3c4c5c6c7")
+        sealed = ChaCha20Poly1305(key).encrypt(nonce, SUNSCREEN, aad)
+        ciphertext, tag = sealed[:-16], sealed[-16:]
+        assert ciphertext[:16] == bytes.fromhex("d31a8d34648e60db7b86afbc53ef7ec2")
+        assert tag == bytes.fromhex("1ae10b594f09e26a7e902ecbd0600691")
+
+    def test_rfc8439_open(self):
+        key = bytes(range(0x80, 0xA0))
+        nonce = bytes.fromhex("070000004041424344454647")
+        aad = bytes.fromhex("50515253c0c1c2c3c4c5c6c7")
+        aead = ChaCha20Poly1305(key)
+        sealed = aead.encrypt(nonce, SUNSCREEN, aad)
+        assert aead.decrypt(nonce, sealed, aad) == SUNSCREEN
+
+
+class TestAeadBehaviour:
+    KEY = b"\x11" * 32
+    NONCE = b"\x22" * 12
+
+    def test_tampered_ciphertext_rejected(self):
+        aead = ChaCha20Poly1305(self.KEY)
+        sealed = bytearray(aead.encrypt(self.NONCE, b"secret nym state"))
+        sealed[0] ^= 0x01
+        with pytest.raises(AuthenticationError):
+            aead.decrypt(self.NONCE, bytes(sealed))
+
+    def test_tampered_tag_rejected(self):
+        aead = ChaCha20Poly1305(self.KEY)
+        sealed = bytearray(aead.encrypt(self.NONCE, b"secret"))
+        sealed[-1] ^= 0x01
+        with pytest.raises(AuthenticationError):
+            aead.decrypt(self.NONCE, bytes(sealed))
+
+    def test_wrong_aad_rejected(self):
+        aead = ChaCha20Poly1305(self.KEY)
+        sealed = aead.encrypt(self.NONCE, b"secret", aad=b"nym-v1")
+        with pytest.raises(AuthenticationError):
+            aead.decrypt(self.NONCE, sealed, aad=b"nym-v2")
+
+    def test_wrong_key_rejected(self):
+        sealed = ChaCha20Poly1305(self.KEY).encrypt(self.NONCE, b"secret")
+        with pytest.raises(AuthenticationError):
+            ChaCha20Poly1305(b"\x12" * 32).decrypt(self.NONCE, sealed)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(AuthenticationError):
+            ChaCha20Poly1305(self.KEY).decrypt(self.NONCE, b"short")
+
+    def test_bad_key_size(self):
+        with pytest.raises(CryptoError):
+            ChaCha20Poly1305(b"\x00" * 16)
+
+    def test_bad_nonce_size(self):
+        with pytest.raises(CryptoError):
+            ChaCha20Poly1305(self.KEY).encrypt(b"\x00" * 8, b"x")
+
+    @given(st.binary(max_size=500), st.binary(max_size=64))
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, plaintext, aad):
+        aead = ChaCha20Poly1305(self.KEY)
+        assert aead.decrypt(self.NONCE, aead.encrypt(self.NONCE, plaintext, aad), aad) == plaintext
+
+
+class TestSealedBox:
+    def _box(self, password="hunter2"):
+        return SealedBox(password, SeededRng(3))
+
+    def test_roundtrip(self):
+        box = self._box()
+        blob = box.seal(b"compressed nym snapshot")
+        assert box.open(blob) == b"compressed nym snapshot"
+
+    def test_wrong_password_rejected(self):
+        blob = self._box("right").seal(b"data")
+        with pytest.raises(AuthenticationError):
+            self._box("wrong").open(blob)
+
+    def test_empty_password_rejected(self):
+        with pytest.raises(CryptoError):
+            SealedBox("", SeededRng(1))
+
+    def test_blob_wire_roundtrip(self):
+        blob = self._box().seal(b"x" * 100)
+        parsed = SealedBlob.from_bytes(blob.to_bytes())
+        assert parsed == blob
+
+    def test_blob_rejects_garbage(self):
+        with pytest.raises(CryptoError):
+            SealedBlob.from_bytes(b"not a sealed blob")
+
+    def test_distinct_salts_per_seal(self):
+        box = self._box()
+        assert box.seal(b"same").salt != box.seal(b"same").salt
+
+    def test_ciphertext_hides_plaintext(self):
+        blob = self._box().seal(b"SECRET-MARKER" * 10)
+        assert b"SECRET-MARKER" not in blob.to_bytes()

@@ -1,0 +1,97 @@
+"""ChaCha20 against the RFC 8439 test vectors plus behavioural properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto import chacha20_block, chacha20_xor
+from repro.errors import CryptoError
+
+RFC_KEY = bytes(range(32))
+RFC_NONCE = bytes.fromhex("000000090000004a00000000")
+SUNSCREEN = (
+    b"Ladies and Gentlemen of the class of '99: If I could offer you "
+    b"only one tip for the future, sunscreen would be it."
+)
+
+
+class TestRfc8439Vectors:
+    def test_block_function_vector(self):
+        """RFC 8439 section 2.3.2."""
+        block = chacha20_block(RFC_KEY, 1, RFC_NONCE)
+        expected = bytes.fromhex(
+            "10f1e7e4d13b5915500fdd1fa32071c4"
+            "c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2"
+            "b5129cd1de164eb9cbd083e8a2503c4e"
+        )
+        assert block == expected
+
+    def test_encryption_vector(self):
+        """RFC 8439 section 2.4.2: the full sunscreen ciphertext."""
+        nonce = bytes.fromhex("000000000000004a00000000")
+        ciphertext = chacha20_xor(RFC_KEY, nonce, SUNSCREEN, counter=1)
+        expected = bytes.fromhex(
+            "6e2e359a2568f98041ba0728dd0d6981"
+            "e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b357"
+            "1639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e"
+            "52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42"
+            "874d"
+        )
+        assert ciphertext == expected
+
+
+class TestChaCha20Behaviour:
+    def test_roundtrip(self):
+        nonce = b"\x01" * 12
+        data = b"quasi-persistent nym state" * 10
+        ct = chacha20_xor(RFC_KEY, nonce, data)
+        assert chacha20_xor(RFC_KEY, nonce, ct) == data
+
+    def test_ciphertext_differs_from_plaintext(self):
+        nonce = b"\x02" * 12
+        assert chacha20_xor(RFC_KEY, nonce, b"A" * 100) != b"A" * 100
+
+    def test_different_nonces_differ(self):
+        a = chacha20_xor(RFC_KEY, b"\x00" * 12, b"X" * 64)
+        b = chacha20_xor(RFC_KEY, b"\x01" * 12, b"X" * 64)
+        assert a != b
+
+    def test_different_keys_differ(self):
+        other_key = bytes(reversed(RFC_KEY))
+        a = chacha20_xor(RFC_KEY, b"\x00" * 12, b"X" * 64)
+        b = chacha20_xor(other_key, b"\x00" * 12, b"X" * 64)
+        assert a != b
+
+    def test_counter_offsets_keystream(self):
+        # Encrypting block-by-block with manual counters must equal one call.
+        nonce = b"\x05" * 12
+        data = bytes(range(256)) * 2
+        whole = chacha20_xor(RFC_KEY, nonce, data, counter=0)
+        parts = b"".join(
+            chacha20_xor(RFC_KEY, nonce, data[i : i + 64], counter=i // 64)
+            for i in range(0, len(data), 64)
+        )
+        assert whole == parts
+
+    def test_empty_payload(self):
+        assert chacha20_xor(RFC_KEY, b"\x00" * 12, b"") == b""
+
+    def test_bad_key_size(self):
+        with pytest.raises(CryptoError):
+            chacha20_block(b"short", 0, b"\x00" * 12)
+
+    def test_bad_nonce_size(self):
+        with pytest.raises(CryptoError):
+            chacha20_block(RFC_KEY, 0, b"\x00" * 8)
+
+    def test_counter_out_of_range(self):
+        with pytest.raises(CryptoError):
+            chacha20_block(RFC_KEY, 2**32, b"\x00" * 12)
+
+    @given(st.binary(min_size=0, max_size=300))
+    def test_roundtrip_property(self, data):
+        nonce = b"\x09" * 12
+        assert chacha20_xor(RFC_KEY, nonce, chacha20_xor(RFC_KEY, nonce, data)) == data

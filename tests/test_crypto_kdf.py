@@ -1,0 +1,72 @@
+"""HKDF against RFC 5869 vectors; PBKDF2 behaviour."""
+
+import pytest
+
+from repro.crypto import hkdf, hkdf_expand, hkdf_extract, pbkdf2_sha256
+from repro.errors import CryptoError
+
+
+class TestHkdfRfc5869:
+    def test_case_1(self):
+        ikm = bytes.fromhex("0b" * 22)
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        okm = hkdf(ikm, salt, info, 42)
+        assert okm == bytes.fromhex(
+            "3cb25f25faacd57a90434f64d0362f2a"
+            "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_case_2_long(self):
+        ikm = bytes(range(0x00, 0x50))
+        salt = bytes(range(0x60, 0xB0))
+        info = bytes(range(0xB0, 0x100))
+        okm = hkdf(ikm, salt, info, 82)
+        assert okm.hex().startswith("b11e398dc80327a1c8e7f78c596a4934")
+        assert okm.hex().endswith("cc30c58179ec3e87c14c01d5c1f3434f1d87")
+
+    def test_case_3_empty_salt_info(self):
+        okm = hkdf(bytes.fromhex("0b" * 22), b"", b"", 42)
+        assert okm == bytes.fromhex(
+            "8da4e775a563c18f715f802a063c5a31"
+            "b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8"
+        )
+
+    def test_extract_then_expand_equals_hkdf(self):
+        prk = hkdf_extract(b"salt", b"ikm")
+        assert hkdf_expand(prk, b"info", 32) == hkdf(b"ikm", b"salt", b"info", 32)
+
+    def test_expand_rejects_oversized(self):
+        with pytest.raises(CryptoError):
+            hkdf_expand(b"\x00" * 32, b"", 256 * 32)
+
+    def test_length_exact(self):
+        for length in (1, 31, 32, 33, 64, 100):
+            assert len(hkdf(b"ikm", b"salt", b"info", length)) == length
+
+    def test_info_separates_streams(self):
+        assert hkdf(b"k", b"s", b"guard-seed", 16) != hkdf(b"k", b"s", b"circuit-key", 16)
+
+
+class TestPbkdf2:
+    def test_deterministic(self):
+        a = pbkdf2_sha256(b"password", b"salt", 1000, 32)
+        b = pbkdf2_sha256(b"password", b"salt", 1000, 32)
+        assert a == b
+
+    def test_known_vector(self):
+        # From RFC 7914's PBKDF2-HMAC-SHA-256 test vector (P="passwd", S="salt", c=1).
+        out = pbkdf2_sha256(b"passwd", b"salt", 1, 64)
+        assert out.hex().startswith("55ac046e56e3089fec1691c22544b605")
+
+    def test_salt_matters(self):
+        assert pbkdf2_sha256(b"pw", b"a", 10, 32) != pbkdf2_sha256(b"pw", b"b", 10, 32)
+
+    def test_iterations_matter(self):
+        assert pbkdf2_sha256(b"pw", b"s", 10, 32) != pbkdf2_sha256(b"pw", b"s", 11, 32)
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(CryptoError):
+            pbkdf2_sha256(b"pw", b"s", 0, 32)

@@ -1,0 +1,82 @@
+"""Merkle tree construction, proofs, and tamper detection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import MerkleTree
+from repro.errors import CryptoError
+
+
+def _blocks(n, size=32):
+    return [bytes([i % 256]) * size for i in range(n)]
+
+
+class TestMerkleTree:
+    def test_single_block(self):
+        tree = MerkleTree([b"only"])
+        assert MerkleTree.verify(tree.root, b"only", tree.proof(0))
+
+    def test_all_proofs_verify(self):
+        blocks = _blocks(9)
+        tree = MerkleTree(blocks)
+        for index, block in enumerate(blocks):
+            assert MerkleTree.verify(tree.root, block, tree.proof(index))
+
+    def test_power_of_two_leaves(self):
+        blocks = _blocks(8)
+        tree = MerkleTree(blocks)
+        for index, block in enumerate(blocks):
+            assert MerkleTree.verify(tree.root, block, tree.proof(index))
+
+    def test_tampered_block_fails(self):
+        blocks = _blocks(5)
+        tree = MerkleTree(blocks)
+        assert not MerkleTree.verify(tree.root, b"tampered", tree.proof(2))
+
+    def test_wrong_index_proof_fails(self):
+        blocks = _blocks(5)
+        tree = MerkleTree(blocks)
+        assert not MerkleTree.verify(tree.root, blocks[1], tree.proof(2))
+
+    def test_root_depends_on_content(self):
+        assert MerkleTree(_blocks(4)).root != MerkleTree(_blocks(5)[1:]).root
+
+    def test_root_depends_on_order(self):
+        blocks = _blocks(4)
+        assert MerkleTree(blocks).root != MerkleTree(list(reversed(blocks))).root
+
+    def test_deterministic_root(self):
+        assert MerkleTree(_blocks(7)).root == MerkleTree(_blocks(7)).root
+
+    def test_rejects_empty(self):
+        with pytest.raises(CryptoError):
+            MerkleTree([])
+
+    def test_rejects_out_of_range_proof(self):
+        tree = MerkleTree(_blocks(3))
+        with pytest.raises(CryptoError):
+            tree.proof(3)
+
+    def test_leaf_count(self):
+        assert MerkleTree(_blocks(6)).leaf_count == 6
+
+    def test_second_preimage_guard(self):
+        """Leaf and node hashing are domain-separated: a node's children
+        concatenation presented as a leaf must not verify."""
+        blocks = _blocks(2)
+        tree = MerkleTree(blocks)
+        import hashlib
+
+        fake_leaf = hashlib.sha256(b"\x00" + blocks[0]).digest() + hashlib.sha256(
+            b"\x00" + blocks[1]
+        ).digest()
+        from repro.crypto.merkle import MerkleProof
+
+        assert not MerkleTree.verify(tree.root, fake_leaf, MerkleProof(0, ()))
+
+    @given(st.lists(st.binary(min_size=1, max_size=64), min_size=1, max_size=24))
+    @settings(max_examples=40)
+    def test_every_leaf_provable_property(self, blocks):
+        tree = MerkleTree(blocks)
+        for index, block in enumerate(blocks):
+            assert MerkleTree.verify(tree.root, block, tree.proof(index))

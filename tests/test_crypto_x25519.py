@@ -1,0 +1,85 @@
+"""X25519 against RFC 7748 vectors plus Diffie-Hellman properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import X25519_BASE_POINT, x25519, x25519_keypair
+from repro.errors import CryptoError
+from repro.sim import SeededRng
+
+
+class TestRfc7748Vectors:
+    def test_vector_1(self):
+        scalar = bytes.fromhex(
+            "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4"
+        )
+        point = bytes.fromhex(
+            "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c"
+        )
+        assert x25519(scalar, point) == bytes.fromhex(
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+        )
+
+    def test_vector_2(self):
+        scalar = bytes.fromhex(
+            "4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d"
+        )
+        point = bytes.fromhex(
+            "e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493"
+        )
+        assert x25519(scalar, point) == bytes.fromhex(
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957"
+        )
+
+    def test_alice_bob_keypairs(self):
+        """RFC 7748 section 6.1: the Diffie-Hellman example."""
+        alice_private = bytes.fromhex(
+            "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a"
+        )
+        bob_private = bytes.fromhex(
+            "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb"
+        )
+        alice_public = x25519(alice_private, X25519_BASE_POINT)
+        bob_public = x25519(bob_private, X25519_BASE_POINT)
+        assert alice_public == bytes.fromhex(
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a"
+        )
+        assert bob_public == bytes.fromhex(
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f"
+        )
+        shared = bytes.fromhex(
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742"
+        )
+        assert x25519(alice_private, bob_public) == shared
+        assert x25519(bob_private, alice_public) == shared
+
+
+class TestX25519Behaviour:
+    def test_keypair_agreement(self):
+        rng = SeededRng(11)
+        a_priv, a_pub = x25519_keypair(rng.fork("a"))
+        b_priv, b_pub = x25519_keypair(rng.fork("b"))
+        assert x25519(a_priv, b_pub) == x25519(b_priv, a_pub)
+
+    def test_distinct_keypairs_distinct_secrets(self):
+        rng = SeededRng(12)
+        a_priv, a_pub = x25519_keypair(rng.fork("a"))
+        b_priv, b_pub = x25519_keypair(rng.fork("b"))
+        c_priv, c_pub = x25519_keypair(rng.fork("c"))
+        assert x25519(a_priv, b_pub) != x25519(a_priv, c_pub)
+
+    def test_rejects_short_scalar(self):
+        with pytest.raises(CryptoError):
+            x25519(b"\x01" * 31, X25519_BASE_POINT)
+
+    def test_rejects_short_point(self):
+        with pytest.raises(CryptoError):
+            x25519(b"\x01" * 32, b"\x09" * 31)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_dh_commutes_property(self, seed):
+        rng = SeededRng(seed)
+        a_priv, a_pub = x25519_keypair(rng.fork("a"))
+        b_priv, b_pub = x25519_keypair(rng.fork("b"))
+        assert x25519(a_priv, b_pub) == x25519(b_priv, a_pub)

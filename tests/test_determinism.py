@@ -1,0 +1,83 @@
+"""Whole-system determinism: same seed, bit-identical run.
+
+Reproducibility is a design invariant of the substrate: every experiment
+in EXPERIMENTS.md must regenerate exactly.  These tests run complete
+workflows twice from the same seed and compare everything observable,
+then flip the seed and verify the runs actually diverge (i.e. the
+determinism isn't the degenerate kind).
+"""
+
+import pytest
+
+from repro.cloud import make_dropbox
+from repro.core import NymManager, NymixConfig
+
+
+def _run_workflow(seed: int):
+    manager = NymManager(NymixConfig(seed=seed))
+    manager.add_cloud_provider(make_dropbox())
+    manager.create_cloud_account("dropbox.com", "d-user", "pw")
+    nymbox = manager.create_nym("det")
+    manager.timed_browse(nymbox, "facebook.com")
+    nymbox.sign_in("facebook.com", "pseudo", "pw")
+    receipt = manager.store_nym(
+        nymbox, "nym-pw", provider_host="dropbox.com", account_username="d-user"
+    )
+    trace = {
+        "startup": nymbox.startup.as_dict(),
+        "guards": list(nymbox.anonymizer.guard_manager.guards),
+        "circuit_path": list(nymbox.anonymizer.current_circuit.path_nicknames),
+        "exit": str(nymbox.anonymizer.exit_address()),
+        "cache_bytes": nymbox.browser.cache_bytes,
+        "raw_bytes": receipt.raw_bytes,
+        "encrypted_bytes": receipt.encrypted_bytes,
+        "pack_seconds": receipt.pack_seconds,
+        "now": manager.timeline.now,
+        "mem_used": manager.hypervisor.memory_snapshot().used_bytes,
+    }
+    manager.discard_nym(nymbox)
+    return trace
+
+
+class TestDeterminism:
+    def test_same_seed_identical_runs(self):
+        assert _run_workflow(seed=77) == _run_workflow(seed=77)
+
+    def test_different_seeds_diverge(self):
+        a = _run_workflow(seed=77)
+        b = _run_workflow(seed=78)
+        assert a != b
+        # Specifically the randomized parts:
+        assert (
+            a["guards"] != b["guards"]
+            or a["circuit_path"] != b["circuit_path"]
+            or a["startup"] != b["startup"]
+        )
+
+    def test_sealed_blob_bytes_reproducible(self):
+        """Even ciphertext is identical: salts and nonces are seeded."""
+
+        def blob_bytes(seed):
+            manager = NymManager(NymixConfig(seed=seed))
+            manager.add_cloud_provider(make_dropbox())
+            account = manager.create_cloud_account("dropbox.com", "u", "p")
+            nymbox = manager.create_nym("det")
+            manager.timed_browse(nymbox, "twitter.com")
+            manager.store_nym(
+                nymbox, "pw", provider_host="dropbox.com", account_username="u"
+            )
+            return account.blobs["det.nymbox"].data
+
+        assert blob_bytes(5) == blob_bytes(5)
+
+    def test_benchmark_sweeps_reproducible(self):
+        from repro.workloads import ParallelDownloadExperiment
+        from repro.vmm import CpuModel
+        from repro.workloads import PeacekeeperBenchmark
+
+        d1 = [r.slowest_actual for r in ParallelDownloadExperiment().sweep(4)]
+        d2 = [r.slowest_actual for r in ParallelDownloadExperiment().sweep(4)]
+        assert d1 == d2
+        p1 = [r.mean_score for r in PeacekeeperBenchmark(CpuModel()).sweep(4)]
+        p2 = [r.mean_score for r in PeacekeeperBenchmark(CpuModel()).sweep(4)]
+        assert p1 == p2

@@ -1,0 +1,139 @@
+"""Dissent: DC-net protocol correctness and the anonymizer adapter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.anonymizers.dissent import DcNetDeployment, DcNetRound, DissentClient
+from repro.errors import AnonymizerError
+from repro.net import Internet, MasqueradeNat, PacketCapture
+from repro.net.addresses import Ipv4Address
+from repro.sim import SeededRng, Timeline
+
+
+@pytest.fixture
+def timeline():
+    return Timeline(seed=6)
+
+
+@pytest.fixture
+def deployment(timeline):
+    return DcNetDeployment(timeline.fork_rng("dc"), num_clients=4, num_servers=2)
+
+
+@pytest.fixture
+def client(timeline, deployment):
+    internet = Internet(timeline)
+    from repro.guest.websites import populate_internet
+
+    populate_internet(internet)
+    nat = MasqueradeNat(
+        timeline, "nat(d)", Ipv4Address.parse("203.0.113.77"), internet,
+        host_capture=PacketCapture(timeline),
+    )
+    return DissentClient(
+        timeline, internet, nat, timeline.fork_rng("dissent"),
+        deployment=deployment, client_index=0,
+    )
+
+
+class TestDcNetProtocol:
+    def test_round_recovers_message(self, deployment):
+        round_obj = DcNetRound(round_id=1, slot_bytes=32, owner="client00", message=b"hi anon")
+        output = deployment.run_round(round_obj)
+        assert output[:7] == b"hi anon"
+        assert output[7:] == b"\x00" * 25
+
+    def test_empty_round_yields_zeros(self, deployment):
+        round_obj = DcNetRound(round_id=2, slot_bytes=16, owner=None)
+        assert deployment.run_round(round_obj) == b"\x00" * 16
+
+    def test_individual_ciphertexts_hide_sender(self, deployment):
+        """No single client ciphertext reveals whether it carries the message."""
+        message = b"secret"
+        with_msg = DcNetRound(round_id=3, slot_bytes=8, owner="client00", message=message)
+        without = DcNetRound(round_id=3, slot_bytes=8, owner=None)
+        # The non-owner's ciphertext is identical whether or not someone
+        # else transmits; only the owner's differs, and it looks random.
+        c1_with = with_msg.client_ciphertext(deployment, "client01")
+        c1_without = without.client_ciphertext(deployment, "client01")
+        assert c1_with == c1_without
+        owner_ct = with_msg.client_ciphertext(deployment, "client00")
+        assert message not in owner_ct
+
+    def test_different_rounds_different_pads(self, deployment):
+        a = DcNetRound(round_id=1, slot_bytes=16).client_ciphertext(deployment, "client00")
+        b = DcNetRound(round_id=2, slot_bytes=16).client_ciphertext(deployment, "client00")
+        assert a != b
+
+    def test_pairwise_secrets_agree(self, deployment):
+        # Construction already verifies both sides derive the same secret;
+        # spot-check the table is fully populated.
+        for client_party in deployment.clients:
+            for server in deployment.servers:
+                assert deployment.secret(client_party.name, server.name)
+
+    def test_message_too_large_rejected(self):
+        with pytest.raises(AnonymizerError):
+            DcNetRound(round_id=1, slot_bytes=4, owner="c", message=b"too long")
+
+    def test_minimum_population(self, timeline):
+        with pytest.raises(AnonymizerError):
+            DcNetDeployment(timeline.fork_rng("x"), num_clients=1)
+        with pytest.raises(AnonymizerError):
+            DcNetDeployment(timeline.fork_rng("y"), num_clients=2, num_servers=0)
+
+    @given(st.binary(min_size=1, max_size=48), st.integers(0, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_any_owner_any_message_property(self, message, owner_index):
+        deployment = DcNetDeployment(SeededRng(9), num_clients=4, num_servers=2)
+        owner = deployment.clients[owner_index].name
+        round_obj = DcNetRound(
+            round_id=7, slot_bytes=len(message), owner=owner, message=message
+        )
+        assert deployment.run_round(round_obj) == message
+
+
+class TestDissentClient:
+    def test_start(self, client):
+        duration = client.start()
+        assert duration > 0
+        assert client.started
+
+    def test_transmit_anonymously(self, client):
+        client.start()
+        assert client.transmit_anonymously(b"post to blog") == b"post to blog"
+
+    def test_round_pacing_advances_time(self, client):
+        client.start()
+        before = client.timeline.now
+        client.transmit_anonymously(b"x")
+        assert client.timeline.now - before == pytest.approx(DissentClient.ROUND_SECONDS)
+
+    def test_throughput_ceiling(self, client):
+        plan = client.plan(1_000_000)
+        expected = DissentClient.SLOT_BYTES * 8 / DissentClient.ROUND_SECONDS
+        assert plan.per_flow_ceiling_bps == pytest.approx(expected)
+
+    def test_exit_is_front_server(self, client):
+        client.start()
+        client.fetch("twitter.com", path="tok")
+        server = client.internet.server_named("twitter.com")
+        assert str(server.seen_client_ips[-1]) == "198.51.102.1"
+
+    def test_slower_than_tor_for_bulk(self, client):
+        """The §3.3 trade-off: Dissent trades throughput for anonymity."""
+        plan = client.plan(0)
+        assert plan.per_flow_ceiling_bps < 10_000_000
+        assert plan.path_latency_s >= DissentClient.ROUND_SECONDS
+
+    def test_bad_client_index(self, timeline, deployment, client):
+        with pytest.raises(AnonymizerError):
+            DissentClient(
+                client.timeline, client.internet, client.nat,
+                timeline.fork_rng("z"), deployment=deployment, client_index=99,
+            )
+
+    def test_oversized_slot_rejected(self, client):
+        client.start()
+        with pytest.raises(AnonymizerError):
+            client.transmit_anonymously(b"x" * (DissentClient.SLOT_BYTES + 1))

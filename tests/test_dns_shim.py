@@ -1,0 +1,98 @@
+"""UDP-to-TCP DNS conversion (§4.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import NetworkError
+from repro.net.addresses import Ipv4Address
+from repro.net.dns_shim import (
+    TcpDnsShim,
+    decode_answer,
+    decode_query,
+    encode_answer,
+    encode_query,
+    tcp_frame,
+    tcp_unframe,
+)
+
+
+class TestDnsEncoding:
+    def test_query_roundtrip(self):
+        message = encode_query(0x1234, "blog.torproject.org")
+        transaction_id, hostname = decode_query(message)
+        assert transaction_id == 0x1234
+        assert hostname == "blog.torproject.org"
+
+    def test_answer_roundtrip(self):
+        address = Ipv4Address.parse("198.51.100.13")
+        message = encode_answer(7, "blog.torproject.org", address)
+        transaction_id, parsed = decode_answer(message)
+        assert transaction_id == 7
+        assert parsed == address
+
+    def test_bad_transaction_id(self):
+        with pytest.raises(NetworkError):
+            encode_query(1 << 16, "a.example")
+
+    def test_bad_label(self):
+        with pytest.raises(NetworkError):
+            encode_query(1, "a..example")
+        with pytest.raises(NetworkError):
+            encode_query(1, "x" * 64 + ".example")
+
+    def test_truncated_query(self):
+        with pytest.raises(NetworkError):
+            decode_query(b"\x00\x01")
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.from_regex(r"[a-z]{1,10}(\.[a-z]{1,10}){0,3}", fullmatch=True),
+    )
+    def test_roundtrip_property(self, transaction_id, hostname):
+        tid, name = decode_query(encode_query(transaction_id, hostname))
+        assert (tid, name) == (transaction_id, hostname)
+
+
+class TestTcpFraming:
+    def test_roundtrip(self):
+        assert tcp_unframe(tcp_frame(b"payload")) == b"payload"
+
+    def test_length_prefix(self):
+        framed = tcp_frame(b"abc")
+        assert framed[:2] == b"\x00\x03"
+
+    def test_truncated_frame(self):
+        with pytest.raises(NetworkError):
+            tcp_unframe(b"\x00\x10abc")
+
+    def test_oversized_rejected(self):
+        with pytest.raises(NetworkError):
+            tcp_frame(b"x" * 70000)
+
+
+class TestTcpDnsShim:
+    def test_converts_udp_query_over_tcp_transport(self):
+        zone = {"gmail.com": Ipv4Address.parse("198.51.100.10")}
+        shim = TcpDnsShim.over_resolver(lambda host: zone[host])
+        udp_query = encode_query(42, "gmail.com")
+        udp_response = shim.resolve_udp_payload(udp_query)
+        transaction_id, address = decode_answer(udp_response)
+        assert transaction_id == 42
+        assert str(address) == "198.51.100.10"
+        assert shim.queries_converted == 1
+
+    def test_transaction_id_mismatch_detected(self):
+        def evil_exchange(framed):
+            return tcp_frame(encode_answer(999, "x.example", Ipv4Address.parse("1.2.3.4")))
+
+        shim = TcpDnsShim(evil_exchange)
+        with pytest.raises(NetworkError):
+            shim.resolve_udp_payload(encode_query(42, "x.example"))
+
+    def test_works_against_anonymizer_resolver(self, manager):
+        """The actual §4.1 use: DNS over a TCP-only anonymizer."""
+        nymbox = manager.create_nym("shimmed")
+        shim = TcpDnsShim.over_resolver(nymbox.anonymizer.resolve)
+        response = shim.resolve_udp_payload(encode_query(7, "twitter.com"))
+        _, address = decode_answer(response)
+        assert str(address) == "198.51.100.11"

@@ -1,0 +1,150 @@
+"""Failure injection: the system must fail loudly, cleanly, and safely."""
+
+import pytest
+
+from repro.cloud.provider import CloudProvider, StoredBlob
+from repro.errors import (
+    OutOfMemoryError,
+    PersistenceError,
+    QuotaExceededError,
+    UnreachableError,
+)
+from repro.core import NymManager, NymixConfig
+from repro.vmm.hypervisor import HostSpec
+from repro.vmm.vm import MIB, VmSpec
+
+
+class TestCloudFailures:
+    def test_quota_exhaustion_surfaces_and_nym_survives(self, manager):
+        tiny = CloudProvider("tinybox.example", "198.51.100.90", free_quota_bytes=1024)
+        manager.add_cloud_provider(tiny)
+        manager.create_cloud_account("tinybox.example", "u", "p")
+        nymbox = manager.create_nym("alice")
+        manager.timed_browse(nymbox, "twitter.com")
+        with pytest.raises(QuotaExceededError):
+            manager.store_nym(
+                nymbox, "pw", provider_host="tinybox.example", account_username="u"
+            )
+        # The nym is still running and was resumed after the failed save.
+        assert nymbox.running
+        assert nymbox.nym.storage_provider is None
+        # It can still be saved elsewhere.
+        manager.create_cloud_account("dropbox.com", "u2", "p")
+        receipt = manager.store_nym(
+            nymbox, "pw", provider_host="dropbox.com", account_username="u2"
+        )
+        assert receipt.encrypted_bytes > 0
+
+    def test_tampered_cloud_blob_detected_at_load(self, manager):
+        account = manager.create_cloud_account("dropbox.com", "u", "p")
+        nymbox = manager.create_nym("alice")
+        manager.store_nym(nymbox, "pw", provider_host="dropbox.com", account_username="u")
+        manager.discard_nym(nymbox)
+
+        # The provider (or a MITM) flips one ciphertext byte.
+        blob = account.blobs["alice.nymbox"]
+        tampered = bytearray(blob.data)
+        tampered[len(tampered) // 2] ^= 0x01
+        account.blobs["alice.nymbox"] = StoredBlob(
+            name=blob.name, data=bytes(tampered), stored_at=blob.stored_at
+        )
+
+        with pytest.raises(PersistenceError):
+            manager.load_nym("alice", "pw")
+        # Nothing half-restored is left running.
+        assert manager.live_nyms() == []
+
+    def test_wrong_password_at_load(self, manager):
+        manager.create_cloud_account("dropbox.com", "u", "p")
+        nymbox = manager.create_nym("alice")
+        manager.store_nym(nymbox, "pw", provider_host="dropbox.com", account_username="u")
+        manager.discard_nym(nymbox)
+        with pytest.raises(PersistenceError):
+            manager.load_nym("alice", "not-the-password")
+        assert manager.live_nyms() == []
+
+    def test_missing_local_blob(self, manager):
+        nymbox = manager.create_nym("alice")
+        manager.store_nym(nymbox, "pw")  # local
+        manager.discard_nym(nymbox)
+        manager._local_blobs.clear()  # the USB stick was lost
+        with pytest.raises(PersistenceError):
+            manager.load_nym("alice", "pw")
+
+
+class TestNetworkFailures:
+    def test_wire_down_breaks_browsing_loudly(self, manager):
+        nymbox = manager.create_nym("alice")
+        nymbox.wire.take_down()
+        with pytest.raises(UnreachableError):
+            nymbox.browse("twitter.com")
+
+    def test_unknown_site_unreachable(self, manager):
+        nymbox = manager.create_nym("alice")
+        with pytest.raises(UnreachableError):
+            nymbox.browse("no-such-site.example")
+
+
+class TestResourceExhaustion:
+    def test_host_ram_exhaustion_rejects_new_nyms_only(self):
+        manager = NymManager(
+            NymixConfig(seed=9, host=HostSpec(ram_bytes=3 * 1024 * MIB))
+        )
+        first = manager.create_nym("first")  # ~512 MiB + 1 GiB host base
+        second = manager.create_nym("second")
+        with pytest.raises(OutOfMemoryError):
+            manager.create_nym("third", anon_spec=VmSpec.anonvm(ram_bytes=1024 * MIB))
+        # Existing nyms keep working.
+        assert first.running and second.running
+        manager.timed_browse(first, "bbc.co.uk")
+
+    def test_discard_frees_room_for_new_nyms(self):
+        manager = NymManager(
+            NymixConfig(seed=9, host=HostSpec(ram_bytes=3 * 1024 * MIB))
+        )
+        a = manager.create_nym("a")
+        b = manager.create_nym("b")
+        with pytest.raises(OutOfMemoryError):
+            manager.create_nym("c", anon_spec=VmSpec.anonvm(ram_bytes=1024 * MIB))
+        manager.discard_nym(a)
+        manager.discard_nym(b)
+        c = manager.create_nym("c", anon_spec=VmSpec.anonvm(ram_bytes=1024 * MIB))
+        assert c.running
+
+    def test_tmpfs_full_fails_writes_not_vm(self, manager):
+        nymbox = manager.create_nym(
+            "tiny-disk", anon_spec=VmSpec.anonvm(disk_bytes=2 * MIB)
+        )
+        from repro.errors import FileSystemError
+
+        with pytest.raises(FileSystemError):
+            nymbox.anonvm.fs.write("/home/user/huge", b"x" * (3 * MIB))
+        assert nymbox.anonvm.running
+
+
+class TestStateMachineAbuse:
+    def test_double_discard_is_safe(self, manager):
+        nymbox = manager.create_nym("alice")
+        manager.discard_nym(nymbox)
+        manager.discard_nym(nymbox)  # second teardown must not raise
+
+    def test_browse_after_discard_rejected(self, manager):
+        from repro.errors import NymStateError
+
+        nymbox = manager.create_nym("alice")
+        manager.discard_nym(nymbox)
+        with pytest.raises(NymStateError):
+            nymbox.browse("twitter.com")
+
+    def test_store_paused_nym_state_consistent(self, manager):
+        """The §3.5 pause happens inside save; pausing first must fail
+        cleanly rather than double-pause."""
+        from repro.errors import VmStateError
+
+        manager.create_cloud_account("dropbox.com", "u", "p")
+        nymbox = manager.create_nym("alice")
+        nymbox.pause()
+        with pytest.raises(VmStateError):
+            manager.store_nym(
+                nymbox, "pw", provider_host="dropbox.com", account_username="u"
+            )

@@ -1,0 +1,150 @@
+"""The Chromium model: cache, cookies, history, credentials, fingerprint."""
+
+import pytest
+
+from repro.guest.browser import Browser, BrowserFingerprint, FetchOutcome
+from repro.guest.websites import WEBSITE_CATALOG
+from repro.memory import GuestMemory
+from repro.net.internet import HttpResponse
+from repro.sim import SeededRng, Timeline
+from repro.unionfs.layer import TmpfsLayer
+from repro.unionfs.mount import UnionMount
+from repro.vmm.baseimage import build_base_layer, build_vm_mount
+from repro.vmm.vm import MIB, VmSpec, VirtualMachine
+
+
+class FakeFetcher:
+    """Deterministic fetcher standing in for the anonymizer path."""
+
+    def __init__(self):
+        self.visits = {}
+
+    def fetch(self, hostname, client_token):
+        count = self.visits.get(hostname, 0)
+        self.visits[hostname] = count + 1
+        site = WEBSITE_CATALOG[hostname]
+        if count == 0:
+            response = HttpResponse(
+                200, site.first_visit_bytes, site.cacheable_first_bytes, site.cookie_bytes
+            )
+        else:
+            response = HttpResponse(200, site.revisit_bytes, site.cacheable_revisit_bytes, 0)
+        return FetchOutcome(response=response, duration_s=2.0)
+
+
+def _browser(cache_limit=Browser.DEFAULT_CACHE_LIMIT):
+    timeline = Timeline()
+    spec = VmSpec.anonvm()
+    vm = VirtualMachine(
+        timeline,
+        "anon-test",
+        spec,
+        GuestMemory("anon-test", spec.ram_bytes),
+        build_vm_mount(spec.role, spec.writable_fs_bytes, build_base_layer()),
+        "nymix-base",
+    )
+    vm.boot()
+    return Browser(vm, FakeFetcher(), SeededRng(5), "profile:test", cache_limit), vm
+
+
+class TestBrowsing:
+    def test_visit_populates_cache_history_cookies(self):
+        browser, vm = _browser()
+        load = browser.visit("gmail.com")
+        assert load.payload_bytes == WEBSITE_CATALOG["gmail.com"].first_visit_bytes
+        assert browser.cache_bytes == WEBSITE_CATALOG["gmail.com"].cacheable_first_bytes
+        assert browser.history[-1].endswith("gmail.com")
+        assert "gmail.com" in browser.cookies
+
+    def test_revisit_smaller_than_first(self):
+        browser, _ = _browser()
+        first = browser.visit("twitter.com")
+        second = browser.visit("twitter.com")
+        assert second.payload_bytes < first.payload_bytes
+        assert second.cached_bytes_written < first.cached_bytes_written
+
+    def test_cache_grows_across_revisits(self):
+        browser, _ = _browser()
+        browser.visit("facebook.com")
+        size1 = browser.cache_bytes
+        browser.visit("facebook.com")
+        assert browser.cache_bytes > size1
+
+    def test_cache_cap_enforced_with_eviction(self):
+        browser, _ = _browser(cache_limit=10 * MIB)
+        for _ in range(4):
+            browser.visit("youtube.com")
+        assert browser.cache_bytes <= 10 * MIB
+        assert browser.cache_bytes > 0
+
+    def test_visit_dirties_guest_memory(self):
+        browser, vm = _browser()
+        before = vm.memory.stats().unique_pages
+        browser.visit("gmail.com")
+        assert vm.memory.stats().unique_pages > before
+
+    def test_memory_dirtying_respects_headroom(self):
+        browser, vm = _browser()
+        for hostname in WEBSITE_CATALOG:
+            browser.visit(hostname)
+        # Must never exhaust guest RAM entirely.
+        assert vm.memory.clean_bytes >= 0
+
+    def test_visit_requires_running_vm(self):
+        browser, vm = _browser()
+        vm.pause()
+        with pytest.raises(Exception):
+            browser.visit("gmail.com")
+
+    def test_state_lives_in_vm_fs(self):
+        browser, vm = _browser()
+        browser.visit("gmail.com")
+        assert vm.fs.exists("/home/user/.config/chromium/History")
+        assert vm.fs.exists("/home/user/.config/chromium/Cookies")
+        cache_files = [p for p in vm.fs.walk() if ".cache/chromium" in p]
+        assert cache_files
+
+
+class TestCredentials:
+    def test_login_remembered(self):
+        browser, vm = _browser()
+        browser.login("twitter.com", "dissident", "secret-pw")
+        assert browser.has_credentials_for("twitter.com")
+        assert vm.fs.exists("/home/user/.config/chromium/Login Data")
+
+    def test_login_not_remembered(self):
+        browser, vm = _browser()
+        browser.login("twitter.com", "dissident", "secret-pw", remember=False)
+        assert not browser.has_credentials_for("twitter.com")
+
+    def test_profile_restores_from_fs(self):
+        """A new Browser over the same VM state sees the old profile —
+        exactly what happens when a persistent nym is restored."""
+        browser, vm = _browser()
+        browser.visit("gmail.com")
+        browser.login("gmail.com", "alice", "pw")
+        rebuilt = Browser(vm, FakeFetcher(), SeededRng(6), "profile:test")
+        assert rebuilt.has_credentials_for("gmail.com")
+        assert rebuilt.history == browser.history
+        assert rebuilt.cache_bytes == browser.cache_bytes
+
+
+class TestFingerprint:
+    def test_identical_across_browsers(self):
+        a, _ = _browser()
+        b, _ = _browser()
+        assert a.fingerprint.as_tuple() == b.fingerprint.as_tuple()
+
+    def test_fixed_surface(self):
+        fp = BrowserFingerprint()
+        assert fp.screen == (1024, 768)
+        assert fp.plugins == ()
+
+    def test_profile_summary(self):
+        browser, _ = _browser()
+        browser.visit("gmail.com")
+        browser.login("gmail.com", "a", "b")
+        summary = browser.profile_summary()
+        assert summary["history_entries"] == 1
+        assert summary["stored_credentials"] == 1
+        assert summary["cache_bytes"] > 0

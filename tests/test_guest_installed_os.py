@@ -1,0 +1,103 @@
+"""Installed-OS nyms: repair, boot, COW isolation (§3.7 / Table 1)."""
+
+import pytest
+
+from repro.errors import VmStateError
+from repro.guest.installed_os import INSTALLED_OS_CATALOG, InstalledOs
+from repro.sim import SeededRng, Timeline
+
+MIB = 1024 * 1024
+
+
+@pytest.fixture
+def timeline():
+    return Timeline(seed=3)
+
+
+def _os(name="Windows 7"):
+    return InstalledOs(INSTALLED_OS_CATALOG[name], SeededRng(4))
+
+
+class TestCatalog:
+    def test_table1_rows_present(self):
+        for name in ("Windows Vista", "Windows 7", "Windows 8"):
+            assert name in INSTALLED_OS_CATALOG
+
+    def test_table1_values(self):
+        vista = INSTALLED_OS_CATALOG["Windows Vista"]
+        assert vista.repair_seconds == pytest.approx(133.7)
+        assert vista.boot_seconds == pytest.approx(37.7)
+        assert vista.repair_cow_bytes == pytest.approx(4.9 * MIB)
+        win8 = INSTALLED_OS_CATALOG["Windows 8"]
+        assert win8.repair_seconds == pytest.approx(157.0)
+
+    def test_linux_needs_no_repair(self):
+        assert not INSTALLED_OS_CATALOG["Ubuntu 12.04"].needs_repair
+
+
+class TestRepairAndBoot:
+    def test_windows_requires_repair(self, timeline):
+        ios = _os("Windows 7")
+        with pytest.raises(VmStateError):
+            ios.boot(timeline)
+
+    def test_repair_takes_table1_time(self, timeline):
+        ios = _os("Windows 7")
+        duration = ios.repair(timeline)
+        assert duration == pytest.approx(129.3, rel=0.06)
+        assert ios.repaired
+
+    def test_repair_idempotent(self, timeline):
+        ios = _os("Windows 7")
+        ios.repair(timeline)
+        assert ios.repair(timeline) == 0.0
+
+    def test_linux_repair_is_noop(self, timeline):
+        ios = _os("Ubuntu 12.04")
+        assert ios.repair(timeline) == 0.0
+        assert timeline.now == 0.0
+
+    def test_boot_after_repair(self, timeline):
+        ios = _os("Windows 7")
+        ios.repair(timeline)
+        duration = ios.boot(timeline)
+        assert duration == pytest.approx(34.3, rel=0.06)
+
+    def test_cow_size_matches_table1(self, timeline):
+        ios = _os("Windows 7")
+        ios.repair(timeline)
+        ios.boot(timeline)
+        assert ios.cow_bytes == pytest.approx(4.5 * MIB, rel=0.15)
+
+    def test_win8_largest(self, timeline):
+        sizes = {}
+        for name in ("Windows Vista", "Windows 7", "Windows 8"):
+            ios = _os(name)
+            ios.repair(timeline)
+            ios.boot(timeline)
+            sizes[name] = ios.cow_bytes
+        assert sizes["Windows 8"] == max(sizes.values())
+
+
+class TestCowIsolation:
+    def test_physical_disk_never_modified(self, timeline):
+        ios = _os("Windows 7")
+        original = [ios.physical_disk.read_block(i) for i in range(8)]
+        ios.repair(timeline)
+        ios.boot(timeline)
+        assert not ios.physical_disk_modified
+        assert [ios.physical_disk.read_block(i) for i in range(8)] == original
+
+    def test_discard_session_drops_changes(self, timeline):
+        ios = _os("Windows 7")
+        ios.repair(timeline)
+        ios.boot(timeline)
+        assert ios.cow_bytes > 0
+        ios.discard_session()
+        assert ios.cow_bytes == 0
+
+    def test_overlay_requires_attach(self):
+        ios = InstalledOs(INSTALLED_OS_CATALOG["Windows 7"], SeededRng(4))
+        with pytest.raises(VmStateError):
+            _ = ios.overlay
+        assert ios.cow_bytes == 0

@@ -1,0 +1,78 @@
+"""Website catalog and servers."""
+
+import pytest
+
+from repro.guest.websites import (
+    FIGURE3_VISIT_ORDER,
+    FIGURE6_SITES,
+    WEBSITE_CATALOG,
+    DownloadMirror,
+    WebsiteServer,
+    populate_internet,
+)
+from repro.net.internet import Internet
+from repro.sim import Timeline
+
+MIB = 1024 * 1024
+
+
+class TestCatalog:
+    def test_eight_sites_of_figure3(self):
+        assert len(FIGURE3_VISIT_ORDER) == 8
+        assert FIGURE3_VISIT_ORDER[0] == "gmail.com"
+        assert FIGURE3_VISIT_ORDER[-1] == "espn.com"
+        for hostname in FIGURE3_VISIT_ORDER:
+            assert hostname in WEBSITE_CATALOG
+
+    def test_four_sites_of_figure6(self):
+        assert set(FIGURE6_SITES) == {
+            "gmail.com", "facebook.com", "twitter.com", "blog.torproject.org",
+        }
+
+    def test_figure6_ordering_facebook_heaviest_torblog_lightest(self):
+        """Figure 6's ordering comes from per-revisit cache growth."""
+        growth = {h: WEBSITE_CATALOG[h].cacheable_revisit_bytes for h in FIGURE6_SITES}
+        assert growth["facebook.com"] == max(growth.values())
+        assert growth["blog.torproject.org"] == min(growth.values())
+
+    def test_login_sites(self):
+        assert WEBSITE_CATALOG["gmail.com"].requires_login
+        assert not WEBSITE_CATALOG["bbc.co.uk"].requires_login
+
+    def test_unique_addresses(self):
+        ips = [site.ip for site in WEBSITE_CATALOG.values()]
+        assert len(set(ips)) == len(ips)
+
+
+class TestWebsiteServer:
+    def test_first_visit_vs_revisit(self):
+        server = WebsiteServer(WEBSITE_CATALOG["twitter.com"])
+        first = server.handle("client-a")
+        again = server.handle("client-a")
+        assert first.body_bytes > again.body_bytes
+        assert first.set_cookie_bytes > 0
+        assert again.set_cookie_bytes == 0
+
+    def test_visits_tracked_per_client(self):
+        server = WebsiteServer(WEBSITE_CATALOG["twitter.com"])
+        server.handle("client-a")
+        fresh = server.handle("client-b")
+        assert fresh.body_bytes == WEBSITE_CATALOG["twitter.com"].first_visit_bytes
+
+
+class TestDownloadMirror:
+    def test_kernel_size(self):
+        assert DownloadMirror.KERNEL_BYTES == 76 * MIB
+
+    def test_serves_kernel(self):
+        mirror = DownloadMirror()
+        assert mirror.handle("/linux-3.14.2.tar.xz").body_bytes == 76 * MIB
+
+
+class TestPopulateInternet:
+    def test_all_servers_registered(self):
+        internet = Internet(Timeline())
+        servers = populate_internet(internet)
+        assert len(servers) == len(WEBSITE_CATALOG) + 1
+        assert internet.server_named("gmail.com").hostname == "gmail.com"
+        assert internet.server_named("mirror.deterlab.net")

@@ -1,0 +1,166 @@
+"""Shape checks for every paper experiment (cheap versions of the benches).
+
+Each test reproduces a scaled-down version of a figure or table and
+asserts the qualitative claim the paper makes about it.  The full-size
+runs live in benchmarks/.
+"""
+
+import pytest
+
+from repro.core import NymManager, NymixConfig
+from repro.vmm import CpuModel
+from repro.workloads import ParallelDownloadExperiment, PeacekeeperBenchmark
+from repro.workloads.browsing import run_memory_experiment_step
+
+MIB = 1024 * 1024
+
+
+@pytest.fixture
+def manager():
+    from repro.cloud import make_dropbox
+
+    m = NymManager(NymixConfig(seed=11))
+    m.add_cloud_provider(make_dropbox())
+    return m
+
+
+class TestFigure3Shape:
+    """RAM grows ~linearly per nymbox; KSM sharing grows with nym count."""
+
+    def test_memory_growth_and_ksm(self, manager):
+        steps = [run_memory_experiment_step(manager, index) for index in range(3)]
+        used = [s.after.used_bytes for s in steps]
+        assert used[0] < used[1] < used[2]
+
+        # Increments are in the right ballpark (~600 MB/nymbox, §1).
+        increments = [b - a for a, b in zip(used, used[1:])]
+        for increment in increments:
+            assert 450 * MIB <= increment <= 800 * MIB
+
+        # KSM shared pages increase as nyms accumulate.
+        sharing = [s.after.ksm_pages_sharing for s in steps]
+        assert sharing[-1] > sharing[0]
+
+    def test_memory_obtained_at_init_not_runtime(self, manager):
+        """§5.2: 'KVM obtains most of the requested memory ... at VM
+        initialization and not during run time.'"""
+        step = run_memory_experiment_step(manager, 0)
+        allocated_delta = step.after.guest_ram_bytes - step.before.guest_ram_bytes
+        assert allocated_delta == 0  # browsing allocates nothing new
+
+
+class TestFigure4Shape:
+    def test_virtualization_and_parallel_scaling(self):
+        bench = PeacekeeperBenchmark(CpuModel(cores=4))
+        sweep = bench.sweep(max_nyms=8)
+        native = sweep[0].mean_score
+        one = sweep[1].mean_score
+        assert one == pytest.approx(native / 1.2, rel=0.02)  # ~20% overhead
+        contended = sweep[8]
+        assert contended.mean_score < one
+        assert contended.mean_score > contended.expected_score  # actual > expected
+
+
+class TestFigure5Shape:
+    def test_linear_with_fixed_tor_overhead(self):
+        experiment = ParallelDownloadExperiment()
+        sweep = experiment.sweep(max_nyms=8)
+        overheads = [r.overhead_fraction for r in sweep]
+        for overhead in overheads:
+            assert overhead == pytest.approx(0.117, abs=0.02)
+        times = [r.slowest_actual for r in sweep]
+        # Linearity: t(n)/n roughly constant.
+        per_nym = [t / (i + 1) for i, t in enumerate(times)]
+        assert max(per_nym) / min(per_nym) < 1.05
+
+
+class TestFigure6Shape:
+    def test_persistent_nym_growth_ordering(self, manager):
+        """Sizes grow across save cycles; AnonVM dominates; Facebook
+        accumulates fastest of the four and the Tor Blog slowest."""
+        manager.create_cloud_account("dropbox.com", "u6", "p")
+        sizes = {}
+        for host in ("facebook.com", "blog.torproject.org"):
+            name = f"nym-{host.split('.')[0]}"
+            nymbox = manager.create_nym(name)
+            manager.timed_browse(nymbox, host)
+            receipts = [
+                manager.store_nym(
+                    nymbox, "pw", provider_host="dropbox.com",
+                    account_username="u6", blob_name=f"{name}.bin",
+                )
+            ]
+            for _ in range(2):
+                manager.timed_browse(nymbox, host)
+                receipts.append(
+                    manager.store_nym(
+                        nymbox, "pw", provider_host="dropbox.com",
+                        account_username="u6", blob_name=f"{name}.bin",
+                    )
+                )
+            manager.discard_nym(nymbox)
+            sizes[host] = [r.encrypted_bytes for r in receipts]
+
+        for series in sizes.values():
+            assert series == sorted(series)  # monotone growth
+        assert sizes["facebook.com"][-1] > sizes["blog.torproject.org"][-1]
+
+    def test_single_save_is_small(self, manager):
+        """'a single save cycle ... tends to be small, in the order of
+        megabytes' (§5.3, the pre-configured case)."""
+        manager.create_cloud_account("dropbox.com", "u7", "p")
+        nymbox = manager.create_nym("tiny")
+        receipt = manager.store_nym(
+            nymbox, "pw", provider_host="dropbox.com", account_username="u7"
+        )
+        assert receipt.encrypted_bytes < 8 * MIB
+
+
+class TestFigure7Shape:
+    def test_phase_ordering_across_usage_models(self, manager):
+        manager.create_cloud_account("dropbox.com", "u8", "p")
+
+        fresh = manager.create_nym("fresh")
+        manager.timed_browse(fresh, "twitter.com")
+        fresh_phases = fresh.startup
+
+        manager.store_nym(fresh, "pw", provider_host="dropbox.com", account_username="u8")
+        manager.discard_nym(fresh)
+        persisted = manager.load_nym("fresh", "pw")
+        manager.timed_browse(persisted, "twitter.com")
+        persisted_phases = persisted.startup
+
+        # Quasi-persistent nyms beat fresh ones on Tor start (stored guards).
+        assert persisted_phases.start_anonymizer_s < fresh_phases.start_anonymizer_s
+        # But they pay the one-shot ephemeral download nym.
+        assert persisted_phases.ephemeral_nym_s > 0
+        assert fresh_phases.ephemeral_nym_s == 0
+        assert persisted_phases.total_s > fresh_phases.total_s
+
+    def test_fresh_nym_within_paper_budget(self, manager):
+        """§1: a nymbox loads within 15-25 seconds."""
+        nymbox = manager.create_nym("quick")
+        manager.timed_browse(nymbox, "twitter.com")
+        assert 12.0 <= nymbox.startup.total_s <= 27.0
+
+
+class TestTable1Shape:
+    def test_windows_ordering(self, manager):
+        reports = {
+            name: manager.boot_installed_os_nym(name)[0]
+            for name in ("Windows Vista", "Windows 7", "Windows 8")
+        }
+        # Windows 8 is slowest to repair and boot, and largest.
+        assert reports["Windows 8"].repair_seconds == max(
+            r.repair_seconds for r in reports.values()
+        )
+        assert reports["Windows 8"].boot_seconds == max(
+            r.boot_seconds for r in reports.values()
+        )
+        assert reports["Windows 8"].cow_bytes == max(
+            r.cow_bytes for r in reports.values()
+        )
+        # Absolute values near Table 1.
+        assert reports["Windows Vista"].repair_seconds == pytest.approx(133.7, rel=0.08)
+        assert reports["Windows 7"].boot_seconds == pytest.approx(34.3, rel=0.08)
+        assert reports["Windows 8"].cow_bytes == pytest.approx(14 * MIB, rel=0.2)

@@ -1,0 +1,134 @@
+"""End-to-end scenarios: the paper's §2 motivating stories, executed."""
+
+import pytest
+
+from repro.attacks import AnonVmCompromise, distinguishing_bits
+from repro.core.validation import validate_system
+from repro.sanitize import ParanoiaLevel, SimImage, parse_file
+from repro.unionfs.layer import Layer
+
+
+class TestBobTheDissident:
+    """Bob posts protest photos to a pseudonymous Twitter account from
+    Tyrannistan, over Tor, with a persistent nym stored in the cloud."""
+
+    def test_full_workflow(self, manager):
+        # Bob opens a pseudonymous cloud account and a Twitter nym.
+        manager.create_cloud_account("dropbox.com", "rand7781", "cloud-pw")
+        nym = manager.create_nym("bob-twitter")
+        manager.timed_browse(nym, "twitter.com")
+        nym.sign_in("twitter.com", "tyrannistan_truth", "account-pw")
+
+        # His installed OS holds today's protest photo, full of metadata.
+        photo = SimImage.camera_photo(
+            gps=(39.906, 116.397), camera_serial="PHONE-SN-991", faces=3
+        )
+        manager.mount_host_filesystem(
+            "installed-os",
+            Layer("installed", files={"/home/bob/protest.jpg": photo.to_bytes()}, read_only=True),
+        )
+        record = manager.transfer_file_to_nym(
+            "installed-os", "/home/bob/protest.jpg", nym, ParanoiaLevel.HIGH
+        )
+        assert record.residual_report.clean
+
+        # What reaches the nym's AnonVM carries no identifying material.
+        delivered = parse_file(nym.inbox.read("/protest.jpg"))
+        assert delivered.exif == {}
+        assert delivered.unblurred_faces == 0
+        assert not delivered.watermark_detectable
+
+        # Twitter never sees Bob's address, only a Tor exit.
+        twitter = manager.internet.server_named("twitter.com")
+        assert all(
+            ip != manager.hypervisor.public_ip for ip in twitter.seen_client_ips
+        )
+
+        # Bob stores the nym to the cloud and shuts down; nothing remains.
+        manager.store_nym(
+            nym, "nym-pw", provider_host="dropbox.com", account_username="rand7781"
+        )
+        manager.discard_nym(nym)
+        assert manager.live_nyms() == []
+
+        # Next night: restore, credentials are already there — no retyping
+        # into possibly-wrong windows (the Sabu failure mode [63]).
+        restored = manager.load_nym("bob-twitter", "nym-pw")
+        assert restored.browser.has_credentials_for("twitter.com")
+        assert restored.nym.accounts == {}  # metadata rebuilt lazily; creds in browser
+
+        # Even if police image the machine: the provider saw only Tor exits,
+        # the blob is ciphertext.
+        provider = manager.providers["dropbox.com"]
+        for ip in provider.observed_ips_for("rand7781"):
+            assert ip != manager.hypervisor.public_ip
+
+    def test_browser_exploit_cannot_unmask_bob(self, manager):
+        nym = manager.create_nym("bob-twitter")
+        manager.timed_browse(nym, "twitter.com")
+        findings = AnonVmCompromise(nym).run()
+        assert not findings.knows_real_network_identity(manager.hypervisor.public_ip)
+
+
+class TestAliceTheCompartmentalizer:
+    """Alice runs work, family, and private-forum roles in parallel nyms."""
+
+    def test_three_parallel_unlinkable_roles(self, manager):
+        work = manager.create_nym("alice-work")
+        family = manager.create_nym("alice-family")
+        forum = manager.create_nym("alice-forum", anonymizer="tor")
+
+        manager.timed_browse(work, "gmail.com")
+        work.sign_in("gmail.com", "alice.pro", "pw1")
+        manager.timed_browse(family, "facebook.com")
+        family.sign_in("facebook.com", "alice.family", "pw2")
+        manager.timed_browse(forum, "blog.torproject.org")
+
+        # No browser state crosses nyms.
+        assert not family.browser.has_credentials_for("gmail.com")
+        assert "gmail.com" not in forum.browser.cookies
+        assert "facebook.com" not in forum.browser.cookies
+
+        # Fingerprints across her roles are indistinguishable.
+        fps = [n.anonvm.fingerprint() for n in (work, family, forum)]
+        assert distinguishing_bits(fps) == 0.0
+
+        # The isolation matrix holds with all three live.
+        result = validate_system(manager)
+        assert result.passed, result.summary()
+
+    def test_discarding_sensitive_role_leaves_others(self, manager):
+        work = manager.create_nym("alice-work")
+        forum = manager.create_nym("alice-forum")
+        manager.timed_browse(forum, "blog.torproject.org")
+        manager.discard_nym(forum)
+        assert work.running
+        manager.timed_browse(work, "gmail.com")  # unaffected
+
+    def test_each_role_gets_own_circuits(self, manager):
+        nyms = [manager.create_nym(f"alice-{i}") for i in range(3)]
+        circuit_ids = {n.anonymizer.current_circuit.circ_id for n in nyms}
+        assert len(circuit_ids) == 3
+
+
+class TestHostOsDeniability:
+    def test_usb_session_leaves_no_local_trace(self, manager):
+        """Boot, browse, store to cloud, discard: local state is zero."""
+        manager.create_cloud_account("drive.google.com", "anon5", "pw")
+        nym = manager.create_nym("sensitive")
+        manager.timed_browse(nym, "blog.torproject.org")
+        manager.store_nym(
+            nym, "pw", provider_host="drive.google.com", account_username="anon5"
+        )
+        manager.discard_nym(nym)
+        # No nymboxes, no writable-layer bytes, no local blobs.
+        assert manager.live_nyms() == []
+        assert manager.hypervisor.memory_snapshot().fs_bytes == 0
+        assert manager._local_blobs == {}
+
+    def test_installed_os_disk_untouched_after_nym_session(self, manager):
+        report, vm, ios = manager.boot_installed_os_nym("Windows 8")
+        assert ios.cow_bytes > 0
+        ios.discard_session()
+        assert ios.cow_bytes == 0
+        assert not ios.physical_disk_modified

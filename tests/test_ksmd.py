@@ -1,0 +1,66 @@
+"""The background KSM daemon on the simulation timeline."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.memory import GuestMemory, Ksm
+from repro.memory.ksmd import KsmDaemon
+from repro.sim import Timeline
+
+MIB = 1024 * 1024
+
+
+def _setup(pages_per_scan=1000):
+    timeline = Timeline()
+    ksm = Ksm(pages_per_scan=pages_per_scan)
+    for name in ("vm1", "vm2"):
+        guest = GuestMemory(name, 64 * MIB)
+        guest.map_image("base", 32 * MIB)
+        ksm.register(guest)
+    return timeline, ksm
+
+
+class TestKsmDaemon:
+    def test_progress_accrues_with_simulated_time(self):
+        timeline, ksm = _setup()
+        daemon = KsmDaemon(timeline, ksm, interval_s=2.0)
+        daemon.start()
+        assert ksm.stats().pages_saved == 0
+        timeline.sleep(10.0)
+        early = ksm.stats().pages_saved
+        timeline.sleep(60.0)
+        later = ksm.stats().pages_saved
+        assert 0 < early < later
+
+    def test_wakeup_cadence(self):
+        timeline, ksm = _setup()
+        daemon = KsmDaemon(timeline, ksm, interval_s=2.0)
+        daemon.start()
+        timeline.sleep(10.0)
+        assert daemon.wakeups == 5
+
+    def test_stop_halts_scanning(self):
+        timeline, ksm = _setup()
+        daemon = KsmDaemon(timeline, ksm, interval_s=1.0)
+        daemon.start()
+        timeline.sleep(3.0)
+        saved = ksm.stats().pages_saved
+        daemon.stop()
+        timeline.sleep(30.0)
+        assert ksm.stats().pages_saved == saved
+        assert not daemon.running
+
+    def test_start_is_idempotent(self):
+        timeline, ksm = _setup()
+        daemon = KsmDaemon(timeline, ksm, interval_s=1.0)
+        daemon.start()
+        daemon.start()
+        timeline.sleep(2.0)
+        assert daemon.wakeups == 2  # not doubled
+
+    def test_invalid_config(self):
+        timeline, ksm = _setup()
+        with pytest.raises(SimulationError):
+            KsmDaemon(timeline, ksm, interval_s=0)
+        with pytest.raises(SimulationError):
+            KsmDaemon(timeline, ksm, passes_per_wake=0)

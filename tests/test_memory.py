@@ -1,0 +1,147 @@
+"""Guest memory, host admission, and secure erase."""
+
+import pytest
+
+from repro.errors import MemoryError_, OutOfMemoryError
+from repro.memory import PAGE_SIZE, GuestMemory, HostMemory, bytes_to_pages, pages_to_bytes
+from repro.memory.pages import image_tag, is_mergeable, unique_tag, ZERO_TAG
+
+MIB = 1024 * 1024
+
+
+class TestPageMath:
+    def test_bytes_to_pages_rounds_up(self):
+        assert bytes_to_pages(1) == 1
+        assert bytes_to_pages(PAGE_SIZE) == 1
+        assert bytes_to_pages(PAGE_SIZE + 1) == 2
+
+    def test_zero_bytes(self):
+        assert bytes_to_pages(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(MemoryError_):
+            bytes_to_pages(-1)
+
+    def test_roundtrip(self):
+        assert pages_to_bytes(bytes_to_pages(10 * MIB)) == 10 * MIB
+
+
+class TestMergePolicy:
+    def test_zero_is_mergeable_class(self):
+        assert is_mergeable(ZERO_TAG)
+
+    def test_image_is_mergeable(self):
+        assert is_mergeable(image_tag("base", 3))
+
+    def test_unique_is_not(self):
+        assert not is_mergeable(unique_tag("vm1", 0))
+
+
+class TestGuestMemory:
+    def test_all_pages_zero_at_allocation(self):
+        guest = GuestMemory("vm1", 16 * MIB)
+        stats = guest.stats()
+        assert stats.zero_pages == stats.total_pages
+        assert stats.total_bytes == 16 * MIB
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(MemoryError_):
+            GuestMemory("vm1", 0)
+
+    def test_map_image_converts_zero_pages(self):
+        guest = GuestMemory("vm1", 16 * MIB)
+        guest.map_image("base", 4 * MIB)
+        stats = guest.stats()
+        assert stats.image_pages == bytes_to_pages(4 * MIB)
+        assert stats.zero_pages == bytes_to_pages(12 * MIB)
+
+    def test_dirty_creates_unique_pages(self):
+        guest = GuestMemory("vm1", 16 * MIB)
+        guest.dirty(2 * MIB)
+        assert guest.stats().unique_pages == bytes_to_pages(2 * MIB)
+
+    def test_total_pages_conserved(self):
+        guest = GuestMemory("vm1", 16 * MIB)
+        guest.map_image("base", 4 * MIB)
+        guest.dirty(2 * MIB)
+        assert guest.total_pages == bytes_to_pages(16 * MIB)
+
+    def test_dirty_beyond_capacity_rejected(self):
+        guest = GuestMemory("vm1", 4 * MIB)
+        guest.dirty(4 * MIB)
+        with pytest.raises(MemoryError_):
+            guest.dirty(1)
+
+    def test_clean_bytes_shrinks_with_dirtying(self):
+        guest = GuestMemory("vm1", 8 * MIB)
+        assert guest.clean_bytes == 8 * MIB
+        guest.dirty(3 * MIB)
+        assert guest.clean_bytes == 5 * MIB
+
+    def test_same_image_same_tags_across_guests(self):
+        a = GuestMemory("vm1", 8 * MIB)
+        b = GuestMemory("vm2", 8 * MIB)
+        a.map_image("base", 2 * MIB)
+        b.map_image("base", 2 * MIB)
+        tags_a = {t for t, _ in a.page_groups() if t[0] == "image"}
+        tags_b = {t for t, _ in b.page_groups() if t[0] == "image"}
+        assert tags_a == tags_b
+
+    def test_unique_tags_never_collide_across_guests(self):
+        a = GuestMemory("vm1", 8 * MIB)
+        b = GuestMemory("vm2", 8 * MIB)
+        a.dirty(1 * MIB)
+        b.dirty(1 * MIB)
+        tags_a = {t for t, _ in a.page_groups() if t[0] == "unique"}
+        tags_b = {t for t, _ in b.page_groups() if t[0] == "unique"}
+        assert not tags_a & tags_b
+
+    def test_secure_erase_zeroes_everything(self):
+        guest = GuestMemory("vm1", 8 * MIB)
+        guest.map_image("base", 2 * MIB)
+        guest.dirty(2 * MIB)
+        wiped = guest.secure_erase()
+        assert wiped == bytes_to_pages(8 * MIB)
+        assert guest.erased
+        stats = guest.stats()
+        assert stats.zero_pages == stats.total_pages
+
+
+class TestHostMemory:
+    def test_admission_and_accounting(self):
+        host = HostMemory(total_bytes=2048 * MIB, base_used_bytes=512 * MIB)
+        host.allocate_guest("vm1", 384 * MIB)
+        stats = host.stats()
+        assert stats.guest_allocated_bytes == 384 * MIB
+        assert stats.used_bytes == (512 + 384) * MIB
+
+    def test_admission_denied_when_full(self):
+        host = HostMemory(total_bytes=1024 * MIB, base_used_bytes=512 * MIB)
+        with pytest.raises(OutOfMemoryError):
+            host.allocate_guest("vm1", 768 * MIB)
+
+    def test_duplicate_owner_rejected(self):
+        host = HostMemory(total_bytes=2048 * MIB, base_used_bytes=128 * MIB)
+        host.allocate_guest("vm1", 128 * MIB)
+        with pytest.raises(OutOfMemoryError):
+            host.allocate_guest("vm1", 128 * MIB)
+
+    def test_release_frees_and_erases(self):
+        host = HostMemory(total_bytes=2048 * MIB, base_used_bytes=128 * MIB)
+        guest = host.allocate_guest("vm1", 128 * MIB)
+        guest.dirty(10 * MIB)
+        host.release_guest("vm1")
+        assert guest.erased
+        assert host.stats().guest_allocated_bytes == 0
+
+    def test_release_unknown_is_noop(self):
+        host = HostMemory(total_bytes=1024 * MIB, base_used_bytes=128 * MIB)
+        host.release_guest("ghost")  # must not raise
+
+    def test_base_usage_must_fit(self):
+        with pytest.raises(OutOfMemoryError):
+            HostMemory(total_bytes=1 * MIB, base_used_bytes=2 * MIB)
+
+    def test_free_bytes(self):
+        host = HostMemory(total_bytes=1024 * MIB, base_used_bytes=256 * MIB)
+        assert host.stats().free_bytes == 768 * MIB

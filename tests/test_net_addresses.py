@@ -1,0 +1,73 @@
+"""MAC/IPv4 address types."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import NetworkError
+from repro.net import Ipv4Address, MacAddress
+from repro.net.addresses import DNS_IP, GATEWAY_IP, GUEST_IP, QEMU_DEFAULT_MAC
+
+
+class TestMacAddress:
+    def test_parse_format_roundtrip(self):
+        mac = MacAddress.parse("52:54:00:12:34:56")
+        assert str(mac) == "52:54:00:12:34:56"
+
+    def test_equality(self):
+        assert MacAddress.parse("aa:bb:cc:dd:ee:ff") == MacAddress.parse("AA:BB:CC:DD:EE:FF".lower())
+
+    def test_hashable(self):
+        assert len({MacAddress(1), MacAddress(1), MacAddress(2)}) == 2
+
+    def test_malformed_rejected(self):
+        for bad in ("52:54:00", "zz:54:00:12:34:56", "52-54-00-12-34-56", ""):
+            with pytest.raises(NetworkError):
+                MacAddress.parse(bad)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(NetworkError):
+            MacAddress(1 << 48)
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_roundtrip_property(self, value):
+        assert MacAddress.parse(str(MacAddress(value))).value == value
+
+
+class TestIpv4Address:
+    def test_parse_format_roundtrip(self):
+        assert str(Ipv4Address.parse("10.0.2.15")) == "10.0.2.15"
+
+    def test_malformed_rejected(self):
+        for bad in ("10.0.2", "10.0.2.256", "a.b.c.d", "", "10.0.2.15.1"):
+            with pytest.raises(NetworkError):
+                Ipv4Address.parse(bad)
+
+    def test_subnet_membership(self):
+        ip = Ipv4Address.parse("10.0.2.15")
+        assert ip.in_subnet(Ipv4Address.parse("10.0.2.0"), 24)
+        assert not ip.in_subnet(Ipv4Address.parse("10.0.3.0"), 24)
+        assert ip.in_subnet(Ipv4Address.parse("0.0.0.0"), 0)
+
+    def test_private_detection(self):
+        assert Ipv4Address.parse("10.1.2.3").is_private()
+        assert Ipv4Address.parse("192.168.1.1").is_private()
+        assert Ipv4Address.parse("172.16.0.1").is_private()
+        assert Ipv4Address.parse("172.32.0.1").is_private() is False
+        assert not Ipv4Address.parse("8.8.8.8").is_private()
+
+    def test_bad_prefix_rejected(self):
+        with pytest.raises(NetworkError):
+            Ipv4Address.parse("10.0.0.1").in_subnet(Ipv4Address.parse("10.0.0.0"), 33)
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_roundtrip_property(self, value):
+        assert Ipv4Address.parse(str(Ipv4Address(value))).value == value
+
+
+class TestHomogenizedConstants:
+    def test_guest_addressing_is_qemu_defaults(self):
+        """The fixed identity every nymbox advertises (§4.2)."""
+        assert str(QEMU_DEFAULT_MAC) == "52:54:00:12:34:56"
+        assert str(GUEST_IP) == "10.0.2.15"
+        assert str(GATEWAY_IP) == "10.0.2.2"
+        assert str(DNS_IP) == "10.0.2.3"

@@ -1,0 +1,84 @@
+"""Flow-level bandwidth pool (Figure 5's substrate)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetworkError
+from repro.net import BandwidthPool
+
+MIB = 1024 * 1024
+
+
+class TestBandwidthPool:
+    def test_single_flow_duration(self):
+        pool = BandwidthPool(capacity_bps=8_000_000)  # 1 MB/s
+        flow = pool.transfer(1_000_000)
+        assert flow.duration_s == pytest.approx(1.0)
+
+    def test_rtt_added(self):
+        pool = BandwidthPool(capacity_bps=8_000_000, rtt_s=0.080)
+        flow = pool.transfer(1_000_000)
+        assert flow.duration_s == pytest.approx(1.080)
+
+    def test_overhead_factor_inflates_wire_bytes(self):
+        pool = BandwidthPool(capacity_bps=8_000_000)
+        flow = pool.transfer(1_000_000, overhead_factor=1.12)
+        assert flow.wire_bytes == 1_120_000
+        assert flow.duration_s == pytest.approx(1.12)
+
+    def test_parallel_flows_share_fairly(self):
+        pool = BandwidthPool(capacity_bps=8_000_000)
+        flows = pool.transfer_batch([1_000_000] * 4)
+        for flow in flows:
+            assert flow.duration_s == pytest.approx(4.0)
+
+    def test_per_flow_ceiling(self):
+        pool = BandwidthPool(capacity_bps=80_000_000)
+        flow = pool.transfer(1_000_000, per_flow_ceiling_bps=8_000_000)
+        assert flow.duration_s == pytest.approx(1.0)
+
+    def test_overhead_below_one_rejected(self):
+        pool = BandwidthPool(capacity_bps=1000)
+        with pytest.raises(NetworkError):
+            pool.transfer(1000, overhead_factor=0.9)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(NetworkError):
+            BandwidthPool(capacity_bps=0)
+
+    def test_negative_rtt_rejected(self):
+        with pytest.raises(NetworkError):
+            BandwidthPool(capacity_bps=1000, rtt_s=-1)
+
+    def test_factor_length_mismatch_rejected(self):
+        pool = BandwidthPool(capacity_bps=1000)
+        with pytest.raises(NetworkError):
+            pool.transfer_batch([100, 200], [1.0])
+
+    def test_empty_batch(self):
+        assert BandwidthPool(capacity_bps=1000).transfer_batch([]) == []
+
+    def test_total_wire_bytes_accumulates(self):
+        pool = BandwidthPool(capacity_bps=8_000_000)
+        pool.transfer(500_000)
+        pool.transfer(500_000, overhead_factor=2.0)
+        assert pool.total_wire_bytes == 500_000 + 1_000_000
+
+    def test_goodput(self):
+        pool = BandwidthPool(capacity_bps=8_000_000)
+        flow = pool.transfer(1_000_000)
+        assert flow.goodput_bps == pytest.approx(8_000_000)
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=10 * MIB), min_size=1, max_size=8),
+        st.floats(min_value=1.0, max_value=2.0),
+    )
+    @settings(max_examples=30)
+    def test_makespan_equals_total_wire_time_property(self, sizes, factor):
+        """With equal factors, the slowest flow finishes exactly when the
+        pool has pushed every wire byte."""
+        pool = BandwidthPool(capacity_bps=10_000_000)
+        flows = pool.transfer_batch(sizes, [factor] * len(sizes))
+        makespan = max(f.duration_s for f in flows)
+        total_bits = sum(s * 8 * factor for s in sizes)
+        assert makespan == pytest.approx(total_bits / 10_000_000, rel=1e-6)

@@ -1,0 +1,162 @@
+"""NICs, virtual wires, frames, and captures."""
+
+import pytest
+
+from repro.errors import NetworkError, UnreachableError
+from repro.net import EthernetFrame, Ipv4Packet, PacketCapture, UdpDatagram, VirtualNic, VirtualWire
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.net.frame import BROADCAST_MAC, IcmpMessage, Protocol
+from repro.sim import Timeline
+
+
+def _nic(name, mac_last, ip=None):
+    return VirtualNic(
+        name,
+        MacAddress.parse(f"52:54:00:00:00:{mac_last:02x}"),
+        Ipv4Address.parse(ip) if ip else None,
+    )
+
+
+def _packet(src="10.0.2.15", dst="10.0.2.2", label=""):
+    return Ipv4Packet(
+        src=Ipv4Address.parse(src),
+        dst=Ipv4Address.parse(dst),
+        transport=UdpDatagram(src_port=1234, dst_port=53, payload=b"x" * 10, label=label),
+    )
+
+
+class TestFrames:
+    def test_protocol_dispatch(self):
+        assert _packet().protocol is Protocol.UDP
+        icmp = Ipv4Packet(
+            src=Ipv4Address.parse("1.2.3.4"),
+            dst=Ipv4Address.parse("5.6.7.8"),
+            transport=IcmpMessage(),
+        )
+        assert icmp.protocol is Protocol.ICMP
+
+    def test_sizes(self):
+        packet = _packet()
+        assert packet.size == 20 + 8 + 10
+        frame = EthernetFrame(
+            src_mac=MacAddress(1), dst_mac=MacAddress(2), packet=packet
+        )
+        assert frame.size == 14 + packet.size
+
+    def test_describe_mentions_endpoints(self):
+        text = _packet(label="dns").describe()
+        assert "10.0.2.15" in text and "dns" in text
+
+    def test_broadcast_detection(self):
+        frame = EthernetFrame(src_mac=MacAddress(1), dst_mac=BROADCAST_MAC)
+        assert frame.is_broadcast
+
+
+class TestNicAndWire:
+    def test_frame_crosses_wire(self):
+        timeline = Timeline()
+        a, b = _nic("a", 1, "10.0.2.15"), _nic("b", 2, "10.0.2.2")
+        VirtualWire(timeline, a, b, latency_s=0.001)
+        received = []
+        b.on_receive(received.append)
+        a.send(EthernetFrame(src_mac=a.mac, dst_mac=b.mac, packet=_packet()))
+        assert received == []  # in flight
+        timeline.sleep(0.002)
+        assert len(received) == 1
+
+    def test_zero_latency_is_synchronous(self):
+        timeline = Timeline()
+        a, b = _nic("a", 1), _nic("b", 2)
+        VirtualWire(timeline, a, b, latency_s=0.0)
+        received = []
+        b.on_receive(received.append)
+        a.send(EthernetFrame(src_mac=a.mac, dst_mac=b.mac))
+        assert len(received) == 1
+
+    def test_unconnected_nic_drops_silently(self):
+        nic = _nic("lonely", 1)
+        ok = nic.send(EthernetFrame(src_mac=nic.mac, dst_mac=MacAddress(9)))
+        assert not ok
+        assert nic.dropped_frames == 1
+
+    def test_unconnected_nic_strict_raises(self):
+        nic = _nic("lonely", 1)
+        with pytest.raises(UnreachableError):
+            nic.send(EthernetFrame(src_mac=nic.mac, dst_mac=MacAddress(9)), strict=True)
+
+    def test_wrong_destination_mac_filtered(self):
+        timeline = Timeline()
+        a, b = _nic("a", 1), _nic("b", 2)
+        VirtualWire(timeline, a, b, latency_s=0.0)
+        received = []
+        b.on_receive(received.append)
+        a.send(EthernetFrame(src_mac=a.mac, dst_mac=MacAddress(0x99)))
+        assert received == []
+        assert b.dropped_frames == 1
+
+    def test_broadcast_accepted(self):
+        timeline = Timeline()
+        a, b = _nic("a", 1), _nic("b", 2)
+        VirtualWire(timeline, a, b, latency_s=0.0)
+        received = []
+        b.on_receive(received.append)
+        a.send(EthernetFrame(src_mac=a.mac, dst_mac=BROADCAST_MAC))
+        assert len(received) == 1
+
+    def test_wire_teardown_severs_path(self):
+        timeline = Timeline()
+        a, b = _nic("a", 1), _nic("b", 2)
+        wire = VirtualWire(timeline, a, b, latency_s=0.0)
+        wire.take_down()
+        assert not a.connected and not b.connected
+        assert not a.send(EthernetFrame(src_mac=a.mac, dst_mac=b.mac))
+
+    def test_wire_needs_two_endpoints(self):
+        timeline = Timeline()
+        nic = _nic("a", 1)
+        with pytest.raises(NetworkError):
+            VirtualWire(timeline, nic, nic)
+
+    def test_foreign_sender_rejected(self):
+        timeline = Timeline()
+        a, b, c = _nic("a", 1), _nic("b", 2), _nic("c", 3)
+        wire = VirtualWire(timeline, a, b, latency_s=0.0)
+        with pytest.raises(NetworkError):
+            wire.carry(c, EthernetFrame(src_mac=c.mac, dst_mac=a.mac))
+
+    def test_counters(self):
+        timeline = Timeline()
+        a, b = _nic("a", 1), _nic("b", 2)
+        VirtualWire(timeline, a, b, latency_s=0.0)
+        frame = EthernetFrame(src_mac=a.mac, dst_mac=b.mac, packet=_packet())
+        a.send(frame)
+        assert a.tx_frames == 1 and a.tx_bytes == frame.size
+        assert b.rx_frames == 1 and b.rx_bytes == frame.size
+
+
+class TestPacketCapture:
+    def test_tap_observes_both_directions(self):
+        timeline = Timeline()
+        a, b = _nic("a", 1), _nic("b", 2)
+        wire = VirtualWire(timeline, a, b, latency_s=0.0)
+        capture = PacketCapture(timeline)
+        wire.add_tap(capture)
+        a.send(EthernetFrame(src_mac=a.mac, dst_mac=b.mac, packet=_packet(label="dns")))
+        b.send(EthernetFrame(src_mac=b.mac, dst_mac=a.mac, packet=_packet(label="dns")))
+        assert len(capture) == 2
+        assert {e.sender for e in capture.entries} == {"a", "b"}
+
+    def test_labels_recorded(self):
+        timeline = Timeline()
+        a, b = _nic("a", 1), _nic("b", 2)
+        wire = VirtualWire(timeline, a, b, latency_s=0.0)
+        capture = PacketCapture(timeline)
+        wire.add_tap(capture)
+        a.send(EthernetFrame(src_mac=a.mac, dst_mac=b.mac, packet=_packet(label="dhcp")))
+        a.send(EthernetFrame(src_mac=a.mac, dst_mac=b.mac, raw_payload=b"raw"))
+        assert capture.by_label() == {"dhcp": 1, "raw-ethernet": 1}
+
+    def test_flow_records(self):
+        capture = PacketCapture(Timeline())
+        capture.record_flow("uplink", "nat", "anonymizer", 1000)
+        assert capture.entries[0].flow_bytes == 1000

@@ -1,0 +1,204 @@
+"""NAT, DHCP, DNS, Internet registry, and the leak analyzer."""
+
+import pytest
+
+from repro.errors import NetworkError, UnreachableError
+from repro.net import (
+    DnsResolver,
+    Internet,
+    LeakAnalyzer,
+    MasqueradeNat,
+    PacketCapture,
+    Server,
+)
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.net.dhcp import DhcpClient, DhcpServer
+from repro.net.frame import Ipv4Packet, TcpSegment, UdpDatagram
+from repro.net.link import VirtualWire
+from repro.net.nic import VirtualNic
+from repro.sim import Timeline
+
+
+@pytest.fixture
+def timeline():
+    return Timeline(seed=1)
+
+
+@pytest.fixture
+def internet(timeline):
+    net = Internet(timeline)
+    net.add_server(Server("example.com", Ipv4Address.parse("93.184.216.34")))
+    return net
+
+
+@pytest.fixture
+def nat(timeline, internet):
+    return MasqueradeNat(
+        timeline,
+        "nat(test)",
+        Ipv4Address.parse("203.0.113.77"),
+        internet,
+        host_capture=PacketCapture(timeline),
+    )
+
+
+def _udp_packet(dst, src="10.0.2.2", label="anonymizer"):
+    return Ipv4Packet(
+        src=Ipv4Address.parse(src),
+        dst=Ipv4Address.parse(dst),
+        transport=UdpDatagram(src_port=5000, dst_port=443, payload=b"hi", label=label),
+    )
+
+
+class TestMasqueradeNat:
+    def test_translates_source(self, nat):
+        out = nat.forward(_udp_packet("93.184.216.34"))
+        assert str(out.src) == "203.0.113.77"
+        assert out.transport.src_port >= 49152
+
+    def test_stable_binding_per_connection(self, nat):
+        a = nat.forward(_udp_packet("93.184.216.34"))
+        b = nat.forward(_udp_packet("93.184.216.34"))
+        assert a.transport.src_port == b.transport.src_port
+        assert nat.active_bindings == 1
+
+    def test_distinct_connections_distinct_ports(self, nat):
+        a = nat.forward(_udp_packet("93.184.216.34"))
+        tcp = Ipv4Packet(
+            src=Ipv4Address.parse("10.0.2.2"),
+            dst=Ipv4Address.parse("93.184.216.34"),
+            transport=TcpSegment(src_port=5000, dst_port=443, label="anonymizer"),
+        )
+        b = nat.forward(tcp)
+        assert a.transport.src_port != b.transport.src_port
+
+    def test_private_destinations_blocked(self, nat):
+        """Nymboxes must never reach local intranets (§5.1)."""
+        with pytest.raises(UnreachableError):
+            nat.forward(_udp_packet("192.168.1.10"))
+        assert nat.blocked_packets == 1
+
+    def test_unknown_destination_unreachable(self, nat):
+        with pytest.raises(UnreachableError):
+            nat.forward(_udp_packet("8.8.8.8"))
+
+    def test_ttl_decrements(self, nat):
+        out = nat.forward(_udp_packet("93.184.216.34"))
+        assert out.ttl == 63
+
+    def test_capture_records_flows(self, nat):
+        nat.forward(_udp_packet("93.184.216.34"))
+        nat.stream(Ipv4Address.parse("93.184.216.34"), 10_000, label="anonymizer")
+        assert len(nat.host_capture.entries) == 2
+
+    def test_stream_blocked_to_private(self, nat):
+        with pytest.raises(UnreachableError):
+            nat.stream(Ipv4Address.parse("10.0.0.1"), 100, label="x")
+
+
+class TestDhcp:
+    def test_full_handshake(self, timeline):
+        server_nic = VirtualNic(
+            "dhcp-server", MacAddress.parse("00:16:3e:00:00:01"), Ipv4Address.parse("192.168.1.1")
+        )
+        client_nic = VirtualNic("host-eth0", MacAddress.parse("00:16:3e:00:00:02"))
+        VirtualWire(timeline, server_nic, client_nic, name="lan")
+        DhcpServer(timeline, server_nic, Ipv4Address.parse("192.168.1.100"))
+        client = DhcpClient(timeline, client_nic)
+        ip = client.acquire()
+        assert str(ip) == "192.168.1.100"
+        assert client_nic.ip == ip
+
+    def test_same_mac_same_lease(self, timeline):
+        server_nic = VirtualNic(
+            "dhcp-server", MacAddress.parse("00:16:3e:00:00:01"), Ipv4Address.parse("192.168.1.1")
+        )
+        client_nic = VirtualNic("host-eth0", MacAddress.parse("00:16:3e:00:00:02"))
+        VirtualWire(timeline, server_nic, client_nic)
+        server = DhcpServer(timeline, server_nic, Ipv4Address.parse("192.168.1.100"))
+        DhcpClient(timeline, client_nic).acquire()
+        first = server.lease_for(client_nic.mac)
+        DhcpClient(timeline, client_nic)._broadcast(b"DISCOVER")
+        timeline.sleep(1.0)
+        assert server.lease_for(client_nic.mac).ip == first.ip
+
+    def test_timeout_without_server(self, timeline):
+        client_nic = VirtualNic("host-eth0", MacAddress.parse("00:16:3e:00:00:02"))
+        client = DhcpClient(timeline, client_nic)
+        with pytest.raises(NetworkError):
+            client.acquire(timeout_s=0.5)
+
+    def test_pool_exhaustion(self, timeline):
+        server_nic = VirtualNic(
+            "dhcp-server", MacAddress.parse("00:16:3e:00:00:01"), Ipv4Address.parse("192.168.1.1")
+        )
+        server = DhcpServer(timeline, server_nic, Ipv4Address.parse("192.168.1.100"), pool_size=1)
+        server._leases[MacAddress(1)] = server.lease_for(MacAddress(1)) or type(
+            "L", (), {"ip": Ipv4Address.parse("192.168.1.100")}
+        )()
+        with pytest.raises(NetworkError):
+            server._next_free_ip()
+
+
+class TestDnsResolver:
+    def test_resolves_and_logs_path(self, internet):
+        resolver = DnsResolver(internet, via="anonymizer")
+        ip = resolver.resolve("example.com")
+        assert str(ip) == "93.184.216.34"
+        assert resolver.query_log[0].answered_by == "anonymizer"
+        assert resolver.direct_queries() == []
+
+    def test_direct_queries_flagged(self, internet):
+        resolver = DnsResolver(internet, via="direct")
+        resolver.resolve("example.com")
+        assert len(resolver.direct_queries()) == 1
+
+    def test_nxdomain(self, internet):
+        with pytest.raises(UnreachableError):
+            DnsResolver(internet).resolve("nonexistent.example")
+
+
+class TestInternet:
+    def test_duplicate_registration_rejected(self, internet):
+        with pytest.raises(NetworkError):
+            internet.add_server(Server("example.com", Ipv4Address.parse("1.1.1.1")))
+        with pytest.raises(NetworkError):
+            internet.add_server(Server("other.com", Ipv4Address.parse("93.184.216.34")))
+
+    def test_fetch_advances_time(self, timeline, internet):
+        before = timeline.now
+        result = internet.fetch("example.com")
+        assert timeline.now > before
+        assert result.response.status == 200
+
+    def test_fetch_records_client_ip(self, internet):
+        src = Ipv4Address.parse("198.51.101.9")
+        internet.fetch("example.com", src_ip=src)
+        assert internet.server_named("example.com").seen_client_ips == [src]
+
+    def test_unknown_host(self, internet):
+        with pytest.raises(UnreachableError):
+            internet.fetch("missing.example")
+
+
+class TestLeakAnalyzer:
+    def test_clean_capture(self, timeline):
+        capture = PacketCapture(timeline)
+        capture.record_flow("uplink", "nat", "anonymizer", 100)
+        capture.record_flow("uplink", "host", "dhcp", 100)
+        report = LeakAnalyzer().analyze(capture)
+        assert report.clean
+        assert "CLEAN" in report.summary()
+
+    def test_leak_detected(self, timeline):
+        capture = PacketCapture(timeline)
+        capture.record_flow("uplink", "anonvm", "", 100)
+        report = LeakAnalyzer().analyze(capture)
+        assert not report.clean
+        assert len(report.leaks) == 1
+
+    def test_custom_policy(self, timeline):
+        capture = PacketCapture(timeline)
+        capture.record_flow("uplink", "x", "ntp", 100)
+        assert not LeakAnalyzer().analyze(capture).clean
+        assert LeakAnalyzer(allowed_labels=("ntp",)).analyze(capture).clean

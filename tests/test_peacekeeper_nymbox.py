@@ -1,0 +1,52 @@
+"""Peacekeeper inside actual nymboxes, including the §5.2 OOM behaviour."""
+
+import pytest
+
+from repro.vmm.vm import VmSpec
+from repro.workloads.peacekeeper import REQUIRED_VM_RAM, run_in_nymbox
+
+MIB = 1024 * 1024
+
+
+class TestNymboxRuns:
+    def test_default_anonvm_crashes_chromium(self, manager):
+        """§5.2: the suite OOMs Chrome in a default-sized AnonVM."""
+        nymbox = manager.create_nym("small")
+        result = run_in_nymbox(nymbox, manager.hypervisor.cpu)
+        assert result.crashed
+        assert "OOM" in result.reason
+
+    def test_one_gib_anonvm_completes(self, manager):
+        nymbox = manager.create_nym(
+            "big", anon_spec=VmSpec.anonvm(ram_bytes=REQUIRED_VM_RAM)
+        )
+        result = run_in_nymbox(nymbox, manager.hypervisor.cpu)
+        assert not result.crashed
+        assert result.score == pytest.approx(4000.0, rel=0.01)
+
+    def test_run_advances_time(self, manager):
+        nymbox = manager.create_nym(
+            "big", anon_spec=VmSpec.anonvm(ram_bytes=REQUIRED_VM_RAM)
+        )
+        before = manager.timeline.now
+        run_in_nymbox(nymbox, manager.hypervisor.cpu)
+        assert manager.timeline.now > before
+
+    def test_run_dirties_guest_memory(self, manager):
+        nymbox = manager.create_nym(
+            "big", anon_spec=VmSpec.anonvm(ram_bytes=REQUIRED_VM_RAM)
+        )
+        before = nymbox.anonvm.memory.stats().unique_pages
+        run_in_nymbox(nymbox, manager.hypervisor.cpu)
+        assert nymbox.anonvm.memory.stats().unique_pages > before
+
+    def test_contended_run_scores_lower(self, manager):
+        nymbox = manager.create_nym(
+            "big", anon_spec=VmSpec.anonvm(ram_bytes=REQUIRED_VM_RAM)
+        )
+        solo = run_in_nymbox(nymbox, manager.hypervisor.cpu, concurrent_nyms=1)
+        nymbox2 = manager.create_nym(
+            "big2", anon_spec=VmSpec.anonvm(ram_bytes=REQUIRED_VM_RAM)
+        )
+        contended = run_in_nymbox(nymbox2, manager.hypervisor.cpu, concurrent_nyms=8)
+        assert contended.score < solo.score

@@ -1,0 +1,37 @@
+"""Property tests on the nym-snapshot wire format."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.anonymizers.base import AnonymizerState
+from repro.core.persistence import FsSnapshot
+
+_PATHS = st.from_regex(r"/[a-z]{1,6}(/[a-z0-9._ -]{1,10}){0,3}", fullmatch=True)
+
+
+class TestFsSnapshotProperties:
+    @given(
+        st.dictionaries(_PATHS, st.binary(max_size=256), max_size=10),
+        st.dictionaries(_PATHS, st.binary(max_size=64), max_size=4),
+    )
+    @settings(max_examples=40)
+    def test_wire_roundtrip_property(self, anon_files, comm_files):
+        snapshot = FsSnapshot(
+            anon_files=anon_files,
+            comm_files=comm_files,
+            anonymizer_state=AnonymizerState(kind="tor", payload={"k": [1, 2]}),
+        )
+        parsed = FsSnapshot.from_bytes(snapshot.to_bytes())
+        assert parsed.anon_files == anon_files
+        assert parsed.comm_files == comm_files
+        assert parsed.anonymizer_state.kind == "tor"
+        assert parsed.anonymizer_state.payload == {"k": [1, 2]}
+
+    @given(st.dictionaries(_PATHS, st.binary(min_size=1, max_size=128), max_size=8))
+    @settings(max_examples=30)
+    def test_raw_bytes_accounting_property(self, files):
+        snapshot = FsSnapshot(
+            anon_files=files, comm_files={}, anonymizer_state=AnonymizerState(kind="x")
+        )
+        assert snapshot.raw_bytes == sum(len(v) for v in files.values())
+        if files:
+            assert snapshot.anonvm_fraction == 1.0

@@ -1,0 +1,68 @@
+"""The automated red-team sweep (§5.1's two-year adversarial review)."""
+
+import pytest
+
+from repro.attacks.redteam import run_red_team
+
+
+class TestRedTeam:
+    def test_all_attacks_contained(self, manager):
+        report = run_red_team(manager, nyms=3)
+        assert report.all_contained, report.summary()
+        assert len(report.outcomes) == 6
+
+    def test_report_names_every_exercise(self, manager):
+        report = run_red_team(manager, nyms=2)
+        names = {outcome.name for outcome in report.outcomes}
+        assert names == {
+            "anonvm-exploit",
+            "commvm-exploit",
+            "fingerprint-linkage",
+            "evercookie-stain",
+            "network-probes",
+            "isolation-matrix",
+        }
+
+    def test_cleans_up_after_itself(self, manager):
+        before = set(manager.live_nyms())
+        run_red_team(manager, nyms=2)
+        assert set(manager.live_nyms()) == before
+
+    def test_summary_readable(self, manager):
+        report = run_red_team(manager, nyms=2)
+        text = report.summary()
+        assert "ALL CONTAINED" in text
+        assert "anonvm-exploit" in text
+
+    def test_detects_seeded_breach(self, manager):
+        """If isolation were broken, the sweep must say so: seed a fake
+        cross-nym wire and watch the matrix exercise fail."""
+        a = manager.create_nym("breach-a")
+        b = manager.create_nym("breach-b")
+        # Sabotage: wire a's AnonVM to b's AnonVM directly.
+        from repro.net.link import VirtualWire
+
+        rogue = VirtualWire(
+            manager.timeline, a.anonvm.primary_nic, b.anonvm.primary_nic,
+            name="rogue-bridge",
+        )
+        manager.hypervisor._wires.append(rogue)
+        report = run_red_team(manager, nyms=1)
+        assert not report.all_contained
+        assert any(o.name == "isolation-matrix" for o in report.failures())
+
+
+class TestWifiCredentialReuse:
+    def test_installed_os_exposes_wifi_store(self, manager):
+        _, _, ios = manager.boot_installed_os_nym("Windows 7")
+        credentials = ios.network_credentials()
+        assert any(c.ssid == "HomeNet-5G" for c in credentials)
+
+    def test_wifi_store_needs_boot(self, manager):
+        from repro.errors import VmStateError
+        from repro.guest.installed_os import INSTALLED_OS_CATALOG, InstalledOs
+        from repro.sim import SeededRng
+
+        ios = InstalledOs(INSTALLED_OS_CATALOG["Windows 7"], SeededRng(1))
+        with pytest.raises(VmStateError):
+            ios.network_credentials()

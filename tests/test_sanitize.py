@@ -1,0 +1,183 @@
+"""File formats, risk analysis, MAT, transforms (§3.6/§4.3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SanitizeError
+from repro.sanitize import (
+    MatScrubber,
+    ParanoiaLevel,
+    RiskAnalyzer,
+    SimDocument,
+    SimImage,
+    add_noise,
+    blur_faces,
+    parse_file,
+    rasterize_document,
+    strip_metadata,
+)
+from repro.sanitize.transforms import apply_level
+
+
+class TestFileFormats:
+    def test_image_roundtrip(self):
+        image = SimImage.camera_photo(faces=2, watermark_id="wm")
+        parsed = SimImage.from_bytes(image.to_bytes())
+        assert parsed.exif == image.exif
+        assert len(parsed.faces) == 2
+        assert parsed.watermark_id == "wm"
+
+    def test_document_roundtrip(self):
+        doc = SimDocument.office_document(hidden_text=["redacted name"])
+        parsed = SimDocument.from_bytes(doc.to_bytes())
+        assert parsed.metadata == doc.metadata
+        assert parsed.hidden_text == ["redacted name"]
+
+    def test_parse_dispatches_on_magic(self):
+        assert isinstance(parse_file(SimImage.camera_photo().to_bytes()), SimImage)
+        assert isinstance(parse_file(SimDocument.office_document().to_bytes()), SimDocument)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(SanitizeError):
+            parse_file(b"random bytes")
+
+    def test_camera_photo_has_gps_and_serial(self):
+        image = SimImage.camera_photo()
+        assert image.has_gps
+        assert "SerialNumber" in image.exif
+
+    def test_watermark_detectability_threshold(self):
+        image = SimImage.camera_photo(watermark_id="wm")
+        assert image.watermark_detectable
+        noisy = add_noise(add_noise(image, 0.15), 0.15)
+        assert not noisy.watermark_detectable
+
+    @given(st.dictionaries(st.from_regex(r"[A-Za-z]{1,12}", fullmatch=True), st.text(max_size=20), max_size=6))
+    @settings(max_examples=25)
+    def test_exif_roundtrip_property(self, exif):
+        image = SimImage(width=100, height=100, pixel_seed=1, exif=exif)
+        assert SimImage.from_bytes(image.to_bytes()).exif == exif
+
+
+class TestRiskAnalyzer:
+    def test_camera_photo_risks(self):
+        report = RiskAnalyzer().analyze("p.jpg", SimImage.camera_photo(faces=1))
+        kinds = report.kinds()
+        assert "exif-gps" in kinds
+        assert "exif-serial" in kinds
+        assert "face" in kinds
+        assert report.high_risks
+
+    def test_clean_image(self):
+        image = SimImage(width=10, height=10, pixel_seed=1)
+        report = RiskAnalyzer().analyze("p.jpg", image)
+        assert report.clean
+        assert "no identified risks" in report.summary()
+
+    def test_office_document_risks(self):
+        report = RiskAnalyzer().analyze("d.doc", SimDocument.office_document())
+        assert "doc-author" in report.kinds()
+        assert "doc-revisions" in report.kinds()
+
+    def test_hidden_text_flagged_high(self):
+        doc = SimDocument.office_document(hidden_text=["x"])
+        report = RiskAnalyzer().analyze("d.doc", doc)
+        assert any(r.kind == "doc-hidden-text" and r.severity == "high" for r in report.risks)
+
+    def test_analyze_bytes(self):
+        report = RiskAnalyzer().analyze_bytes("p.jpg", SimImage.camera_photo().to_bytes())
+        assert not report.clean
+
+
+class TestMat:
+    def test_strips_image_exif(self):
+        scrubbed = MatScrubber().scrub_image(SimImage.camera_photo())
+        assert scrubbed.exif == {}
+        assert not scrubbed.has_gps
+
+    def test_preserves_pixels(self):
+        image = SimImage.camera_photo(pixel_seed=77)
+        assert MatScrubber().scrub_image(image).pixel_seed == 77
+
+    def test_cannot_remove_faces_or_watermarks(self):
+        """MAT's documented limitation (§4.3)."""
+        image = SimImage.camera_photo(faces=1, watermark_id="wm")
+        scrubbed = MatScrubber().scrub_image(image)
+        assert scrubbed.unblurred_faces == 1
+        assert scrubbed.watermark_detectable
+
+    def test_strips_document_metadata_but_not_hidden_text(self):
+        doc = SimDocument.office_document(hidden_text=["x"])
+        scrubbed = MatScrubber().scrub_document(doc)
+        assert scrubbed.metadata == {}
+        assert scrubbed.revision_history == []
+        assert scrubbed.hidden_text == ["x"]
+
+    def test_scrub_bytes(self):
+        data = MatScrubber().scrub_bytes(SimImage.camera_photo().to_bytes())
+        assert SimImage.from_bytes(data).exif == {}
+
+
+class TestTransforms:
+    def test_blur_faces(self):
+        image = SimImage.camera_photo(faces=3)
+        assert blur_faces(image).unblurred_faces == 0
+
+    def test_blur_preserves_exif(self):
+        image = SimImage.camera_photo(faces=1)
+        assert blur_faces(image).exif == image.exif
+
+    def test_add_noise_downscales(self):
+        image = SimImage.camera_photo()
+        noisy = add_noise(image, downscale=0.5)
+        assert noisy.width == image.width // 2
+
+    def test_add_noise_bad_downscale(self):
+        with pytest.raises(SanitizeError):
+            add_noise(SimImage.camera_photo(), downscale=0.0)
+
+    def test_rasterize_destroys_hidden_structure(self):
+        doc = SimDocument.office_document(hidden_text=["x"], revisions=["r1"])
+        raster = rasterize_document(doc)
+        assert raster.hidden_text == []
+        assert raster.revision_history == []
+        assert raster.metadata == {}
+        assert len(raster.pages) == len(doc.pages)
+
+    def test_rasterize_keeps_visible_text(self):
+        doc = SimDocument.office_document(pages=["visible content"])
+        assert "visible content" in rasterize_document(doc).pages[0]
+
+    def test_transforms_pass_through_wrong_types(self):
+        doc = SimDocument.office_document()
+        assert blur_faces(doc) is doc
+        image = SimImage.camera_photo()
+        assert rasterize_document(image) is image
+
+
+class TestParanoiaLevels:
+    def test_low_strips_metadata_only(self):
+        image = SimImage.camera_photo(faces=1, watermark_id="wm")
+        result = apply_level(image, ParanoiaLevel.LOW)
+        report = RiskAnalyzer().analyze("p", result)
+        assert "exif-gps" not in report.kinds()
+        assert "face" in report.kinds()
+
+    def test_medium_also_blurs_faces(self):
+        image = SimImage.camera_photo(faces=1)
+        result = apply_level(image, ParanoiaLevel.MEDIUM)
+        assert "face" not in RiskAnalyzer().analyze("p", result).kinds()
+
+    def test_high_clears_everything_on_images(self):
+        image = SimImage.camera_photo(faces=2, watermark_id="wm")
+        result = apply_level(image, ParanoiaLevel.HIGH)
+        assert RiskAnalyzer().analyze("p", result).clean
+
+    def test_high_clears_everything_on_documents(self):
+        doc = SimDocument.office_document(hidden_text=["x"])
+        result = apply_level(doc, ParanoiaLevel.HIGH)
+        assert RiskAnalyzer().analyze("d", result).clean
+
+    def test_strip_metadata_rejects_unknown_type(self):
+        with pytest.raises(SanitizeError):
+            strip_metadata(object())

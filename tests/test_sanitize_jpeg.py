@@ -1,0 +1,160 @@
+"""The byte-level JPEG/EXIF codec and scrubber."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SanitizeError
+from repro.sanitize.jpeg import (
+    APP1,
+    EOI,
+    SOI,
+    ExifData,
+    encode_jpeg,
+    parse_jpeg,
+    scrub_jpeg,
+)
+
+
+def _camera_exif():
+    return ExifData(
+        make="Nikon",
+        model="D3100",
+        datetime="2014:05:01 18:23:11",
+        body_serial="NIKON-D3100-2041337",
+        gps=(39.906, 116.397),
+    )
+
+
+class TestRoundtrip:
+    def test_full_exif_roundtrip(self):
+        data = encode_jpeg(_camera_exif(), scan_data=b"PIXELDATA" * 10)
+        parsed = parse_jpeg(data)
+        assert parsed.exif is not None
+        assert parsed.exif.make == "Nikon"
+        assert parsed.exif.model == "D3100"
+        assert parsed.exif.body_serial == "NIKON-D3100-2041337"
+        assert parsed.exif.gps[0] == pytest.approx(39.906, abs=1e-4)
+        assert parsed.exif.gps[1] == pytest.approx(116.397, abs=1e-4)
+        assert parsed.scan_data == b"PIXELDATA" * 10
+
+    def test_southern_western_hemispheres(self):
+        exif = ExifData(gps=(-33.8688, -151.2093))
+        parsed = parse_jpeg(encode_jpeg(exif))
+        assert parsed.exif.gps[0] == pytest.approx(-33.8688, abs=1e-4)
+        assert parsed.exif.gps[1] == pytest.approx(-151.2093, abs=1e-4)
+
+    def test_no_exif(self):
+        data = encode_jpeg(None, scan_data=b"RAW")
+        parsed = parse_jpeg(data)
+        assert parsed.exif is None
+        assert parsed.scan_data == b"RAW"
+
+    def test_partial_exif(self):
+        parsed = parse_jpeg(encode_jpeg(ExifData(make="Canon")))
+        assert parsed.exif.make == "Canon"
+        assert parsed.exif.gps is None
+        assert parsed.exif.body_serial == ""
+
+    def test_wire_structure(self):
+        data = encode_jpeg(_camera_exif())
+        assert data.startswith(SOI)
+        assert data.endswith(EOI)
+        assert b"Exif\x00\x00" in data
+        assert b"II" in data  # little-endian TIFF
+
+    def test_ff_byte_stuffing(self):
+        """0xFF bytes in scan data must be stuffed and unstuffed."""
+        scan = b"\xff\x01\xff\xff\x02"
+        parsed = parse_jpeg(encode_jpeg(None, scan_data=scan))
+        assert parsed.scan_data == scan
+
+    @given(
+        st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=24),
+        st.floats(min_value=-89.9, max_value=89.9),
+        st.floats(min_value=-179.9, max_value=179.9),
+    )
+    @settings(max_examples=40)
+    def test_roundtrip_property(self, make, lat, lon):
+        exif = ExifData(make=make, gps=(lat, lon))
+        parsed = parse_jpeg(encode_jpeg(exif))
+        assert parsed.exif.make == make
+        assert parsed.exif.gps[0] == pytest.approx(lat, abs=2e-4)
+        assert parsed.exif.gps[1] == pytest.approx(lon, abs=2e-4)
+
+
+class TestParsing:
+    def test_rejects_non_jpeg(self):
+        with pytest.raises(SanitizeError):
+            parse_jpeg(b"GIF89a")
+
+    def test_rejects_truncated_segment(self):
+        data = encode_jpeg(_camera_exif())
+        with pytest.raises(SanitizeError):
+            parse_jpeg(data[:20])
+
+    def test_rejects_missing_eoi(self):
+        data = encode_jpeg(None, scan_data=b"X")
+        with pytest.raises(SanitizeError):
+            parse_jpeg(data[:-2].replace(b"\xff\xd9", b""))
+
+
+class TestScrubbing:
+    def test_scrub_removes_exif_bytes(self):
+        original = encode_jpeg(_camera_exif(), scan_data=b"PIXELS" * 8)
+        scrubbed = scrub_jpeg(original)
+        assert b"Exif\x00\x00" not in scrubbed
+        assert b"NIKON-D3100-2041337" not in scrubbed
+        assert parse_jpeg(scrubbed).exif is None
+
+    def test_scrub_preserves_image_bits(self):
+        scan = b"ENTROPY-CODED-IMAGE" * 16
+        original = encode_jpeg(_camera_exif(), scan_data=scan)
+        scrubbed = scrub_jpeg(original)
+        assert parse_jpeg(scrubbed).scan_data == scan
+
+    def test_scrub_is_idempotent(self):
+        original = encode_jpeg(_camera_exif())
+        once = scrub_jpeg(original)
+        assert scrub_jpeg(once) == once
+
+    def test_scrub_shrinks_file(self):
+        original = encode_jpeg(_camera_exif())
+        assert len(scrub_jpeg(original)) < len(original)
+
+    def test_scrubbed_file_is_valid_jpeg(self):
+        scrubbed = scrub_jpeg(encode_jpeg(_camera_exif()))
+        assert scrubbed.startswith(SOI) and scrubbed.endswith(EOI)
+
+    @given(st.binary(min_size=1, max_size=200))
+    @settings(max_examples=30)
+    def test_scrub_preserves_arbitrary_scan_property(self, scan):
+        original = encode_jpeg(_camera_exif(), scan_data=scan)
+        assert parse_jpeg(scrub_jpeg(original)).scan_data == scan
+
+
+class TestMatIntegration:
+    def test_mat_scrubs_real_jpeg_bytes(self):
+        from repro.sanitize import MatScrubber
+
+        data = encode_jpeg(_camera_exif(), scan_data=b"IMG" * 10)
+        scrubbed = MatScrubber().scrub_bytes(data)
+        assert parse_jpeg(scrubbed).exif is None
+
+    def test_risk_analyzer_reads_real_jpeg(self):
+        from repro.sanitize import RiskAnalyzer
+
+        report = RiskAnalyzer().analyze_bytes("p.jpg", encode_jpeg(_camera_exif()))
+        assert "exif-gps" in report.kinds()
+        assert "exif-serial" in report.kinds()
+
+    def test_clean_jpeg_reports_clean(self):
+        from repro.sanitize import RiskAnalyzer
+
+        report = RiskAnalyzer().analyze_bytes("p.jpg", encode_jpeg(None))
+        assert report.clean
+
+    def test_scrubbed_jpeg_reports_clean(self):
+        from repro.sanitize import MatScrubber, RiskAnalyzer
+
+        data = MatScrubber().scrub_bytes(encode_jpeg(_camera_exif()))
+        assert RiskAnalyzer().analyze_bytes("p.jpg", data).clean

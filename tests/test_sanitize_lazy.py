@@ -1,0 +1,104 @@
+"""Lazy (access-time) scrubbing via user-driven grants (§6 UDAC variant)."""
+
+import pytest
+
+from repro.errors import SanitizeError
+from repro.memory import GuestMemory
+from repro.sanitize import ParanoiaLevel, SaniVm, SimDocument, SimImage, parse_file
+from repro.sanitize.lazy import LazyGrant
+from repro.sim import Timeline
+from repro.unionfs.layer import Layer
+from repro.vmm.baseimage import build_base_layer, build_vm_mount
+from repro.vmm.vm import VmSpec, VirtualMachine
+
+
+@pytest.fixture
+def sanivm():
+    timeline = Timeline(seed=8)
+    spec = VmSpec.sanivm()
+    vm = VirtualMachine(
+        timeline, "sanivm", spec, GuestMemory("sanivm", spec.ram_bytes),
+        build_vm_mount(spec.role, spec.writable_fs_bytes, build_base_layer()),
+        "nymix-base",
+    )
+    vm.boot()
+    sanivm = SaniVm(timeline, vm)
+    sanivm.mount_host_filesystem(
+        "home",
+        Layer(
+            "home",
+            files={
+                "/photos/a.jpg": SimImage.camera_photo(faces=1).to_bytes(),
+                "/photos/b.jpg": SimImage.camera_photo(pixel_seed=2).to_bytes(),
+                "/docs/report.doc": SimDocument.office_document().to_bytes(),
+            },
+            read_only=True,
+        ),
+    )
+    return sanivm
+
+
+@pytest.fixture
+def lazy(sanivm):
+    return LazyGrant(sanivm)
+
+
+class TestGranting:
+    def test_grant_records_paths(self, lazy):
+        lazy.grant("nym-a", "home", ["/photos/a.jpg", "/photos/b.jpg"])
+        assert lazy.granted_paths("nym-a", "home") == {"/photos/a.jpg", "/photos/b.jpg"}
+
+    def test_grant_unknown_path_rejected(self, lazy):
+        with pytest.raises(SanitizeError):
+            lazy.grant("nym-a", "home", ["/photos/missing.jpg"])
+
+    def test_grant_costs_no_scrubbing(self, lazy):
+        lazy.grant("nym-a", "home", ["/photos/a.jpg"])
+        assert lazy.scrubs_performed == 0
+
+    def test_revoke(self, lazy):
+        lazy.grant("nym-a", "home", ["/photos/a.jpg"])
+        lazy.revoke("nym-a", "home")
+        with pytest.raises(SanitizeError):
+            lazy.access("nym-a", "home", "/photos/a.jpg")
+
+
+class TestAccessTimeScrubbing:
+    def test_first_access_scrubs(self, lazy):
+        lazy.grant("nym-a", "home", ["/photos/a.jpg"], ParanoiaLevel.MEDIUM)
+        data = lazy.access("nym-a", "home", "/photos/a.jpg")
+        image = parse_file(data)
+        assert image.exif == {}
+        assert image.unblurred_faces == 0
+        assert lazy.scrubs_performed == 1
+
+    def test_repeat_access_hits_cache(self, lazy, sanivm):
+        lazy.grant("nym-a", "home", ["/photos/a.jpg"])
+        lazy.access("nym-a", "home", "/photos/a.jpg")
+        t = sanivm.timeline.now
+        lazy.access("nym-a", "home", "/photos/a.jpg")
+        assert lazy.scrubs_performed == 1
+        assert sanivm.timeline.now == t  # cached: no transform time
+
+    def test_access_outside_grant_rejected(self, lazy):
+        lazy.grant("nym-a", "home", ["/photos/a.jpg"])
+        with pytest.raises(SanitizeError):
+            lazy.access("nym-a", "home", "/photos/b.jpg")
+
+    def test_other_nym_needs_own_grant(self, lazy):
+        lazy.grant("nym-a", "home", ["/photos/a.jpg"])
+        with pytest.raises(SanitizeError):
+            lazy.access("nym-b", "home", "/photos/a.jpg")
+
+    def test_accesses_logged(self, lazy):
+        lazy.grant("nym-a", "home", ["/photos/a.jpg", "/photos/b.jpg"])
+        lazy.access("nym-a", "home", "/photos/a.jpg")
+        lazy.access("nym-a", "home", "/photos/a.jpg")
+        assert lazy.access_count("nym-a", "home") == 2
+
+    def test_level_applied_per_grant(self, lazy):
+        lazy.grant("nym-a", "home", ["/docs/report.doc"], ParanoiaLevel.HIGH)
+        data = lazy.access("nym-a", "home", "/docs/report.doc")
+        document = parse_file(data)
+        assert document.metadata == {}
+        assert document.revision_history == []

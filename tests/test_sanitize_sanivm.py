@@ -1,0 +1,132 @@
+"""The SaniVM workflow: air-gapped mounts, scrubbing, VirtFS hand-off."""
+
+import pytest
+
+from repro.errors import SanitizeError
+from repro.memory import GuestMemory
+from repro.sanitize import ParanoiaLevel, SaniVm, SimDocument, SimImage
+from repro.sim import Timeline
+from repro.unionfs.layer import Layer
+from repro.vmm.baseimage import build_base_layer, build_vm_mount
+from repro.vmm.vm import VmSpec, VirtualMachine
+
+
+def _sanivm():
+    timeline = Timeline(seed=4)
+    spec = VmSpec.sanivm()
+    vm = VirtualMachine(
+        timeline, "sanivm", spec, GuestMemory("sanivm", spec.ram_bytes),
+        build_vm_mount(spec.role, spec.writable_fs_bytes, build_base_layer()),
+        "nymix-base",
+    )
+    vm.boot()
+    return SaniVm(timeline, vm), timeline
+
+
+def _host_layer():
+    return Layer(
+        "installed-os-home",
+        files={
+            "/home/bob/protest.jpg": SimImage.camera_photo(faces=2).to_bytes(),
+            "/home/bob/report.doc": SimDocument.office_document().to_bytes(),
+        },
+        read_only=True,
+    )
+
+
+class TestSaniVmSetup:
+    def test_rejects_non_sanivm_role(self):
+        timeline = Timeline()
+        spec = VmSpec.anonvm()
+        vm = VirtualMachine(
+            timeline, "anon", spec, GuestMemory("anon", spec.ram_bytes),
+            build_vm_mount(spec.role, spec.writable_fs_bytes, build_base_layer()),
+            "nymix-base",
+        )
+        with pytest.raises(SanitizeError):
+            SaniVm(timeline, vm)
+
+    def test_rejects_networked_vm(self):
+        from repro.net.addresses import MacAddress
+        from repro.net.nic import VirtualNic
+
+        timeline = Timeline()
+        spec = VmSpec.sanivm()
+        vm = VirtualMachine(
+            timeline, "sanivm", spec, GuestMemory("sanivm", spec.ram_bytes),
+            build_vm_mount(spec.role, spec.writable_fs_bytes, build_base_layer()),
+            "nymix-base",
+        )
+        vm.attach_nic(VirtualNic("eth0", MacAddress(1)))
+        with pytest.raises(SanitizeError):
+            SaniVm(timeline, vm)
+
+    def test_host_mount_must_be_read_only(self):
+        sanivm, _ = _sanivm()
+        with pytest.raises(SanitizeError):
+            sanivm.mount_host_filesystem("rw", Layer("rw"))
+
+    def test_list_and_read_host_files(self):
+        sanivm, _ = _sanivm()
+        sanivm.mount_host_filesystem("home", _host_layer())
+        assert "/home/bob/protest.jpg" in sanivm.list_host_files("home")
+        assert sanivm.read_host_file("home", "/home/bob/protest.jpg")
+
+    def test_unknown_mount(self):
+        sanivm, _ = _sanivm()
+        with pytest.raises(SanitizeError):
+            sanivm.list_host_files("nope")
+
+
+class TestTransferWorkflow:
+    def test_analyze_reports_risks(self):
+        sanivm, _ = _sanivm()
+        sanivm.mount_host_filesystem("home", _host_layer())
+        report = sanivm.analyze("home", "/home/bob/protest.jpg")
+        assert "exif-gps" in report.kinds()
+        assert "face" in report.kinds()
+
+    def test_transfer_scrubs_and_delivers(self):
+        sanivm, _ = _sanivm()
+        sanivm.mount_host_filesystem("home", _host_layer())
+        record = sanivm.transfer(
+            "home", "/home/bob/protest.jpg", "bob-twitter", ParanoiaLevel.MEDIUM
+        )
+        assert not record.residual_report.kinds() or "face" not in record.residual_report.kinds()
+        outbox = sanivm.outbox_for("bob-twitter")
+        assert outbox.exists("/protest.jpg")
+        scrubbed = SimImage.from_bytes(outbox.read("/protest.jpg"))
+        assert scrubbed.exif == {}
+        assert scrubbed.unblurred_faces == 0
+
+    def test_transfer_advances_time(self):
+        sanivm, timeline = _sanivm()
+        sanivm.mount_host_filesystem("home", _host_layer())
+        before = timeline.now
+        sanivm.transfer("home", "/home/bob/report.doc", "nym1")
+        assert timeline.now > before
+
+    def test_per_nym_outboxes_isolated(self):
+        sanivm, _ = _sanivm()
+        sanivm.mount_host_filesystem("home", _host_layer())
+        sanivm.transfer("home", "/home/bob/protest.jpg", "nym-a")
+        assert sanivm.outbox_for("nym-a").exists("/protest.jpg")
+        assert not sanivm.outbox_for("nym-b").exists("/protest.jpg")
+
+    def test_transfer_log_records_everything(self):
+        sanivm, _ = _sanivm()
+        sanivm.mount_host_filesystem("home", _host_layer())
+        sanivm.transfer("home", "/home/bob/protest.jpg", "nym-a", ParanoiaLevel.HIGH)
+        assert len(sanivm.transfer_log) == 1
+        record = sanivm.transfer_log[0]
+        assert record.level is ParanoiaLevel.HIGH
+        assert record.report.risks
+        assert record.residual_report.clean
+
+    def test_source_file_untouched(self):
+        sanivm, _ = _sanivm()
+        layer = _host_layer()
+        original = layer.read("/home/bob/protest.jpg")
+        sanivm.mount_host_filesystem("home", layer)
+        sanivm.transfer("home", "/home/bob/protest.jpg", "nym-a", ParanoiaLevel.HIGH)
+        assert layer.read("/home/bob/protest.jpg") == original

@@ -1,0 +1,78 @@
+"""Trusted password entry vs in-guest keyloggers (§6 / ScreenPass [47])."""
+
+import pytest
+
+from repro.core.screenpass import GuestKeylogger, TrustedPasswordEntry
+from repro.errors import NymixError
+
+
+@pytest.fixture
+def entry():
+    return TrustedPasswordEntry()
+
+
+@pytest.fixture
+def infected(manager, entry):
+    nymbox = manager.create_nym("victim")
+    keylogger = GuestKeylogger()
+    entry.keyloggers.append(keylogger)
+    return nymbox, keylogger
+
+
+class TestKeyloggerBaseline:
+    def test_in_guest_typing_is_captured(self, manager, entry, infected):
+        nymbox, keylogger = infected
+        manager.timed_browse(nymbox, "twitter.com")
+        entry.type_in_guest(nymbox, "twitter.com", "pseudo", "hunter2")
+        assert keylogger.captured_text(nymbox.anonvm.vm_id) == "hunter2"
+
+    def test_login_still_works(self, manager, entry, infected):
+        nymbox, _ = infected
+        manager.timed_browse(nymbox, "twitter.com")
+        entry.type_in_guest(nymbox, "twitter.com", "pseudo", "hunter2")
+        assert nymbox.browser.has_credentials_for("twitter.com")
+
+
+class TestTrustedPath:
+    def test_trusted_entry_leaks_nothing(self, manager, entry, infected):
+        nymbox, keylogger = infected
+        manager.timed_browse(nymbox, "twitter.com")
+        entry.enroll_security_image("victim", "blue-sailboat")
+        entry.enter_via_trusted_path(nymbox, "twitter.com", "pseudo", "hunter2")
+        assert keylogger.captured_text(nymbox.anonvm.vm_id) == ""
+        assert nymbox.browser.has_credentials_for("twitter.com")
+
+    def test_requires_enrolled_image(self, manager, entry, infected):
+        nymbox, _ = infected
+        with pytest.raises(NymixError):
+            entry.enter_via_trusted_path(nymbox, "twitter.com", "u", "p")
+
+    def test_banner_identifies_genuine_dialog(self, entry):
+        entry.enroll_security_image("victim", "blue-sailboat")
+        banner = entry.dialog_banner("victim")
+        assert "blue-sailboat" in banner
+        assert entry.is_genuine_dialog("victim", banner)
+
+    def test_spoofed_dialog_detectable(self, entry):
+        """A guest-drawn fake cannot reproduce the per-nym image."""
+        entry.enroll_security_image("victim", "blue-sailboat")
+        fake = "[hypervisor dialog | generic-lock-icon]"
+        assert not entry.is_genuine_dialog("victim", fake)
+
+    def test_per_nym_images_differ(self, entry):
+        entry.enroll_security_image("a", "sailboat")
+        entry.enroll_security_image("b", "mountain")
+        assert entry.dialog_banner("a") != entry.dialog_banner("b")
+
+    def test_entry_counters(self, manager, entry, infected):
+        nymbox, _ = infected
+        manager.timed_browse(nymbox, "twitter.com")
+        entry.enroll_security_image("victim", "img")
+        entry.type_in_guest(nymbox, "twitter.com", "u", "p1")
+        entry.enter_via_trusted_path(nymbox, "twitter.com", "u", "p2")
+        assert entry.entries_typed_in_guest == 1
+        assert entry.entries_via_trusted_path == 1
+
+    def test_empty_image_rejected(self, entry):
+        with pytest.raises(NymixError):
+            entry.enroll_security_image("victim", "")

@@ -1,0 +1,160 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Clock, EventQueue, Timeline
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_custom_start(self):
+        assert Clock(start=100.0).now == 100.0
+
+    def test_advance_accumulates(self):
+        clock = Clock()
+        clock.advance(1.5)
+        clock.advance(2.5)
+        assert clock.now == 4.0
+
+    def test_advance_returns_new_time(self):
+        assert Clock().advance(3.0) == 3.0
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            Clock().advance(-0.1)
+
+    def test_advance_to(self):
+        clock = Clock()
+        clock.advance_to(7.0)
+        assert clock.now == 7.0
+
+    def test_advance_to_past_rejected(self):
+        clock = Clock(start=5.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(4.9)
+
+
+class TestEventQueue:
+    def test_events_fire_in_time_order(self):
+        clock = Clock()
+        queue = EventQueue(clock)
+        fired = []
+        queue.schedule_in(2.0, lambda: fired.append("b"))
+        queue.schedule_in(1.0, lambda: fired.append("a"))
+        queue.schedule_in(3.0, lambda: fired.append("c"))
+        queue.run_all()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_fifo(self):
+        clock = Clock()
+        queue = EventQueue(clock)
+        fired = []
+        for label in ("first", "second", "third"):
+            queue.schedule_in(1.0, lambda lab=label: fired.append(lab))
+        queue.run_all()
+        assert fired == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_times(self):
+        clock = Clock()
+        queue = EventQueue(clock)
+        seen = []
+        queue.schedule_in(2.5, lambda: seen.append(clock.now))
+        queue.run_all()
+        assert seen == [2.5]
+        assert clock.now == 2.5
+
+    def test_run_until_partial(self):
+        clock = Clock()
+        queue = EventQueue(clock)
+        fired = []
+        queue.schedule_in(1.0, lambda: fired.append(1))
+        queue.schedule_in(5.0, lambda: fired.append(5))
+        count = queue.run_until(2.0)
+        assert count == 1
+        assert fired == [1]
+        assert clock.now == 2.0
+        assert len(queue) == 1
+
+    def test_cancelled_events_skip(self):
+        clock = Clock()
+        queue = EventQueue(clock)
+        fired = []
+        event = queue.schedule_in(1.0, lambda: fired.append("x"))
+        event.cancel()
+        queue.run_all()
+        assert fired == []
+
+    def test_schedule_in_past_rejected(self):
+        clock = Clock(start=10.0)
+        queue = EventQueue(clock)
+        with pytest.raises(SimulationError):
+            queue.schedule_at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        queue = EventQueue(Clock())
+        with pytest.raises(SimulationError):
+            queue.schedule_in(-1.0, lambda: None)
+
+    def test_events_can_reschedule(self):
+        clock = Clock()
+        queue = EventQueue(clock)
+        fired = []
+
+        def recurring():
+            fired.append(clock.now)
+            if len(fired) < 3:
+                queue.schedule_in(1.0, recurring)
+
+        queue.schedule_in(1.0, recurring)
+        queue.run_all()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_runaway_loop_guard(self):
+        clock = Clock()
+        queue = EventQueue(clock)
+
+        def forever():
+            queue.schedule_in(0.001, forever)
+
+        queue.schedule_in(0.001, forever)
+        with pytest.raises(SimulationError):
+            queue.run_all(limit=100)
+
+    def test_next_event_time(self):
+        clock = Clock()
+        queue = EventQueue(clock)
+        assert queue.next_event_time() is None
+        queue.schedule_in(4.0, lambda: None)
+        assert queue.next_event_time() == 4.0
+
+
+class TestTimeline:
+    def test_sleep_advances_and_fires(self):
+        timeline = Timeline()
+        fired = []
+        timeline.after(1.0, lambda: fired.append(timeline.now))
+        timeline.sleep(2.0)
+        assert fired == [1.0]
+        assert timeline.now == 2.0
+
+    def test_fork_rng_streams_differ(self):
+        timeline = Timeline(seed=1)
+        a = timeline.fork_rng("a")
+        b = timeline.fork_rng("b")
+        assert a.token_bytes(8) != b.token_bytes(8)
+
+    def test_fork_rng_is_stable(self):
+        assert (
+            Timeline(seed=1).fork_rng("x").token_bytes(8)
+            == Timeline(seed=1).fork_rng("x").token_bytes(8)
+        )
+
+    def test_same_seed_same_behaviour(self):
+        values = []
+        for _ in range(2):
+            timeline = Timeline(seed=9)
+            values.append(timeline.rng.random())
+        assert values[0] == values[1]

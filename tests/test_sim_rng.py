@@ -1,0 +1,60 @@
+"""Tests for the deterministic RNG."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import SeededRng
+
+
+class TestSeededRng:
+    def test_deterministic_for_seed(self):
+        assert SeededRng(5).random() == SeededRng(5).random()
+
+    def test_different_seeds_differ(self):
+        assert SeededRng(5).token_bytes(16) != SeededRng(6).token_bytes(16)
+
+    def test_fork_independent_of_parent_consumption(self):
+        parent_a = SeededRng(5)
+        parent_b = SeededRng(5)
+        parent_b.random()  # consume from one parent only
+        assert parent_a.fork("x").token_bytes(8) == parent_b.fork("x").token_bytes(8)
+
+    def test_fork_labels_differ(self):
+        parent = SeededRng(5)
+        assert parent.fork("a").token_bytes(8) != parent.fork("b").token_bytes(8)
+
+    def test_token_bytes_length(self):
+        assert len(SeededRng(1).token_bytes(33)) == 33
+
+    def test_token_bytes_zero(self):
+        assert SeededRng(1).token_bytes(0) == b""
+
+    def test_content_bytes_incompressible(self):
+        import zlib
+
+        data = SeededRng(1).content_bytes(100_000)
+        assert len(zlib.compress(data)) > 90_000
+
+    def test_jitter_bounds(self):
+        rng = SeededRng(1)
+        for _ in range(100):
+            value = rng.jitter(10.0, 0.05)
+            assert 9.5 <= value <= 10.5
+
+    def test_jitter_rejects_negative_base(self):
+        with pytest.raises(ValueError):
+            SeededRng(1).jitter(-1.0)
+
+    def test_positive_gauss_floor(self):
+        rng = SeededRng(1)
+        for _ in range(200):
+            assert rng.positive_gauss(0.0, 10.0, floor=0.5) >= 0.5
+
+    @given(st.integers(min_value=0, max_value=2**32), st.integers(min_value=1, max_value=64))
+    def test_token_bytes_always_right_length(self, seed, n):
+        assert len(SeededRng(seed).token_bytes(n)) == n
+
+    def test_sample_returns_distinct(self):
+        rng = SeededRng(2)
+        picked = rng.sample(list(range(100)), 10)
+        assert len(set(picked)) == 10

@@ -1,0 +1,92 @@
+"""Tests for the processor-sharing completion-time model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import processor_sharing_times
+from repro.sim.sharing import equal_share_rate
+
+
+class TestProcessorSharing:
+    def test_single_job_runs_at_capacity(self):
+        assert processor_sharing_times([10.0], capacity=2.0) == [5.0]
+
+    def test_single_job_respects_max_share(self):
+        # One job, 4 units of capacity, but the job can use at most 1.
+        assert processor_sharing_times([10.0], capacity=4.0, max_share=1.0) == [10.0]
+
+    def test_equal_jobs_finish_together(self):
+        times = processor_sharing_times([10.0, 10.0], capacity=1.0)
+        assert times[0] == pytest.approx(times[1])
+        assert times[0] == pytest.approx(20.0)
+
+    def test_two_jobs_share_then_speed_up(self):
+        # Jobs of 10 and 20 on capacity 2: both run at 1 until t=10 (short
+        # job done), then the long job runs at 2 for its remaining 10.
+        times = processor_sharing_times([10.0, 20.0], capacity=2.0)
+        assert times[0] == pytest.approx(10.0)
+        assert times[1] == pytest.approx(15.0)
+
+    def test_max_share_prevents_speed_up(self):
+        # Same as above but single-threaded jobs can't exceed rate 1.
+        times = processor_sharing_times([10.0, 20.0], capacity=2.0, max_share=1.0)
+        assert times[0] == pytest.approx(10.0)
+        assert times[1] == pytest.approx(20.0)
+
+    def test_results_in_input_order(self):
+        times = processor_sharing_times([20.0, 10.0], capacity=2.0)
+        assert times[0] > times[1]
+
+    def test_empty_input(self):
+        assert processor_sharing_times([], capacity=1.0) == []
+
+    def test_zero_work_completes_immediately(self):
+        times = processor_sharing_times([0.0, 10.0], capacity=1.0)
+        assert times[0] == 0.0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(SimulationError):
+            processor_sharing_times([1.0], capacity=0.0)
+
+    def test_rejects_negative_work(self):
+        with pytest.raises(SimulationError):
+            processor_sharing_times([-1.0], capacity=1.0)
+
+    def test_rejects_bad_max_share(self):
+        with pytest.raises(SimulationError):
+            processor_sharing_times([1.0], capacity=1.0, max_share=0.0)
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=1000.0), min_size=1, max_size=20),
+        st.floats(min_value=0.1, max_value=100.0),
+    )
+    def test_total_work_conserved(self, work, capacity):
+        """Makespan is at least total_work/capacity and at most sum of solos."""
+        times = processor_sharing_times(work, capacity)
+        makespan = max(times)
+        assert makespan >= sum(work) / capacity * (1 - 1e-9)
+        assert makespan <= sum(w / capacity for w in work) * (1 + 1e-9)
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=2, max_size=10),
+        st.floats(min_value=0.5, max_value=50.0),
+    )
+    def test_larger_jobs_never_finish_earlier(self, work, capacity):
+        times = processor_sharing_times(work, capacity)
+        pairs = sorted(zip(work, times))
+        for (w1, t1), (w2, t2) in zip(pairs, pairs[1:]):
+            if w1 < w2:
+                assert t1 <= t2 + 1e-9
+
+
+class TestEqualShareRate:
+    def test_fair_split(self):
+        assert equal_share_rate(10.0, 5) == 2.0
+
+    def test_ceiling_applies(self):
+        assert equal_share_rate(10.0, 2, max_share=3.0) == 3.0
+
+    def test_rejects_zero_jobs(self):
+        with pytest.raises(SimulationError):
+            equal_share_rate(10.0, 0)

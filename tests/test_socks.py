@@ -1,0 +1,91 @@
+"""SOCKS5 framing (RFC 1928)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.anonymizers.socks import (
+    ATYP_DOMAIN,
+    AUTH_NONE,
+    CMD_CONNECT,
+    REPLY_SUCCESS,
+    build_connect,
+    build_greeting,
+    build_method_selection,
+    build_reply,
+    parse_connect,
+    parse_greeting,
+    parse_reply,
+)
+from repro.errors import NetworkError
+from repro.net.addresses import Ipv4Address
+
+
+class TestGreeting:
+    def test_roundtrip(self):
+        assert parse_greeting(build_greeting()) == (AUTH_NONE,)
+
+    def test_bad_version(self):
+        with pytest.raises(NetworkError):
+            parse_greeting(bytes([4, 1, 0]))
+
+    def test_truncated(self):
+        with pytest.raises(NetworkError):
+            parse_greeting(bytes([5, 2, 0]))
+
+    def test_method_selection(self):
+        assert build_method_selection() == bytes([5, 0])
+
+
+class TestConnect:
+    def test_domain_roundtrip(self):
+        request = parse_connect(build_connect("twitter.com", 443))
+        assert request.command == CMD_CONNECT
+        assert request.hostname == "twitter.com"
+        assert request.port == 443
+
+    def test_wire_format(self):
+        wire = build_connect("ab.c", 80)
+        assert wire[0] == 5
+        assert wire[3] == ATYP_DOMAIN
+        assert wire[4] == 4  # hostname length
+        assert wire[-2:] == (80).to_bytes(2, "big")
+
+    def test_ipv4_request_parse(self):
+        wire = bytes([5, 1, 0, 1]) + bytes([10, 0, 2, 15]) + (9050).to_bytes(2, "big")
+        request = parse_connect(wire)
+        assert str(request.ip) == "10.0.2.15"
+        assert request.port == 9050
+
+    def test_too_long_hostname(self):
+        with pytest.raises(NetworkError):
+            build_connect("x" * 256, 80)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(NetworkError):
+            parse_connect(b"\x05\x01")
+
+    def test_unsupported_atyp(self):
+        with pytest.raises(NetworkError):
+            parse_connect(bytes([5, 1, 0, 4]) + b"\x00" * 18)
+
+    @given(
+        st.from_regex(r"[a-z0-9.-]{1,60}", fullmatch=True),
+        st.integers(min_value=0, max_value=65535),
+    )
+    def test_roundtrip_property(self, hostname, port):
+        request = parse_connect(build_connect(hostname, port))
+        assert request.hostname == hostname
+        assert request.port == port
+
+
+class TestReply:
+    def test_roundtrip(self):
+        wire = build_reply(REPLY_SUCCESS, Ipv4Address.parse("0.0.0.0"), 0)
+        code, ip, port = parse_reply(wire)
+        assert code == REPLY_SUCCESS
+        assert str(ip) == "0.0.0.0"
+        assert port == 0
+
+    def test_garbage_rejected(self):
+        with pytest.raises(NetworkError):
+            parse_reply(b"\x05\x00")

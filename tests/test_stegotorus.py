@@ -1,0 +1,74 @@
+"""StegoTorus camouflage and the DPI censor model."""
+
+import pytest
+
+from repro.anonymizers.stegotorus import DpiCensor, StegoTorusWrapper
+from repro.errors import AnonymizerError
+
+
+@pytest.fixture
+def stego_nym(manager):
+    return manager.create_nym("stego", anonymizer="stegotorus")
+
+
+class TestStegoTorusWrapper:
+    def test_manager_constructs_wrapper(self, stego_nym):
+        assert stego_nym.anonymizer.kind == "stegotorus(tor)"
+        assert stego_nym.anonymizer.started
+        assert stego_nym.anonymizer.inner.kind == "tor"
+
+    def test_wraps_alternative_inner(self, manager):
+        nymbox = manager.create_nym("stego-d", anonymizer="stegotorus:dissent")
+        assert nymbox.anonymizer.inner.kind == "dissent"
+
+    def test_identity_protection_inherited(self, stego_nym, manager):
+        assert stego_nym.anonymizer.protects_network_identity
+        manager.timed_browse(stego_nym, "twitter.com")
+        server = manager.internet.server_named("twitter.com")
+        assert server.seen_client_ips[-1] != manager.hypervisor.public_ip
+
+    def test_cover_costs_compose(self, stego_nym):
+        wrapper = stego_nym.anonymizer
+        inner_plan = wrapper.inner.plan(0)
+        plan = wrapper.plan(0)
+        assert plan.overhead_factor == pytest.approx(
+            inner_plan.overhead_factor * StegoTorusWrapper.COVER_OVERHEAD
+        )
+        assert plan.path_latency_s > inner_plan.path_latency_s
+
+    def test_state_roundtrip_preserves_guards(self, manager, stego_nym):
+        guards = stego_nym.anonymizer.inner.guard_manager.guards
+        state = stego_nym.anonymizer.export_state()
+        fresh = manager.create_nym("stego2", anonymizer="stegotorus")
+        fresh.anonymizer.import_state(state)
+        assert fresh.anonymizer.inner.guard_manager.guards == guards
+
+    def test_state_kind_checked(self, manager, stego_nym):
+        other = manager.create_nym("plain", anonymizer="tor")
+        with pytest.raises(AnonymizerError):
+            stego_nym.anonymizer.import_state(other.anonymizer.export_state())
+
+
+class TestDpiCensor:
+    def test_blocks_bare_tor(self, manager):
+        censor = DpiCensor()
+        tor_nym = manager.create_nym("bare-tor", anonymizer="tor")
+        assert not censor.allows(tor_nym.anonymizer)
+        assert censor.flows_blocked == 1
+
+    def test_passes_stegotorus(self, manager):
+        """The point of the camouflage: DPI sees plain HTTP."""
+        censor = DpiCensor()
+        stego = manager.create_nym("hidden", anonymizer="stegotorus")
+        assert censor.classify(stego.anonymizer) == "http"
+        assert censor.allows(stego.anonymizer)
+
+    def test_passes_incognito_and_sweet(self, manager):
+        censor = DpiCensor()
+        assert censor.allows(manager.create_nym("i", anonymizer="incognito").anonymizer)
+        assert censor.allows(manager.create_nym("s", anonymizer="sweet").anonymizer)
+
+    def test_custom_block_list(self, manager):
+        censor = DpiCensor(blocked_protocols=("http",))
+        stego = manager.create_nym("hidden", anonymizer="stegotorus")
+        assert not censor.allows(stego.anonymizer)

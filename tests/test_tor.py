@@ -1,0 +1,315 @@
+"""The Tor simulator: cells, relays, directory, guards, circuits, client."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.anonymizers.tor import (
+    CELL_PAYLOAD_SIZE,
+    CELL_SIZE,
+    Cell,
+    CellCommand,
+    Circuit,
+    DirectoryAuthority,
+    GuardManager,
+    TorClient,
+)
+from repro.anonymizers.tor.cells import CELL_OVERHEAD_FACTOR, cells_for_payload
+from repro.anonymizers.tor.guard import DEFAULT_NUM_GUARDS
+from repro.errors import AnonymizerError, CircuitError
+from repro.net import Internet, MasqueradeNat, PacketCapture
+from repro.net.addresses import Ipv4Address
+from repro.sim import SeededRng, Timeline
+
+
+@pytest.fixture
+def timeline():
+    return Timeline(seed=5)
+
+
+@pytest.fixture
+def directory(timeline):
+    return DirectoryAuthority(timeline.fork_rng("dir"), relay_count=20)
+
+
+@pytest.fixture
+def internet(timeline):
+    net = Internet(timeline)
+    from repro.guest.websites import populate_internet
+
+    populate_internet(net)
+    return net
+
+
+@pytest.fixture
+def nat(timeline, internet):
+    return MasqueradeNat(
+        timeline, "nat(test)", Ipv4Address.parse("203.0.113.77"), internet,
+        host_capture=PacketCapture(timeline),
+    )
+
+
+def _client(timeline, internet, nat, directory, **kwargs):
+    return TorClient(
+        timeline, internet, nat, timeline.fork_rng("tor"), directory, **kwargs
+    )
+
+
+class TestCells:
+    def test_pack_unpack_roundtrip(self):
+        cell = Cell(circ_id=0x1234, command=CellCommand.RELAY_DATA, payload=b"data")
+        packed = cell.pack()
+        assert len(packed) == CELL_SIZE
+        assert Cell.unpack(packed) == cell
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(AnonymizerError):
+            Cell(1, CellCommand.RELAY_DATA, b"x" * (CELL_PAYLOAD_SIZE + 1)).pack()
+
+    def test_unpack_wrong_size(self):
+        with pytest.raises(AnonymizerError):
+            Cell.unpack(b"short")
+
+    def test_cells_for_payload(self):
+        assert cells_for_payload(0) == 0
+        assert cells_for_payload(1) == 1
+        assert cells_for_payload(CELL_PAYLOAD_SIZE) == 1
+        assert cells_for_payload(CELL_PAYLOAD_SIZE + 1) == 2
+
+    def test_overhead_factor(self):
+        assert CELL_OVERHEAD_FACTOR == pytest.approx(512 / 498)
+
+    @given(st.binary(max_size=CELL_PAYLOAD_SIZE), st.integers(0, 2**32 - 1))
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, payload, circ_id):
+        cell = Cell(circ_id, CellCommand.RELAY_DATA, payload)
+        assert Cell.unpack(cell.pack()) == cell
+
+
+class TestDirectory:
+    def test_relay_population(self, directory):
+        consensus = directory.consensus()
+        assert len(consensus.descriptors) == 20
+        assert len(consensus.guards()) == 7
+        assert len(consensus.exits()) == 7
+
+    def test_consensus_document_sized(self, directory):
+        assert directory.consensus().document_bytes() > 1024
+
+    def test_by_nickname(self, directory):
+        descriptor = directory.consensus().by_nickname("relay000")
+        assert descriptor.nickname == "relay000"
+        with pytest.raises(AnonymizerError):
+            directory.consensus().by_nickname("missing")
+
+    def test_too_few_relays_rejected(self, timeline):
+        with pytest.raises(AnonymizerError):
+            DirectoryAuthority(timeline.fork_rng("d2"), relay_count=2)
+
+    def test_relay_keys_distinct(self, directory):
+        keys = {d.onion_public_key for d in directory.consensus().descriptors}
+        assert len(keys) == 20
+
+
+class TestGuardManager:
+    def test_selects_requested_count(self, directory, timeline):
+        manager = GuardManager(timeline.fork_rng("g"))
+        guards = manager.ensure_guards(directory.consensus(), now=0.0)
+        assert len(guards) == DEFAULT_NUM_GUARDS
+        assert all(directory.consensus().by_nickname(g).is_guard for g in guards)
+
+    def test_stable_within_rotation_period(self, directory, timeline):
+        manager = GuardManager(timeline.fork_rng("g"))
+        first = manager.ensure_guards(directory.consensus(), now=0.0)
+        later = manager.ensure_guards(directory.consensus(), now=86400.0)
+        assert first == later
+
+    def test_rotates_after_period(self, directory, timeline):
+        manager = GuardManager(timeline.fork_rng("g"), rotation_s=100.0)
+        first = manager.ensure_guards(directory.consensus(), now=0.0)
+        manager.ensure_guards(directory.consensus(), now=150.0)
+        # A rotation occurred (selection timestamp moved); sets may overlap
+        # by chance but the re-draw must have happened.
+        assert manager._selected_at == 150.0
+
+    def test_export_import_state(self, directory, timeline):
+        manager = GuardManager(timeline.fork_rng("g"))
+        guards = manager.ensure_guards(directory.consensus(), now=0.0)
+        restored = GuardManager(timeline.fork_rng("other"))
+        restored.import_state(manager.export_state())
+        assert restored.guards == guards
+
+    def test_deterministic_seeding(self, directory):
+        """§3.5: (location, password) fully determine the guard set."""
+        a = GuardManager.deterministic("dropbox.com/alice.nymbox", "pw")
+        b = GuardManager.deterministic("dropbox.com/alice.nymbox", "pw")
+        consensus = directory.consensus()
+        assert a.ensure_guards(consensus, 0.0) == b.ensure_guards(consensus, 0.0)
+
+    def test_deterministic_seeding_differs_by_password(self, directory):
+        a = GuardManager.deterministic("dropbox.com/alice.nymbox", "pw1")
+        b = GuardManager.deterministic("dropbox.com/alice.nymbox", "pw2")
+        consensus = directory.consensus()
+        # 7 guards choose 3: different seeds almost surely differ; assert
+        # at least that the selections are independent draws.
+        assert a.ensure_guards(consensus, 0.0) != b.ensure_guards(consensus, 0.0)
+
+    def test_zero_guards_rejected(self, timeline):
+        with pytest.raises(AnonymizerError):
+            GuardManager(timeline.fork_rng("g"), num_guards=0)
+
+
+class TestCircuit:
+    def test_build_three_hops(self, timeline, directory):
+        circuit = Circuit(timeline, timeline.fork_rng("c"))
+        relays = directory.relays()[:3]
+        duration = circuit.build(relays)
+        assert duration > 0
+        assert len(circuit.path_nicknames) == 3
+        assert circuit.guard is relays[0]
+        assert circuit.exit is relays[2]
+
+    def test_onion_layers_peel_in_order(self, timeline, directory):
+        circuit = Circuit(timeline, timeline.fork_rng("c"))
+        circuit.build(directory.relays()[:3])
+        plaintext = b"GET / HTTP/1.1"
+        onion = circuit.onion_encrypt(plaintext)
+        assert onion != plaintext
+        assert circuit.relay_forward(onion) == plaintext
+
+    def test_backward_path(self, timeline, directory):
+        circuit = Circuit(timeline, timeline.fork_rng("c"))
+        circuit.build(directory.relays()[:3])
+        response = b"HTTP/1.1 200 OK"
+        wrapped = circuit.relay_backward(response)
+        assert wrapped != response
+        assert circuit.onion_decrypt(wrapped) == response
+
+    def test_partial_peel_is_still_ciphertext(self, timeline, directory):
+        """A middle relay must not see plaintext."""
+        circuit = Circuit(timeline, timeline.fork_rng("c"))
+        relays = directory.relays()[:3]
+        circuit.build(relays)
+        plaintext = b"sensitive request"
+        onion = circuit.onion_encrypt(plaintext)
+        after_guard = relays[0].peel_forward(circuit.circ_id, onion)
+        assert after_guard != plaintext
+        after_middle = relays[1].peel_forward(circuit.circ_id, after_guard)
+        assert after_middle != plaintext
+
+    def test_repeated_relay_rejected(self, timeline, directory):
+        circuit = Circuit(timeline, timeline.fork_rng("c"))
+        relay = directory.relays()[0]
+        with pytest.raises(CircuitError):
+            circuit.build([relay, relay])
+
+    def test_stream_opens_at_exit(self, timeline, directory):
+        circuit = Circuit(timeline, timeline.fork_rng("c"))
+        circuit.build(directory.relays()[:3])
+        circuit.open_stream("twitter.com:443")
+        assert circuit.exit.streams_on_circuit(circuit.circ_id) == ["twitter.com:443"]
+
+    def test_destroy_clears_relay_state(self, timeline, directory):
+        circuit = Circuit(timeline, timeline.fork_rng("c"))
+        relays = directory.relays()[:3]
+        circuit.build(relays)
+        circuit.destroy()
+        assert all(r.active_circuits == 0 for r in relays)
+
+    def test_unbuilt_circuit_operations_rejected(self, timeline):
+        circuit = Circuit(timeline, timeline.fork_rng("c"))
+        with pytest.raises(CircuitError):
+            circuit.onion_encrypt(b"x")
+        with pytest.raises(CircuitError):
+            circuit.open_stream("x:1")
+
+    def test_build_advances_time(self, timeline, directory):
+        circuit = Circuit(timeline, timeline.fork_rng("c"))
+        before = timeline.now
+        circuit.build(directory.relays()[:3])
+        # 3 telescoping round trips: 2*(0.025*1 + 0.025*2 + 0.025*3)
+        assert timeline.now - before == pytest.approx(0.3)
+
+
+class TestTorClient:
+    def test_bootstrap(self, timeline, internet, nat, directory):
+        client = _client(timeline, internet, nat, directory)
+        duration = client.start()
+        assert 3.0 <= duration <= 12.0
+        assert client.started
+        assert client.guard_manager.has_guards
+
+    def test_warm_start_faster(self, timeline, internet, nat, directory):
+        cold = _client(timeline, internet, nat, directory)
+        cold_time = cold.start()
+        warm = _client(timeline, internet, nat, directory)
+        warm.import_state(cold.export_state())
+        warm_time = warm.start()
+        assert warm_time < cold_time
+        assert warm.guard_manager.guards == cold.guard_manager.guards
+
+    def test_fetch_goes_to_exit_address(self, timeline, internet, nat, directory):
+        client = _client(timeline, internet, nat, directory)
+        client.start()
+        client.fetch("twitter.com", path="tok")
+        server = internet.server_named("twitter.com")
+        assert server.seen_client_ips[-1] == client.exit_address()
+        assert server.seen_client_ips[-1] != nat.public_ip
+
+    def test_overhead_factor_near_12_percent(self, timeline, internet, nat, directory):
+        client = _client(timeline, internet, nat, directory)
+        client.start()
+        assert client.plan(0).overhead_factor == pytest.approx(1.115, abs=0.01)
+
+    def test_guard_always_first_hop(self, timeline, internet, nat, directory):
+        client = _client(timeline, internet, nat, directory)
+        client.start()
+        for _ in range(5):
+            circuit = client.new_identity()
+            assert circuit.path_nicknames[0] in client.guard_manager.guards
+
+    def test_new_identity_rotates_circuit(self, timeline, internet, nat, directory):
+        client = _client(timeline, internet, nat, directory)
+        client.start()
+        first = client.current_circuit.circ_id
+        second = client.new_identity().circ_id
+        assert first != second
+
+    def test_socks_connect_opens_stream(self, timeline, internet, nat, directory):
+        client = _client(timeline, internet, nat, directory)
+        client.start()
+        client.socks_connect("gmail.com", 443)
+        exit_relay = client.current_circuit.exit
+        assert "gmail.com:443" in exit_relay.streams_on_circuit(
+            client.current_circuit.circ_id
+        )
+
+    def test_onion_payload_roundtrip(self, timeline, internet, nat, directory):
+        client = _client(timeline, internet, nat, directory)
+        client.start()
+        assert client.send_payload(b"hello world") == b"hello world"
+
+    def test_requires_start(self, timeline, internet, nat, directory):
+        client = _client(timeline, internet, nat, directory)
+        with pytest.raises(AnonymizerError):
+            client.fetch("twitter.com")
+
+    def test_resolve_via_exit(self, timeline, internet, nat, directory):
+        client = _client(timeline, internet, nat, directory)
+        client.start()
+        ip = client.resolve("gmail.com")
+        assert str(ip) == "198.51.100.10"
+
+    def test_stop_destroys_circuits(self, timeline, internet, nat, directory):
+        client = _client(timeline, internet, nat, directory)
+        client.start()
+        exit_relay = client.current_circuit.exit
+        client.stop()
+        assert exit_relay.active_circuits == 0
+
+    def test_independent_clients_rarely_share_circuits(self, timeline, internet, nat, directory):
+        """Per-nym Tor instances: distinct circuit ids, usually distinct paths."""
+        a = _client(timeline, internet, nat, directory)
+        b = TorClient(timeline, internet, nat, timeline.fork_rng("tor-b"), directory)
+        a.start()
+        b.start()
+        assert a.current_circuit.circ_id != b.current_circuit.circ_id

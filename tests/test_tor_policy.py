@@ -1,0 +1,114 @@
+"""Circuit pools: MaxCircuitDirtiness and stream isolation."""
+
+import pytest
+
+from repro.anonymizers.tor.circuit import Circuit
+from repro.anonymizers.tor.directory import DirectoryAuthority
+from repro.anonymizers.tor.policy import (
+    CircuitPool,
+    IsolationPolicy,
+    shared_exit_linkage,
+)
+from repro.sim import Timeline
+
+
+@pytest.fixture
+def timeline():
+    return Timeline(seed=17)
+
+
+@pytest.fixture
+def directory(timeline):
+    return DirectoryAuthority(timeline.fork_rng("dir"), relay_count=15)
+
+
+@pytest.fixture
+def build_circuit(timeline, directory):
+    counter = {"n": 0}
+
+    def factory():
+        counter["n"] += 1
+        circuit = Circuit(timeline, timeline.fork_rng(f"c{counter['n']}"))
+        relays = directory.relays()
+        start = counter["n"] % 5
+        circuit.build([relays[start], relays[start + 5], relays[start + 10]])
+        return circuit
+
+    return factory
+
+
+class TestCircuitReuse:
+    def test_default_policy_reuses_one_circuit(self, timeline, build_circuit):
+        pool = CircuitPool(timeline, build_circuit, IsolationPolicy())
+        a = pool.circuit_for_stream("gmail.com")
+        b = pool.circuit_for_stream("twitter.com")
+        assert a is b
+        assert pool.circuits_built == 1
+        assert pool.reuses == 1
+
+    def test_dirtiness_rotates_circuits(self, timeline, build_circuit):
+        pool = CircuitPool(timeline, build_circuit, IsolationPolicy(max_dirtiness_s=600))
+        first = pool.circuit_for_stream("gmail.com")
+        timeline.sleep(700)
+        second = pool.circuit_for_stream("gmail.com")
+        assert first is not second
+        assert pool.circuits_built == 2
+
+    def test_retire_dirty(self, timeline, build_circuit):
+        pool = CircuitPool(timeline, build_circuit, IsolationPolicy(max_dirtiness_s=600))
+        circuit = pool.circuit_for_stream("gmail.com")
+        timeline.sleep(700)
+        assert pool.retire_dirty() == 1
+        assert pool.active_circuits == 0
+        assert not circuit.built  # destroyed
+
+
+class TestDestinationIsolation:
+    def test_distinct_destinations_distinct_circuits(self, timeline, build_circuit):
+        policy = IsolationPolicy(isolate_destinations=True)
+        pool = CircuitPool(timeline, build_circuit, policy)
+        a = pool.circuit_for_stream("gmail.com")
+        b = pool.circuit_for_stream("twitter.com")
+        assert a is not b
+        assert pool.circuits_built == 2
+
+    def test_same_destination_reuses(self, timeline, build_circuit):
+        policy = IsolationPolicy(isolate_destinations=True)
+        pool = CircuitPool(timeline, build_circuit, policy)
+        a = pool.circuit_for_stream("gmail.com")
+        b = pool.circuit_for_stream("gmail.com")
+        assert a is b
+
+    def test_token_isolation(self, timeline, build_circuit):
+        policy = IsolationPolicy(isolate_tokens=True)
+        pool = CircuitPool(timeline, build_circuit, policy)
+        a = pool.circuit_for_stream("gmail.com", token="nym-a")
+        b = pool.circuit_for_stream("gmail.com", token="nym-b")
+        assert a is not b
+
+    def test_shared_pool_links_destinations(self, timeline, build_circuit):
+        """The Whonix-style hazard: one shared Tor, colluding sites see
+        the same exit."""
+        pool = CircuitPool(timeline, build_circuit, IsolationPolicy())
+        pool.circuit_for_stream("gmail.com")
+        pool.circuit_for_stream("twitter.com")
+        assert shared_exit_linkage(pool, "gmail.com", "twitter.com")
+
+    def test_isolated_pool_unlinks_destinations(self, timeline, build_circuit):
+        policy = IsolationPolicy(isolate_destinations=True)
+        pool = CircuitPool(timeline, build_circuit, policy)
+        pool.circuit_for_stream("gmail.com")
+        pool.circuit_for_stream("twitter.com")
+        assert not shared_exit_linkage(pool, "gmail.com", "twitter.com")
+
+
+class TestClientIntegration:
+    def test_socks_connect_honors_isolation(self, manager):
+        nymbox = manager.create_nym("iso")
+        tor = nymbox.anonymizer
+        pool = tor.enable_stream_isolation(IsolationPolicy(isolate_destinations=True))
+        tor.socks_connect("gmail.com")
+        tor.socks_connect("twitter.com")
+        tor.socks_connect("gmail.com")
+        assert pool.circuits_built == 2
+        assert pool.reuses == 1

@@ -1,0 +1,136 @@
+"""Multi-authority directory voting."""
+
+import pytest
+
+from repro.anonymizers.tor.directory import DirectoryAuthority
+from repro.anonymizers.tor.relay import RelayDescriptor
+from repro.anonymizers.tor.voting import (
+    DirectoryVote,
+    cast_vote,
+    tally_votes,
+    verify_consensus,
+)
+from repro.errors import AnonymizerError
+from repro.sim import SeededRng
+
+
+@pytest.fixture
+def relays():
+    return [r.descriptor for r in DirectoryAuthority(SeededRng(31), relay_count=12).relays()]
+
+
+def _vote(name, descriptors, flag_override=None):
+    vote = cast_vote(name, descriptors)
+    if flag_override:
+        flags = dict(vote.flags)
+        flags.update(flag_override)
+        vote = DirectoryVote(authority=name, descriptors=vote.descriptors, flags=flags)
+    return vote
+
+
+class TestHonestVoting:
+    def test_unanimous_votes_reproduce_population(self, relays):
+        votes = [_vote(f"auth{i}", relays) for i in range(3)]
+        signed = tally_votes(votes)
+        assert len(signed.consensus.descriptors) == len(relays)
+        assert signed.quorum
+
+    def test_flags_preserved_under_agreement(self, relays):
+        votes = [_vote(f"auth{i}", relays) for i in range(3)]
+        signed = tally_votes(votes)
+        original = {d.nickname: d.flags for d in relays}
+        for descriptor in signed.consensus.descriptors:
+            assert descriptor.flags == original[descriptor.nickname]
+
+    def test_deterministic(self, relays):
+        votes = [_vote(f"auth{i}", relays) for i in range(3)]
+        a = tally_votes(votes)
+        b = tally_votes(votes)
+        assert [d.nickname for d in a.consensus.descriptors] == [
+            d.nickname for d in b.consensus.descriptors
+        ]
+
+
+class TestByzantineAuthority:
+    def test_single_authority_cannot_inject_relay(self, relays):
+        evil_relay = RelayDescriptor(
+            nickname="evilrelay",
+            ip=relays[0].ip,
+            or_port=9001,
+            bandwidth_bps=10**9,  # tempting bandwidth
+            flags=frozenset({"Guard", "Exit", "Running", "Valid"}),
+            onion_public_key=b"\x66" * 32,
+        )
+        votes = [
+            _vote("honest1", relays),
+            _vote("honest2", relays),
+            _vote("evil", list(relays) + [evil_relay]),
+        ]
+        signed = tally_votes(votes)
+        nicknames = {d.nickname for d in signed.consensus.descriptors}
+        assert "evilrelay" not in nicknames
+
+    def test_single_authority_cannot_grant_guard_flag(self, relays):
+        target = next(d for d in relays if not d.is_guard)
+        votes = [
+            _vote("honest1", relays),
+            _vote("honest2", relays),
+            _vote("evil", relays, flag_override={
+                target.nickname: target.flags | {"Guard"}
+            }),
+        ]
+        signed = tally_votes(votes)
+        voted = signed.consensus.by_nickname(target.nickname)
+        assert "Guard" not in voted.flags
+
+    def test_single_authority_cannot_drop_relay(self, relays):
+        victim = relays[0]
+        votes = [
+            _vote("honest1", relays),
+            _vote("honest2", relays),
+            _vote("evil", relays[1:]),  # omits the victim
+        ]
+        signed = tally_votes(votes)
+        assert victim.nickname in {d.nickname for d in signed.consensus.descriptors}
+
+    def test_majority_collusion_succeeds(self, relays):
+        """The model's honest bound: two of three colluding wins."""
+        votes = [
+            _vote("evil1", relays[1:]),
+            _vote("evil2", relays[1:]),
+            _vote("honest", relays),
+        ]
+        signed = tally_votes(votes)
+        assert relays[0].nickname not in {
+            d.nickname for d in signed.consensus.descriptors
+        }
+
+
+class TestClientVerification:
+    def test_quorum_of_known_authorities(self, relays):
+        votes = [_vote(f"auth{i}", relays) for i in range(3)]
+        signed = tally_votes(votes)
+        assert verify_consensus(signed, known_authorities={"auth0", "auth1", "auth2"})
+
+    def test_unknown_signers_rejected(self, relays):
+        votes = [_vote(f"rogue{i}", relays) for i in range(3)]
+        signed = tally_votes(votes)
+        assert not verify_consensus(signed, known_authorities={"auth0", "auth1", "auth2"})
+
+    def test_partial_signatures_insufficient(self, relays):
+        votes = [_vote("auth0", relays)]
+        signed = tally_votes(votes)
+        assert not verify_consensus(
+            signed, known_authorities={"auth0", "auth1", "auth2"}
+        )
+
+
+class TestTallyValidation:
+    def test_zero_votes_rejected(self):
+        with pytest.raises(AnonymizerError):
+            tally_votes([])
+
+    def test_duplicate_authorities_rejected(self, relays):
+        votes = [_vote("auth0", relays), _vote("auth0", relays)]
+        with pytest.raises(AnonymizerError):
+            tally_votes(votes)

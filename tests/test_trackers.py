@@ -1,0 +1,88 @@
+"""Third-party tracking: linked dossiers vs per-nym compartments."""
+
+import pytest
+
+from repro.guest.trackers import AdNetwork, browse_with_trackers
+from repro.sim import SeededRng
+
+SITES = {"facebook.com", "bbc.co.uk", "espn.com", "twitter.com"}
+
+
+@pytest.fixture
+def network(manager):
+    return AdNetwork("adsync", embedded_on=SITES, rng=SeededRng(37))
+
+
+class TestSingleProfileTracking:
+    def test_one_browser_one_dossier(self, manager, network):
+        """The pre-Nymix world: everything lands in one profile."""
+        nymbox = manager.create_nym("everything")
+        for hostname in ("facebook.com", "bbc.co.uk", "espn.com"):
+            browse_with_trackers(manager, nymbox, hostname, [network])
+        assert len(network.profiles) == 1
+        assert network.largest_dossier() == 3
+        assert network.can_link("facebook.com", "espn.com")
+
+    def test_cookie_persists_across_visits(self, manager, network):
+        nymbox = manager.create_nym("everything")
+        a = browse_with_trackers(manager, nymbox, "facebook.com", [network])
+        ids = set(network.profiles)
+        browse_with_trackers(manager, nymbox, "facebook.com", [network])
+        assert set(network.profiles) == ids  # same cookie reused
+
+    def test_interest_segments(self, manager, network):
+        nymbox = manager.create_nym("everything")
+        browse_with_trackers(manager, nymbox, "facebook.com", [network])
+        browse_with_trackers(manager, nymbox, "espn.com", [network])
+        profile = next(iter(network.profiles.values()))
+        assert {"social", "sports"} <= profile.interests()
+
+    def test_not_embedded_not_observed(self, manager, network):
+        nymbox = manager.create_nym("everything")
+        browse_with_trackers(manager, nymbox, "gmail.com", [network])
+        assert network.profiles == {}
+
+
+class TestPerNymCompartments:
+    def test_roles_get_disjoint_dossiers(self, manager, network):
+        """Alice's defense: one nym per role, tracker profiles disjoint."""
+        social = manager.create_nym("social")
+        news = manager.create_nym("news")
+        browse_with_trackers(manager, social, "facebook.com", [network])
+        browse_with_trackers(manager, social, "twitter.com", [network])
+        browse_with_trackers(manager, news, "bbc.co.uk", [network])
+        assert len(network.profiles) == 2
+        assert not network.can_link("facebook.com", "bbc.co.uk")
+        assert network.can_link("facebook.com", "twitter.com")  # same role: fine
+
+    def test_ephemeral_nym_resets_tracking_identity(self, manager, network):
+        nymbox = manager.create_nym("reader")
+        browse_with_trackers(manager, nymbox, "bbc.co.uk", [network])
+        first_ids = set(network.profiles)
+        manager.discard_nym(nymbox)
+        fresh = manager.create_nym("reader")
+        browse_with_trackers(manager, fresh, "bbc.co.uk", [network])
+        assert len(network.profiles) == 2  # new cookie, new stub
+        assert set(network.profiles) != first_ids
+
+    def test_persistent_nym_keeps_one_identity_within_its_role(self, manager, network):
+        """Persistence trades tracking-reset for convenience — within the
+        role only, which is the §3.5 design point."""
+        manager.create_cloud_account("dropbox.com", "u", "p")
+        nymbox = manager.create_nym("social")
+        browse_with_trackers(manager, nymbox, "facebook.com", [network])
+        manager.store_nym(nymbox, "pw", provider_host="dropbox.com", account_username="u")
+        manager.discard_nym(nymbox)
+        restored = manager.load_nym("social", "pw")
+        # The jar came back, but our in-memory tracker-id map is the
+        # tracker's server-side view; a restored nym re-presents the same
+        # *cookie jar*, so the tracker can resume the same profile.
+        assert f"third-party:{network.name}" in restored.browser.cookies
+
+    def test_dossier_size_bounded_by_role(self, manager, network):
+        for role, hostname in (
+            ("a", "facebook.com"), ("b", "bbc.co.uk"), ("c", "espn.com"),
+        ):
+            nymbox = manager.create_nym(role)
+            browse_with_trackers(manager, nymbox, hostname, [network])
+        assert network.largest_dossier() == 1

@@ -1,0 +1,45 @@
+"""The USB distribution invariant (§3.4).
+
+"The USB device used during a Nymix session remains unchanged, ensuring
+that even if confiscated and thoroughly analyzed neither the computer
+nor the USB device harbors evidence of Nymix use."
+
+The base layer *is* the USB stick's OS partition.  These tests take its
+Merkle root before a full day of sensitive use and compare after: any
+drift would be both a tracking vector (§3.4) and evidence.
+"""
+
+from repro.unionfs.verify import commit_layer
+
+
+def _usb_root(manager) -> bytes:
+    return commit_layer(manager.hypervisor.base_layer).root
+
+
+class TestUsbInvariance:
+    def test_full_session_leaves_usb_bit_identical(self, manager):
+        manager.create_cloud_account("dropbox.com", "u", "p")
+        before = _usb_root(manager)
+
+        nymbox = manager.create_nym("busy")
+        manager.timed_browse(nymbox, "facebook.com")
+        nymbox.sign_in("facebook.com", "pseudo", "pw")
+        manager.store_nym(nymbox, "pw", provider_host="dropbox.com", account_username="u")
+        manager.discard_nym(nymbox)
+        restored = manager.load_nym("busy", "pw")
+        manager.timed_browse(restored, "facebook.com")
+        manager.discard_nym(restored)
+        report, vm, ios = manager.boot_installed_os_nym("Windows 7")
+        ios.discard_session()
+
+        assert _usb_root(manager) == before
+
+    def test_usb_root_matches_published_distribution(self, manager):
+        """Any user can verify their stick against the published root."""
+        assert _usb_root(manager) == manager.hypervisor.merkle_root
+
+    def test_guest_writes_cannot_drift_the_root(self, manager):
+        nymbox = manager.create_nym("writer")
+        nymbox.anonvm.fs.write("/etc/hostname", b"stained")
+        nymbox.anonvm.fs.write("/usr/bin/chromium", b"patched")
+        assert _usb_root(manager) == manager.hypervisor.merkle_root

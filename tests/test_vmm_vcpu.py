@@ -1,0 +1,68 @@
+"""CPU model: virtualization overhead and parallel scaling (Figure 4 substrate)."""
+
+import pytest
+
+from repro.errors import HypervisorError
+from repro.vmm import CpuModel
+
+
+class TestCpuModel:
+    def test_native_speed(self):
+        cpu = CpuModel(cores=4, core_speed=2.0)
+        assert cpu.run_native(10.0) == 5.0
+
+    def test_virtualization_overhead(self):
+        cpu = CpuModel(cores=4, virtualization_overhead=0.20)
+        native = cpu.run_native(10.0)
+        guest = cpu.run_guests_parallel([10.0])[0].duration_s
+        assert guest == pytest.approx(native * 1.20)
+
+    def test_up_to_cores_no_contention(self):
+        cpu = CpuModel(cores=4)
+        results = cpu.run_guests_parallel([10.0] * 4)
+        single = cpu.run_guests_parallel([10.0])[0].duration_s
+        for result in results:
+            assert result.duration_s == pytest.approx(single)
+
+    def test_beyond_cores_contention(self):
+        cpu = CpuModel(cores=4)
+        four = cpu.run_guests_parallel([10.0] * 4)[0].duration_s
+        eight = cpu.run_guests_parallel([10.0] * 8)[0].duration_s
+        assert eight > four
+
+    def test_actual_beats_expected_under_contention(self):
+        """The Figure 4 observation: parallel actual > perfect-sharing expected."""
+        cpu = CpuModel(cores=4, interleave_bonus=0.12)
+        actual = cpu.run_guests_parallel([10.0] * 8)[0].duration_s
+        expected = cpu.expected_parallel_duration(10.0, 8)
+        assert actual < expected
+
+    def test_expected_matches_actual_without_contention(self):
+        cpu = CpuModel(cores=4)
+        actual = cpu.run_guests_parallel([10.0] * 2)[0].duration_s
+        assert actual == pytest.approx(cpu.expected_parallel_duration(10.0, 2))
+
+    def test_single_vcpu_cannot_exceed_one_core(self):
+        cpu = CpuModel(cores=4, virtualization_overhead=0.0)
+        lone = cpu.run_guests_parallel([10.0])[0]
+        assert lone.duration_s == pytest.approx(10.0)  # not 10/4
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(HypervisorError):
+            CpuModel(cores=0)
+        with pytest.raises(HypervisorError):
+            CpuModel(virtualization_overhead=1.0)
+        with pytest.raises(HypervisorError):
+            CpuModel(interleave_bonus=-0.1)
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(HypervisorError):
+            CpuModel().run_native(-1.0)
+
+    def test_expected_needs_positive_guests(self):
+        with pytest.raises(HypervisorError):
+            CpuModel().expected_parallel_duration(10.0, 0)
+
+    def test_throughput(self):
+        result = CpuModel(cores=1, virtualization_overhead=0.0).run_guests_parallel([10.0])[0]
+        assert result.throughput == pytest.approx(1.0)

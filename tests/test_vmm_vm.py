@@ -1,0 +1,140 @@
+"""VM lifecycle, specs, fingerprint homogenization, union-FS roots."""
+
+import pytest
+
+from repro.errors import VmStateError
+from repro.memory import GuestMemory
+from repro.sim import Timeline
+from repro.unionfs.layer import TmpfsLayer
+from repro.unionfs.mount import UnionMount
+from repro.vmm import VmRole, VmSpec, VmState, VirtualMachine
+from repro.vmm.baseimage import build_base_layer, build_config_layer, build_vm_mount
+from repro.vmm.vm import HOMOGENIZED_CPU, HOMOGENIZED_RESOLUTION, MIB
+
+
+def _vm(timeline=None, spec=None):
+    timeline = timeline or Timeline()
+    spec = spec or VmSpec.anonvm()
+    memory = GuestMemory("vm-test", spec.ram_bytes)
+    fs = build_vm_mount(spec.role, spec.writable_fs_bytes, build_base_layer())
+    return VirtualMachine(timeline, "vm-test", spec, memory, fs, "nymix-base"), timeline
+
+
+class TestVmSpecs:
+    def test_anonvm_defaults_match_paper(self):
+        spec = VmSpec.anonvm()
+        assert spec.ram_bytes == 384 * MIB
+        assert spec.writable_fs_bytes == 128 * MIB
+        assert spec.role is VmRole.ANONVM
+
+    def test_commvm_defaults_match_paper(self):
+        spec = VmSpec.commvm()
+        assert spec.ram_bytes == 128 * MIB
+        assert spec.writable_fs_bytes == 16 * MIB
+
+    def test_custom_sizes(self):
+        spec = VmSpec.anonvm(ram_bytes=1024 * MIB)
+        assert spec.ram_bytes == 1024 * MIB
+
+
+class TestVmLifecycle:
+    def test_boot_advances_time_and_fills_memory(self):
+        vm, timeline = _vm()
+        before = timeline.now
+        duration = vm.boot()
+        assert timeline.now - before == pytest.approx(duration)
+        assert vm.state is VmState.RUNNING
+        stats = vm.memory.stats()
+        assert stats.image_pages > 0 and stats.unique_pages > 0
+
+    def test_boot_without_advance(self):
+        vm, timeline = _vm()
+        vm.boot(advance=False)
+        assert timeline.now == 0.0
+        assert vm.running
+
+    def test_double_boot_rejected(self):
+        vm, _ = _vm()
+        vm.boot()
+        with pytest.raises(VmStateError):
+            vm.boot()
+
+    def test_pause_resume(self):
+        vm, _ = _vm()
+        vm.boot()
+        vm.pause()
+        assert vm.state is VmState.PAUSED
+        vm.resume()
+        assert vm.state is VmState.RUNNING
+
+    def test_pause_requires_running(self):
+        vm, _ = _vm()
+        with pytest.raises(VmStateError):
+            vm.pause()
+
+    def test_shutdown(self):
+        vm, _ = _vm()
+        vm.boot()
+        vm.shutdown()
+        assert vm.state is VmState.SHUTDOWN
+
+    def test_touch_memory_requires_running(self):
+        vm, _ = _vm()
+        with pytest.raises(VmStateError):
+            vm.touch_memory(1024)
+
+    def test_primary_nic_requires_attachment(self):
+        vm, _ = _vm()
+        with pytest.raises(VmStateError):
+            vm.primary_nic
+
+
+class TestHomogenization:
+    def test_fingerprints_identical_across_vms(self):
+        vm_a, _ = _vm()
+        vm_b, _ = _vm()
+        assert vm_a.fingerprint().as_dict() == vm_b.fingerprint().as_dict()
+
+    def test_fixed_resolution_and_cpu(self):
+        vm, _ = _vm()
+        fp = vm.fingerprint()
+        assert fp.resolution == HOMOGENIZED_RESOLUTION == (1024, 768)
+        assert fp.cpu_model == HOMOGENIZED_CPU
+        assert fp.cpu_count == 1
+
+
+class TestRoleMounts:
+    def test_anonvm_config_masks_network(self):
+        mount = build_vm_mount(VmRole.ANONVM, 1 * MIB, build_base_layer())
+        text = mount.read("/etc/network/interfaces").decode()
+        assert "10.0.2.15" in text
+        assert mount.source_layer("/etc/network/interfaces").startswith("config")
+
+    def test_anonvm_resolver_points_at_commvm(self):
+        mount = build_vm_mount(VmRole.ANONVM, 1 * MIB, build_base_layer())
+        assert "10.0.2.3" in mount.read("/etc/resolv.conf").decode()
+
+    def test_commvm_config_carries_anonymizer(self):
+        mount = build_vm_mount(VmRole.COMMVM, 1 * MIB, build_base_layer(), anonymizer="dissent")
+        assert "dissent" in mount.read("/etc/rc.local").decode()
+
+    def test_sanivm_has_loopback_only(self):
+        mount = build_vm_mount(VmRole.SANIVM, 1 * MIB, build_base_layer())
+        text = mount.read("/etc/network/interfaces").decode()
+        assert "eth0" not in text
+
+    def test_base_binaries_shared_by_all_roles(self):
+        base = build_base_layer()
+        anon = build_vm_mount(VmRole.ANONVM, 1 * MIB, base)
+        comm = build_vm_mount(VmRole.COMMVM, 1 * MIB, base)
+        assert anon.read("/usr/bin/chromium") == comm.read("/usr/bin/chromium")
+
+    def test_config_layer_is_read_only(self):
+        layer = build_config_layer(VmRole.ANONVM)
+        assert layer.read_only
+
+    def test_writes_never_reach_base(self):
+        base = build_base_layer()
+        mount = build_vm_mount(VmRole.ANONVM, 1 * MIB, base)
+        mount.write("/etc/hostname", b"stained")
+        assert base.read("/etc/hostname") == b"nymix\n"

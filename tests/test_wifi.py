@@ -1,0 +1,112 @@
+"""WiFi identity: radiometric fingerprints, MAC randomization, social mixes (§7)."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.wifi import (
+    RadioObserver,
+    WifiSocialMix,
+    make_card,
+    session_transmission,
+)
+from repro.sim import SeededRng
+
+
+@pytest.fixture
+def rng():
+    return SeededRng(13)
+
+
+class TestWifiCards:
+    def test_sequential_serials_have_distinct_signatures(self, rng):
+        """Brik et al. [7]: same manufacturer, sequential serials, still
+        distinguishable by analog fingerprint."""
+        a = make_card(rng, "ACME-0001")
+        b = make_card(rng, "ACME-0002")
+        assert not a.signature.matches(b.signature)
+
+    def test_mac_randomization_changes_mac_only(self, rng):
+        card = make_card(rng, "ACME-0001")
+        original_mac = card.active_mac
+        original_sig = card.signature
+        card.randomize_mac(rng)
+        assert card.active_mac != original_mac
+        assert card.signature is original_sig  # analog identity unchanged
+
+    def test_randomized_mac_is_locally_administered(self, rng):
+        card = make_card(rng, "ACME-0001")
+        mac = card.randomize_mac(rng)
+        second_octet_bit = (mac.value >> 41) & 1
+        assert second_octet_bit == 1
+
+    def test_reset_mac(self, rng):
+        card = make_card(rng, "ACME-0001")
+        card.randomize_mac(rng)
+        card.reset_mac()
+        assert card.active_mac == card.burned_in_mac
+
+
+class TestRadioAdversary:
+    def test_mac_randomization_defeats_mac_tracking(self, rng):
+        card = make_card(rng, "ACME-0001")
+        mac_db = {str(card.burned_in_mac): "bob"}
+        observer = RadioObserver()
+        card.randomize_mac(rng)
+        transmission = session_transmission(card)
+        assert observer.identify_by_mac(transmission, mac_db) is None
+
+    def test_radiometric_tracking_survives_mac_randomization(self, rng):
+        """The §7 point: well-equipped adversaries fingerprint the radio."""
+        card = make_card(rng, "ACME-0001")
+        observer = RadioObserver()
+        observer.enroll(session_transmission(card), "bob")
+        card.randomize_mac(rng)
+        assert observer.identify(session_transmission(card)) == "bob"
+
+    def test_unknown_device_unidentified(self, rng):
+        observer = RadioObserver()
+        observer.enroll(session_transmission(make_card(rng, "A-1")), "bob")
+        stranger = make_card(rng, "B-9")
+        assert observer.identify(session_transmission(stranger)) is None
+
+
+class TestSocialMix:
+    def test_swap_redistributes_all_cards(self, rng):
+        mix = WifiSocialMix(rng)
+        members = [f"member{i}" for i in range(6)]
+        cards = {m: make_card(rng, f"CARD-{i}") for i, m in enumerate(members)}
+        for member, card in cards.items():
+            mix.contribute(member, card)
+        drawn = mix.swap()
+        assert set(drawn) == set(members)
+        assert {c.serial for c in drawn.values()} == {c.serial for c in cards.values()}
+
+    def test_swap_severs_signature_to_person_mapping(self, rng):
+        """After the party, the adversary's database points at the wrong
+        people (for at least some members, with high probability)."""
+        mix = WifiSocialMix(rng)
+        members = [f"member{i}" for i in range(8)]
+        observer = RadioObserver()
+        for index, member in enumerate(members):
+            card = make_card(rng, f"CARD-{index}")
+            observer.enroll(session_transmission(card), member)
+            mix.contribute(member, card)
+        drawn = mix.swap()
+        misattributed = sum(
+            1
+            for member, card in drawn.items()
+            if observer.identify(session_transmission(card)) != member
+        )
+        assert misattributed >= len(members) // 2
+
+    def test_duplicate_contribution_rejected(self, rng):
+        mix = WifiSocialMix(rng)
+        mix.contribute("bob", make_card(rng, "C-1"))
+        with pytest.raises(NetworkError):
+            mix.contribute("bob", make_card(rng, "C-2"))
+
+    def test_swap_needs_two_members(self, rng):
+        mix = WifiSocialMix(rng)
+        mix.contribute("bob", make_card(rng, "C-1"))
+        with pytest.raises(NetworkError):
+            mix.swap()

@@ -1,0 +1,111 @@
+"""Workload drivers: Peacekeeper, parallel downloads, browsing sessions."""
+
+import pytest
+
+from repro.vmm import CpuModel
+from repro.workloads import (
+    ParallelDownloadExperiment,
+    PeacekeeperBenchmark,
+)
+from repro.workloads.peacekeeper import REQUIRED_VM_RAM
+
+
+class TestPeacekeeper:
+    @pytest.fixture
+    def bench(self):
+        return PeacekeeperBenchmark(CpuModel(cores=4))
+
+    def test_native_score_calibration(self, bench):
+        assert bench.run_native().mean_score == pytest.approx(4800.0)
+
+    def test_single_nym_about_20_percent_down(self, bench):
+        result = bench.run_in_nyms(1)
+        assert result.mean_score == pytest.approx(4800.0 / 1.2, rel=0.01)
+
+    def test_scores_flat_up_to_core_count(self, bench):
+        one = bench.run_in_nyms(1).mean_score
+        four = bench.run_in_nyms(4).mean_score
+        assert four == pytest.approx(one, rel=0.01)
+
+    def test_scores_degrade_beyond_cores(self, bench):
+        four = bench.run_in_nyms(4).mean_score
+        eight = bench.run_in_nyms(8).mean_score
+        assert eight < four
+
+    def test_actual_beats_expected_when_contended(self, bench):
+        """The Figure 4 gap."""
+        result = bench.run_in_nyms(8)
+        assert result.mean_score > result.expected_score
+
+    def test_sweep_shape(self, bench):
+        sweep = bench.sweep(max_nyms=8)
+        assert len(sweep) == 9
+        assert sweep[0].nyms == 0
+        assert sweep[0].mean_score == max(r.mean_score for r in sweep)
+
+    def test_ram_requirement_noted(self):
+        assert REQUIRED_VM_RAM == 1024 * 1024 * 1024
+
+    def test_invalid_nym_count(self, bench):
+        with pytest.raises(ValueError):
+            bench.run_in_nyms(0)
+
+
+class TestParallelDownload:
+    @pytest.fixture
+    def experiment(self):
+        return ParallelDownloadExperiment()
+
+    def test_single_download_time(self, experiment):
+        result = experiment.run(1)
+        # 76 MiB at 10 Mbit/s is ~64 s ideal; Tor adds ~12%.
+        assert result.ideal_seconds == pytest.approx(63.8, rel=0.02)
+        assert result.slowest_actual == pytest.approx(63.8 * 1.117, rel=0.02)
+
+    def test_overhead_fixed_across_scale(self, experiment):
+        """§5.2: 'Tor ... has a fixed cost, approximately 12% overhead.'"""
+        for nyms in (1, 4, 8):
+            result = experiment.run(nyms)
+            assert result.overhead_fraction == pytest.approx(0.117, abs=0.02)
+
+    def test_linear_scaling(self, experiment):
+        one = experiment.run(1).slowest_actual
+        eight = experiment.run(8).slowest_actual
+        assert eight == pytest.approx(8 * one - 7 * experiment.rtt_s, rel=0.02)
+
+    def test_sweep(self, experiment):
+        sweep = experiment.sweep(max_nyms=4)
+        times = [r.slowest_actual for r in sweep]
+        assert times == sorted(times)
+
+    def test_custom_overhead(self, experiment):
+        result = experiment.run(2, overhead_factor=1.0)
+        assert result.overhead_fraction == pytest.approx(0.0, abs=1e-6)
+
+    def test_invalid_nym_count(self, experiment):
+        with pytest.raises(ValueError):
+            experiment.run(0)
+
+
+class TestBrowsingSessions:
+    def test_memory_step(self, manager):
+        from repro.workloads.browsing import run_memory_experiment_step
+
+        step = run_memory_experiment_step(manager, 0)
+        assert step.hostname == "gmail.com"
+        assert step.after.used_bytes >= step.before.used_bytes
+        assert "memexp-0" in manager.live_nyms()
+
+    def test_session_signs_in_where_required(self, manager):
+        from repro.workloads.browsing import BrowsingSession
+
+        nymbox = manager.create_nym("s")
+        BrowsingSession(hostname="gmail.com", sign_in=True).run(manager, nymbox)
+        assert nymbox.browser.has_credentials_for("gmail.com")
+
+    def test_session_skips_login_free_sites(self, manager):
+        from repro.workloads.browsing import BrowsingSession
+
+        nymbox = manager.create_nym("s")
+        BrowsingSession(hostname="bbc.co.uk", sign_in=True).run(manager, nymbox)
+        assert not nymbox.browser.has_credentials_for("bbc.co.uk")
