@@ -11,15 +11,23 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 MIB = 1024 * 1024
 
 
-def save_results(name: str, payload: Dict) -> pathlib.Path:
+def save_results(name: str, payload: Dict, metrics: Optional[Dict] = None) -> pathlib.Path:
+    """Write one bench's payload (plus an optional metrics snapshot) to JSON.
+
+    ``metrics`` is a :meth:`repro.obs.MetricsRegistry.snapshot` dict; embedding
+    it alongside the figures ties every saved result to the substrate
+    counters (KSM merges, uplink bytes, circuit builds) that produced it.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
+    if metrics is not None:
+        payload = dict(payload, metrics=metrics)
     path = RESULTS_DIR / f"{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True))
     return path

@@ -17,6 +17,8 @@ def _average(phase_dicts):
 
 
 def run_figure7(runs: int = 5, seed: int = 7):
+    """Returns (results, metrics): phase averages plus the last run's
+    substrate metrics snapshot (boot/circuit/uplink counters)."""
     results = {}
 
     fresh_phases = []
@@ -59,11 +61,11 @@ def run_figure7(runs: int = 5, seed: int = 7):
         persisted_phases.append(nymbox.startup.as_dict())
     results["Pre-config."] = _average(preconfig_phases)
     results["Persisted"] = _average(persisted_phases)
-    return results
+    return results, manager.obs.snapshot()
 
 
 def test_fig7_startup_phases(benchmark):
-    results = benchmark.pedantic(run_figure7, rounds=1, iterations=1)
+    results, metrics = benchmark.pedantic(run_figure7, rounds=1, iterations=1)
     phases = ["Boot VM", "Start Tor", "Load webpage", "Ephemeral Nym"]
     print_table(
         "Figure 7: average startup time (s) by phase",
@@ -77,7 +79,7 @@ def test_fig7_startup_phases(benchmark):
             for config, values in results.items()
         ],
     )
-    save_results("fig7_startup", {"results": results})
+    save_results("fig7_startup", {"results": results}, metrics=metrics)
 
     fresh, preconfig, persisted = (
         results["Fresh"], results["Pre-config."], results["Persisted"],

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.errors import AnonymizerError
+from repro.obs import NULL_OBS
 
 
 class PostingPolicy(enum.Enum):
@@ -59,6 +60,7 @@ class BuddiesMonitor:
         population: Set[str],
         threshold: int = 2,
         policy: PostingPolicy = PostingPolicy.BLOCK,
+        obs=NULL_OBS,
     ) -> None:
         if threshold < 1:
             raise AnonymizerError(f"threshold must be >= 1, got {threshold}")
@@ -69,6 +71,9 @@ class BuddiesMonitor:
         self.policy = policy
         self._nyms: Dict[str, _NymState] = {}
         self.decisions: List[PostDecision] = []
+        self.obs = obs
+        self._obs_posts = obs.metrics.counter("buddies.posts")
+        self._obs_blocked = obs.metrics.counter("buddies.blocked_posts")
 
     def _state(self, nym_name: str) -> _NymState:
         return self._nyms.setdefault(nym_name, _NymState())
@@ -113,8 +118,17 @@ class BuddiesMonitor:
         if allowed:
             state.buddy_set = projected
             state.posts += 1
+            self._obs_posts.inc()
         else:
             state.blocked_posts += 1
+            self._obs_blocked.inc()
+        self.obs.event(
+            "buddies.post",
+            nym=nym_name,
+            allowed=allowed,
+            before=len(before),
+            after=len(projected) if allowed else len(before),
+        )
         decision = PostDecision(
             allowed=allowed,
             buddy_set_size_before=len(before),

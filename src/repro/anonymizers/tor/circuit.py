@@ -63,17 +63,30 @@ class Circuit:
         nicknames = [r.descriptor.nickname for r in path]
         if len(set(nicknames)) != len(nicknames):
             raise CircuitError(f"circuit path repeats a relay: {nicknames}")
+        obs = self.timeline.obs
         start = self.timeline.now
-        for position, relay in enumerate(path):
-            forward, backward = self._handshake(relay)
-            self._hops.append(_ClientHop(relay, forward, backward))
-            if position > 0:
-                path[position - 1].link_next_hop(self.circ_id, relay)
-            # The CREATE/EXTEND round trip traverses every built hop.
-            round_trip = 2 * self.HOP_LATENCY_S * (position + 1)
-            self.timeline.sleep(round_trip)
+        with obs.span("tor.circuit.build", hops=len(path)):
+            for position, relay in enumerate(path):
+                forward, backward = self._handshake(relay)
+                self._hops.append(_ClientHop(relay, forward, backward))
+                if position > 0:
+                    path[position - 1].link_next_hop(self.circ_id, relay)
+                # The CREATE/EXTEND round trip traverses every built hop.
+                round_trip = 2 * self.HOP_LATENCY_S * (position + 1)
+                self.timeline.sleep(round_trip)
         self.built_at = self.timeline.now
         self.build_seconds = self.timeline.now - start
+        obs.metrics.counter("tor.circuit.built").inc()
+        obs.metrics.histogram("tor.circuit.build_s").observe(self.build_seconds)
+        # The journal deliberately omits ``circ_id``: circuit ids come from a
+        # process-global counter, and journal bytes must depend only on the
+        # seed and scenario.
+        obs.event(
+            "tor.circuit.built",
+            hops=len(path),
+            path="->".join(nicknames),
+            seconds=round(self.build_seconds, 6),
+        )
         return self.build_seconds
 
     @property
@@ -121,6 +134,7 @@ class Circuit:
         data = onion
         for hop in self._hops:
             data = hop.relay.peel_forward(self.circ_id, data)
+        self.timeline.obs.metrics.counter("tor.cells.relayed").inc(len(self._hops))
         return data
 
     def relay_backward(self, plaintext: bytes) -> bytes:
@@ -153,6 +167,7 @@ class Circuit:
             raise CircuitError("onion layers failed to peel to the BEGIN cell")
         self.exit.open_stream(self.circ_id, peeled[6:].decode())
         self.streams_opened += 1
+        self.timeline.obs.metrics.counter("tor.streams.opened").inc()
         round_trip = 2 * self.path_latency_s
         self.timeline.sleep(round_trip)
         return round_trip

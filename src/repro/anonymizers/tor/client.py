@@ -75,30 +75,46 @@ class TorClient(Anonymizer):
     # -- bootstrap (the Figure 7 "Start Tor" phase) --------------------------------
 
     def start(self) -> float:
+        obs = self.timeline.obs
         begin = self.timeline.now
-        self.timeline.sleep(self.rng.jitter(_PROCESS_LAUNCH_S, 0.1))
-        self.consensus = self.directory.consensus(self.timeline.now)
-        if not self._consensus_cached:
-            # Fetch the consensus document plus relay descriptors through
-            # the (not yet anonymized) directory connection.
-            doc_bytes = self.consensus.document_bytes()
-            duration = self.internet.uplink.transfer(doc_bytes).duration_s
-            if self.nat.host_capture is not None:
-                self.nat.host_capture.record_flow(
-                    where=f"uplink({self.nat.name})",
-                    sender=self.nat.name,
-                    label="anonymizer",
-                    payload_bytes=doc_bytes,
-                    summary="tor consensus fetch",
+        with obs.span("tor.start"):
+            self.timeline.sleep(self.rng.jitter(_PROCESS_LAUNCH_S, 0.1))
+            self.consensus = self.directory.consensus(self.timeline.now)
+            if not self._consensus_cached:
+                # Fetch the consensus document plus relay descriptors through
+                # the (not yet anonymized) directory connection.
+                doc_bytes = self.consensus.document_bytes()
+                duration = self.internet.uplink.transfer(doc_bytes).duration_s
+                if self.nat.host_capture is not None:
+                    self.nat.host_capture.record_flow(
+                        where=f"uplink({self.nat.name})",
+                        sender=self.nat.name,
+                        label="anonymizer",
+                        payload_bytes=doc_bytes,
+                        summary="tor consensus fetch",
+                    )
+                self.timeline.sleep(duration + self.rng.jitter(_DESCRIPTOR_FETCH_S, 0.15))
+            had_guards = self.guard_manager.has_guards
+            before = self.guard_manager.guards
+            guards = self.guard_manager.ensure_guards(self.consensus, self.timeline.now)
+            if guards != before:
+                obs.metrics.counter("tor.guard.selections").inc()
+                obs.event(
+                    "tor.guard.selected",
+                    guards=",".join(guards),
+                    rotation=had_guards,
                 )
-            self.timeline.sleep(duration + self.rng.jitter(_DESCRIPTOR_FETCH_S, 0.15))
-        had_guards = self.guard_manager.has_guards
-        self.guard_manager.ensure_guards(self.consensus, self.timeline.now)
-        self._current = self._build_circuit()
-        settle = _WARM_SETTLE_S if (had_guards and self._consensus_cached) else _FRESH_SETTLE_S
-        self.timeline.sleep(self.rng.jitter(settle, 0.2))
+            self._current = self._build_circuit()
+            settle = _WARM_SETTLE_S if (had_guards and self._consensus_cached) else _FRESH_SETTLE_S
+            self.timeline.sleep(self.rng.jitter(settle, 0.2))
         self.started = True
         self.startup_seconds = self.timeline.now - begin
+        obs.metrics.histogram("tor.start_s").observe(self.startup_seconds)
+        obs.event(
+            "tor.started",
+            warm=bool(had_guards and self._consensus_cached),
+            seconds=round(self.startup_seconds, 6),
+        )
         return self.startup_seconds
 
     def stop(self) -> None:
@@ -150,6 +166,7 @@ class TorClient(Anonymizer):
         """Rotate to a fresh circuit (Tor's NEWNYM)."""
         if self._current is not None:
             self._current.destroy()
+        self.timeline.obs.metrics.counter("tor.newnym").inc()
         self._current = self._build_circuit()
         return self._current
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
 
+from repro.obs import NULL_OBS
 from repro.sim.rng import SeededRng
 
 
@@ -34,6 +35,7 @@ class IntersectionAttack:
     population: int
     online_probability: float
     rng: SeededRng
+    obs: object = NULL_OBS
 
     def epochs_to_deanonymize(self, target: int = 0, max_epochs: int = 10_000) -> Optional[int]:
         """Epochs of linkable messages until the candidate set is {target}.
@@ -52,7 +54,14 @@ class IntersectionAttack:
             # only users online now remain candidates.
             candidates &= online
             if candidates == {target}:
+                self.obs.metrics.counter("attack.intersection.converged").inc()
+                self.obs.event(
+                    "intersection.converged",
+                    population=self.population,
+                    epochs=epoch,
+                )
                 return epoch
+        self.obs.metrics.counter("attack.intersection.diverged").inc()
         return None
 
     def epochs_with_unlinkable_nyms(self) -> Optional[int]:
@@ -88,6 +97,7 @@ class GuardExposureModel:
         total_guards: int = 40,
         adversary_guards: int = 4,
         guards_per_client: int = 3,
+        obs=NULL_OBS,
     ) -> None:
         if not 0 <= adversary_guards <= total_guards:
             raise ValueError("adversary guard count out of range")
@@ -95,8 +105,12 @@ class GuardExposureModel:
         self.guard_names = [f"guard{i:03d}" for i in range(total_guards)]
         self.malicious = set(self.guard_names[:adversary_guards])
         self.guards_per_client = guards_per_client
+        self.obs = obs
+        self._obs_draws = obs.metrics.counter("attack.guard.draws")
+        self._obs_compromises = obs.metrics.counter("attack.guard.compromises")
 
     def _draw(self) -> List[str]:
+        self._obs_draws.inc()
         return self.rng.sample(self.guard_names, self.guards_per_client)
 
     def simulate(self, sessions: int, rotate_every_session: bool) -> GuardSessionTrace:
@@ -111,6 +125,7 @@ class GuardExposureModel:
                 distinct.update(current)
             if compromised_at is None and any(g in self.malicious for g in current):
                 compromised_at = session
+                self._obs_compromises.inc()
         return GuardSessionTrace(
             sessions=sessions,
             distinct_guards=distinct,

@@ -6,6 +6,8 @@ Gives the reproduction an operator's console:
 * ``redteam``   — run the full adversarial sweep and print the report
 * ``demo``      — the quickstart workflow, narrated
 * ``catalog``   — what the simulated world contains (sites, OSes, transports)
+* ``stats``     — run a scenario and dump the metrics snapshot
+* ``trace``     — run a scenario and print the sim-time span tree
 """
 
 from __future__ import annotations
@@ -72,6 +74,67 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_observed_scenario(seed: int, nyms: int) -> NymManager:
+    """A small instrumented workload for ``stats``/``trace``: create nyms,
+    browse, store one, discard all."""
+    manager = _make_manager(seed)
+    manager.create_cloud_account("dropbox.com", "obs-user", "cloud-pw")
+    boxes = []
+    for index in range(nyms):
+        nymbox = manager.create_nym(f"obs-{index}")
+        manager.timed_browse(nymbox, "bbc.co.uk")
+        boxes.append(nymbox)
+    if boxes:
+        manager.store_nym(
+            boxes[0], "obs-pw", provider_host="dropbox.com", account_username="obs-user"
+        )
+    for nymbox in boxes:
+        manager.discard_nym(nymbox)
+    return manager
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    manager = _run_observed_scenario(args.seed, args.nyms)
+    obs = manager.obs
+    if args.journal:
+        try:
+            obs.journal.write_jsonl(args.journal)
+        except OSError as exc:
+            print(f"cannot write journal to {args.journal}: {exc}", file=sys.stderr)
+            return 1
+        print(f"journal: {obs.journal.count()} events -> {args.journal}", file=sys.stderr)
+    if args.json:
+        print(obs.metrics.export_json(args.prefix))
+        return 0
+    snapshot = obs.snapshot(args.prefix)
+    if not snapshot:
+        print(f"no metrics match prefix {args.prefix!r}")
+        return 1
+    width = max(len(name) for name in snapshot)
+    for name in sorted(snapshot):
+        value = snapshot[name]
+        if isinstance(value, dict):  # histogram
+            mean = value["sum"] / value["count"] if value["count"] else 0.0
+            rendered = (
+                f"count={value['count']} mean={mean:.4f} "
+                f"min={value['min']:.4f} max={value['max']:.4f}"
+            )
+        else:
+            rendered = f"{value:g}"
+        print(f"  {name:<{width}}  {rendered}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    manager = _run_observed_scenario(args.seed, args.nyms)
+    tree = manager.obs.tracer.render_tree()
+    if not tree:
+        print("no spans recorded")
+        return 1
+    print(tree)
+    return 0
+
+
 def cmd_catalog(args: argparse.Namespace) -> int:
     print("anonymizers:")
     for kind in sorted(ANONYMIZER_REGISTRY):
@@ -110,6 +173,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     catalog = commands.add_parser("catalog", help="list the simulated world")
     catalog.set_defaults(func=cmd_catalog)
+
+    stats = commands.add_parser("stats", help="run a scenario, dump metrics")
+    stats.add_argument("--nyms", type=int, default=2)
+    stats.add_argument("--prefix", default="", help="only metrics under this prefix")
+    stats.add_argument("--json", action="store_true", help="emit canonical JSON")
+    stats.add_argument("--journal", metavar="PATH", help="also write the event journal (JSONL)")
+    stats.set_defaults(func=cmd_stats)
+
+    trace = commands.add_parser("trace", help="run a scenario, print the span tree")
+    trace.add_argument("--nyms", type=int, default=1)
+    trace.set_defaults(func=cmd_trace)
     return parser
 
 

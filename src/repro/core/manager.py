@@ -65,7 +65,12 @@ class NymManager:
 
     def __init__(self, config: Optional[NymixConfig] = None) -> None:
         self.config = config or NymixConfig()
-        self.timeline = Timeline(seed=self.config.seed)
+        self.timeline = Timeline(
+            seed=self.config.seed, observability=self.config.observability
+        )
+        #: the shared per-simulation observability sink (metrics, tracer,
+        #: event journal) — every component reaches it as ``timeline.obs``
+        self.obs = self.timeline.obs
         host = self.config.host
         self.internet = Internet(
             self.timeline, uplink_bps=host.uplink_bps, rtt_s=host.uplink_rtt_s
@@ -98,7 +103,7 @@ class NymManager:
         # Host-side trace accounting (§3.4's Dunn discussion): guest pages
         # are erased at teardown, but host copies persist until reboot.
         self.remanence = RemanenceTracker(
-            ephemeral_channels=self.config.ephemeral_channels
+            ephemeral_channels=self.config.ephemeral_channels, obs=self.obs
         )
         self.hypervisor.acquire_lan_address()
 
@@ -241,17 +246,21 @@ class NymManager:
     def _launch(self, nymbox: NymBox) -> None:
         """Boot the VMs (in parallel) and start the anonymizer, timing phases."""
         rng = nymbox.rng
-        t0 = self.timeline.now
-        # All guests boot concurrently; the AnonVM (the longest boot) sets the pace.
-        nymbox.commvm.boot(rng, advance=False)
-        for extra in nymbox.extra_commvms:
-            extra.boot(rng, advance=False)
-        nymbox.anonvm.boot(rng, advance=True)
-        nymbox.startup.boot_vm_s = self.timeline.now - t0
-        t1 = self.timeline.now
-        nymbox.anonymizer.start()
-        nymbox.startup.start_anonymizer_s = self.timeline.now - t1
-        self.hypervisor.ksm.scan(passes=2)
+        with self.obs.span("nymbox.launch", nym=nymbox.nym.name):
+            t0 = self.timeline.now
+            # All guests boot concurrently; the AnonVM (the longest boot) sets the pace.
+            nymbox.commvm.boot(rng, advance=False)
+            for extra in nymbox.extra_commvms:
+                extra.boot(rng, advance=False)
+            nymbox.anonvm.boot(rng, advance=True)
+            nymbox.startup.boot_vm_s = self.timeline.now - t0
+            t1 = self.timeline.now
+            nymbox.anonymizer.start()
+            nymbox.startup.start_anonymizer_s = self.timeline.now - t1
+            self.hypervisor.ksm.scan(passes=2)
+        self.obs.metrics.histogram("nym.launch_s").observe(
+            nymbox.startup.boot_vm_s + nymbox.startup.start_anonymizer_s
+        )
 
     def create_nym(
         self,
@@ -278,6 +287,11 @@ class NymManager:
             chain_commvms=chain_commvms,
         )
         self._launch(nymbox)
+        self.obs.metrics.counter("nym.created").inc()
+        self.obs.metrics.gauge("nym.live").set(len(self.nymboxes))
+        self.obs.event(
+            "nym.created", nym=name, anonymizer=kind, usage=usage.value
+        )
         return nymbox
 
     def timed_browse(self, nymbox: NymBox, hostname: str) -> PageLoad:
@@ -295,14 +309,20 @@ class NymManager:
         nothing about the nym remains on the host.
         """
         footprint = nymbox.memory_bytes()
-        nymbox.anonymizer.stop()
-        for vm in nymbox.all_vms:
-            self.hypervisor.destroy_vm(vm)
-        nymbox.destroyed = True
-        self.nymboxes.pop(nymbox.nym.name, None)
-        self.remanence.record_nym_teardown(nymbox.nym.name, footprint)
-        self.hypervisor.ksm.reset_coverage()
-        self.hypervisor.ksm.scan(passes=2)
+        with self.obs.span("nymbox.discard", nym=nymbox.nym.name):
+            nymbox.anonymizer.stop()
+            for vm in nymbox.all_vms:
+                self.hypervisor.destroy_vm(vm)
+            nymbox.destroyed = True
+            self.nymboxes.pop(nymbox.nym.name, None)
+            self.remanence.record_nym_teardown(nymbox.nym.name, footprint)
+            self.hypervisor.ksm.reset_coverage()
+            self.hypervisor.ksm.scan(passes=2)
+        self.obs.metrics.counter("nym.discarded").inc()
+        self.obs.metrics.gauge("nym.live").set(len(self.nymboxes))
+        self.obs.event(
+            "nym.discarded", nym=nymbox.nym.name, footprint_bytes=footprint
+        )
 
     # -- quasi-persistence (§3.5) -----------------------------------------------------------
 
@@ -322,27 +342,28 @@ class NymManager:
         """
         nym = nymbox.nym
         blob = blob_name or f"{nym.name}.nymbox"
-        if provider_host is not None:
-            provider = self._provider(provider_host)
-            if account_username is None:
-                raise NymError("cloud storage needs an account username")
-            account = self._account(provider_host, account_username)
-            receipt = self.store.save(nymbox, blob, password, provider, account)
-        else:
-            nymbox.pause()
-            snapshot = FsSnapshot.capture(nymbox)
-            sealed, receipt = self.store.pack(snapshot, password)
-            nymbox.resume()
-            self._local_blobs[blob] = sealed
-            receipt = StoreReceipt(
-                nym_name=nym.name,
-                blob_name=blob,
-                raw_bytes=receipt.raw_bytes,
-                compressed_bytes=receipt.compressed_bytes,
-                encrypted_bytes=receipt.encrypted_bytes,
-                pack_seconds=receipt.pack_seconds,
-                upload_seconds=0.0,
-            )
+        with self.obs.span("nymbox.store", nym=nym.name):
+            if provider_host is not None:
+                provider = self._provider(provider_host)
+                if account_username is None:
+                    raise NymError("cloud storage needs an account username")
+                account = self._account(provider_host, account_username)
+                receipt = self.store.save(nymbox, blob, password, provider, account)
+            else:
+                nymbox.pause()
+                snapshot = FsSnapshot.capture(nymbox)
+                sealed, receipt = self.store.pack(snapshot, password)
+                nymbox.resume()
+                self._local_blobs[blob] = sealed
+                receipt = StoreReceipt(
+                    nym_name=nym.name,
+                    blob_name=blob,
+                    raw_bytes=receipt.raw_bytes,
+                    compressed_bytes=receipt.compressed_bytes,
+                    encrypted_bytes=receipt.encrypted_bytes,
+                    pack_seconds=receipt.pack_seconds,
+                    upload_seconds=0.0,
+                )
         nym.storage_provider = provider_host
         nym.storage_blob = blob
         nym.save_cycles += 1
@@ -362,6 +383,14 @@ class NymManager:
         record.usage_model = nym.usage_model
         record.save_cycles += 1
         record.receipts.append(receipt)
+        self.obs.metrics.counter("nym.stored").inc()
+        self.obs.event(
+            "nym.stored",
+            nym=nym.name,
+            blob=blob,
+            cloud=provider_host is not None,
+            encrypted_bytes=receipt.encrypted_bytes,
+        )
         return receipt
 
     def snapshot_nym(self, nymbox: NymBox, password: str, **kwargs) -> StoreReceipt:
@@ -391,49 +420,61 @@ class NymManager:
         if name in self.nymboxes:
             raise NymStateError(f"nym {name!r} is already running")
 
-        eph_start = self.timeline.now
-        if record.provider_host is not None:
-            provider = self._provider(record.provider_host)
-            account = self._account(record.provider_host, record.account_username)
-            loader = self.create_nym(name=f"{name}-loader", anonymizer="tor")
-            sealed = self.store.download(loader, record.blob_name, provider, account)
-            self.discard_nym(loader)
-        else:
-            sealed = self._local_blobs.get(record.blob_name)
-            if sealed is None:
-                raise PersistenceError(f"local blob {record.blob_name!r} is missing")
-        snapshot = self.store.unpack(sealed, password)
-        ephemeral_s = self.timeline.now - eph_start
+        with self.obs.span("nymbox.load", nym=name):
+            eph_start = self.timeline.now
+            if record.provider_host is not None:
+                provider = self._provider(record.provider_host)
+                account = self._account(record.provider_host, record.account_username)
+                with self.obs.span("nymbox.load.ephemeral_fetch", nym=name):
+                    loader = self.create_nym(name=f"{name}-loader", anonymizer="tor")
+                    sealed = self.store.download(
+                        loader, record.blob_name, provider, account
+                    )
+                    self.discard_nym(loader)
+            else:
+                sealed = self._local_blobs.get(record.blob_name)
+                if sealed is None:
+                    raise PersistenceError(f"local blob {record.blob_name!r} is missing")
+            snapshot = self.store.unpack(sealed, password)
+            ephemeral_s = self.timeline.now - eph_start
 
-        guard_manager = None
-        if self.config.deterministic_guards and record.anonymizer_kind == "tor":
-            guard_manager = GuardManager.deterministic(
-                storage_location=f"{record.provider_host or 'local'}/{record.blob_name}",
-                password=password,
+            guard_manager = None
+            if self.config.deterministic_guards and record.anonymizer_kind == "tor":
+                guard_manager = GuardManager.deterministic(
+                    storage_location=f"{record.provider_host or 'local'}/{record.blob_name}",
+                    password=password,
+                )
+            nymbox = self._build_nymbox(
+                name=name,
+                anonymizer_kind=record.anonymizer_kind,
+                usage=record.usage_model,
+                anon_spec=None,
+                comm_spec=None,
+                guard_manager=guard_manager,
             )
-        nymbox = self._build_nymbox(
-            name=name,
-            anonymizer_kind=record.anonymizer_kind,
-            usage=record.usage_model,
-            anon_spec=None,
-            comm_spec=None,
-            guard_manager=guard_manager,
+            nymbox.anonymizer.import_state(snapshot.anonymizer_state)
+            rng = nymbox.rng
+            t0 = self.timeline.now
+            nymbox.commvm.boot(rng, advance=False)
+            nymbox.anonvm.boot(rng, advance=True)
+            NymStore.restore_files(nymbox, snapshot)
+            nymbox.startup.boot_vm_s = self.timeline.now - t0
+            t1 = self.timeline.now
+            nymbox.anonymizer.start()
+            nymbox.startup.start_anonymizer_s = self.timeline.now - t1
+            nymbox.startup.ephemeral_nym_s = ephemeral_s
+            nymbox.nym.storage_provider = record.provider_host
+            nymbox.nym.storage_blob = record.blob_name
+            nymbox.nym.save_cycles = record.save_cycles
+            self.hypervisor.ksm.scan(passes=2)
+        self.obs.metrics.counter("nym.loaded").inc()
+        self.obs.metrics.gauge("nym.live").set(len(self.nymboxes))
+        self.obs.event(
+            "nym.loaded",
+            nym=name,
+            cloud=record.provider_host is not None,
+            ephemeral_s=round(ephemeral_s, 6),
         )
-        nymbox.anonymizer.import_state(snapshot.anonymizer_state)
-        rng = nymbox.rng
-        t0 = self.timeline.now
-        nymbox.commvm.boot(rng, advance=False)
-        nymbox.anonvm.boot(rng, advance=True)
-        NymStore.restore_files(nymbox, snapshot)
-        nymbox.startup.boot_vm_s = self.timeline.now - t0
-        t1 = self.timeline.now
-        nymbox.anonymizer.start()
-        nymbox.startup.start_anonymizer_s = self.timeline.now - t1
-        nymbox.startup.ephemeral_nym_s = ephemeral_s
-        nymbox.nym.storage_provider = record.provider_host
-        nymbox.nym.storage_blob = record.blob_name
-        nymbox.nym.save_cycles = record.save_cycles
-        self.hypervisor.ksm.scan(passes=2)
         return nymbox
 
     def close_session(self, nymbox: NymBox, password: Optional[str] = None) -> Optional[StoreReceipt]:
@@ -507,6 +548,13 @@ class NymManager:
         )
         vm.boot(self.timeline.fork_rng(f"installed-boot:{os_name}"), advance=False)
         boot_s = ios.boot(self.timeline)
+        self.obs.metrics.counter("nym.installed_os_boots").inc()
+        self.obs.event(
+            "nym.installed_os_boot",
+            os=os_name,
+            repair_s=round(repair_s, 6),
+            boot_s=round(boot_s, 6),
+        )
         report = InstalledOsNymReport(
             os_name=os_name,
             repair_seconds=repair_s,
@@ -521,9 +569,12 @@ class NymManager:
 
         Returns the residual bytes cleared from host RAM.
         """
+        killed = len(self.nymboxes)
         for nymbox in list(self.nymboxes.values()):
             self.discard_nym(nymbox)
-        return self.remanence.reboot()
+        cleared = self.remanence.reboot()
+        self.obs.event("host.reboot", nyms_killed=killed, cleared_bytes=cleared)
+        return cleared
 
     # -- introspection --------------------------------------------------------------------
 

@@ -146,8 +146,18 @@ class NymBox:
     def browse(self, hostname: str) -> PageLoad:
         """Load a page as the user would (the Figure 7 "Load webpage" phase)."""
         self._require_alive()
-        load = self.browser.visit(hostname)
+        obs = self.timeline.obs
+        with obs.span("nymbox.browse", nym=self.nym.name, host=hostname):
+            load = self.browser.visit(hostname)
         self.page_loads.append(load)
+        obs.metrics.counter("nymbox.page_loads").inc()
+        obs.metrics.histogram("nymbox.page_load_s").observe(load.duration_s)
+        obs.event(
+            "nymbox.page_load",
+            nym=self.nym.name,
+            host=hostname,
+            seconds=round(load.duration_s, 6),
+        )
         return load
 
     def sign_in(self, hostname: str, username: str, password: str) -> None:

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional
 
 from repro.core.nymbox import NymBox
 from repro.errors import NymixError
+from repro.obs import NULL_OBS
 
 
 @dataclass(frozen=True)
@@ -49,11 +50,14 @@ class TrustedPasswordEntry:
     typing feeds it; trusted entry does not.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, obs=NULL_OBS) -> None:
         self._security_images: Dict[str, str] = {}
         self.keyloggers: List[GuestKeylogger] = []
         self.entries_via_trusted_path = 0
         self.entries_typed_in_guest = 0
+        self.obs = obs
+        self._obs_trusted = obs.metrics.counter("screenpass.trusted_entries")
+        self._obs_in_guest = obs.metrics.counter("screenpass.guest_entries")
 
     # -- anti-spoofing ----------------------------------------------------------
 
@@ -62,6 +66,7 @@ class TrustedPasswordEntry:
         if not image:
             raise NymixError("security image must be non-empty")
         self._security_images[nym_name] = image
+        self.obs.event("screenpass.enrolled", nym=nym_name)
 
     def dialog_banner(self, nym_name: str) -> str:
         """What the real dialog shows.  A guest-drawn fake cannot know it."""
@@ -86,6 +91,13 @@ class TrustedPasswordEntry:
                 keylogger.observe(event)
         nymbox.sign_in(hostname, username, password)
         self.entries_typed_in_guest += 1
+        self._obs_in_guest.inc()
+        self.obs.event(
+            "screenpass.guest_entry",
+            nym=nymbox.nym.name,
+            host=hostname,
+            keystrokes_exposed=len(password),
+        )
 
     def enter_via_trusted_path(
         self, nymbox: NymBox, hostname: str, username: str, password: str
@@ -100,4 +112,8 @@ class TrustedPasswordEntry:
         # the guest never sees key events.
         nymbox.sign_in(hostname, username, password)
         self.entries_via_trusted_path += 1
+        self._obs_trusted.inc()
+        self.obs.event(
+            "screenpass.trusted_entry", nym=nymbox.nym.name, host=hostname
+        )
         return banner

@@ -18,6 +18,10 @@ class SimulationError(NymixError):
     """Misuse of the discrete-event simulation kernel."""
 
 
+class ObservabilityError(NymixError):
+    """Misuse of the metrics/tracing/journal subsystem."""
+
+
 class CryptoError(NymixError):
     """Cryptographic failure (bad key sizes, failed authentication...)."""
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.memory.pages import ContentTag, GuestMemory, is_mergeable, pages_to_bytes
+from repro.obs import NULL_OBS
 
 
 @dataclass(frozen=True)
@@ -46,6 +47,7 @@ class Ksm:
         enabled: bool = True,
         pages_per_scan: int = 25_000,
         merge_zero_pages: bool = False,
+        obs=NULL_OBS,
     ) -> None:
         self.enabled = enabled
         self.pages_per_scan = pages_per_scan
@@ -56,6 +58,11 @@ class Ksm:
         self.merge_zero_pages = merge_zero_pages
         self._guests: List[GuestMemory] = []
         self._scanned_pages = 0
+        self.obs = obs
+        self._scan_passes = obs.metrics.counter("ksm.scan_passes")
+        self._pages_sharing = obs.metrics.gauge("ksm.pages_sharing")
+        self._pages_merged = obs.metrics.gauge("ksm.pages_merged")
+        self._coverage_resets = obs.metrics.counter("ksm.coverage_resets")
 
     def register(self, guest: GuestMemory) -> None:
         if guest not in self._guests:
@@ -82,17 +89,32 @@ class Ksm:
         """Advance the scanner by ``passes`` rate-limited passes."""
         if self.enabled:
             self._scanned_pages += self.pages_per_scan * passes
-        return self.stats()
+            self._scan_passes.inc(passes)
+        return self._published_stats()
 
     def run_to_completion(self) -> KsmStats:
         """Let the scanner finish covering all guest memory."""
         if self.enabled:
             self._scanned_pages = max(self._scanned_pages, self.total_guest_pages)
-        return self.stats()
+            self._scan_passes.inc()
+        return self._published_stats()
 
     def reset_coverage(self) -> None:
-        """Forget scan progress (e.g. after large memory churn)."""
+        """Forget scan progress (e.g. after large memory churn).
+
+        This is the simulated analogue of mass COW breaks: merged pages
+        diverge again and the scanner must re-earn its coverage.
+        """
         self._scanned_pages = 0
+        self._coverage_resets.inc()
+        self.obs.event("ksm.coverage_reset", guests=len(self._guests))
+
+    def _published_stats(self) -> KsmStats:
+        """Compute stats and mirror them into the metrics gauges."""
+        stats = self.stats()
+        self._pages_sharing.set(stats.pages_sharing)
+        self._pages_merged.set(stats.pages_saved)
+        return stats
 
     # -- accounting ------------------------------------------------------------
 

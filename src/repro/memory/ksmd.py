@@ -63,4 +63,5 @@ class KsmDaemon:
             return
         self.ksm.scan(passes=self.passes_per_wake)
         self.wakeups += 1
+        self.timeline.obs.metrics.counter("ksm.daemon.wakeups").inc()
         self._schedule()

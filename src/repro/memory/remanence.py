@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.errors import MemoryError_
+from repro.obs import NULL_OBS
 
 
 class AdversaryAccess(enum.Enum):
@@ -54,6 +55,7 @@ class RemanenceTracker:
         self,
         residual_fraction: float = 0.02,
         ephemeral_channels: bool = False,
+        obs=NULL_OBS,
     ) -> None:
         if not 0 <= residual_fraction <= 1:
             raise MemoryError_(f"residual fraction out of range: {residual_fraction}")
@@ -61,6 +63,8 @@ class RemanenceTracker:
         self.ephemeral_channels = ephemeral_channels
         self._traces: List[ResidualTrace] = []
         self.reboots = 0
+        self.obs = obs
+        self._obs_residual = obs.metrics.gauge("mem.remanence.residual_bytes")
 
     # -- lifecycle hooks ----------------------------------------------------------
 
@@ -75,11 +79,18 @@ class RemanenceTracker:
             residual = int(residual * 0.02)
             if residual:
                 self._traces.append(ResidualTrace(nym_name, "page-cache", residual))
-            return residual
-        for kind, share in self._KIND_SHARES.items():
-            portion = int(residual * share)
-            if portion:
-                self._traces.append(ResidualTrace(nym_name, kind, portion))
+        else:
+            for kind, share in self._KIND_SHARES.items():
+                portion = int(residual * share)
+                if portion:
+                    self._traces.append(ResidualTrace(nym_name, kind, portion))
+        self._obs_residual.set(self.total_residual_bytes)
+        self.obs.event(
+            "remanence.teardown",
+            nym=nym_name,
+            residual_bytes=residual,
+            scrubbed=self.ephemeral_channels,
+        )
         return residual
 
     def reboot(self) -> int:
@@ -87,6 +98,9 @@ class RemanenceTracker:
         cleared = self.total_residual_bytes
         self._traces.clear()
         self.reboots += 1
+        self._obs_residual.set(0)
+        self.obs.metrics.counter("mem.remanence.reboots").inc()
+        self.obs.event("remanence.reboot", cleared_bytes=cleared)
         return cleared
 
     # -- the adversary's view ------------------------------------------------------

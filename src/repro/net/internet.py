@@ -62,7 +62,9 @@ class Internet:
     ) -> None:
         self.timeline = timeline
         self.rtt_s = rtt_s
-        self.uplink = BandwidthPool(capacity_bps=uplink_bps, rtt_s=rtt_s)
+        self.uplink = BandwidthPool(
+            capacity_bps=uplink_bps, rtt_s=rtt_s, obs=timeline.obs
+        )
         self._by_ip: Dict[Ipv4Address, Server] = {}
         self._by_name: Dict[str, Ipv4Address] = {}
 

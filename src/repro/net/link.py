@@ -40,6 +40,10 @@ class VirtualWire:
         self._up = True
         a.attach(self)
         b.attach(self)
+        metrics = timeline.obs.metrics
+        self._obs_frames = metrics.counter("net.link.frames")
+        self._obs_bytes = metrics.counter("net.link.bytes")
+        self._obs_dropped = metrics.counter("net.link.dropped_frames")
 
     @property
     def endpoints(self) -> tuple:
@@ -63,6 +67,7 @@ class VirtualWire:
         """Propagate ``frame`` from ``sender`` to the far end after latency."""
         if not self._up:
             sender.dropped_frames += 1
+            self._obs_dropped.inc()
             return
         if sender is self._a:
             receiver: Optional[VirtualNic] = self._b
@@ -70,6 +75,8 @@ class VirtualWire:
             receiver = self._a
         else:
             raise NetworkError(f"{sender!r} is not an endpoint of {self.name}")
+        self._obs_frames.inc()
+        self._obs_bytes.inc(frame.size)
         for tap in self._taps:
             tap.observe(self, sender, frame)  # type: ignore[attr-defined]
         if self.latency_s == 0:

@@ -54,6 +54,10 @@ class MasqueradeNat:
         self._next_port = _FIRST_EPHEMERAL_PORT
         self.translated_packets = 0
         self.blocked_packets = 0
+        metrics = timeline.obs.metrics
+        self._obs_translated = metrics.counter("net.nat.translated_packets")
+        self._obs_blocked = metrics.counter("net.nat.blocked_packets")
+        self._obs_stream_bytes = metrics.counter("net.nat.stream_bytes")
 
     # -- translation table ------------------------------------------------------
 
@@ -80,6 +84,7 @@ class MasqueradeNat:
         """
         if packet.dst.is_private():
             self.blocked_packets += 1
+            self._obs_blocked.inc()
             raise UnreachableError(
                 f"{self.name}: NAT refuses guest traffic to private address {packet.dst}"
             )
@@ -122,6 +127,7 @@ class MasqueradeNat:
             ttl=packet.ttl - 1,
         )
         self.translated_packets += 1
+        self._obs_translated.inc()
         if self.host_capture is not None:
             self.host_capture.record_flow(
                 where=f"uplink({self.name})",
@@ -148,11 +154,13 @@ class MasqueradeNat:
         """
         if dst.is_private():
             self.blocked_packets += 1
+            self._obs_blocked.inc()
             raise UnreachableError(
                 f"{self.name}: NAT refuses guest traffic to private address {dst}"
             )
         self.internet.server_at(dst)
         flow = self.internet.uplink.transfer(payload_bytes, overhead_factor)
+        self._obs_stream_bytes.inc(flow.wire_bytes)
         if self.host_capture is not None:
             self.host_capture.record_flow(
                 where=f"uplink({self.name})",

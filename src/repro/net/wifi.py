@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.errors import NetworkError
 from repro.net.addresses import MacAddress
+from repro.obs import NULL_OBS
 from repro.sim.rng import SeededRng
 
 
@@ -98,8 +99,11 @@ class Transmission:
 class RadioObserver:
     """The adversary: builds a signature database and re-identifies devices."""
 
-    def __init__(self) -> None:
+    def __init__(self, obs=NULL_OBS) -> None:
         self._db: List[tuple] = []  # (signature, label)
+        self.obs = obs
+        self._obs_identified = obs.metrics.counter("wifi.radio.identified")
+        self._obs_misses = obs.metrics.counter("wifi.radio.misses")
 
     def enroll(self, transmission: Transmission, label: str) -> None:
         """Record a known (signature -> identity) observation."""
@@ -109,7 +113,9 @@ class RadioObserver:
         """Who does this transmission's analog fingerprint belong to?"""
         for signature, label in self._db:
             if signature.matches(transmission.signature):
+                self._obs_identified.inc()
                 return label
+        self._obs_misses.inc()
         return None
 
     def identify_by_mac(self, transmission: Transmission, mac_db: Dict[str, str]) -> Optional[str]:
@@ -124,8 +130,9 @@ class WifiSocialMix:
     mixes a user may hold many cards at once.
     """
 
-    def __init__(self, rng: SeededRng) -> None:
+    def __init__(self, rng: SeededRng, obs=NULL_OBS) -> None:
         self.rng = rng
+        self.obs = obs
         self._box: List[WifiCard] = []
         self._members: List[str] = []
 
@@ -141,7 +148,15 @@ class WifiSocialMix:
             raise NetworkError("a social mix needs at least two members")
         drawn = list(self._box)
         self.rng.shuffle(drawn)
-        return dict(zip(self._members, drawn))
+        assignment = dict(zip(self._members, drawn))
+        kept = sum(
+            1
+            for member, card in zip(self._members, self._box)
+            if assignment[member] is card
+        )
+        self.obs.metrics.counter("wifi.mix.swaps").inc()
+        self.obs.event("wifi.mix.swap", members=len(self._members), self_draws=kept)
+        return assignment
 
 
 def session_transmission(card: WifiCard) -> Transmission:

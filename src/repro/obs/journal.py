@@ -1,0 +1,108 @@
+"""The structured event journal: append-only records with JSONL export.
+
+Every record carries the simulated timestamp, a dotted event name, a
+monotonically increasing sequence number, and sorted key/value fields.
+Because nothing in the simulation reads wall time or OS entropy, two
+same-seed runs of the same scenario export **byte-identical** journals —
+the journal is therefore both an audit log and a regression oracle
+(diff the JSONL of two runs to find the first divergence).
+
+The journal is bounded: past ``max_events`` the oldest-first guarantee
+is kept by dropping *new* records and counting them in ``dropped``, so a
+runaway loop cannot eat the host's memory.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.metrics import validate_metric_name
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One journal entry at a simulated instant."""
+
+    seq: int
+    t: float
+    name: str
+    fields: Tuple[Tuple[str, object], ...] = ()
+
+    def export(self) -> Dict[str, object]:
+        record: Dict[str, object] = {"seq": self.seq, "t": self.t, "event": self.name}
+        record.update(self.fields)
+        return record
+
+    def to_json(self) -> str:
+        return json.dumps(self.export(), sort_keys=True, separators=(",", ":"))
+
+
+class EventJournal:
+    """Append-only, sim-time-stamped event log for one simulation."""
+
+    def __init__(self, clock, max_events: int = 250_000) -> None:
+        self._clock = clock  # anything with a ``.now`` float property
+        self.max_events = max_events
+        self._events: List[EventRecord] = []
+        self.dropped = 0
+
+    # -- recording ------------------------------------------------------------
+
+    def record(self, name: str, **fields) -> Optional[EventRecord]:
+        """Append one event at the current simulated time."""
+        validate_metric_name(name)
+        if len(self._events) >= self.max_events:
+            self.dropped += 1
+            return None
+        record = EventRecord(
+            seq=len(self._events),
+            t=self._clock.now,
+            name=name,
+            fields=tuple(sorted(fields.items())),
+        )
+        self._events.append(record)
+        return record
+
+    # -- querying -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[EventRecord]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> List[EventRecord]:
+        return list(self._events)
+
+    def select(self, prefix: str = "") -> List[EventRecord]:
+        """Events whose name is ``prefix`` or sits under ``prefix.``."""
+        if not prefix:
+            return list(self._events)
+        dotted = prefix + "."
+        return [
+            e for e in self._events if e.name == prefix or e.name.startswith(dotted)
+        ]
+
+    def count(self, prefix: str = "") -> int:
+        return len(self.select(prefix))
+
+    # -- export ---------------------------------------------------------------
+
+    def export_jsonl(self) -> str:
+        """The whole journal as canonical JSON Lines (one event per line)."""
+        return "\n".join(e.to_json() for e in self._events)
+
+    def write_jsonl(self, path) -> int:
+        """Write the journal to ``path``; returns the number of events."""
+        text = self.export_jsonl()
+        with open(path, "w") as handle:
+            handle.write(text)
+            if text:
+                handle.write("\n")
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        return f"EventJournal({len(self._events)} events, dropped={self.dropped})"

@@ -1,0 +1,164 @@
+"""Sim-time span tracing.
+
+Spans read the *simulation* clock, never wall time, so a trace of a run
+is as deterministic as the run itself: two same-seed executions yield
+byte-identical span trees.  Usage::
+
+    with tracer.span("nymbox.launch", nym="demo"):
+        with tracer.span("vm.boot", vm="demo-anon"):
+            ...
+
+Spans nest via an explicit stack (the simulation is single-threaded);
+each finished span records its start/end sim-times, depth, and the index
+of its parent in the finished-span list.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ObservabilityError
+
+
+@dataclass
+class SpanRecord:
+    """One completed span on the simulated timeline."""
+
+    name: str
+    start_s: float
+    end_s: float
+    depth: int
+    parent: Optional[int]  # index into Tracer.finished, None for roots
+    attrs: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def export(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "name": self.name,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "depth": self.depth,
+            "parent": self.parent,
+        }
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        return record
+
+
+class _ActiveSpan:
+    """Context manager handed out by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "name", "start_s", "depth", "attrs", "children")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Tuple) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.start_s = 0.0
+        self.depth = 0
+        self.children: List[int] = []  # finished-list indices of children
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._pop(self)
+
+
+class Tracer:
+    """Records a tree of sim-time spans against a simulation clock."""
+
+    def __init__(self, clock) -> None:
+        self._clock = clock  # anything with a ``.now`` float property
+        self._stack: List[_ActiveSpan] = []
+        self.finished: List[SpanRecord] = []
+
+    # -- recording ------------------------------------------------------------
+
+    def span(self, name: str, **attrs) -> _ActiveSpan:
+        """Open a span; use as a context manager."""
+        return _ActiveSpan(self, name, tuple(sorted(attrs.items())))
+
+    def _push(self, span: _ActiveSpan) -> None:
+        span.start_s = self._clock.now
+        span.depth = len(self._stack)
+        self._stack.append(span)
+
+    def _pop(self, span: _ActiveSpan) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise ObservabilityError(
+                f"span {span.name!r} closed out of order"
+            )
+        self._stack.pop()
+        # Children already sit in ``finished``; the parent lands after them
+        # and back-patches their parent pointers.
+        index = len(self.finished)
+        self.finished.append(
+            SpanRecord(
+                name=span.name,
+                start_s=span.start_s,
+                end_s=self._clock.now,
+                depth=span.depth,
+                parent=None,
+                attrs=span.attrs,
+            )
+        )
+        for child_index in span.children:
+            self.finished[child_index].parent = index
+        if self._stack:
+            self._stack[-1].children.append(index)
+
+    @property
+    def active_depth(self) -> int:
+        return len(self._stack)
+
+    # -- export ---------------------------------------------------------------
+
+    def export(self) -> List[Dict[str, object]]:
+        """Finished spans in completion order, as plain dicts."""
+        return [span.export() for span in self.finished]
+
+    def export_json(self) -> str:
+        return json.dumps(self.export(), sort_keys=True, separators=(",", ":"))
+
+    def render_tree(self) -> str:
+        """The span tree as indented text, roots in start order::
+
+            nymbox.launch                    0.000 ->  16.423  (16.423 s)
+              vm.boot [vm=demo-anon]         0.000 ->   9.873   (9.873 s)
+        """
+        roots = [
+            i for i, span in enumerate(self.finished) if span.parent is None
+        ]
+        children: Dict[int, List[int]] = {}
+        for i, span in enumerate(self.finished):
+            if span.parent is not None:
+                children.setdefault(span.parent, []).append(i)
+
+        lines: List[str] = []
+
+        def emit(index: int, indent: int) -> None:
+            span = self.finished[index]
+            attrs = ""
+            if span.attrs:
+                attrs = " [" + " ".join(f"{k}={v}" for k, v in span.attrs) + "]"
+            label = "  " * indent + span.name + attrs
+            lines.append(
+                f"{label:<48} {span.start_s:>9.3f} -> {span.end_s:>9.3f}"
+                f"  ({span.duration_s:.3f} s)"
+            )
+            for child in sorted(children.get(index, []), key=lambda c: (self.finished[c].start_s, c)):
+                emit(child, indent + 1)
+
+        for root in sorted(roots, key=lambda r: (self.finished[r].start_s, r)):
+            emit(root, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Tracer(finished={len(self.finished)}, active={len(self._stack)})"

@@ -140,17 +140,24 @@ class EventQueue:
 
 
 class Timeline:
-    """Clock + event queue + deterministic RNG: the simulation context.
+    """Clock + event queue + deterministic RNG + observability: the context.
 
     A single ``Timeline`` is threaded through every subsystem so that all
-    activity shares one notion of time and one seeded randomness source,
-    keeping whole-system runs reproducible bit-for-bit.
+    activity shares one notion of time, one seeded randomness source, and
+    one observability sink (``timeline.obs``), keeping whole-system runs
+    reproducible bit-for-bit.  With ``observability=False`` the sink is
+    the shared no-op recorder and instrumentation costs nothing.
     """
 
-    def __init__(self, seed: int = 0, start: float = 0.0) -> None:
+    def __init__(
+        self, seed: int = 0, start: float = 0.0, observability: bool = True
+    ) -> None:
+        from repro.obs import NULL_OBS, Observability
+
         self.clock = Clock(start=start)
         self.events = EventQueue(self.clock)
         self.rng = SeededRng(seed)
+        self.obs = Observability(self.clock) if observability else NULL_OBS
 
     @property
     def now(self) -> float:

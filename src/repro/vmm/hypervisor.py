@@ -78,8 +78,8 @@ class Hypervisor:
         self.timeline = timeline
         self.internet = internet
         self.host = host or HostSpec()
-        self.cpu = CpuModel(cores=self.host.cores)
-        self.ksm = Ksm(enabled=ksm_enabled)
+        self.cpu = CpuModel(cores=self.host.cores, obs=timeline.obs)
+        self.ksm = Ksm(enabled=ksm_enabled, obs=timeline.obs)
         self.memory = HostMemory(
             total_bytes=self.host.ram_bytes,
             base_used_bytes=self.host.host_base_ram_bytes,
@@ -120,6 +120,7 @@ class Hypervisor:
 
     def _on_tamper(self, path: str) -> None:
         self.tamper_log.append(path)
+        self.timeline.obs.event("vmm.tamper", path=path)
         self.emergency_halt()
 
     def emergency_halt(self) -> None:
@@ -162,6 +163,9 @@ class Hypervisor:
             image_id=image_id,
         )
         self._vms[vm_id] = vm
+        obs = self.timeline.obs
+        obs.metrics.counter("vmm.vm.created").inc()
+        obs.metrics.gauge("vmm.vms_live").set(len(self._vms))
         return vm
 
     def destroy_vm(self, vm: VirtualMachine) -> None:
@@ -176,6 +180,10 @@ class Hypervisor:
         self.memory.release_guest(vm.vm_id, secure=True)
         self._nats.pop(vm.vm_id, None)
         self._vms.pop(vm.vm_id, None)
+        obs = self.timeline.obs
+        obs.metrics.counter("vmm.vm.destroyed").inc()
+        obs.metrics.gauge("vmm.vms_live").set(len(self._vms))
+        obs.event("vm.destroyed", vm=vm.vm_id, role=vm.spec.role.value)
 
     def vm(self, vm_id: str) -> VirtualMachine:
         return self._vms[vm_id]

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import List, Sequence
 
 from repro.errors import HypervisorError
+from repro.obs import NULL_OBS
 from repro.sim.sharing import processor_sharing_times
 
 
@@ -51,6 +52,7 @@ class CpuModel:
         core_speed: float = 1.0,
         virtualization_overhead: float = 0.20,
         interleave_bonus: float = 0.12,
+        obs=NULL_OBS,
     ) -> None:
         if cores <= 0:
             raise HypervisorError(f"cores must be positive, got {cores}")
@@ -64,6 +66,8 @@ class CpuModel:
         self.core_speed = core_speed
         self.virtualization_overhead = virtualization_overhead
         self.interleave_bonus = interleave_bonus
+        self._job_runs = obs.metrics.counter("vmm.vcpu.jobs")
+        self._job_hist = obs.metrics.histogram("vmm.vcpu.job_s")
 
     # -- native execution ------------------------------------------------------
 
@@ -88,6 +92,9 @@ class CpuModel:
             # Idle-gap overlap recovers part of the contention loss.
             capacity *= 1.0 + self.interleave_bonus
         times = processor_sharing_times(inflated, capacity, max_share=self.core_speed)
+        for elapsed in times:
+            self._job_runs.inc()
+            self._job_hist.observe(elapsed)
         return [
             ParallelRunResult(work_units=w, duration_s=t)
             for w, t in zip(work_units, times)

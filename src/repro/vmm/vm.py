@@ -164,18 +164,29 @@ class VirtualMachine:
         its AnonVM and CommVM in parallel, so the pair costs the max).
         """
         self._require(VmState.CREATED)
+        obs = self.timeline.obs
         duration = self.spec.boot_seconds
         if jitter_rng is not None:
             duration = jitter_rng.jitter(duration, 0.08)
-        if advance:
-            self.timeline.sleep(duration)
-        if self.spec.image_cache_bytes:
-            self.memory.map_image(self.image_id, self.spec.image_cache_bytes)
-        if self.spec.boot_dirty_bytes:
-            self.memory.dirty(self.spec.boot_dirty_bytes)
-        self.state = VmState.RUNNING
-        self.booted_at = self.timeline.now
-        self.last_boot_seconds = duration
+        with obs.span("vm.boot", vm=self.vm_id, role=self.spec.role.value):
+            if advance:
+                self.timeline.sleep(duration)
+            if self.spec.image_cache_bytes:
+                self.memory.map_image(self.image_id, self.spec.image_cache_bytes)
+            if self.spec.boot_dirty_bytes:
+                self.memory.dirty(self.spec.boot_dirty_bytes)
+            self.state = VmState.RUNNING
+            self.booted_at = self.timeline.now
+            self.last_boot_seconds = duration
+        obs.metrics.counter("vmm.vm.boots").inc()
+        obs.metrics.histogram("vmm.boot.phase_s").observe(duration)
+        obs.event(
+            "vm.boot",
+            vm=self.vm_id,
+            role=self.spec.role.value,
+            seconds=round(duration, 6),
+            overlapped=not advance,
+        )
         return duration
 
     def pause(self) -> None:
@@ -214,6 +225,7 @@ class VirtualMachine:
         """Guest workload dirties private pages (browsing, JS heaps...)."""
         self._require(VmState.RUNNING)
         self.memory.dirty(dirty_bytes)
+        self.timeline.obs.metrics.counter("vmm.vm.dirtied_bytes").inc(dirty_bytes)
 
     # -- observability -------------------------------------------------------
 

@@ -1,5 +1,7 @@
 """The operator CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -31,3 +33,66 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestStatsCommand:
+    def test_stats_prints_metrics(self, capsys):
+        code = main(["--seed", "3", "stats", "--nyms", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "nym.created" in out
+        assert "vmm.boot.phase_s" in out
+        assert "tor.circuit.built" in out
+
+    def test_stats_prefix_filters(self, capsys):
+        code = main(["--seed", "3", "stats", "--nyms", "1", "--prefix", "tor"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tor.circuit.built" in out
+        assert "nym.created" not in out
+
+    def test_stats_unknown_prefix_fails(self, capsys):
+        code = main(["--seed", "3", "stats", "--nyms", "1", "--prefix", "nosuch"])
+        assert code == 1
+
+    def test_stats_json_is_parseable(self, capsys):
+        code = main(["--seed", "3", "stats", "--nyms", "1", "--json"])
+        assert code == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["nym.created"] == 1
+        assert snapshot["nymbox.page_loads"] == 1
+
+    def test_stats_writes_journal(self, tmp_path, capsys):
+        journal = tmp_path / "events.jsonl"
+        code = main(["--seed", "3", "stats", "--nyms", "1", "--journal", str(journal)])
+        assert code == 0
+        lines = journal.read_text().splitlines()
+        assert lines
+        events = [json.loads(line) for line in lines]
+        assert [e["seq"] for e in events] == list(range(len(events)))
+        assert any(e["event"] == "nym.created" for e in events)
+        assert any(e["event"] == "nym.discarded" for e in events)
+
+    def test_journal_is_byte_identical_across_runs(self, tmp_path, capsys):
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        for path in paths:
+            assert main(["--seed", "5", "stats", "--journal", str(path)]) == 0
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+
+class TestTraceCommand:
+    def test_trace_prints_span_tree(self, capsys):
+        code = main(["--seed", "3", "trace"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "nymbox.launch" in out
+        assert "vm.boot" in out
+        assert "tor.start" in out
+        # Children are indented beneath their parent span.
+        assert "\n  vm.boot" in out
+
+    def test_trace_is_deterministic(self, capsys):
+        main(["--seed", "4", "trace"])
+        first = capsys.readouterr().out
+        main(["--seed", "4", "trace"])
+        assert capsys.readouterr().out == first

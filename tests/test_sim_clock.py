@@ -130,6 +130,70 @@ class TestEventQueue:
         queue.schedule_in(4.0, lambda: None)
         assert queue.next_event_time() == 4.0
 
+    def test_next_event_time_skips_cancelled_head(self):
+        clock = Clock()
+        queue = EventQueue(clock)
+        head = queue.schedule_in(1.0, lambda: None)
+        queue.schedule_in(2.0, lambda: None)
+        head.cancel()
+        assert queue.next_event_time() == 2.0
+
+    def test_len_ignores_cancelled(self):
+        queue = EventQueue(Clock())
+        kept = queue.schedule_in(1.0, lambda: None)
+        gone = queue.schedule_in(2.0, lambda: None)
+        assert len(queue) == 2
+        gone.cancel()
+        assert len(queue) == 1
+        kept.cancel()
+        assert len(queue) == 0
+
+    def test_event_can_cancel_a_later_event(self):
+        clock = Clock()
+        queue = EventQueue(clock)
+        fired = []
+        victim = queue.schedule_in(2.0, lambda: fired.append("victim"))
+        queue.schedule_in(1.0, lambda: victim.cancel())
+        queue.run_all()
+        assert fired == []
+        assert clock.now == 1.0
+
+    def test_cancelled_events_not_counted_by_run_until(self):
+        clock = Clock()
+        queue = EventQueue(clock)
+        fired = []
+        doomed = queue.schedule_in(1.0, lambda: fired.append("doomed"))
+        queue.schedule_in(2.0, lambda: fired.append("kept"))
+        doomed.cancel()
+        assert queue.run_until(3.0) == 1
+        assert fired == ["kept"]
+
+    def test_same_timestamp_fifo_across_schedule_styles(self):
+        clock = Clock()
+        queue = EventQueue(clock)
+        fired = []
+        queue.schedule_at(1.0, lambda: fired.append("at-first"))
+        queue.schedule_in(1.0, lambda: fired.append("in-second"))
+        queue.schedule_at(1.0, lambda: fired.append("at-third"))
+        queue.run_all()
+        assert fired == ["at-first", "in-second", "at-third"]
+
+    def test_run_until_past_rejected(self):
+        clock = Clock(start=5.0)
+        queue = EventQueue(clock)
+        with pytest.raises(SimulationError):
+            queue.run_until(4.0)
+
+    def test_cancel_after_fire_is_harmless(self):
+        clock = Clock()
+        queue = EventQueue(clock)
+        fired = []
+        event = queue.schedule_in(1.0, lambda: fired.append("x"))
+        queue.run_all()
+        event.cancel()  # late cancel of an already-fired event: no effect
+        assert fired == ["x"]
+        assert len(queue) == 0
+
 
 class TestTimeline:
     def test_sleep_advances_and_fires(self):
