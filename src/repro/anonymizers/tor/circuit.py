@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.anonymizers.tor.relay import Relay
-from repro.crypto.chacha20 import chacha20_xor
+from repro.crypto.chacha20 import chacha20_combined_keystream, xor_bytes
 from repro.crypto.x25519 import x25519, x25519_keypair
 from repro.errors import CircuitError
 from repro.sim.clock import Timeline
@@ -42,6 +42,10 @@ class Circuit:
         self.rng = rng
         self.circ_id = next(_circuit_ids)
         self._hops: List[_ClientHop] = []
+        # Combined (XOR-folded) keystreams across all hop layers, cached per
+        # direction: hop keys are fixed once built, so wrapping/unwrapping a
+        # whole onion is a single XOR against these.
+        self._onion_keystreams = {"forward": b"", "backward": b""}
         self.built_at = None  # type: float
         self.build_seconds = 0.0
         self.streams_opened = 0
@@ -120,13 +124,29 @@ class Circuit:
 
     # -- onion crypto -----------------------------------------------------------
 
+    def _combined_keystream(self, direction: str, length: int) -> bytes:
+        """Length-`length` prefix of the XOR of every hop's keystream."""
+        cached = self._onion_keystreams[direction]
+        if len(cached) < length:
+            attr = "forward_key" if direction == "forward" else "backward_key"
+            keys = [getattr(hop, attr) for hop in self._hops]
+            rounded = max(4096, -(-length // 64) * 64)
+            cached = chacha20_combined_keystream(keys, _NONCE, rounded)
+            self._onion_keystreams[direction] = cached
+        return cached[:length]
+
     def onion_encrypt(self, plaintext: bytes) -> bytes:
-        """Wrap a forward payload in every hop's layer (exit layer innermost)."""
+        """Wrap a forward payload in every hop's layer (exit layer innermost).
+
+        Layering is XOR under per-hop keystreams, so all layers collapse
+        into one XOR against the cached combined keystream — bit-identical
+        to peeling per hop, and what each relay's single-layer removal
+        undoes in path order.
+        """
         self._require_built()
-        data = plaintext
-        for hop in reversed(self._hops):
-            data = chacha20_xor(hop.forward_key, _NONCE, data)
-        return data
+        if not plaintext:
+            return b""
+        return xor_bytes(plaintext, self._combined_keystream("forward", len(plaintext)))
 
     def relay_forward(self, onion: bytes) -> bytes:
         """Let each relay on the path peel its layer; returns the plaintext."""
@@ -148,10 +168,9 @@ class Circuit:
     def onion_decrypt(self, onion: bytes) -> bytes:
         """Client removes every backward layer from a response."""
         self._require_built()
-        data = onion
-        for hop in self._hops:
-            data = chacha20_xor(hop.backward_key, _NONCE, data)
-        return data
+        if not onion:
+            return b""
+        return xor_bytes(onion, self._combined_keystream("backward", len(onion)))
 
     # -- streams -----------------------------------------------------------------
 
@@ -176,6 +195,7 @@ class Circuit:
         for hop in self._hops:
             hop.relay.destroy_circuit(self.circ_id)
         self._hops.clear()
+        self._onion_keystreams = {"forward": b"", "backward": b""}
 
     def __repr__(self) -> str:
         path = " -> ".join(self.path_nicknames) if self._hops else "<unbuilt>"

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
-from repro.crypto.chacha20 import chacha20_xor
+from repro.crypto.chacha20 import chacha20_keystream, xor_bytes
 from repro.crypto.kdf import hkdf
 from repro.crypto.x25519 import x25519, x25519_keypair
 from repro.errors import CircuitError
@@ -45,12 +45,34 @@ class RelayDescriptor:
         )
 
 
+#: Keystream caches grow in whole cells' worth of bytes.
+_KEYSTREAM_CHUNK = 4096
+
+
 @dataclass
 class _CircuitHopState:
     forward_key: bytes
     backward_key: bytes
     next_hop: Optional["Relay"] = None
     streams: List[str] = field(default_factory=list)
+    # Cached ChaCha20 keystream per direction.  Hop keys are single-use
+    # directions under a fixed nonce/counter in this model, so the stream
+    # bytes never change — caching them turns per-cell onion processing
+    # into a single XOR instead of a full 20-round cipher evaluation.
+    forward_keystream: bytes = b""
+    backward_keystream: bytes = b""
+
+    def keystream(self, forward: bool, length: int, nonce: bytes) -> bytes:
+        cached = self.forward_keystream if forward else self.backward_keystream
+        if len(cached) < length:
+            rounded = -(-length // _KEYSTREAM_CHUNK) * _KEYSTREAM_CHUNK
+            key = self.forward_key if forward else self.backward_key
+            cached = chacha20_keystream(key, nonce, rounded)
+            if forward:
+                self.forward_keystream = cached
+            else:
+                self.backward_keystream = cached
+        return cached[:length]
 
 
 class Relay:
@@ -117,13 +139,13 @@ class Relay:
         """Remove this hop's forward onion layer."""
         hop = self._hop(circ_id)
         self.cells_processed += 1
-        return chacha20_xor(hop.forward_key, _NONCE, data)
+        return xor_bytes(data, hop.keystream(True, len(data), _NONCE))
 
     def wrap_backward(self, circ_id: int, data: bytes) -> bytes:
         """Add this hop's backward onion layer (responses toward the client)."""
         hop = self._hop(circ_id)
         self.cells_processed += 1
-        return chacha20_xor(hop.backward_key, _NONCE, data)
+        return xor_bytes(data, hop.keystream(False, len(data), _NONCE))
 
     def open_stream(self, circ_id: int, target: str) -> None:
         """RELAY_BEGIN arrives fully peeled at the exit: record the stream."""

@@ -8,6 +8,7 @@ Gives the reproduction an operator's console:
 * ``catalog``   — what the simulated world contains (sites, OSes, transports)
 * ``stats``     — run a scenario and dump the metrics snapshot
 * ``trace``     — run a scenario and print the sim-time span tree
+* ``bench``     — time the simulator's hot paths against the seed code
 """
 
 from __future__ import annotations
@@ -135,6 +136,37 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perfbench import (
+        BENCHES,
+        format_results_table,
+        save_bench_results,
+        select_benches,
+    )
+
+    if args.list:
+        width = max(len(name) for name in BENCHES)
+        for name in sorted(BENCHES):
+            bench = BENCHES[name]
+            tags = ",".join(sorted(bench.tags))
+            print(f"  {name:<{width}}  [{tags}] {bench.description}")
+        return 0
+    try:
+        selected = select_benches(only=args.only, tag=args.tag)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    results = []
+    for bench in selected:
+        print(f"bench {bench.name} ...", file=sys.stderr)
+        results.append(bench.run(args.quick))
+    print(format_results_table(results))
+    if args.out:
+        path = save_bench_results(args.out, results, quick=args.quick)
+        print(f"results -> {path}", file=sys.stderr)
+    return 0
+
+
 def cmd_catalog(args: argparse.Namespace) -> int:
     print("anonymizers:")
     for kind in sorted(ANONYMIZER_REGISTRY):
@@ -184,6 +216,21 @@ def build_parser() -> argparse.ArgumentParser:
     trace = commands.add_parser("trace", help="run a scenario, print the span tree")
     trace.add_argument("--nyms", type=int, default=1)
     trace.set_defaults(func=cmd_trace)
+
+    bench = commands.add_parser("bench", help="time hot paths vs the seed code")
+    bench.add_argument(
+        "--quick", action="store_true", help="smaller inputs, shorter timing budget"
+    )
+    bench.add_argument(
+        "--only",
+        action="append",
+        metavar="NAME",
+        help="run only this bench (repeatable)",
+    )
+    bench.add_argument("--tag", help="run only benches carrying this tag")
+    bench.add_argument("--out", metavar="PATH", help="write results JSON here")
+    bench.add_argument("--list", action="store_true", help="list available benches")
+    bench.set_defaults(func=cmd_bench)
     return parser
 
 

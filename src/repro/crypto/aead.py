@@ -12,14 +12,14 @@ from dataclasses import dataclass
 
 from repro.crypto.chacha20 import chacha20_block, chacha20_xor
 from repro.crypto.kdf import pbkdf2_sha256
-from repro.crypto.poly1305 import constant_time_equal, poly1305_mac
+from repro.crypto.poly1305 import Poly1305, constant_time_equal
 from repro.errors import AuthenticationError, CryptoError
 from repro.sim.rng import SeededRng
 
 
-def _pad16(data: bytes) -> bytes:
-    remainder = len(data) % 16
-    return data + b"\x00" * ((16 - remainder) % 16)
+def _pad16_tail(length: int) -> bytes:
+    """Zero padding that extends ``length`` bytes to a 16-byte boundary."""
+    return b"\x00" * ((16 - length % 16) % 16)
 
 
 class ChaCha20Poly1305:
@@ -36,12 +36,16 @@ class ChaCha20Poly1305:
 
     def _tag(self, nonce: bytes, ciphertext: bytes, aad: bytes) -> bytes:
         otk = chacha20_block(self._key, 0, nonce)[:32]
-        mac_data = (
-            _pad16(aad)
-            + _pad16(ciphertext)
-            + struct.pack("<QQ", len(aad), len(ciphertext))
-        )
-        return poly1305_mac(otk, mac_data)
+        # Stream the aad || ciphertext || lengths framing through the MAC
+        # instead of concatenating a copy of the (possibly multi-megabyte)
+        # ciphertext just to authenticate it.
+        mac = Poly1305(otk)
+        mac.update(aad)
+        mac.update(_pad16_tail(len(aad)))
+        mac.update(ciphertext)
+        mac.update(_pad16_tail(len(ciphertext)))
+        mac.update(struct.pack("<QQ", len(aad), len(ciphertext)))
+        return mac.tag()
 
     def encrypt(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
         """Return ``ciphertext || 16-byte tag``."""

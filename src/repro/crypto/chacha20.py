@@ -3,12 +3,24 @@
 Pure-Python implementation used for nym state encryption and for the
 layered onion encryption in the Tor simulator.  Matches the RFC 8439 test
 vectors (exercised in the test suite).
+
+Beyond the scalar block function there are three fast paths, all
+bit-identical to the scalar 20-round function (pinned by the test suite):
+
+* :func:`_chacha20_xor_vectorized` — all of one key's keystream blocks at
+  once via numpy uint32 lanes;
+* :func:`chacha20_keystream` — raw keystream bytes, which the Tor layer
+  caches per hop (this simulator's hop keys are single-use directions with
+  a fixed nonce, so the stream never changes);
+* :func:`chacha20_combined_keystream` — the XOR of several keys' streams
+  computed in one batched dispatch, which collapses whole-onion
+  encryption into a single XOR.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import List
+from typing import List, Sequence
 
 from repro.errors import CryptoError
 
@@ -79,22 +91,35 @@ def chacha20_xor(key: bytes, nonce: bytes, data: bytes, counter: int = 0) -> byt
     return bytes(out)
 
 
-def _chacha20_xor_vectorized(key: bytes, nonce: bytes, data: bytes, counter: int) -> bytes:
-    """All keystream blocks at once via numpy uint32 lanes."""
+def _keystream_words_vectorized(
+    keys: Sequence[bytes], nonce: bytes, n_blocks: int, counter: int
+):
+    """20-round keystream for every (key, block) lane at once.
+
+    Returns a numpy uint32 array of shape ``(n_keys, n_blocks, 16)`` whose
+    words match :func:`chacha20_block` exactly.
+    """
     import numpy as np
 
-    n_blocks = (len(data) + 63) // 64
     if counter + n_blocks - 1 > _MASK32:
         raise CryptoError("ChaCha20 counter overflow")
+    if counter < 0:
+        raise CryptoError(f"ChaCha20 counter out of range: {counter}")
+    for key in keys:
+        if len(key) != 32:
+            raise CryptoError(f"ChaCha20 key must be 32 bytes, got {len(key)}")
+    if len(nonce) != 12:
+        raise CryptoError(f"ChaCha20 nonce must be 12 bytes, got {len(nonce)}")
 
-    state = np.empty((16, n_blocks), dtype=np.uint32)
-    constants = np.array(_CONSTANTS, dtype=np.uint32)
-    key_words = np.frombuffer(key, dtype="<u4")
-    nonce_words = np.frombuffer(nonce, dtype="<u4")
-    state[0:4] = constants[:, None]
-    state[4:12] = key_words[:, None]
-    state[12] = np.arange(counter, counter + n_blocks, dtype=np.uint64).astype(np.uint32)
-    state[13:16] = nonce_words[:, None]
+    n_keys = len(keys)
+    lanes = n_keys * n_blocks
+    state = np.empty((16, lanes), dtype=np.uint32)
+    state[0:4] = np.array(_CONSTANTS, dtype=np.uint32)[:, None]
+    key_words = np.stack([np.frombuffer(key, dtype="<u4") for key in keys])
+    state[4:12] = np.repeat(key_words.T, n_blocks, axis=1)
+    counters = np.arange(counter, counter + n_blocks, dtype=np.uint64).astype(np.uint32)
+    state[12] = np.tile(counters, n_keys)
+    state[13:16] = np.frombuffer(nonce, dtype="<u4")[:, None]
 
     x = state.copy()
 
@@ -123,8 +148,82 @@ def _chacha20_xor_vectorized(key: bytes, nonce: bytes, data: bytes, counter: int
             quarter(3, 4, 9, 14)
         x += state
 
-    # (16, n_blocks) words -> per-block 64-byte keystream, block-major.
-    keystream = x.T.astype("<u4").tobytes()[: len(data)]
+    # (16, lanes) words -> (n_keys, n_blocks, 16), block-major per key.
+    return x.reshape(16, n_keys, n_blocks).transpose(1, 2, 0)
+
+
+def _chacha20_xor_vectorized(key: bytes, nonce: bytes, data: bytes, counter: int) -> bytes:
+    """All keystream blocks at once via numpy uint32 lanes."""
+    import numpy as np
+
+    n_blocks = (len(data) + 63) // 64
+    words = _keystream_words_vectorized([key], nonce, n_blocks, counter)
+    keystream = words.astype("<u4").tobytes()[: len(data)]
     buffer = np.frombuffer(data, dtype=np.uint8)
     ks = np.frombuffer(keystream, dtype=np.uint8)
     return (buffer ^ ks).tobytes()
+
+
+def xor_bytes(data: bytes, keystream: bytes) -> bytes:
+    """XOR two equal-length byte strings (single big-int op, no numpy)."""
+    if len(data) != len(keystream):
+        raise CryptoError(
+            f"xor_bytes length mismatch: {len(data)} vs {len(keystream)}"
+        )
+    return (
+        int.from_bytes(data, "little") ^ int.from_bytes(keystream, "little")
+    ).to_bytes(len(data), "little")
+
+
+def chacha20_keystream(key: bytes, nonce: bytes, length: int, counter: int = 0) -> bytes:
+    """Produce ``length`` bytes of raw keystream (for caching layers)."""
+    if length < 0:
+        raise CryptoError(f"negative keystream length: {length}")
+    if length == 0:
+        chacha20_block(key, counter, nonce)  # still validate the inputs
+        return b""
+    n_blocks = (length + 63) // 64
+    if n_blocks <= 4:
+        stream = b"".join(
+            chacha20_block(key, counter + index, nonce) for index in range(n_blocks)
+        )
+    else:
+        stream = _keystream_words_vectorized([key], nonce, n_blocks, counter).astype(
+            "<u4"
+        ).tobytes()
+    return stream[:length]
+
+
+def chacha20_combined_keystream(
+    keys: Sequence[bytes], nonce: bytes, length: int, counter: int = 0
+) -> bytes:
+    """XOR of every key's keystream — one batched dispatch for all layers.
+
+    XOR-ing data with this combined stream equals applying
+    :func:`chacha20_xor` once per key in any order (XOR is associative and
+    commutative), which is exactly the onion layering.
+    """
+    if not keys:
+        raise CryptoError("combined keystream needs at least one key")
+    if len(keys) == 1 or length * len(keys) <= 4 * 64:
+        combined = chacha20_keystream(keys[0], nonce, length, counter)
+        for key in keys[1:]:
+            combined = xor_bytes(combined, chacha20_keystream(key, nonce, length, counter))
+        return combined
+    import numpy as np
+
+    n_blocks = (length + 63) // 64
+    words = _keystream_words_vectorized(list(keys), nonce, n_blocks, counter)
+    folded = np.bitwise_xor.reduce(words, axis=0)
+    return folded.astype("<u4").tobytes()[:length]
+
+
+def chacha20_xor_layers(
+    keys: Sequence[bytes], nonce: bytes, data: bytes, counter: int = 0
+) -> bytes:
+    """Encrypt/decrypt through every layer key at once (bit-identical to
+    sequentially applying :func:`chacha20_xor` per key)."""
+    if not data:
+        chacha20_combined_keystream(keys, nonce, 0, counter)
+        return b""
+    return xor_bytes(data, chacha20_combined_keystream(keys, nonce, len(data), counter))

@@ -2,21 +2,27 @@
 
 KSM scans guest pages, hashing their contents and collapsing identical
 pages into a single copy-on-write physical page.  Our guests expose page
-*content groups*, so a scan is exact: every group tag appearing in more
+*content groups*, so a scan is exact: every page content appearing in more
 than one place collapses to a single physical page.
 
 The scanner is rate-limited like the kernel's (``pages_per_scan``), so
 sharing ramps up over time instead of appearing instantaneously — this is
 why Figure 3 shows shared pages growing between the "before" and "after"
 measurements of each nym.
+
+Accounting is incremental: a cross-guest candidate index is kept and
+revalidated against each guest's ``dirty_epoch``, so the ``stats()`` a
+ksmd wakeup publishes is O(1) amortized — the index is rebuilt (O(content
+groups), not O(pages)) only when some guest's memory actually changed or
+the guest set itself did.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, Iterable, List, Tuple
 
-from repro.memory.pages import ContentTag, GuestMemory, is_mergeable, pages_to_bytes
+from repro.memory.pages import GuestMemory, pages_to_bytes
 from repro.obs import NULL_OBS
 
 
@@ -31,6 +37,32 @@ class KsmStats:
     @property
     def bytes_saved(self) -> int:
         return pages_to_bytes(self.pages_saved)
+
+
+def _sweep_duplicates(runs: Iterable[Tuple[int, int, int]]) -> Tuple[int, int]:
+    """Count duplicated blocks across ``(lo, hi, multiplicity)`` runs.
+
+    Returns ``(shared, sharing)``: for every block covered by total
+    multiplicity ``d >= 2`` across all runs, one physical page backs ``d``
+    guest pages — identical to counting per-block content tags.
+    """
+    events: List[Tuple[int, int]] = []
+    for lo, hi, mult in runs:
+        events.append((lo, mult))
+        events.append((hi, -mult))
+    events.sort()
+    shared = 0
+    sharing = 0
+    depth = 0
+    prev_point = None
+    for point, delta in events:
+        if prev_point is not None and depth >= 2 and point > prev_point:
+            width = point - prev_point
+            shared += width
+            sharing += depth * width
+        depth += delta
+        prev_point = point
+    return shared, sharing
 
 
 class Ksm:
@@ -58,6 +90,11 @@ class Ksm:
         self.merge_zero_pages = merge_zero_pages
         self._guests: List[GuestMemory] = []
         self._scanned_pages = 0
+        # Incremental candidate index, revalidated against guest epochs.
+        self._index_stale = True
+        self._guest_epochs: Dict[int, int] = {}
+        self._mergeable_shared = 0
+        self._mergeable_sharing = 0
         self.obs = obs
         self._scan_passes = obs.metrics.counter("ksm.scan_passes")
         self._pages_sharing = obs.metrics.gauge("ksm.pages_sharing")
@@ -67,10 +104,13 @@ class Ksm:
     def register(self, guest: GuestMemory) -> None:
         if guest not in self._guests:
             self._guests.append(guest)
+            self._index_stale = True
 
     def unregister(self, guest: GuestMemory) -> None:
         if guest in self._guests:
             self._guests.remove(guest)
+            self._guest_epochs.pop(id(guest), None)
+            self._index_stale = True
 
     # -- scanning ------------------------------------------------------------
 
@@ -86,17 +126,30 @@ class Ksm:
         return min(1.0, self._scanned_pages / total)
 
     def scan(self, passes: int = 1) -> KsmStats:
-        """Advance the scanner by ``passes`` rate-limited passes."""
+        """Advance the scanner by ``passes`` rate-limited passes.
+
+        Scan progress is clamped to the registered guest footprint, so a
+        long-idle scanner holds no unbounded surplus: memory added later
+        must be covered by fresh passes, exactly like ksmd revisiting new
+        madvised regions.
+        """
         if self.enabled:
-            self._scanned_pages += self.pages_per_scan * passes
+            self._scanned_pages = min(
+                self._scanned_pages + self.pages_per_scan * passes,
+                self.total_guest_pages,
+            )
             self._scan_passes.inc(passes)
         return self._published_stats()
 
     def run_to_completion(self) -> KsmStats:
         """Let the scanner finish covering all guest memory."""
         if self.enabled:
-            self._scanned_pages = max(self._scanned_pages, self.total_guest_pages)
-            self._scan_passes.inc()
+            total = self.total_guest_pages
+            if self._scanned_pages < total:
+                # Only an actual catch-up scan counts as a pass; calling
+                # this with coverage already complete is a no-op.
+                self._scanned_pages = total
+                self._scan_passes.inc()
         return self._published_stats()
 
     def reset_coverage(self) -> None:
@@ -118,28 +171,58 @@ class Ksm:
 
     # -- accounting ------------------------------------------------------------
 
-    def _merge_candidates(self) -> Dict[ContentTag, int]:
-        """Mergeable content tags mapped to their total page counts (>= 2)."""
-        counts: Dict[ContentTag, int] = {}
+    def _index_current(self) -> bool:
+        if self._index_stale:
+            return False
+        epochs = self._guest_epochs
         for guest in self._guests:
-            for tag, count in guest.page_groups():
-                if not is_mergeable(tag):
-                    continue
-                if tag[0] == "zero" and not self.merge_zero_pages:
-                    continue
-                counts[tag] = counts.get(tag, 0) + count
-        return {tag: count for tag, count in counts.items() if count >= 2}
+            if epochs.get(id(guest)) != guest.dirty_epoch:
+                return False
+        return True
+
+    def _rebuild_index(self) -> None:
+        """Recompute the cross-guest merge candidates from content groups.
+
+        O(total content groups) — run-length guest accounting keeps that a
+        few dozen entries even for multi-GiB guest sets.
+        """
+        zero_total = 0
+        image_runs: Dict[str, List[Tuple[int, int, int]]] = {}
+        for guest in self._guests:
+            zero_total += guest.zero_pages
+            for image_id, lo, hi, mult in guest.image_segments():
+                image_runs.setdefault(image_id, []).append((lo, hi, mult))
+        shared = 0
+        sharing = 0
+        if self.merge_zero_pages and zero_total >= 2:
+            # All zero pages carry one content: a single physical page.
+            shared += 1
+            sharing += zero_total
+        for runs in image_runs.values():
+            run_shared, run_sharing = _sweep_duplicates(runs)
+            shared += run_shared
+            sharing += run_sharing
+        self._mergeable_shared = shared
+        self._mergeable_sharing = sharing
+        self._guest_epochs = {id(g): g.dirty_epoch for g in self._guests}
+        self._index_stale = False
 
     def stats(self) -> KsmStats:
         if not self.enabled:
             return KsmStats(pages_shared=0, pages_sharing=0, pages_saved=0)
-        candidates = self._merge_candidates()
-        shared = len(candidates)
-        sharing = sum(candidates.values())
+        if not self._index_current():
+            self._rebuild_index()
+        shared = self._mergeable_shared
+        sharing = self._mergeable_sharing
         fraction = self.coverage
         # Rate limiting: only the covered fraction of duplicates is merged yet.
         shared_now = int(shared * fraction)
         sharing_now = int(sharing * fraction)
+        if sharing_now and not shared_now:
+            # Truncation can report mapped-onto-shared pages with zero shared
+            # pages backing them; any sharing implies at least one physical
+            # page, so round the backing count up to keep the pair coherent.
+            shared_now = 1
         return KsmStats(
             pages_shared=shared_now,
             pages_sharing=sharing_now,

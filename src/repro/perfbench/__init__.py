@@ -1,0 +1,28 @@
+"""Wall-clock performance benchmarks for the simulator's hot paths.
+
+``repro bench`` (see :mod:`repro.cli`) runs the registry in
+:mod:`repro.perfbench.benches`; frozen seed implementations live in
+:mod:`repro.perfbench.legacy` so before/after speedups are measured live,
+not quoted from an old machine.
+"""
+
+from repro.perfbench.benches import BENCHES, Bench, run_benches, select_benches
+from repro.perfbench.harness import (
+    BenchResult,
+    environment_metadata,
+    format_results_table,
+    measure,
+    save_bench_results,
+)
+
+__all__ = [
+    "BENCHES",
+    "Bench",
+    "BenchResult",
+    "environment_metadata",
+    "format_results_table",
+    "measure",
+    "run_benches",
+    "save_bench_results",
+    "select_benches",
+]

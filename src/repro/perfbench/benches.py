@@ -1,0 +1,434 @@
+"""The tagged microbenchmark registry behind ``repro bench``.
+
+Each bench measures a hot path in real wall-clock time; where a frozen
+seed implementation exists (:mod:`repro.perfbench.legacy`), it runs in the
+same process right after the live code so the recorded speedup compares
+the same machine, same interpreter, same inputs.
+
+Tags group benches for ``repro bench --tag``:
+
+* ``memory``  — GuestMemory churn and KSM accounting
+* ``crypto``  — ChaCha20 / Poly1305 / onion layering
+* ``sim``     — event queue machinery
+* ``scenario``— end-to-end figure workloads under wall-clock timing
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.perfbench.harness import (
+    FULL_BUDGET_S,
+    QUICK_BUDGET_S,
+    BenchResult,
+    measure,
+)
+
+MIB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class Bench:
+    """One registered microbenchmark."""
+
+    name: str
+    tags: List[str]
+    description: str
+    run: Callable[[bool], BenchResult]
+
+
+def _budget(quick: bool) -> float:
+    return QUICK_BUDGET_S if quick else FULL_BUDGET_S
+
+
+# -- memory -----------------------------------------------------------------
+
+
+def _bench_memory_churn(quick: bool) -> BenchResult:
+    """A nym lifetime's worth of page churn: map, dirty, wipe."""
+    from repro.memory.pages import GuestMemory
+    from repro.perfbench.legacy import LegacyGuestMemory
+
+    guest_bytes = (64 if quick else 512) * MIB
+    dirty_steps = 32
+
+    def churn(cls) -> None:
+        guest = cls("bench", guest_bytes)
+        guest.map_image("nymix-image", guest_bytes // 4)
+        step = guest_bytes // 2 // dirty_steps
+        for _ in range(dirty_steps):
+            guest.dirty(step)
+        guest.stats()
+        guest.secure_erase()
+
+    budget = _budget(quick)
+    iterations, seconds = measure(lambda: churn(GuestMemory), budget)
+    base_iters, base_seconds = measure(lambda: churn(LegacyGuestMemory), budget)
+    return BenchResult(
+        name="memory_churn",
+        tags=["memory"],
+        unit="churn",
+        iterations=iterations,
+        seconds=seconds,
+        baseline_iterations=base_iters,
+        baseline_seconds=base_seconds,
+        notes=(
+            f"map+dirty+erase a {guest_bytes // MIB} MiB guest in "
+            f"{dirty_steps} steps; seed keeps one dict entry per page"
+        ),
+        extra={"guest_mib": guest_bytes // MIB, "dirty_steps": dirty_steps},
+    )
+
+
+def _ksm_scenario(quick: bool, cls):
+    """Build the shared fig3-style guest set used by the KSM stats bench."""
+    guests = []
+    n_guests = 2 if quick else 4
+    guest_bytes = (32 if quick else 128) * MIB
+    for index in range(n_guests):
+        guest = cls(f"bench-{index}", guest_bytes)
+        guest.map_image("nymix-image", 24 * MIB if not quick else 8 * MIB)
+        guest.dirty(guest_bytes // 8)
+        guests.append(guest)
+    return guests
+
+
+def _bench_ksm_stats(quick: bool) -> BenchResult:
+    """The per-wakeup ksmd accounting when guest memory hasn't changed."""
+    from repro.memory.ksm import Ksm
+    from repro.memory.pages import GuestMemory
+    from repro.perfbench.legacy import LegacyGuestMemory, legacy_ksm_stats
+
+    guests = _ksm_scenario(quick, GuestMemory)
+    ksm = Ksm(enabled=True)
+    for guest in guests:
+        ksm.register(guest)
+    ksm.run_to_completion()
+
+    legacy_guests = _ksm_scenario(quick, LegacyGuestMemory)
+    coverage = ksm.coverage
+
+    budget = _budget(quick)
+    iterations, seconds = measure(ksm.stats, budget)
+    base_iters, base_seconds = measure(
+        lambda: legacy_ksm_stats(legacy_guests, coverage), budget
+    )
+    return BenchResult(
+        name="ksm_stats",
+        tags=["memory", "ksm"],
+        unit="stats",
+        iterations=iterations,
+        seconds=seconds,
+        baseline_iterations=base_iters,
+        baseline_seconds=base_seconds,
+        notes=(
+            f"steady-state stats() over {len(guests)} guests; seed rescans "
+            "every page group per call, live code serves the epoch-cached index"
+        ),
+        extra={"guests": len(guests), "total_pages": ksm.total_guest_pages},
+    )
+
+
+# -- crypto -----------------------------------------------------------------
+
+
+def _bench_onion_throughput(quick: bool) -> BenchResult:
+    """Full onion round trips through a built 3-hop circuit."""
+    from repro.anonymizers.tor.circuit import Circuit
+    from repro.anonymizers.tor.relay import Relay
+    from repro.net.addresses import Ipv4Address
+    from repro.perfbench.legacy import legacy_onion_round_trip
+    from repro.sim.clock import Timeline
+    from repro.sim.rng import SeededRng
+
+    timeline = Timeline(seed=1234, observability=False)
+    rng = SeededRng(1234)
+    relays = [
+        Relay(
+            f"bench{i}",
+            Ipv4Address.parse(f"10.9.0.{i + 1}"),
+            10e6,
+            frozenset({"Guard", "Exit"}),
+            rng.fork(f"bench{i}"),
+        )
+        for i in range(3)
+    ]
+    circuit = Circuit(timeline, rng)
+    circuit.build(relays)
+    cell = bytes(range(256)) * 2  # one 512 B payload
+
+    def round_trip() -> bytes:
+        onion = circuit.onion_encrypt(cell)
+        plain = circuit.relay_forward(onion)
+        back = circuit.relay_backward(plain)
+        return circuit.onion_decrypt(back)
+
+    forward_keys = [hop.forward_key for hop in circuit._hops]
+    backward_keys = [hop.backward_key for hop in circuit._hops]
+    nonce = b"\x00" * 12
+    assert round_trip() == cell
+    assert legacy_onion_round_trip(forward_keys, backward_keys, nonce, cell) == cell
+
+    budget = _budget(quick)
+    iterations, seconds = measure(round_trip, budget)
+    base_iters, base_seconds = measure(
+        lambda: legacy_onion_round_trip(forward_keys, backward_keys, nonce, cell),
+        budget,
+    )
+    return BenchResult(
+        name="onion_throughput",
+        tags=["crypto", "tor"],
+        unit="cell",
+        iterations=iterations,
+        seconds=seconds,
+        baseline_iterations=base_iters,
+        baseline_seconds=base_seconds,
+        notes=(
+            "512 B cell, 3 hops, both directions; seed recomputes every "
+            "layer's keystream, live code XORs against cached streams"
+        ),
+        extra={"hops": len(relays), "cell_bytes": len(cell)},
+    )
+
+
+def _bench_poly1305(quick: bool) -> BenchResult:
+    """One-shot MAC over a large message (the AEAD tag path)."""
+    from repro.crypto.poly1305 import poly1305_mac
+    from repro.perfbench.legacy import legacy_poly1305_mac
+
+    key = bytes(range(32))
+    message = bytes(range(256)) * ((128 if quick else 1024) * 4)
+    assert poly1305_mac(key, message) == legacy_poly1305_mac(key, message)
+
+    budget = _budget(quick)
+    iterations, seconds = measure(lambda: poly1305_mac(key, message), budget)
+    base_iters, base_seconds = measure(
+        lambda: legacy_poly1305_mac(key, message), budget
+    )
+    return BenchResult(
+        name="poly1305",
+        tags=["crypto"],
+        unit="byte",
+        work_per_iteration=len(message),
+        iterations=iterations,
+        seconds=seconds,
+        baseline_iterations=base_iters,
+        baseline_seconds=base_seconds,
+        notes=(
+            f"{len(message) // 1024} KiB message; seed reduces mod 2^130-5 "
+            "per 16 B block, live code once per 32-block batch"
+        ),
+        extra={"message_bytes": len(message)},
+    )
+
+
+def _bench_chacha20_xor(quick: bool) -> BenchResult:
+    """Bulk stream encryption (nym state sealing, cell payloads)."""
+    from repro.crypto.chacha20 import chacha20_block, chacha20_xor, xor_bytes
+
+    key = bytes(range(32))
+    nonce = bytes(range(12))
+    data = bytes(range(256)) * ((32 if quick else 256) * 4)
+
+    def scalar_xor() -> bytes:
+        n_blocks = (len(data) + 63) // 64
+        stream = b"".join(chacha20_block(key, i, nonce) for i in range(n_blocks))
+        return xor_bytes(data, stream[: len(data)])
+
+    assert scalar_xor() == chacha20_xor(key, nonce, data)
+
+    budget = _budget(quick)
+    iterations, seconds = measure(lambda: chacha20_xor(key, nonce, data), budget)
+    base_iters, base_seconds = measure(scalar_xor, budget)
+    return BenchResult(
+        name="chacha20_xor",
+        tags=["crypto"],
+        unit="byte",
+        work_per_iteration=len(data),
+        iterations=iterations,
+        seconds=seconds,
+        baseline_iterations=base_iters,
+        baseline_seconds=base_seconds,
+        notes=(
+            f"{len(data) // 1024} KiB buffer; baseline is the scalar "
+            "block-at-a-time 20-round function"
+        ),
+        extra={"data_bytes": len(data)},
+    )
+
+
+# -- sim --------------------------------------------------------------------
+
+
+def _bench_event_queue_load(quick: bool) -> BenchResult:
+    """Schedule/cancel/drain churn with len() polling between cancels."""
+    from repro.sim.clock import Clock, EventQueue
+
+    n_events = 500 if quick else 5_000
+
+    def churn() -> None:
+        clock = Clock()
+        queue = EventQueue(clock)
+        events = [queue.schedule_in(float(i + 1), lambda: None) for i in range(n_events)]
+        for index, event in enumerate(events):
+            if index % 2:
+                event.cancel()
+                len(queue)  # the scheduler polls queue depth after cancels
+        queue.run_all()
+
+    budget = _budget(quick)
+    iterations, seconds = measure(churn, budget)
+    return BenchResult(
+        name="event_queue_load",
+        tags=["sim"],
+        unit="churn",
+        iterations=iterations,
+        seconds=seconds,
+        notes=(
+            f"schedule {n_events}, cancel half with len() polls, drain; "
+            "tombstone compaction keeps cancelled events from pinning the heap"
+        ),
+        extra={"events": n_events},
+    )
+
+
+# -- scenarios --------------------------------------------------------------
+
+
+def _make_manager(seed: int):
+    from repro.core import NymManager, NymixConfig
+
+    return NymManager(NymixConfig(seed=seed))
+
+
+def _bench_fig3_scenario(quick: bool) -> BenchResult:
+    """Wall-clock cost of the Figure 3 memory-experiment measurement loop."""
+    from repro.workloads.browsing import run_memory_experiment_step
+
+    nyms = 1 if quick else 3
+    counter = [0]
+
+    def scenario() -> None:
+        counter[0] += 1
+        manager = _make_manager(seed=counter[0])
+        for index in range(nyms):
+            run_memory_experiment_step(manager, index)
+
+    budget = _budget(quick)
+    iterations, seconds = measure(scenario, budget, min_iterations=2)
+    return BenchResult(
+        name="fig3_scenario",
+        tags=["scenario", "memory"],
+        unit="run",
+        iterations=iterations,
+        seconds=seconds,
+        notes=f"fresh manager, {nyms} nyms: launch, measure, browse, re-measure",
+        extra={"nyms": nyms},
+    )
+
+
+def _bench_nym_lifecycle(quick: bool) -> BenchResult:
+    """Create, browse, and discard one nym on a shared manager."""
+    manager = _make_manager(seed=7)
+    counter = [0]
+
+    def lifecycle() -> None:
+        counter[0] += 1
+        nymbox = manager.create_nym(f"bench-{counter[0]}")
+        manager.timed_browse(nymbox, "bbc.co.uk")
+        manager.discard_nym(nymbox)
+
+    budget = _budget(quick)
+    iterations, seconds = measure(lifecycle, budget, min_iterations=2)
+    return BenchResult(
+        name="nym_lifecycle",
+        tags=["scenario"],
+        unit="nym",
+        iterations=iterations,
+        seconds=seconds,
+        notes="create_nym + one page load + discard_nym on a warm manager",
+    )
+
+
+# -- registry ---------------------------------------------------------------
+
+BENCHES: Dict[str, Bench] = {
+    bench.name: bench
+    for bench in [
+        Bench(
+            "memory_churn",
+            ["memory"],
+            "GuestMemory map/dirty/erase churn vs the seed per-page multiset",
+            _bench_memory_churn,
+        ),
+        Bench(
+            "ksm_stats",
+            ["memory", "ksm"],
+            "ksmd wakeup accounting vs the seed full rescan",
+            _bench_ksm_stats,
+        ),
+        Bench(
+            "onion_throughput",
+            ["crypto", "tor"],
+            "3-hop onion round trips vs the seed per-layer recomputation",
+            _bench_onion_throughput,
+        ),
+        Bench(
+            "poly1305",
+            ["crypto"],
+            "large-message MAC vs the seed per-block reduction loop",
+            _bench_poly1305,
+        ),
+        Bench(
+            "chacha20_xor",
+            ["crypto"],
+            "bulk stream encryption vs the scalar block function",
+            _bench_chacha20_xor,
+        ),
+        Bench(
+            "event_queue_load",
+            ["sim"],
+            "schedule/cancel/drain churn with len() polling",
+            _bench_event_queue_load,
+        ),
+        Bench(
+            "fig3_scenario",
+            ["scenario", "memory"],
+            "the Figure 3 measurement loop under wall-clock timing",
+            _bench_fig3_scenario,
+        ),
+        Bench(
+            "nym_lifecycle",
+            ["scenario"],
+            "create/browse/discard one nym under wall-clock timing",
+            _bench_nym_lifecycle,
+        ),
+    ]
+}
+
+
+def select_benches(
+    only: Optional[List[str]] = None, tag: Optional[str] = None
+) -> List[Bench]:
+    """Resolve a ``--only``/``--tag`` selection (raises KeyError on typos)."""
+    if only:
+        missing = [name for name in only if name not in BENCHES]
+        if missing:
+            raise KeyError(
+                f"unknown bench(es): {', '.join(missing)}; "
+                f"available: {', '.join(sorted(BENCHES))}"
+            )
+        selected = [BENCHES[name] for name in only]
+    else:
+        selected = list(BENCHES.values())
+    if tag:
+        selected = [bench for bench in selected if tag in bench.tags]
+        if not selected:
+            tags = sorted({t for bench in BENCHES.values() for t in bench.tags})
+            raise KeyError(f"no bench has tag {tag!r}; available: {', '.join(tags)}")
+    return selected
+
+
+def run_benches(benches: List[Bench], quick: bool) -> List[BenchResult]:
+    return [bench.run(quick) for bench in benches]

@@ -1,0 +1,208 @@
+"""Frozen pre-overhaul ("seed") implementations of the hot paths.
+
+These are byte-for-byte behavioural copies of the implementations the
+repository shipped before the O(Δ) accounting / vectorized-crypto
+overhaul.  They exist for two reasons:
+
+* **Equivalence tests** pin the rewritten `GuestMemory`/`Ksm`/Poly1305/
+  onion paths against the seed semantics (`tests/test_memory_equivalence.py`,
+  `tests/test_crypto_vectorized.py`).
+* **Honest speedups**: `repro bench` measures *this* code next to the live
+  code in the same process on the same machine, so the before/after
+  numbers recorded in ``BENCH_hotpaths.json`` are never stale hard-coded
+  constants.
+
+Nothing here is wired into the simulator; importing this module has no
+side effects on the production paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.errors import MemoryError_
+from repro.memory.pages import (
+    PAGE_SIZE,
+    ContentTag,
+    ZERO_TAG,
+    bytes_to_pages,
+    image_tag,
+    is_mergeable,
+    pages_to_bytes,
+    unique_tag,
+)
+
+# ---------------------------------------------------------------------------
+# Seed GuestMemory: one dict entry per page content tag (unique pages get an
+# entry *each*, so dirtying 1 GiB allocates ~262k entries).
+# ---------------------------------------------------------------------------
+
+
+class LegacyGuestMemory:
+    """The seed page-accounting model: a multiset of per-page content tags."""
+
+    def __init__(self, owner_id: str, size_bytes: int) -> None:
+        if size_bytes <= 0:
+            raise MemoryError_(f"guest memory must be positive, got {size_bytes}")
+        self.owner_id = owner_id
+        self._pages: Dict[ContentTag, int] = {ZERO_TAG: bytes_to_pages(size_bytes)}
+        self._unique_serial = 0
+        self._erased = False
+
+    @property
+    def total_pages(self) -> int:
+        return sum(self._pages.values())
+
+    @property
+    def erased(self) -> bool:
+        return self._erased
+
+    def page_groups(self) -> Iterator[Tuple[ContentTag, int]]:
+        return iter(self._pages.items())
+
+    @property
+    def clean_bytes(self) -> int:
+        clean = sum(n for tag, n in self._pages.items() if tag[0] != "unique")
+        return pages_to_bytes(clean)
+
+    def stats(self) -> Tuple[int, int, int, int]:
+        """(total, zero, image, unique) page counts — tuple form for tests."""
+        zero = self._pages.get(ZERO_TAG, 0)
+        image = sum(n for tag, n in self._pages.items() if tag[0] == "image")
+        unique = sum(n for tag, n in self._pages.items() if tag[0] == "unique")
+        return (self.total_pages, zero, image, unique)
+
+    def _take_pages(self, count: int) -> None:
+        remaining = count
+        for tag in sorted(self._pages, key=lambda t: (t[0] != "zero", t)):
+            if remaining == 0:
+                break
+            if tag[0] == "unique":
+                continue
+            take = min(self._pages[tag], remaining)
+            self._pages[tag] -= take
+            if self._pages[tag] == 0:
+                del self._pages[tag]
+            remaining -= take
+        if remaining:
+            raise MemoryError_(
+                f"guest {self.owner_id}: cannot repurpose {count} pages "
+                f"({remaining} short; all pages privately dirtied)"
+            )
+
+    def map_image(self, image_id: str, size_bytes: int, first_block: int = 0) -> None:
+        pages = bytes_to_pages(size_bytes)
+        self._take_pages(pages)
+        for block in range(first_block, first_block + pages):
+            tag = image_tag(image_id, block)
+            self._pages[tag] = self._pages.get(tag, 0) + 1
+
+    def dirty(self, size_bytes: int) -> None:
+        pages = bytes_to_pages(size_bytes)
+        self._take_pages(pages)
+        for _ in range(pages):
+            tag = unique_tag(self.owner_id, self._unique_serial)
+            self._unique_serial += 1
+            self._pages[tag] = 1
+
+    def dirty_pages(self, pages: int) -> None:
+        self.dirty(pages_to_bytes(pages))
+
+    def secure_erase(self) -> int:
+        wiped = self.total_pages
+        self._pages = {ZERO_TAG: wiped}
+        self._erased = True
+        return wiped
+
+
+# ---------------------------------------------------------------------------
+# Seed KSM accounting: a full O(total pages) rescan of every guest's page
+# groups on every stats() call.
+# ---------------------------------------------------------------------------
+
+
+def legacy_merge_candidates(
+    guests: Sequence[LegacyGuestMemory], merge_zero_pages: bool = False
+) -> Dict[ContentTag, int]:
+    """Mergeable content tags mapped to their total page counts (>= 2)."""
+    counts: Dict[ContentTag, int] = {}
+    for guest in guests:
+        for tag, count in guest.page_groups():
+            if not is_mergeable(tag):
+                continue
+            if tag[0] == "zero" and not merge_zero_pages:
+                continue
+            counts[tag] = counts.get(tag, 0) + count
+    return {tag: count for tag, count in counts.items() if count >= 2}
+
+
+def legacy_ksm_stats(
+    guests: Sequence[LegacyGuestMemory],
+    coverage: float = 1.0,
+    merge_zero_pages: bool = False,
+) -> Tuple[int, int, int]:
+    """Seed (pages_shared, pages_sharing, pages_saved), truncation bias and all."""
+    candidates = legacy_merge_candidates(guests, merge_zero_pages)
+    shared = len(candidates)
+    sharing = sum(candidates.values())
+    shared_now = int(shared * coverage)
+    sharing_now = int(sharing * coverage)
+    return (shared_now, sharing_now, max(0, sharing_now - shared_now))
+
+
+# ---------------------------------------------------------------------------
+# Seed Poly1305: one big-int multiply *and* one 130-bit modular reduction per
+# 16-byte block.
+# ---------------------------------------------------------------------------
+
+_P = (1 << 130) - 5
+_R_CLAMP = 0x0FFFFFFC0FFFFFFC0FFFFFFC0FFFFFFF
+
+
+def legacy_poly1305_mac(key: bytes, message: bytes) -> bytes:
+    r = int.from_bytes(key[:16], "little") & _R_CLAMP
+    s = int.from_bytes(key[16:], "little")
+    accumulator = 0
+    for start in range(0, len(message), 16):
+        chunk = message[start : start + 16]
+        block = int.from_bytes(chunk + b"\x01", "little")
+        accumulator = ((accumulator + block) * r) % _P
+    tag = (accumulator + s) & ((1 << 128) - 1)
+    return tag.to_bytes(16, "little")
+
+
+# ---------------------------------------------------------------------------
+# Seed onion path: every layer is a fresh ChaCha20 keystream computation —
+# 2*(hops+1) full cipher evaluations per relayed round trip.
+# ---------------------------------------------------------------------------
+
+
+def legacy_onion_round_trip(
+    forward_keys: Sequence[bytes],
+    backward_keys: Sequence[bytes],
+    nonce: bytes,
+    plaintext: bytes,
+) -> bytes:
+    """Client wraps, each relay peels/wraps, client unwraps — seed style."""
+    from repro.crypto.chacha20 import chacha20_xor
+
+    data = plaintext
+    for key in reversed(forward_keys):  # client onion_encrypt
+        data = chacha20_xor(key, nonce, data)
+    for key in forward_keys:  # relays peel forward
+        data = chacha20_xor(key, nonce, data)
+    for key in reversed(backward_keys):  # relays wrap backward
+        data = chacha20_xor(key, nonce, data)
+    for key in backward_keys:  # client onion_decrypt
+        data = chacha20_xor(key, nonce, data)
+    return data
+
+
+__all__ = [
+    "LegacyGuestMemory",
+    "legacy_merge_candidates",
+    "legacy_ksm_stats",
+    "legacy_poly1305_mac",
+    "legacy_onion_round_trip",
+    "PAGE_SIZE",
+]

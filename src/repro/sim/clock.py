@@ -57,22 +57,64 @@ class ScheduledEvent:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _on_cancel: Optional[Callable[[], None]] = field(
+        default=None, compare=False, repr=False
+    )
 
     def cancel(self) -> None:
         """Mark the event so the queue skips it when its time comes."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._on_cancel is not None:
+            hook, self._on_cancel = self._on_cancel, None
+            hook()
 
 
 class EventQueue:
-    """Priority queue of :class:`ScheduledEvent`, ordered by time then FIFO."""
+    """Priority queue of :class:`ScheduledEvent`, ordered by time then FIFO.
+
+    Cancelled events become heap tombstones; a live-event counter keeps
+    ``len()`` O(1), and the heap is compacted whenever tombstones exceed
+    half of its entries, so mass cancellation cannot pin memory until the
+    dead timestamps drain.
+    """
+
+    #: Compact only past this size — tiny heaps aren't worth rebuilding.
+    _COMPACT_MIN_ENTRIES = 8
 
     def __init__(self, clock: Clock) -> None:
         self._clock = clock
         self._heap: List[ScheduledEvent] = []
         self._seq = itertools.count()
+        self._tombstones = 0
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return len(self._heap) - self._tombstones
+
+    def _note_cancelled(self) -> None:
+        """Cancel hook for events still in the heap."""
+        self._tombstones += 1
+        if (
+            len(self._heap) >= self._COMPACT_MIN_ENTRIES
+            and self._tombstones * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._tombstones = 0
+
+    def _pop(self) -> ScheduledEvent:
+        """Pop the heap head, keeping the tombstone count coherent."""
+        event = heapq.heappop(self._heap)
+        if event.cancelled:
+            self._tombstones -= 1
+        else:
+            # Out of the heap now: a late cancel must not count a tombstone.
+            event._on_cancel = None
+        return event
 
     def schedule_at(self, when: float, callback: Callable[[], None]) -> ScheduledEvent:
         """Schedule ``callback`` at absolute time ``when``."""
@@ -81,6 +123,7 @@ class EventQueue:
                 f"cannot schedule in the past: now={self._clock.now}, when={when}"
             )
         event = ScheduledEvent(when=when, seq=next(self._seq), callback=callback)
+        event._on_cancel = self._note_cancelled
         heapq.heappush(self._heap, event)
         return event
 
@@ -110,7 +153,7 @@ class EventQueue:
             self._drop_cancelled_head()
             if not self._heap or self._heap[0].when > when:
                 break
-            event = heapq.heappop(self._heap)
+            event = self._pop()
             self._clock.advance_to(event.when)
             event.callback()
             fired += 1
@@ -127,7 +170,7 @@ class EventQueue:
             self._drop_cancelled_head()
             if not self._heap:
                 return fired
-            event = heapq.heappop(self._heap)
+            event = self._pop()
             self._clock.advance_to(event.when)
             event.callback()
             fired += 1
@@ -136,7 +179,7 @@ class EventQueue:
 
     def _drop_cancelled_head(self) -> None:
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            self._pop()
 
 
 class Timeline:

@@ -1,0 +1,151 @@
+"""The perf-regression harness: registry, measurement, CLI plumbing."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perfbench import (
+    BENCHES,
+    BenchResult,
+    environment_metadata,
+    format_results_table,
+    measure,
+    save_bench_results,
+    select_benches,
+)
+
+EXPECTED_BENCHES = {
+    "memory_churn",
+    "ksm_stats",
+    "onion_throughput",
+    "poly1305",
+    "chacha20_xor",
+    "event_queue_load",
+    "fig3_scenario",
+    "nym_lifecycle",
+}
+
+
+class TestRegistry:
+    def test_expected_benches_registered(self):
+        assert set(BENCHES) == EXPECTED_BENCHES
+
+    def test_every_bench_is_described_and_tagged(self):
+        for bench in BENCHES.values():
+            assert bench.description
+            assert bench.tags
+
+    def test_select_all_by_default(self):
+        assert {bench.name for bench in select_benches()} == EXPECTED_BENCHES
+
+    def test_select_only(self):
+        selected = select_benches(only=["poly1305", "ksm_stats"])
+        assert [bench.name for bench in selected] == ["poly1305", "ksm_stats"]
+
+    def test_select_by_tag(self):
+        crypto = select_benches(tag="crypto")
+        assert {bench.name for bench in crypto} == {
+            "onion_throughput",
+            "poly1305",
+            "chacha20_xor",
+        }
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown bench"):
+            select_benches(only=["nope"])
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(KeyError, match="no bench has tag"):
+            select_benches(tag="nope")
+
+
+class TestHarness:
+    def test_measure_respects_minimum_iterations(self):
+        iterations, seconds = measure(lambda: None, budget_s=0.0, min_iterations=5)
+        assert iterations >= 5
+        assert seconds >= 0.0
+
+    def test_result_rates_and_speedup(self):
+        result = BenchResult(
+            name="x",
+            tags=["t"],
+            iterations=10,
+            seconds=1.0,
+            work_per_iteration=100.0,
+            baseline_iterations=10,
+            baseline_seconds=4.0,
+        )
+        assert result.per_second == pytest.approx(1000.0)
+        assert result.baseline_per_second == pytest.approx(250.0)
+        assert result.speedup == pytest.approx(4.0)
+
+    def test_result_without_baseline_has_no_speedup(self):
+        result = BenchResult(name="x", tags=[], iterations=1, seconds=0.5)
+        assert result.speedup is None
+        payload = result.to_dict()
+        assert "speedup" not in payload
+        assert payload["per_second"] == pytest.approx(2.0)
+
+    def test_environment_metadata_names_the_interpreter(self):
+        meta = environment_metadata()
+        assert meta["python"]
+        assert meta["implementation"]
+        assert "numpy" in meta
+
+    def test_save_results_roundtrip(self, tmp_path):
+        result = BenchResult(
+            name="x",
+            tags=["t"],
+            iterations=3,
+            seconds=0.3,
+            baseline_iterations=3,
+            baseline_seconds=0.9,
+        )
+        path = save_bench_results(str(tmp_path / "out.json"), [result], quick=True)
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro.perfbench/v1"
+        assert payload["quick"] is True
+        assert payload["results"][0]["name"] == "x"
+        assert payload["results"][0]["speedup"] == pytest.approx(3.0)
+        assert payload["environment"]["python"]
+
+    def test_format_results_table_mentions_each_bench(self):
+        result = BenchResult(name="some_bench", tags=[], iterations=1, seconds=0.1)
+        table = format_results_table([result])
+        assert "some_bench" in table
+        assert "unit" in table.splitlines()[0]
+
+
+class TestBenchExecution:
+    def test_event_queue_bench_runs_quick(self):
+        result = BENCHES["event_queue_load"].run(True)
+        assert result.iterations >= 1
+        assert result.seconds > 0
+
+    def test_memory_churn_bench_reports_speedup(self):
+        result = BENCHES["memory_churn"].run(True)
+        assert result.speedup is not None
+        assert result.speedup > 1.0
+
+
+class TestCli:
+    def test_bench_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPECTED_BENCHES:
+            assert name in out
+
+    def test_bench_only_writes_results(self, tmp_path, capsys):
+        out_path = tmp_path / "bench.json"
+        code = main(
+            ["bench", "--quick", "--only", "event_queue_load", "--out", str(out_path)]
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert [entry["name"] for entry in payload["results"]] == ["event_queue_load"]
+        assert "event_queue_load" in capsys.readouterr().out
+
+    def test_bench_unknown_name_fails_cleanly(self, capsys):
+        assert main(["bench", "--only", "bogus"]) == 2
+        assert "unknown bench" in capsys.readouterr().err

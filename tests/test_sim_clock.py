@@ -194,6 +194,74 @@ class TestEventQueue:
         assert fired == ["x"]
         assert len(queue) == 0
 
+    def test_double_cancel_counts_once(self):
+        clock = Clock()
+        queue = EventQueue(clock)
+        event = queue.schedule_in(1.0, lambda: None)
+        queue.schedule_in(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 1
+        assert queue.run_all() == 1
+
+    def test_mass_cancellation_compacts_the_heap(self):
+        clock = Clock()
+        queue = EventQueue(clock)
+        events = [queue.schedule_in(float(i + 1), lambda: None) for i in range(100)]
+        for event in events[10:]:
+            event.cancel()
+        # Compaction keeps tombstones below half the heap, so the 90
+        # cancelled events cannot pin the heap at its high-water mark.
+        assert queue._tombstones * 2 <= len(queue._heap)
+        assert len(queue._heap) < 30
+        assert len(queue) == 10
+        assert queue.run_all() == 10
+
+    def test_len_stays_consistent_through_churn(self):
+        clock = Clock()
+        queue = EventQueue(clock)
+        live = 0
+        events = []
+        for i in range(200):
+            events.append(queue.schedule_in(float(i + 1), lambda: None))
+            live += 1
+            if i % 3 == 0:
+                events[i // 2].cancel()
+        expected = sum(1 for event in events if not event.cancelled)
+        assert len(queue) == expected
+        assert queue.run_all() == expected
+        assert len(queue) == 0
+
+    def test_compaction_preserves_fire_order(self):
+        clock = Clock()
+        queue = EventQueue(clock)
+        fired = []
+        keep = []
+        for i in range(50):
+            event = queue.schedule_in(
+                float(50 - i), lambda t=50 - i: fired.append(t)
+            )
+            if i % 5 == 0:
+                keep.append(event)
+        for event in queue._heap:
+            if event not in keep:
+                event.cancel()
+        queue.run_all()
+        assert fired == sorted(fired)
+        assert len(fired) == len(keep)
+
+    def test_cancel_inside_callback_during_drain(self):
+        clock = Clock()
+        queue = EventQueue(clock)
+        fired = []
+        victims = [
+            queue.schedule_in(2.0 + i, lambda i=i: fired.append(i)) for i in range(20)
+        ]
+        queue.schedule_in(1.0, lambda: [v.cancel() for v in victims])
+        assert queue.run_all() == 1
+        assert fired == []
+        assert len(queue) == 0
+
 
 class TestTimeline:
     def test_sleep_advances_and_fires(self):
