@@ -98,6 +98,11 @@ class Circuit:
         return bool(self._hops)
 
     @property
+    def usable(self) -> bool:
+        """Built *and* every relay on the path is still alive."""
+        return bool(self._hops) and all(hop.relay.alive for hop in self._hops)
+
+    @property
     def path_nicknames(self) -> List[str]:
         return [hop.relay.descriptor.nickname for hop in self._hops]
 

@@ -8,6 +8,7 @@ links between different nyms").
 
 from __future__ import annotations
 
+import itertools
 from typing import List, Optional
 
 from repro.anonymizers.base import Anonymizer, AnonymizerState, TransferPlan, register_anonymizer
@@ -28,6 +29,7 @@ from repro.anonymizers.tor.directory import Consensus, DirectoryAuthority
 from repro.anonymizers.tor.guard import GuardManager
 from repro.anonymizers.tor.policy import CircuitPool, IsolationPolicy
 from repro.errors import AnonymizerError, CircuitError
+from repro.faults.retry import RetryPolicy, retry_call
 from repro.net.addresses import Ipv4Address
 from repro.net.internet import Internet
 from repro.net.nat import MasqueradeNat
@@ -59,6 +61,8 @@ class TorClient(Anonymizer):
         directory: DirectoryAuthority,
         guard_manager: Optional[GuardManager] = None,
         num_hops: int = 3,
+        retry_policy: Optional[RetryPolicy] = None,
+        circuit_build_timeout_s: float = 60.0,
     ) -> None:
         super().__init__(timeline, internet, nat, rng)
         if num_hops < 1:
@@ -66,9 +70,15 @@ class TorClient(Anonymizer):
         self.directory = directory
         self.guard_manager = guard_manager or GuardManager(rng.fork("guards"))
         self.num_hops = num_hops
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.circuit_build_timeout_s = circuit_build_timeout_s
         self.consensus: Optional[Consensus] = None
         self._consensus_cached = False
         self.circuits: List[Circuit] = []
+        # Circuit RNG labels must never repeat, even after destroyed
+        # circuits are pruned from ``self.circuits`` — a monotonic counter,
+        # not the list length, names each fork.
+        self._circuit_counter = itertools.count()
         self._current: Optional[Circuit] = None
         self._pool: Optional[CircuitPool] = None
 
@@ -118,6 +128,8 @@ class TorClient(Anonymizer):
         return self.startup_seconds
 
     def stop(self) -> None:
+        if self._pool is not None:
+            self._pool.flush()
         for circuit in self.circuits:
             circuit.destroy()
         self.circuits.clear()
@@ -132,8 +144,17 @@ class TorClient(Anonymizer):
         guard = self.directory.relay(guard_nick)
         exits = [d for d in self.consensus.exits() if d.nickname != guard_nick]
         if not exits:
+            if self.num_hops == 1 and guard.descriptor.is_exit:
+                return [guard]
             raise CircuitError("no usable exit relays in consensus")
         exit_desc = self.rng.choice(exits)
+        if self.num_hops == 1:
+            # A 1-hop path must still terminate at an Exit-flagged relay,
+            # or exit_address() reports a relay that may not carry the
+            # Exit flag and was never drawn from consensus.exits().
+            if guard.descriptor.is_exit:
+                return [guard]
+            return [self.directory.relay(exit_desc.nickname)]
         path = [guard]
         middles = [
             d
@@ -150,22 +171,72 @@ class TorClient(Anonymizer):
             path.append(self.directory.relay(exit_desc.nickname))
         return path
 
+    def _refresh_network_view(self, failures: int, exc: BaseException) -> None:
+        """Between circuit-build attempts: re-fetch the consensus and let the
+        guard manager drop/replace guards that churned out of it."""
+        self.consensus = self.directory.consensus(self.timeline.now)
+        self.guard_manager.ensure_guards(self.consensus, self.timeline.now)
+
     def _build_circuit(self) -> Circuit:
-        circuit = Circuit(self.timeline, self.rng.fork(f"circuit:{len(self.circuits)}"))
-        circuit.build(self._pick_path())
+        def attempt() -> Circuit:
+            self.timeline.faults.maybe_fail("tor.circuit_build")
+            circuit = Circuit(
+                self.timeline,
+                self.rng.fork(f"circuit:{next(self._circuit_counter)}"),
+            )
+            try:
+                circuit.build(self._pick_path())
+            except AnonymizerError:
+                circuit.destroy()
+                raise
+            if circuit.build_seconds > self.circuit_build_timeout_s:
+                circuit.destroy()
+                raise CircuitError(
+                    f"circuit build took {circuit.build_seconds:.1f}s, "
+                    f"over the {self.circuit_build_timeout_s:.0f}s timeout"
+                )
+            return circuit
+
+        circuit = retry_call(
+            self.timeline,
+            attempt,
+            policy=self.retry_policy,
+            retryable=AnonymizerError,
+            site="tor.circuit_build",
+            on_retry=self._refresh_network_view,
+            reraise=True,
+        )
         self.circuits.append(circuit)
         return circuit
 
     @property
     def current_circuit(self) -> Circuit:
+        previous = self._current
+        if previous is not None and previous.built and not previous.usable:
+            # A relay on the path died: the circuit is unusable even though
+            # it still holds hop state.  Tear it down and rebuild.
+            previous.destroy()
         if self._current is None or not self._current.built:
+            self.circuits = [c for c in self.circuits if c.built]
             self._current = self._build_circuit()
+            if previous is not None:
+                self.timeline.obs.metrics.counter("tor.circuit.rebuilds").inc()
+                self.timeline.obs.event("tor.circuit.rebuilt", reason="unusable")
         return self._current
 
     def new_identity(self) -> Circuit:
-        """Rotate to a fresh circuit (Tor's NEWNYM)."""
+        """Rotate to a fresh circuit (Tor's NEWNYM).
+
+        NEWNYM severs *everything* pre-rotation: the current circuit dies,
+        an installed pool is flushed (it must not keep handing out old
+        circuits), and destroyed circuits are pruned from ``self.circuits``
+        so repeated rotations don't grow it without bound.
+        """
         if self._current is not None:
             self._current.destroy()
+        if self._pool is not None:
+            self._pool.flush()
+        self.circuits = [c for c in self.circuits if c.built]
         self.timeline.obs.metrics.counter("tor.newnym").inc()
         self._current = self._build_circuit()
         return self._current
@@ -199,11 +270,24 @@ class TorClient(Anonymizer):
         build_method_selection(AUTH_NONE)
         request = parse_connect(build_connect(hostname, port))
         target = f"{request.hostname}:{request.port}"
-        if self._pool is not None:
-            circuit = self._pool.circuit_for_stream(request.hostname)
-            circuit.open_stream(target)
-        else:
-            self.current_circuit.open_stream(target)
+
+        def open_stream() -> None:
+            # current_circuit and the pool's sweep both replace circuits
+            # that died (teardown, relay churn) since the last stream.
+            if self._pool is not None:
+                circuit = self._pool.circuit_for_stream(request.hostname)
+                circuit.open_stream(target)
+            else:
+                self.current_circuit.open_stream(target)
+
+        retry_call(
+            self.timeline,
+            open_stream,
+            policy=self.retry_policy,
+            retryable=CircuitError,
+            site="tor.stream_open",
+            reraise=True,
+        )
         reply = build_reply(REPLY_SUCCESS, Ipv4Address.parse("0.0.0.0"), 0)
         code, _, _ = parse_reply(reply)
         if code != REPLY_SUCCESS:

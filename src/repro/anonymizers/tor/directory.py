@@ -87,6 +87,24 @@ class DirectoryAuthority:
             )
         return self._consensus
 
+    def churn_relay(self, nickname: str) -> Relay:
+        """Remove a relay from the deployment (churn).
+
+        The relay is retired (its circuits die) and the cached consensus is
+        invalidated so the next ``consensus()`` call reflects the loss.
+        """
+        if len(self._relays) <= 3:
+            raise AnonymizerError(
+                "cannot churn below the 3-relay minimum deployment"
+            )
+        try:
+            relay = self._relays.pop(nickname)
+        except KeyError:
+            raise AnonymizerError(f"unknown relay {nickname!r}") from None
+        relay.retire()
+        self._consensus = None
+        return relay
+
     def relay(self, nickname: str) -> Relay:
         try:
             return self._relays[nickname]

@@ -68,17 +68,29 @@ class GuardManager:
     # -- selection ------------------------------------------------------------
 
     def ensure_guards(self, consensus: Consensus, now: float) -> List[str]:
-        """Return current guard nicknames, selecting or rotating if needed."""
+        """Return current guard nicknames, selecting or rotating if needed.
+
+        Held guards (including restored ones) are re-validated against the
+        consensus: a guard that churned out of the network is dropped and
+        replaced, so a path never telescopes through a vanished relay.
+        """
         expired = (
             self._selected_at is not None
             and now - self._selected_at >= self.rotation_s
         )
-        if not self._guards or expired:
-            candidates = consensus.guards()
-            if not candidates:
+        if expired:
+            self._guards = []
+        candidates = consensus.guards()
+        available = {d.nickname for d in candidates}
+        self._guards = [g for g in self._guards if g in available]
+        if len(self._guards) < self.num_guards:
+            fresh = [d for d in candidates if d.nickname not in self._guards]
+            if not fresh and not self._guards:
                 raise AnonymizerError("consensus contains no Guard relays")
-            picked = _weighted_sample(self.rng, candidates, self.num_guards)
-            self._guards = [d.nickname for d in picked]
+            picked = _weighted_sample(
+                self.rng, fresh, self.num_guards - len(self._guards)
+            )
+            self._guards.extend(d.nickname for d in picked)
             self._selected_at = now
         return list(self._guards)
 
@@ -103,6 +115,9 @@ class GuardManager:
         guards = state.get("guards") or []
         self._guards = [str(g) for g in guards]
         self._selected_at = state.get("selected_at")  # type: ignore[assignment]
+        num_guards = int(state.get("num_guards") or 0)
+        if num_guards >= 1:
+            self.num_guards = num_guards
 
     # -- deterministic seeding ------------------------------------------------------
 

@@ -56,6 +56,7 @@ class CircuitPool:
         self._tracked: List[_TrackedCircuit] = []
         self.circuits_built = 0
         self.reuses = 0
+        self.retired = 0
 
     def _is_dirty(self, tracked: _TrackedCircuit) -> bool:
         if tracked.first_stream_at is None:
@@ -76,8 +77,26 @@ class CircuitPool:
                 return False
         return True
 
+    def _sweep(self) -> int:
+        """Destroy and drop circuits that can no longer carry streams:
+        past their dirtiness budget, or broken (torn down, dead relay).
+        Without this the tracked list grows without bound and
+        ``active_circuits``/``exits_seen_by`` report ghost circuits."""
+        swept = 0
+        for tracked in list(self._tracked):
+            if self._is_dirty(tracked) or not tracked.circuit.usable:
+                tracked.circuit.destroy()
+                self._tracked.remove(tracked)
+                swept += 1
+        self.retired += swept
+        return swept
+
     def circuit_for_stream(self, destination: str, token: str = "") -> Circuit:
-        """Pick (or build) the circuit this stream is allowed to use."""
+        """Pick (or build) the circuit this stream is allowed to use.
+
+        Dirty and broken circuits are retired on the way in, so the pool
+        never accumulates unusable entries."""
+        self._sweep()
         for tracked in self._tracked:
             if self._compatible(tracked, destination, token):
                 self.reuses += 1
@@ -108,7 +127,18 @@ class CircuitPool:
                 tracked.circuit.destroy()
                 self._tracked.remove(tracked)
                 retired += 1
+        self.retired += retired
         return retired
+
+    def flush(self) -> int:
+        """Destroy every tracked circuit (NEWNYM: nothing pre-rotation may
+        carry post-rotation streams).  Returns the number flushed."""
+        flushed = len(self._tracked)
+        for tracked in self._tracked:
+            tracked.circuit.destroy()
+        self._tracked.clear()
+        self.retired += flushed
+        return flushed
 
     @property
     def active_circuits(self) -> int:

@@ -99,6 +99,9 @@ class Relay:
         )
         self._circuits: Dict[int, _CircuitHopState] = {}
         self.cells_processed = 0
+        #: cleared when the relay churns out of the deployment; dead relays
+        #: refuse new circuits and have forgotten their hop state
+        self.alive = True
 
     # -- handshake ------------------------------------------------------------
 
@@ -113,6 +116,8 @@ class Relay:
         Returns the relay's handshake reply (its onion public key echo —
         the client derives the same shared secret from it).
         """
+        if not self.alive:
+            raise CircuitError(f"{self.descriptor.nickname}: relay is gone")
         if circ_id in self._circuits:
             raise CircuitError(
                 f"{self.descriptor.nickname}: circuit id {circ_id} already in use"
@@ -126,6 +131,8 @@ class Relay:
         self._hop(circ_id).next_hop = next_hop
 
     def _hop(self, circ_id: int) -> _CircuitHopState:
+        if not self.alive:
+            raise CircuitError(f"{self.descriptor.nickname}: relay is gone")
         try:
             return self._circuits[circ_id]
         except KeyError:
@@ -156,6 +163,11 @@ class Relay:
 
     def destroy_circuit(self, circ_id: int) -> None:
         self._circuits.pop(circ_id, None)
+
+    def retire(self) -> None:
+        """The relay leaves the network: all its circuits die with it."""
+        self.alive = False
+        self._circuits.clear()
 
     @property
     def active_circuits(self) -> int:

@@ -9,6 +9,7 @@ Gives the reproduction an operator's console:
 * ``stats``     — run a scenario and dump the metrics snapshot
 * ``trace``     — run a scenario and print the sim-time span tree
 * ``bench``     — time the simulator's hot paths against the seed code
+* ``chaos``     — run a seeded fault-injection scenario, print the survival report
 """
 
 from __future__ import annotations
@@ -167,6 +168,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import run_chaos
+
+    manager, report = run_chaos(seed=args.seed, quick=args.quick)
+    print(report.summary())
+    if args.journal:
+        try:
+            manager.obs.journal.write_jsonl(args.journal)
+        except OSError as exc:
+            print(f"cannot write journal to {args.journal}: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"journal: {manager.obs.journal.count()} events -> {args.journal}",
+            file=sys.stderr,
+        )
+    return 0 if report.survived else 1
+
+
 def cmd_catalog(args: argparse.Namespace) -> int:
     print("anonymizers:")
     for kind in sorted(ANONYMIZER_REGISTRY):
@@ -231,6 +250,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", metavar="PATH", help="write results JSON here")
     bench.add_argument("--list", action="store_true", help="list available benches")
     bench.set_defaults(func=cmd_bench)
+
+    chaos = commands.add_parser(
+        "chaos", help="run a seeded fault-injection scenario"
+    )
+    chaos.add_argument(
+        "--quick", action="store_true", help="shorter fault window, fewer churns"
+    )
+    chaos.add_argument(
+        "--journal", metavar="PATH", help="also write the event journal (JSONL)"
+    )
+    chaos.set_defaults(func=cmd_chaos)
     return parser
 
 

@@ -477,6 +477,34 @@ class NymManager:
         )
         return nymbox
 
+    def recover_nym(
+        self,
+        name: str,
+        password: str,
+        account_password: Optional[str] = None,
+    ) -> NymBox:
+        """Relaunch a crashed nymbox from its quasi-persistent state.
+
+        A crash is not amnesia: the wreck is discarded (its host traces
+        scrubbed exactly like a normal teardown) and the nym comes back
+        through the full §3.5 load path — ephemeral download nym, restored
+        guards, re-imported file state.  Only stored nyms can recover;
+        an unstored nym's state died with its VMs.
+        """
+        nymbox = self.nymboxes.get(name)
+        if nymbox is None:
+            raise NymError(f"no live nymbox named {name!r}")
+        if not nymbox.crashed:
+            raise NymStateError(f"nymbox {name!r} has not crashed")
+        if name not in self.stored_nyms:
+            raise PersistenceError(
+                f"crashed nym {name!r} was never stored; its state is gone"
+            )
+        self.obs.metrics.counter("nym.recovered").inc()
+        self.obs.event("nymbox.relaunch", nym=name)
+        self.discard_nym(nymbox)
+        return self.load_nym(name, password, account_password=account_password)
+
     def close_session(self, nymbox: NymBox, password: Optional[str] = None) -> Optional[StoreReceipt]:
         """End a session honoring the nym's usage model.
 

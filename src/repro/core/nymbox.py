@@ -7,14 +7,21 @@ from typing import Dict, List, Optional
 
 from repro.anonymizers.base import Anonymizer
 from repro.core.nym import Nym
-from repro.errors import NymStateError, UnreachableError
+from repro.errors import CircuitError, NymStateError, UnreachableError
+from repro.faults.retry import RetryPolicy, retry_call
 from repro.guest.browser import Browser, FetchOutcome, PageLoad
 from repro.net.frame import Ipv4Packet, UdpDatagram
 from repro.net.link import VirtualWire
 from repro.net.nat import MasqueradeNat
 from repro.sim.clock import Timeline
 from repro.vmm.virtfs import SharedFolder
-from repro.vmm.vm import VirtualMachine
+from repro.vmm.vm import VirtualMachine, VmState
+
+#: Fetch retries under chaos: backoff long enough to outlast a link flap
+#: (2-8 s injected outages) before the attempt budget runs out.
+_CHAOS_FETCH_POLICY = RetryPolicy(
+    max_attempts=6, base_backoff_s=1.0, backoff_factor=2.0, max_backoff_s=20.0
+)
 
 
 @dataclass
@@ -87,10 +94,25 @@ class AnonymizedFetcher:
 
     def fetch(self, hostname: str, client_token: str) -> FetchOutcome:
         self.requests += 1
-        self._cross_wire(hostname)
-        self.anonymizer.resolve(hostname)
-        result = self.anonymizer.fetch(hostname, path=client_token)
-        return FetchOutcome(response=result.response, duration_s=result.duration_s)
+
+        def attempt() -> FetchOutcome:
+            self._cross_wire(hostname)
+            self.anonymizer.resolve(hostname)
+            result = self.anonymizer.fetch(hostname, path=client_token)
+            return FetchOutcome(response=result.response, duration_s=result.duration_s)
+
+        if not self.timeline.faults.active:
+            # No injector armed: fail loudly and immediately, the seed
+            # contract (a downed wire IS teardown outside of chaos).
+            return attempt()
+        return retry_call(
+            self.timeline,
+            attempt,
+            policy=_CHAOS_FETCH_POLICY,
+            retryable=(UnreachableError, CircuitError),
+            site="net.fetch",
+            reraise=True,
+        )
 
 
 class NymBox:
@@ -190,6 +212,23 @@ class NymBox:
     @property
     def running(self) -> bool:
         return not self.destroyed and self.anonvm.running and self.commvm.running
+
+    @property
+    def crashed(self) -> bool:
+        return any(vm.state is VmState.CRASHED for vm in self.all_vms)
+
+    def crash(self) -> None:
+        """Fault injection: every live guest dies at once (host-level fault).
+
+        The wreck stays registered with the manager until
+        ``recover_nym``/``discard_nym`` clears it — crashing is not amnesia.
+        """
+        if self.destroyed:
+            raise NymStateError(f"nymbox for {self.nym.name!r} has been destroyed")
+        for vm in self.all_vms:
+            if vm.state in (VmState.RUNNING, VmState.PAUSED):
+                vm.crash()
+        self.timeline.obs.event("nymbox.crashed", nym=self.nym.name)
 
     # -- accounting -----------------------------------------------------------------
 

@@ -20,7 +20,8 @@ from repro.anonymizers.base import AnonymizerState
 from repro.cloud.provider import CloudAccount, CloudProvider
 from repro.core.nymbox import NymBox
 from repro.crypto.aead import SealedBlob, SealedBox
-from repro.errors import PersistenceError
+from repro.errors import PersistenceError, TransientCloudError
+from repro.faults.retry import RetryPolicy, retry_call
 from repro.sim.clock import Timeline
 from repro.sim.rng import SeededRng
 
@@ -139,9 +140,71 @@ class StoreReceipt:
 class NymStore:
     """Seals nym snapshots and moves them to/from cloud providers."""
 
-    def __init__(self, timeline: Timeline, rng: SeededRng) -> None:
+    def __init__(
+        self,
+        timeline: Timeline,
+        rng: SeededRng,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
         self.timeline = timeline
         self.rng = rng
+        self.retry_policy = retry_policy or RetryPolicy()
+
+    # -- resumable transfer ------------------------------------------------------
+
+    def _transfer_resumable(
+        self,
+        nat,
+        dst_ip,
+        total_bytes: int,
+        overhead_factor: float,
+        path_latency_s: float,
+        site: str,
+    ) -> None:
+        """Move ``total_bytes`` through ``nat``, surviving injected faults.
+
+        A transfer that dies mid-flight keeps the bytes already streamed
+        (a range-request resume, as real cloud APIs offer): each retry
+        picks up at the offset the failure left, so a nym snapshot survives
+        an interrupted upload without re-sending the whole blob.  With no
+        fault armed this is exactly one stream — the seed's happy path,
+        timing included.
+        """
+        state = {"offset": 0}
+
+        def attempt() -> None:
+            remaining = total_bytes - state["offset"]
+            fault = self.timeline.faults.take(site)
+            if fault is not None:
+                fraction = fault.param if 0.0 < fault.param < 1.0 else 0.5
+                partial = int(remaining * fraction)
+                if partial:
+                    duration = nat.stream(
+                        dst_ip, partial, label="anonymizer",
+                        overhead_factor=overhead_factor,
+                    )
+                    self.timeline.sleep(duration)
+                    state["offset"] += partial
+                raise TransientCloudError(
+                    f"{site} interrupted at {state['offset']}/{total_bytes} bytes"
+                )
+            duration = nat.stream(
+                dst_ip, remaining, label="anonymizer",
+                overhead_factor=overhead_factor,
+            )
+            self.timeline.sleep(duration + path_latency_s * 2)
+
+        def resumed(failures: int, exc: BaseException) -> None:
+            self.timeline.obs.metrics.counter(f"{site}.retries").inc()
+
+        retry_call(
+            self.timeline,
+            attempt,
+            policy=self.retry_policy,
+            retryable=TransientCloudError,
+            site=site,
+            on_retry=resumed,
+        )
 
     # -- packing ---------------------------------------------------------------
 
@@ -202,13 +265,14 @@ class NymStore:
 
         plan = anonymizer.plan(len(sealed))
         upload_start = self.timeline.now
-        duration = nymbox.nat.stream(
+        self._transfer_resumable(
+            nymbox.nat,
             provider.ip,
             len(sealed),
-            label="anonymizer",
             overhead_factor=plan.overhead_factor,
+            path_latency_s=plan.path_latency_s,
+            site="cloud.upload",
         )
-        self.timeline.sleep(duration + plan.path_latency_s * 2)
         provider.put(account, blob_name, sealed, self.timeline.now, anonymizer.exit_address())
         return StoreReceipt(
             nym_name=nymbox.nym.name,
@@ -237,10 +301,14 @@ class NymStore:
         )
         blob = provider.get(account, blob_name, self.timeline.now, anonymizer.exit_address())
         plan = anonymizer.plan(blob.size)
-        duration = via_nymbox.nat.stream(
-            provider.ip, blob.size, label="anonymizer", overhead_factor=plan.overhead_factor
+        self._transfer_resumable(
+            via_nymbox.nat,
+            provider.ip,
+            blob.size,
+            overhead_factor=plan.overhead_factor,
+            path_latency_s=plan.path_latency_s,
+            site="cloud.download",
         )
-        self.timeline.sleep(duration + plan.path_latency_s * 2)
         return blob.data
 
     # -- restore into a fresh nymbox --------------------------------------------------

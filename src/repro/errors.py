@@ -82,8 +82,20 @@ class CircuitError(AnonymizerError):
     """Tor circuit construction or extension failed."""
 
 
+class TransientError(NymixError):
+    """A failure expected to clear on retry (injected or environmental)."""
+
+
+class RetryExhaustedError(NymixError):
+    """A retried operation ran out of attempts and gave up."""
+
+
 class CloudError(NymixError):
     """Cloud storage provider failures."""
+
+
+class TransientCloudError(CloudError, TransientError):
+    """A cloud request died mid-flight; retrying may succeed."""
 
 
 class QuotaExceededError(CloudError):

@@ -1,0 +1,32 @@
+"""repro.faults: deterministic fault injection and the retry machinery.
+
+The robustness pillar.  :class:`FaultPlan` describes what goes wrong and
+when; :class:`FaultInjector` delivers it into a live simulation through
+``timeline.faults``; :class:`RetryPolicy`/:func:`retry_call` are how the
+rest of the stack survives.  ``run_chaos`` drives a full seeded chaos
+scenario end to end.  See ``docs/robustness.md``.
+"""
+
+from repro.faults.injector import NULL_FAULTS, FaultInjector, NullFaultInjector
+from repro.faults.plan import (
+    ALL_KINDS,
+    INLINE_KINDS,
+    TIMED_KINDS,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.faults.retry import DEFAULT_POLICY, RetryPolicy, retry_call
+
+__all__ = [
+    "ALL_KINDS",
+    "DEFAULT_POLICY",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "INLINE_KINDS",
+    "NULL_FAULTS",
+    "NullFaultInjector",
+    "RetryPolicy",
+    "TIMED_KINDS",
+    "retry_call",
+]

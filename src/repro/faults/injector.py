@@ -1,0 +1,213 @@
+"""The fault injector: delivers a :class:`FaultPlan` into a live simulation.
+
+Arming an injector schedules the plan's faults onto the timeline and
+publishes the injector as ``timeline.faults``, where the operation paths
+consult it:
+
+* timed faults mutate the world when their moment arrives — the injector
+  reaches the victim through the manager (directory, nymboxes, wires);
+* inline faults sit in per-site queues until the matching operation asks
+  ``maybe_fail(site)`` and gets the planned transient error thrown at it.
+
+When no injector is armed, ``timeline.faults`` is :data:`NULL_FAULTS` —
+the same API where every check is a constant-time no-op, mirroring the
+``NULL_OBS`` pattern.  The injector itself imports nothing from core or
+the anonymizers (avoiding cycles); victims are reached by duck typing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import CircuitError, SimulationError, TransientCloudError
+from repro.faults.plan import FaultPlan, FaultSpec
+
+#: Error class thrown by ``maybe_fail`` for each inline site.
+_SITE_ERRORS = {
+    "cloud.upload": TransientCloudError,
+    "cloud.download": TransientCloudError,
+    "tor.circuit_build": CircuitError,
+}
+
+
+class NullFaultInjector:
+    """No injector armed: every consultation is a cheap no-op."""
+
+    active = False
+
+    def take(self, site: str) -> None:
+        return None
+
+    def maybe_fail(self, site: str) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        return "NullFaultInjector()"
+
+
+#: The process-wide disabled-faults singleton; a fresh Timeline carries this.
+NULL_FAULTS = NullFaultInjector()
+
+
+class FaultInjector:
+    """Delivers one :class:`FaultPlan` into the simulation it is armed on."""
+
+    active = True
+
+    def __init__(self, timeline, plan: FaultPlan) -> None:
+        self.timeline = timeline
+        self.plan = plan
+        self.manager = None
+        self.injected: List[dict] = []
+        self._inline: Dict[str, List[FaultSpec]] = {}
+        self._armed = False
+
+    # -- arming ---------------------------------------------------------------
+
+    def arm(self, manager=None) -> "FaultInjector":
+        """Schedule the plan (times relative to now) and take over
+        ``timeline.faults``.  ``manager`` is the handle timed faults use to
+        find victims; inline-only plans can arm without one."""
+        if self._armed:
+            raise SimulationError("fault injector is already armed")
+        self._armed = True
+        self.manager = manager
+        for spec in self.plan:
+            self.timeline.after(spec.at_s, lambda s=spec: self._fire(s))
+        self.timeline.faults = self
+        self.timeline.obs.event("faults.armed", count=len(self.plan))
+        return self
+
+    def disarm(self) -> None:
+        self.timeline.faults = NULL_FAULTS
+
+    # -- consultation by the operation paths ----------------------------------
+
+    def take(self, site: str) -> Optional[FaultSpec]:
+        """Pop the oldest armed inline fault for ``site``, if any."""
+        queue = self._inline.get(site)
+        if not queue:
+            return None
+        spec = queue.pop(0)
+        self.timeline.obs.event("faults.consumed", kind=spec.kind, site=site)
+        return spec
+
+    def maybe_fail(self, site: str) -> None:
+        """Raise the planned transient error if an inline fault is armed."""
+        spec = self.take(site)
+        if spec is None:
+            return
+        error_cls = _SITE_ERRORS.get(site, TransientCloudError)
+        raise error_cls(f"injected fault at {site}")
+
+    # -- firing ---------------------------------------------------------------
+
+    def _fire(self, spec: FaultSpec) -> None:
+        if not spec.timed:
+            self._inline.setdefault(spec.kind, []).append(spec)
+            self._record(spec, outcome="armed")
+            return
+        handler = {
+            "tor.relay_churn": self._fire_tor_relay_churn,
+            "tor.circuit_teardown": self._fire_tor_circuit_teardown,
+            "net.link_flap": self._fire_net_link_flap,
+            "vmm.crash": self._fire_vmm_crash,
+        }[spec.kind]
+        handler(spec)
+
+    def _live_nymboxes(self) -> List:
+        if self.manager is None:
+            return []
+        boxes = self.manager.nymboxes
+        return [boxes[name] for name in sorted(boxes)]
+
+    def _victim_nymbox(self, target: str):
+        """The named nymbox, or the first live one in name order."""
+        boxes = self._live_nymboxes()
+        if target:
+            for box in boxes:
+                if box.nym.name == target:
+                    return box
+            return None
+        return boxes[0] if boxes else None
+
+    def _tor_clients(self) -> List:
+        """Live anonymizers that look like Tor clients (duck-typed)."""
+        return [
+            box.anonymizer
+            for box in self._live_nymboxes()
+            if hasattr(box.anonymizer, "circuits")
+            and getattr(box.anonymizer, "started", False)
+        ]
+
+    def _fire_tor_relay_churn(self, spec: FaultSpec) -> None:
+        directory = getattr(self.manager, "directory", None)
+        if directory is None:
+            self._record(spec, outcome="no_directory")
+            return
+        nickname = spec.target
+        if not nickname:
+            # Prefer a relay some live circuit actually uses, so the churn
+            # forces a rebuild rather than disappearing into the consensus.
+            for client in self._tor_clients():
+                current = getattr(client, "_current", None)
+                if current is not None and current.built:
+                    nickname = current.exit.descriptor.nickname
+                    break
+        if not nickname:
+            consensus = directory.consensus(self.timeline.now)
+            exits = consensus.exits()
+            if not exits:
+                self._record(spec, outcome="no_exits")
+                return
+            nickname = exits[-1].nickname
+        directory.churn_relay(nickname)
+        self._record(spec, outcome="churned", target=nickname)
+
+    def _fire_tor_circuit_teardown(self, spec: FaultSpec) -> None:
+        for client in self._tor_clients():
+            current = getattr(client, "_current", None)
+            if current is not None and current.built:
+                current.destroy()
+                self._record(spec, outcome="torn_down")
+                return
+        self._record(spec, outcome="no_circuit")
+
+    def _fire_net_link_flap(self, spec: FaultSpec) -> None:
+        box = self._victim_nymbox(spec.target)
+        if box is None or getattr(box, "destroyed", False):
+            self._record(spec, outcome="no_target")
+            return
+        down_for = spec.param if spec.param > 0 else 5.0
+        box.wire.flap(down_for)
+        self._record(spec, outcome="flapped", target=box.nym.name)
+
+    def _fire_vmm_crash(self, spec: FaultSpec) -> None:
+        box = self._victim_nymbox(spec.target)
+        if box is None or getattr(box, "destroyed", False):
+            self._record(spec, outcome="no_target")
+            return
+        box.crash()
+        self._record(spec, outcome="crashed", target=box.nym.name)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _record(self, spec: FaultSpec, outcome: str, target: str = "") -> None:
+        entry = dict(spec.export(), outcome=outcome)
+        if target:
+            entry["target"] = target
+        self.injected.append(entry)
+        obs = self.timeline.obs
+        obs.metrics.counter("faults.injected").inc()
+        obs.event(
+            "faults.injected",
+            kind=spec.kind,
+            target=entry["target"],
+            outcome=outcome,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector(planned={len(self.plan)}, "
+            f"delivered={len(self.injected)}, armed={self._armed})"
+        )

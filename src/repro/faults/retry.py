@@ -1,0 +1,120 @@
+"""Retry with capped exponential backoff, on simulated time.
+
+Every subsystem that survives injected faults does it through
+:func:`retry_call`: attempt the operation, and on a retryable error sleep
+a capped-exponential backoff on the timeline (so other scheduled
+activity — a link coming back up, a relay churn — runs during the wait)
+and try again.  Attempts, backoff seconds, and exhaustion all land in
+``timeline.obs`` so chaos reports can show the recovery work, not just
+the final outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type, TypeVar, Union
+
+from repro.errors import RetryExhaustedError, SimulationError
+
+T = TypeVar("T")
+
+ExcTypes = Union[Type[BaseException], Tuple[Type[BaseException], ...]]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try: attempt budget and backoff shape.
+
+    Backoff after the ``n``-th failure is
+    ``min(max_backoff_s, base_backoff_s * backoff_factor ** (n - 1))`` —
+    capped exponential, no jitter (determinism comes first here; the
+    simulation's other timing models already provide variance).
+    """
+
+    max_attempts: int = 5
+    base_backoff_s: float = 0.5
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise SimulationError(f"max_attempts must be >= 1: {self.max_attempts!r}")
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise SimulationError("backoff seconds must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise SimulationError(
+                f"backoff_factor must be >= 1: {self.backoff_factor!r}"
+            )
+
+    def backoff_s(self, failures: int) -> float:
+        """Seconds to wait after the ``failures``-th consecutive failure."""
+        if failures < 1:
+            raise SimulationError(f"failures must be >= 1: {failures!r}")
+        return min(
+            self.max_backoff_s,
+            self.base_backoff_s * self.backoff_factor ** (failures - 1),
+        )
+
+
+#: Conservative default used where callers don't say otherwise.
+DEFAULT_POLICY = RetryPolicy()
+
+
+def retry_call(
+    timeline,
+    fn: Callable[[], T],
+    *,
+    policy: RetryPolicy = DEFAULT_POLICY,
+    retryable: ExcTypes,
+    site: str,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    reraise: bool = False,
+) -> T:
+    """Call ``fn`` until it succeeds or the policy's attempts run out.
+
+    ``site`` names the operation in metrics/events (e.g. ``cloud.upload``,
+    ``tor.circuit_build``).  Non-``retryable`` exceptions propagate
+    immediately.  ``on_retry(failures, exc)`` runs after each backoff
+    sleep, right before the next attempt — the hook for refreshing state
+    the failure may have invalidated.  On exhaustion a
+    :class:`RetryExhaustedError` chains the last error, unless
+    ``reraise`` asks for the original exception type (callers whose API
+    contract promises a specific error class).
+    """
+    obs = timeline.obs
+    failures = 0
+    while True:
+        try:
+            result = fn()
+        except retryable as exc:
+            failures += 1
+            obs.metrics.counter("retry.attempts").inc()
+            if failures >= policy.max_attempts:
+                obs.metrics.counter("retry.exhausted").inc()
+                obs.event(
+                    "retry.exhausted",
+                    site=site,
+                    attempts=failures,
+                    error=type(exc).__name__,
+                )
+                if reraise:
+                    raise
+                raise RetryExhaustedError(
+                    f"{site}: gave up after {failures} attempts: {exc}"
+                ) from exc
+            backoff = policy.backoff_s(failures)
+            obs.metrics.histogram("retry.backoff_s").observe(backoff)
+            obs.event(
+                "retry.backoff",
+                site=site,
+                attempt=failures,
+                backoff_s=round(backoff, 6),
+                error=type(exc).__name__,
+            )
+            timeline.sleep(backoff)
+            if on_retry is not None:
+                on_retry(failures, exc)
+        else:
+            if failures:
+                obs.event("retry.recovered", site=site, attempts=failures + 1)
+            return result

@@ -59,6 +59,30 @@ class VirtualWire:
         self._a.detach()
         self._b.detach()
 
+    def bring_up(self) -> None:
+        """Restore a downed wire: both NICs re-attach and frames flow again."""
+        if self._up:
+            return
+        self._a.attach(self)
+        self._b.attach(self)
+        self._up = True
+        self.timeline.obs.event("net.link.up", wire=self.name)
+
+    def flap(self, down_for_s: float) -> None:
+        """Take the wire down now and bring it back ``down_for_s`` later.
+
+        The recovery rides the timeline, so it fires during whatever sleep
+        the affected workload is in — a transient outage, not teardown.
+        """
+        if down_for_s <= 0:
+            raise NetworkError(f"flap duration must be positive: {down_for_s!r}")
+        self.take_down()
+        self.timeline.obs.event(
+            "net.link.flap", wire=self.name, down_for_s=round(down_for_s, 6)
+        )
+        self.timeline.obs.metrics.counter("net.link.flaps").inc()
+        self.timeline.after(down_for_s, self.bring_up)
+
     def add_tap(self, tap: object) -> None:
         """Attach a capture object with an ``observe(wire, sender, frame)`` method."""
         self._taps.append(tap)

@@ -195,12 +195,17 @@ class Timeline:
     def __init__(
         self, seed: int = 0, start: float = 0.0, observability: bool = True
     ) -> None:
+        from repro.faults.injector import NULL_FAULTS
         from repro.obs import NULL_OBS, Observability
 
         self.clock = Clock(start=start)
         self.events = EventQueue(self.clock)
         self.rng = SeededRng(seed)
         self.obs = Observability(self.clock) if observability else NULL_OBS
+        #: the armed fault injector, or the shared no-op when nothing is
+        #: injecting — operation paths consult ``timeline.faults`` the same
+        #: way they emit to ``timeline.obs``
+        self.faults = NULL_FAULTS
 
     @property
     def now(self) -> float:

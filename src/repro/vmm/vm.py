@@ -30,6 +30,7 @@ class VmState(enum.Enum):
     RUNNING = "running"
     PAUSED = "paused"
     SHUTDOWN = "shutdown"
+    CRASHED = "crashed"
 
 
 @dataclass(frozen=True)
@@ -201,6 +202,17 @@ class VirtualMachine:
         """Stop the guest.  Memory erase happens at hypervisor release."""
         self._require(VmState.RUNNING, VmState.PAUSED, VmState.CREATED)
         self.state = VmState.SHUTDOWN
+
+    def crash(self) -> None:
+        """The guest dies without a clean shutdown (fault injection).
+
+        Unlike :meth:`shutdown`, nothing inside the guest gets to run;
+        recovery means relaunching from quasi-persistent state (§3.5).
+        """
+        self._require(VmState.RUNNING, VmState.PAUSED)
+        self.state = VmState.CRASHED
+        self.timeline.obs.metrics.counter("vmm.vm.crashes").inc()
+        self.timeline.obs.event("vm.crashed", vm=self.vm_id, role=self.spec.role.value)
 
     @property
     def running(self) -> bool:

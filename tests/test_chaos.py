@@ -1,0 +1,68 @@
+"""The seeded chaos scenario: survival and byte-identical reproducibility."""
+
+import pytest
+
+from repro.faults.chaos import run_chaos
+
+
+@pytest.fixture(scope="module")
+def chaos_run():
+    return run_chaos(seed=7, quick=True)
+
+
+class TestChaosSurvival:
+    def test_scenario_survives(self, chaos_run):
+        manager, report = chaos_run
+        assert report.survived, report.summary()
+
+    def test_required_fault_kinds_delivered(self, chaos_run):
+        """The acceptance scenario: >=1 relay churn, >=1 cloud upload
+        failure, >=1 VM crash — all delivered, none skipped."""
+        _, report = chaos_run
+        outcomes = {e["kind"]: e["outcome"] for e in report.injected}
+        assert outcomes.get("tor.relay_churn") == "churned"
+        assert outcomes.get("cloud.upload") == "armed"
+        assert outcomes.get("vmm.crash") == "crashed"
+
+    def test_crash_recovered_via_persistence(self, chaos_run):
+        manager, report = chaos_run
+        assert report.metrics.get("nym.recovered", 0) >= 1
+        assert report.metrics.get("vmm.vm.crashes", 0) >= 2  # both VMs died
+        # the relaunched nym ended the run alive and was closed cleanly
+        steps = {s.kind: s for s in report.steps}
+        assert steps["vmm.crash"].ok
+        assert steps["final"].ok
+
+    def test_retries_visible_in_metrics(self, chaos_run):
+        _, report = chaos_run
+        assert report.metrics.get("retry.attempts", 0) >= 1
+        assert report.metrics.get("cloud.upload.retries", 0) >= 1
+        backoff = report.metrics.get("retry.backoff_s")
+        assert backoff and backoff["count"] >= 1
+        assert report.metrics.get("tor.circuit.rebuilds", 0) >= 1
+
+    def test_report_summary_renders(self, chaos_run):
+        _, report = chaos_run
+        text = report.summary()
+        assert "verdict: SURVIVED" in text
+        assert "tor.relay_churn" in text
+        assert "retry" in text
+
+
+class TestChaosDeterminism:
+    def test_same_seed_runs_produce_byte_identical_journals(self):
+        manager_a, report_a = run_chaos(seed=11, quick=True)
+        manager_b, report_b = run_chaos(seed=11, quick=True)
+        journal_a = manager_a.obs.journal.export_jsonl()
+        journal_b = manager_b.obs.journal.export_jsonl()
+        assert journal_a == journal_b
+        assert report_a.survived and report_b.survived
+        assert report_a.injected == report_b.injected
+
+    def test_different_seeds_diverge(self, chaos_run):
+        manager_a, _ = chaos_run
+        manager_b, _ = run_chaos(seed=11, quick=True)
+        assert (
+            manager_a.obs.journal.export_jsonl()
+            != manager_b.obs.journal.export_jsonl()
+        )

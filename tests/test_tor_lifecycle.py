@@ -1,0 +1,228 @@
+"""Circuit/guard lifecycle regressions: leaks, stale state, churn recovery."""
+
+import pytest
+
+from repro.anonymizers.tor.directory import DirectoryAuthority
+from repro.anonymizers.tor.guard import GuardManager
+from repro.anonymizers.tor.policy import CircuitPool, IsolationPolicy
+from repro.errors import AnonymizerError, CircuitError, NymStateError, PersistenceError
+from repro.sim import Timeline
+
+
+@pytest.fixture
+def tor_nymbox(manager):
+    return manager.create_nym("lifecycle")
+
+
+class TestNewnymLifecycle:
+    def test_newnym_loop_keeps_circuit_list_bounded(self, tor_nymbox):
+        """Destroyed circuits must be pruned, not accumulated forever."""
+        tor = tor_nymbox.anonymizer
+        for _ in range(10):
+            tor.new_identity()
+        assert len(tor.circuits) == 1
+        assert all(c.built for c in tor.circuits)
+
+    def test_newnym_flushes_installed_pool(self, tor_nymbox):
+        """NEWNYM semantics: no pre-rotation circuit may serve new streams."""
+        tor = tor_nymbox.anonymizer
+        pool = tor.enable_stream_isolation(IsolationPolicy())
+        before = pool.circuit_for_stream("gmail.com")
+        tor.new_identity()
+        assert pool.active_circuits == 0
+        assert not before.built  # destroyed, not just forgotten
+        after = pool.circuit_for_stream("gmail.com")
+        assert after is not before
+
+    def test_stop_after_newnym_loop_is_clean(self, tor_nymbox):
+        """Pruning means stop() never double-destroys stale handles."""
+        tor = tor_nymbox.anonymizer
+        for _ in range(5):
+            tor.new_identity()
+        tor.stop()
+        assert tor.circuits == []
+
+    def test_circuit_rng_labels_never_repeat_after_prune(self, tor_nymbox):
+        tor = tor_nymbox.anonymizer
+        seen = set()
+        for _ in range(5):
+            circuit = tor.new_identity()
+            key = tuple(circuit.path_nicknames)
+            seen.add((circuit.circ_id, key))
+        assert len({cid for cid, _ in seen}) == 5
+
+
+class TestPoolRetirement:
+    def _build_factory(self, timeline):
+        directory = DirectoryAuthority(timeline.fork_rng("dir"), relay_count=15)
+        counter = {"n": 0}
+
+        def factory():
+            from repro.anonymizers.tor.circuit import Circuit
+
+            counter["n"] += 1
+            circuit = Circuit(timeline, timeline.fork_rng(f"c{counter['n']}"))
+            relays = directory.relays()
+            start = counter["n"] % 5
+            circuit.build([relays[start], relays[start + 5], relays[start + 10]])
+            return circuit
+
+        return factory
+
+    def test_dirty_circuits_retired_on_lookup(self):
+        """The leak: dirty circuits used to stay tracked forever."""
+        timeline = Timeline(seed=23)
+        pool = CircuitPool(
+            timeline, self._build_factory(timeline),
+            IsolationPolicy(max_dirtiness_s=600),
+        )
+        first = pool.circuit_for_stream("gmail.com")
+        timeline.sleep(700)
+        pool.circuit_for_stream("gmail.com")
+        assert pool.active_circuits == 1  # the dirty one is gone, not ghosted
+        assert pool.retired == 1
+        assert not first.built  # actually destroyed
+
+    def test_repeated_dirtiness_cycles_stay_bounded(self):
+        timeline = Timeline(seed=23)
+        pool = CircuitPool(
+            timeline, self._build_factory(timeline),
+            IsolationPolicy(max_dirtiness_s=600),
+        )
+        for _ in range(8):
+            pool.circuit_for_stream("gmail.com")
+            timeline.sleep(700)
+        pool.circuit_for_stream("gmail.com")
+        assert pool.active_circuits == 1
+        assert pool.retired == 8
+
+    def test_broken_circuit_swept_on_lookup(self):
+        timeline = Timeline(seed=23)
+        pool = CircuitPool(
+            timeline, self._build_factory(timeline), IsolationPolicy()
+        )
+        circuit = pool.circuit_for_stream("gmail.com")
+        circuit.destroy()  # torn down externally (churn, teardown fault)
+        replacement = pool.circuit_for_stream("gmail.com")
+        assert replacement is not circuit
+        assert pool.active_circuits == 1
+
+
+class TestGuardRestore:
+    def test_import_restores_num_guards(self):
+        exporter = GuardManager(Timeline(seed=5).fork_rng("g"), num_guards=5)
+        importer = GuardManager(Timeline(seed=6).fork_rng("g"))
+        importer.import_state(exporter.export_state())
+        assert importer.num_guards == 5
+
+    def test_restored_guards_revalidated_against_rotated_consensus(self):
+        """A restored guard that churned out of the consensus must be
+        dropped and replaced, not handed to directory.relay() to blow up."""
+        timeline = Timeline(seed=9)
+        directory = DirectoryAuthority(timeline.fork_rng("dir"), relay_count=20)
+        manager = GuardManager(timeline.fork_rng("guards"))
+        consensus = directory.consensus(0.0)
+        guards = manager.ensure_guards(consensus, 0.0)
+        directory.churn_relay(guards[0])
+        rotated = directory.consensus(10.0)
+        refreshed = manager.ensure_guards(rotated, 10.0)
+        assert guards[0] not in refreshed
+        assert len(refreshed) == manager.num_guards
+        available = {d.nickname for d in rotated.guards()}
+        assert set(refreshed) <= available
+
+    def test_restored_unknown_guards_fully_replaced(self):
+        timeline = Timeline(seed=9)
+        directory = DirectoryAuthority(timeline.fork_rng("dir"), relay_count=20)
+        manager = GuardManager(timeline.fork_rng("guards"))
+        manager.import_state(
+            {"guards": ["ghost1", "ghost2", "ghost3"], "selected_at": 0.0,
+             "num_guards": 3}
+        )
+        refreshed = manager.ensure_guards(directory.consensus(0.0), 0.0)
+        assert len(refreshed) == 3
+        assert not {"ghost1", "ghost2", "ghost3"} & set(refreshed)
+
+    def test_empty_consensus_guards_still_raise(self):
+        timeline = Timeline(seed=9)
+        manager = GuardManager(timeline.fork_rng("guards"))
+
+        class NoGuards:
+            def guards(self):
+                return []
+
+        with pytest.raises(AnonymizerError):
+            manager.ensure_guards(NoGuards(), 0.0)
+
+
+class TestOneHopPath:
+    def test_one_hop_path_ends_at_exit_relay(self, manager):
+        nymbox = manager.create_nym(
+            "onehop", anonymizer="tor",
+        )
+        # Build a dedicated 1-hop client against the shared directory.
+        from repro.anonymizers.tor.client import TorClient
+
+        tor = nymbox.anonymizer
+        one_hop = TorClient(
+            manager.timeline, manager.internet, nymbox.nat,
+            tor.rng.fork("one-hop-test"), manager.directory, num_hops=1,
+        )
+        one_hop.start()
+        path = one_hop.current_circuit.path_nicknames
+        assert len(path) == 1
+        descriptor = manager.directory.relay(path[0]).descriptor
+        assert descriptor.is_exit
+        # exit_address() now reports a relay actually eligible to exit
+        assert one_hop.exit_address() == descriptor.ip
+        one_hop.stop()
+
+
+class TestChurnAndCrashRecovery:
+    def test_relay_churn_forces_rebuild_and_browse_survives(self, manager):
+        nymbox = manager.create_nym("churn-recover")
+        tor = nymbox.anonymizer
+        exit_nick = tor.current_circuit.exit.descriptor.nickname
+        manager.directory.churn_relay(exit_nick)
+        load = nymbox.browse("bbc.co.uk")
+        assert load.payload_bytes > 0
+        rebuilds = manager.obs.metrics.snapshot()["tor.circuit.rebuilds"]
+        assert rebuilds >= 1
+        assert tor.current_circuit.usable
+
+    def test_crashed_nym_recovers_from_stored_state(self, manager):
+        nymbox = manager.create_nym("phoenix")
+        nymbox.browse("bbc.co.uk")
+        manager.create_cloud_account("dropbox.com", "phx", "pw")
+        manager.store_nym(
+            nymbox, "phx-pass", provider_host="dropbox.com", account_username="phx"
+        )
+        history_before = len(nymbox.browser.history)
+        nymbox.crash()
+        assert nymbox.crashed
+        with pytest.raises(NymStateError):
+            nymbox.browse("bbc.co.uk")
+        restored = manager.recover_nym("phoenix", "phx-pass")
+        assert restored.running and not restored.crashed
+        assert len(restored.browser.history) == history_before
+        assert restored.browse("bbc.co.uk").payload_bytes > 0
+        snapshot = manager.obs.metrics.snapshot()
+        assert snapshot["nym.recovered"] == 1
+        assert snapshot["vmm.vm.crashes"] >= 2
+
+    def test_recover_requires_crash_and_stored_state(self, manager):
+        nymbox = manager.create_nym("unstored")
+        with pytest.raises(NymStateError):
+            manager.recover_nym("unstored", "pw")  # not crashed
+        nymbox.crash()
+        with pytest.raises(PersistenceError):
+            manager.recover_nym("unstored", "pw")  # never stored
+
+    def test_circuit_through_churned_relay_fails_loudly(self, manager):
+        nymbox = manager.create_nym("loud")
+        tor = nymbox.anonymizer
+        circuit = tor.current_circuit
+        manager.directory.churn_relay(circuit.exit.descriptor.nickname)
+        assert not circuit.usable
+        with pytest.raises(CircuitError):
+            circuit.relay_forward(circuit.onion_encrypt(b"payload"))
