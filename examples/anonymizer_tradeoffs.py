@@ -22,7 +22,7 @@ def main() -> None:
           f"{'overhead':>9} {'destination sees':<18} protected?")
     print("-" * 78)
     for kind in TRANSPORTS:
-        nym = manager.create_nym(f"demo-{kind.replace('+', '-')}", anonymizer=kind)
+        nym = manager.create_nym(name=f"demo-{kind.replace('+', '-')}", anonymizer=kind)
         load = manager.timed_browse(nym, "bbc.co.uk")
         plan = nym.anonymizer.plan(0)
         print(f"{kind:<13} {nym.startup.start_anonymizer_s:>9.1f} "

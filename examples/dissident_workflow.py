@@ -8,7 +8,7 @@ the attacks the paper worries about, showing what each adversary learns.
 Run:  python examples/dissident_workflow.py
 """
 
-from repro import NymManager, NymixConfig
+from repro import NymixConfig, NymixSession
 from repro.attacks import AnonVmCompromise, EvercookieStain
 from repro.cloud import make_google_drive
 from repro.sanitize import ParanoiaLevel, SimImage, parse_file
@@ -16,12 +16,24 @@ from repro.unionfs.layer import Layer
 
 
 def main() -> None:
-    manager = NymManager(NymixConfig(seed=2, deterministic_guards=True))
-    manager.add_cloud_provider(make_google_drive())
-    manager.create_cloud_account("drive.google.com", "rnd-20481", "cloud-pw")
+    # The session facade wires Timeline/Internet/Hypervisor/NymManager
+    # and guarantees amnesia on exit; cloud_providers=False because Bob
+    # only trusts the one provider he picked.
+    session = NymixSession(
+        NymixConfig(seed=2, deterministic_guards=True), cloud_providers=False
+    )
+    with session as nx:
+        run_bob(nx)
+    print("\nBob survives another day.")
+
+
+def run_bob(nx: NymixSession) -> None:
+    manager = nx.manager
+    nx.add_cloud_provider(make_google_drive())
+    nx.create_cloud_account("drive.google.com", "rnd-20481", "cloud-pw")
 
     print("== Night 1: set up the pseudonymous Twitter nym ==")
-    nym = manager.create_nym("bob-protest")
+    nym = manager.create_nym(name="bob-protest")
     manager.timed_browse(nym, "twitter.com")
     nym.sign_in("twitter.com", "tyrannistan_truth", "account-pw")
     print(f"  nym up in {nym.startup.total_s:.0f} s; "
@@ -51,7 +63,7 @@ def main() -> None:
           f"watermark readable={delivered.watermark_detectable}")
 
     print("\n== Store to the cloud, shut down before dawn ==")
-    manager.store_nym(nym, "nym-pw", provider_host="drive.google.com",
+    manager.store_nym(nym, password="nym-pw", provider_host="drive.google.com",
                       account_username="rnd-20481")
     manager.discard_nym(nym)
     print(f"  live nyms: {manager.live_nyms()}; "
@@ -80,7 +92,6 @@ def main() -> None:
           f"{stain.detected(nym)}")
 
     manager.discard_nym(nym)
-    print("\nBob survives another day.")
 
 
 if __name__ == "__main__":

@@ -24,7 +24,7 @@ def main() -> None:
     }
     nyms = {}
     for role, (site, username) in roles.items():
-        nym = manager.create_nym(f"alice-{role}")
+        nym = manager.create_nym(name=f"alice-{role}")
         load = manager.timed_browse(nym, site)
         if username:
             nym.sign_in(site, username, f"pw-{role}")

@@ -3,7 +3,7 @@
 
 Walks the basic Nymix workflow from §3.5 of the paper:
 
-1. boot Nymix (a :class:`NymManager`),
+1. boot Nymix (a :class:`NymixSession` — the supported entry point),
 2. start a fresh ephemeral nym and browse through Tor,
 3. store the nym, encrypted, to anonymous cloud storage,
 4. discard it (amnesia), then load it back — credentials intact.
@@ -11,53 +11,51 @@ Walks the basic Nymix workflow from §3.5 of the paper:
 Run:  python examples/quickstart.py
 """
 
-from repro import NymManager, NymixConfig
-from repro.cloud import make_dropbox
+from repro import NymixSession
 
 
 def main() -> None:
     print("Booting Nymix (simulated i7 quad-core, 16 GB RAM, 10 Mbit/s uplink)")
-    manager = NymManager(NymixConfig(seed=1))
-    manager.add_cloud_provider(make_dropbox())
-    manager.create_cloud_account("dropbox.com", "anon-8041", "cloud-pw")
+    with NymixSession(seed=1) as nx:
+        nx.create_cloud_account("dropbox.com", "anon-8041", "cloud-pw")
 
-    print("\n-- start a fresh nym --")
-    nym = manager.create_nym("my-first-nym")
-    for phase, seconds in nym.startup.as_dict().items():
-        if seconds:
-            print(f"  {phase:<14} {seconds:5.1f} s")
+        print("\n-- start a fresh nym --")
+        nym = nx.create_nym(name="my-first-nym")
+        for phase, seconds in nym.startup.as_dict().items():
+            if seconds:
+                print(f"  {phase:<14} {seconds:5.1f} s")
 
-    print("\n-- browse through Tor --")
-    load = manager.timed_browse(nym, "twitter.com")
-    print(f"  twitter.com loaded in {load.duration_s:.1f} s "
-          f"({load.payload_bytes / 2**20:.1f} MiB)")
-    nym.sign_in("twitter.com", "my_pseudonym", "account-password")
-    print(f"  signed in; credentials now bound to nym {nym.nym.name!r}")
-    exit_ip = nym.anonymizer.exit_address()
-    print(f"  twitter.com saw exit relay {exit_ip}, "
-          f"not our address {manager.hypervisor.public_ip}")
+        print("\n-- browse through Tor --")
+        load = nx.timed_browse(nym, "twitter.com")
+        print(f"  twitter.com loaded in {load.duration_s:.1f} s "
+              f"({load.payload_bytes / 2**20:.1f} MiB)")
+        nym.sign_in("twitter.com", "my_pseudonym", "account-password")
+        print(f"  signed in; credentials now bound to nym {nym.nym.name!r}")
+        exit_ip = nym.anonymizer.exit_address()
+        print(f"  twitter.com saw exit relay {exit_ip}, "
+              f"not our address {nx.hypervisor.public_ip}")
 
-    print("\n-- store the nym to the cloud --")
-    receipt = manager.store_nym(
-        nym, "nym-password", provider_host="dropbox.com", account_username="anon-8041"
-    )
-    print(f"  raw {receipt.raw_bytes / 2**20:.1f} MiB -> "
-          f"encrypted {receipt.encrypted_bytes / 2**20:.1f} MiB, "
-          f"uploaded in {receipt.upload_seconds:.1f} s")
+        print("\n-- store the nym to the cloud --")
+        receipt = nx.store_nym(
+            nym, password="nym-password",
+            provider_host="dropbox.com", account_username="anon-8041",
+        )
+        print(f"  raw {receipt.raw_bytes / 2**20:.1f} MiB -> "
+              f"encrypted {receipt.encrypted_bytes / 2**20:.1f} MiB, "
+              f"uploaded in {receipt.upload_seconds:.1f} s")
 
-    print("\n-- discard: amnesia --")
-    manager.discard_nym(nym)
-    print(f"  live nyms: {manager.live_nyms()}  (nothing remains on the host)")
+        print("\n-- discard: amnesia --")
+        nx.discard_nym(nym)
+        print(f"  live nyms: {nx.live_nyms()}  (nothing remains on the host)")
 
-    print("\n-- load it back --")
-    restored = manager.load_nym("my-first-nym", "nym-password")
-    print(f"  ephemeral download nym took {restored.startup.ephemeral_nym_s:.1f} s")
-    print(f"  Tor restarted warm in {restored.startup.start_anonymizer_s:.1f} s "
-          f"(guards preserved: {restored.anonymizer.guard_manager.guards})")
-    print(f"  twitter credentials restored: "
-          f"{restored.browser.has_credentials_for('twitter.com')}")
-
-    manager.discard_nym(restored)
+        print("\n-- load it back --")
+        restored = nx.load_nym("my-first-nym", "nym-password")
+        print(f"  ephemeral download nym took {restored.startup.ephemeral_nym_s:.1f} s")
+        print(f"  Tor restarted warm in {restored.startup.start_anonymizer_s:.1f} s "
+              f"(guards preserved: {restored.anonymizer.guard_manager.guards})")
+        print(f"  twitter credentials restored: "
+              f"{restored.browser.has_credentials_for('twitter.com')}")
+    # Session exit discards every live nym.
     print("\nDone.")
 
 

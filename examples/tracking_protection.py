@@ -23,7 +23,7 @@ def main() -> None:
     )
 
     print("== The pre-Nymix world: one browser for everything ==")
-    everything = manager.create_nym("everything")
+    everything = manager.create_nym(name="everything")
     for hostname in ("facebook.com", "twitter.com", "bbc.co.uk", "espn.com"):
         browse_with_trackers(manager, everything, hostname, [network])
     dossier = next(iter(network.profiles.values()))
@@ -46,7 +46,7 @@ def main() -> None:
         "sports": ["espn.com"],
     }
     for role, hostnames in roles.items():
-        nymbox = manager.create_nym(role)
+        nymbox = manager.create_nym(name=role)
         for hostname in hostnames:
             browse_with_trackers(manager, nymbox, hostname, [fresh_network])
     print(f"  adsync profiles: {len(fresh_network.profiles)} (one stub per role)")
@@ -57,7 +57,7 @@ def main() -> None:
     print("\n== And ephemeral nyms reset even the per-role identity ==")
     news = manager.nymboxes["news"]
     manager.discard_nym(news)
-    reborn = manager.create_nym("news")
+    reborn = manager.create_nym(name="news")
     browse_with_trackers(manager, reborn, "bbc.co.uk", [fresh_network])
     print(f"  adsync profiles after the news nym was recycled: "
           f"{len(fresh_network.profiles)} (the old stub is orphaned)")

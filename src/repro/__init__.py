@@ -8,34 +8,37 @@ nym storage in the cloud, a sanitizing SaniVM for cross-nym file
 transfer, and installed-OS nyms - on top of from-scratch substrates for
 the hypervisor, union file system, virtual network, and crypto.
 
-Quickstart::
+Quickstart (the supported entry point is the session facade)::
 
-    from repro import NymManager
-    from repro.cloud import make_dropbox
+    from repro import NymixSession
 
-    manager = NymManager()
-    manager.add_cloud_provider(make_dropbox())
-    nym = manager.create_nym("reading-news")        # ephemeral by default
-    manager.timed_browse(nym, "bbc.co.uk")
-    manager.discard_nym(nym)                         # amnesia: nothing remains
+    with NymixSession(seed=7) as nx:
+        nym = nx.create_nym(name="reading-news")     # ephemeral by default
+        nx.timed_browse(nym, "bbc.co.uk")
+    # session exit discards every nym: amnesia, nothing remains
 
 See DESIGN.md for the architecture map and EXPERIMENTS.md for the
 paper-vs-measured comparison of every figure and table.
 """
 
+from repro.api import NymixSession
 from repro.core.config import NymixConfig
 from repro.core.manager import InstalledOsNymReport, NymManager
 from repro.core.nym import Nym, NymUsageModel
 from repro.core.nymbox import NymBox, StartupPhases
 from repro.core.persistence import NymStore, StoreReceipt
+from repro.core.requests import NymRequest, StoreNymRequest
 from repro.core.validation import ValidationResult, validate_system
 from repro.errors import NymixError
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "NymixSession",
     "NymixConfig",
     "NymManager",
+    "NymRequest",
+    "StoreNymRequest",
     "InstalledOsNymReport",
     "Nym",
     "NymUsageModel",

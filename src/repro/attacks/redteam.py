@@ -55,7 +55,7 @@ def run_red_team(manager, nyms: int = 3) -> RedTeamReport:
     confined to the nyms this function creates, which it destroys.
     """
     report = RedTeamReport()
-    created = [manager.create_nym(f"redteam-{i}") for i in range(nyms)]
+    created = [manager.create_nym(name=f"redteam-{i}") for i in range(nyms)]
     for nymbox in created:
         manager.timed_browse(nymbox, "bbc.co.uk")
 
@@ -109,7 +109,7 @@ def run_red_team(manager, nyms: int = 3) -> RedTeamReport:
     stain.plant(target)
     target_name = target.nym.name
     manager.discard_nym(target)
-    replacement = manager.create_nym(target_name)
+    replacement = manager.create_nym(name=target_name)
     created[0] = replacement
     report.outcomes.append(
         AttackOutcome(

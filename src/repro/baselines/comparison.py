@@ -68,8 +68,8 @@ def _score_whonix(rng: SeededRng, real_ip: str) -> Dict[str, bool]:
 
 
 def _score_nymix(manager) -> Dict[str, bool]:
-    a = manager.create_nym("cmp-a")
-    b = manager.create_nym("cmp-b")
+    a = manager.create_nym(name="cmp-a")
+    b = manager.create_nym(name="cmp-b")
     manager.timed_browse(a, "gmail.com")
     manager.timed_browse(b, "twitter.com")
 
@@ -81,7 +81,7 @@ def _score_nymix(manager) -> Dict[str, bool]:
     stain.plant(a)
     name = a.nym.name
     manager.discard_nym(a)
-    fresh = manager.create_nym(name)
+    fresh = manager.create_nym(name=name)
     stain_shed = not stain.detected(fresh)
 
     # Per-nym Tor instances are the structural guarantee: an exit

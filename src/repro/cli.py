@@ -10,101 +10,197 @@ Gives the reproduction an operator's console:
 * ``trace``     — run a scenario and print the sim-time span tree
 * ``bench``     — time the simulator's hot paths against the seed code
 * ``chaos``     — run a seeded fault-injection scenario, print the survival report
+* ``fleet``     — place ~1000 nymboxes over a simulated 64-host cluster
+
+Every subcommand accepts the same three flags: ``--seed`` (overrides the
+global ``--seed``), ``--duration`` (extra simulated seconds before the
+report, where the command has a timeline), and ``--json`` (a
+machine-readable report on stdout).  Commands are built on the
+:class:`repro.api.NymixSession` facade.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 from typing import List, Optional
 
 from repro.anonymizers.base import ANONYMIZER_REGISTRY
-from repro.cloud import make_dropbox, make_google_drive
-from repro.core import NymManager, NymixConfig
+from repro.api import NymixSession
 from repro.core.validation import validate_system
 from repro.guest.installed_os import INSTALLED_OS_CATALOG
 from repro.guest.websites import WEBSITE_CATALOG
 
 
-def _make_manager(seed: int) -> NymManager:
-    manager = NymManager(NymixConfig(seed=seed))
-    manager.add_cloud_provider(make_dropbox())
-    manager.add_cloud_provider(make_google_drive())
-    return manager
+# -- shared flag plumbing ----------------------------------------------------
+
+
+def add_common_args(sub: argparse.ArgumentParser, journal: bool = False) -> None:
+    """The flags every ``repro`` subcommand understands.
+
+    ``--seed`` shadows the global flag (the subcommand value wins);
+    ``--duration`` adds simulated idle seconds before reporting;
+    ``--json`` switches the report to machine-readable JSON.
+    """
+    sub.add_argument(
+        "--seed", dest="sub_seed", type=int, default=None, metavar="N",
+        help="simulation seed (overrides the global --seed)",
+    )
+    sub.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="extra simulated seconds to run before reporting",
+    )
+    sub.add_argument(
+        "--json", action="store_true", help="emit a JSON report on stdout"
+    )
+    if journal:
+        sub.add_argument(
+            "--journal", metavar="PATH", help="also write the event journal (JSONL)"
+        )
+
+
+def effective_seed(args: argparse.Namespace) -> int:
+    if getattr(args, "sub_seed", None) is not None:
+        return args.sub_seed
+    return args.seed
+
+
+def _session(args: argparse.Namespace) -> NymixSession:
+    return NymixSession(seed=effective_seed(args))
+
+
+def _idle(session: NymixSession, args: argparse.Namespace) -> None:
+    if args.duration:
+        session.timeline.sleep(args.duration)
+
+
+def _write_journal(obs, path: str) -> int:
+    try:
+        obs.journal.write_jsonl(path)
+    except OSError as exc:
+        print(f"cannot write journal to {path}: {exc}", file=sys.stderr)
+        return 1
+    print(f"journal: {obs.journal.count()} events -> {path}", file=sys.stderr)
+    return 0
+
+
+def _emit_json(payload) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+# -- commands ----------------------------------------------------------------
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
-    manager = _make_manager(args.seed)
-    for index in range(args.nyms):
-        nymbox = manager.create_nym(f"validate-{index}")
-        manager.timed_browse(nymbox, "bbc.co.uk")
-    result = validate_system(manager, idle_seconds=args.idle)
-    print(result.summary())
-    return 0 if result.passed else 1
+    with _session(args) as nx:
+        for index in range(args.nyms):
+            nymbox = nx.create_nym(name=f"validate-{index}")
+            nx.timed_browse(nymbox, "bbc.co.uk")
+        _idle(nx, args)
+        result = validate_system(nx.manager, idle_seconds=args.idle)
+        if args.json:
+            _emit_json(
+                {
+                    "passed": result.passed,
+                    "dns_leaks": result.dns_leaks,
+                    "isolation_violations": len(result.isolation.violations),
+                    "anonvm_emitted_uplink_traffic": result.anonvm_emitted_uplink_traffic,
+                    "summary": result.summary(),
+                }
+            )
+        else:
+            print(result.summary())
+        return 0 if result.passed else 1
 
 
 def cmd_redteam(args: argparse.Namespace) -> int:
     from repro.attacks.redteam import run_red_team
 
-    manager = _make_manager(args.seed)
-    report = run_red_team(manager, nyms=args.nyms)
-    print(report.summary())
-    return 0 if report.all_contained else 1
+    with _session(args) as nx:
+        report = run_red_team(nx.manager, nyms=args.nyms)
+        _idle(nx, args)
+        if args.json:
+            _emit_json(
+                {
+                    "all_contained": report.all_contained,
+                    "outcomes": [dataclasses.asdict(o) for o in report.outcomes],
+                }
+            )
+        else:
+            print(report.summary())
+        return 0 if report.all_contained else 1
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
-    manager = _make_manager(args.seed)
-    manager.create_cloud_account("dropbox.com", "demo-user", "cloud-pw")
-    print("starting a fresh nym...")
-    nymbox = manager.create_nym("demo")
-    print(f"  up in {nymbox.startup.total_s:.1f} s "
-          f"(boot {nymbox.startup.boot_vm_s:.1f}, tor {nymbox.startup.start_anonymizer_s:.1f})")
-    load = manager.timed_browse(nymbox, "twitter.com")
-    print(f"  twitter.com in {load.duration_s:.1f} s via exit "
-          f"{nymbox.anonymizer.exit_address()}")
-    receipt = manager.store_nym(
-        nymbox, "demo-pw", provider_host="dropbox.com", account_username="demo-user"
-    )
-    print(f"  stored: {receipt.encrypted_bytes / 2**20:.1f} MiB encrypted")
-    manager.discard_nym(nymbox)
-    restored = manager.load_nym("demo", "demo-pw")
-    print(f"  restored with warm tor start "
-          f"({restored.startup.start_anonymizer_s:.1f} s) and "
-          f"{len(restored.browser.history)} history entries")
-    manager.discard_nym(restored)
-    print("done.")
-    return 0
+    quiet = args.json
+    with _session(args) as nx:
+        nx.create_cloud_account("dropbox.com", "demo-user", "cloud-pw")
+        if not quiet:
+            print("starting a fresh nym...")
+        nymbox = nx.create_nym(name="demo")
+        if not quiet:
+            print(f"  up in {nymbox.startup.total_s:.1f} s "
+                  f"(boot {nymbox.startup.boot_vm_s:.1f}, "
+                  f"tor {nymbox.startup.start_anonymizer_s:.1f})")
+        load = nx.timed_browse(nymbox, "twitter.com")
+        if not quiet:
+            print(f"  twitter.com in {load.duration_s:.1f} s via exit "
+                  f"{nymbox.anonymizer.exit_address()}")
+        receipt = nx.store_nym(
+            nymbox, password="demo-pw",
+            provider_host="dropbox.com", account_username="demo-user",
+        )
+        if not quiet:
+            print(f"  stored: {receipt.encrypted_bytes / 2**20:.1f} MiB encrypted")
+        nx.discard_nym(nymbox)
+        restored = nx.load_nym("demo", "demo-pw")
+        if not quiet:
+            print(f"  restored with warm tor start "
+                  f"({restored.startup.start_anonymizer_s:.1f} s) and "
+                  f"{len(restored.browser.history)} history entries")
+        _idle(nx, args)
+        if args.json:
+            _emit_json(
+                {
+                    "startup_s": round(nymbox.startup.total_s, 3),
+                    "page_load_s": round(load.duration_s, 3),
+                    "stored_bytes": receipt.encrypted_bytes,
+                    "restored_history_entries": len(restored.browser.history),
+                }
+            )
+        elif not quiet:
+            print("done.")
+        return 0
 
 
-def _run_observed_scenario(seed: int, nyms: int) -> NymManager:
+def _run_observed_scenario(args: argparse.Namespace, nyms: int) -> NymixSession:
     """A small instrumented workload for ``stats``/``trace``: create nyms,
     browse, store one, discard all."""
-    manager = _make_manager(seed)
-    manager.create_cloud_account("dropbox.com", "obs-user", "cloud-pw")
+    nx = _session(args).open()
+    nx.create_cloud_account("dropbox.com", "obs-user", "cloud-pw")
     boxes = []
     for index in range(nyms):
-        nymbox = manager.create_nym(f"obs-{index}")
-        manager.timed_browse(nymbox, "bbc.co.uk")
+        nymbox = nx.create_nym(name=f"obs-{index}")
+        nx.timed_browse(nymbox, "bbc.co.uk")
         boxes.append(nymbox)
     if boxes:
-        manager.store_nym(
-            boxes[0], "obs-pw", provider_host="dropbox.com", account_username="obs-user"
+        nx.store_nym(
+            boxes[0], password="obs-pw",
+            provider_host="dropbox.com", account_username="obs-user",
         )
     for nymbox in boxes:
-        manager.discard_nym(nymbox)
-    return manager
+        nx.discard_nym(nymbox)
+    _idle(nx, args)
+    return nx
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    manager = _run_observed_scenario(args.seed, args.nyms)
-    obs = manager.obs
-    if args.journal:
-        try:
-            obs.journal.write_jsonl(args.journal)
-        except OSError as exc:
-            print(f"cannot write journal to {args.journal}: {exc}", file=sys.stderr)
-            return 1
-        print(f"journal: {obs.journal.count()} events -> {args.journal}", file=sys.stderr)
+    nx = _run_observed_scenario(args, args.nyms)
+    obs = nx.obs
+    if args.journal and _write_journal(obs, args.journal):
+        return 1
     if args.json:
         print(obs.metrics.export_json(args.prefix))
         return 0
@@ -128,8 +224,12 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    manager = _run_observed_scenario(args.seed, args.nyms)
-    tree = manager.obs.tracer.render_tree()
+    nx = _run_observed_scenario(args, args.nyms)
+    tracer = nx.obs.tracer
+    if args.json:
+        print(tracer.export_json())
+        return 0
+    tree = tracer.render_tree()
     if not tree:
         print("no spans recorded")
         return 1
@@ -161,7 +261,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
     for bench in selected:
         print(f"bench {bench.name} ...", file=sys.stderr)
         results.append(bench.run(args.quick))
-    print(format_results_table(results))
+    if args.json:
+        _emit_json({"quick": args.quick, "results": [r.to_dict() for r in results]})
+    else:
+        print(format_results_table(results))
     if args.out:
         path = save_bench_results(args.out, results, quick=args.quick)
         print(f"results -> {path}", file=sys.stderr)
@@ -171,22 +274,67 @@ def cmd_bench(args: argparse.Namespace) -> int:
 def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults.chaos import run_chaos
 
-    manager, report = run_chaos(seed=args.seed, quick=args.quick)
-    print(report.summary())
-    if args.journal:
-        try:
-            manager.obs.journal.write_jsonl(args.journal)
-        except OSError as exc:
-            print(f"cannot write journal to {args.journal}: {exc}", file=sys.stderr)
-            return 1
-        print(
-            f"journal: {manager.obs.journal.count()} events -> {args.journal}",
-            file=sys.stderr,
+    manager, report = run_chaos(
+        seed=effective_seed(args), quick=args.quick, duration_s=args.duration
+    )
+    if args.json:
+        _emit_json(
+            {
+                "seed": report.seed,
+                "survived": report.survived,
+                "planned": report.planned,
+                "injected": report.injected,
+                "steps": [dataclasses.asdict(s) for s in report.steps],
+                "journal_events": report.journal_events,
+            }
         )
+    else:
+        print(report.summary())
+    if args.journal and _write_journal(manager.obs, args.journal):
+        return 1
     return 0 if report.survived else 1
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import run_fleet
+
+    hosts = args.hosts
+    nyms = args.nyms
+    if args.quick:
+        hosts = min(hosts, 8)
+        nyms = min(nyms, 60)
+    report = run_fleet(
+        seed=effective_seed(args),
+        hosts=hosts,
+        nyms=nyms,
+        policy=args.policy,
+        host_crashes=args.host_crashes,
+        compare=not args.no_compare,
+        journal_path=args.journal,
+        out_path=args.out,
+        idle_s=args.duration or 0.0,
+    )
+    if args.json:
+        _emit_json(report.export())
+    else:
+        print(report.summary())
+        if args.out:
+            print(f"report -> {args.out}", file=sys.stderr)
+    if args.journal:
+        print(f"journal -> {args.journal}", file=sys.stderr)
+    return 0 if (args.no_compare or report.ksm_aware_beats_first_fit) else 1
+
+
 def cmd_catalog(args: argparse.Namespace) -> int:
+    if args.json:
+        _emit_json(
+            {
+                "anonymizers": sorted(ANONYMIZER_REGISTRY),
+                "websites": sorted(WEBSITE_CATALOG),
+                "installed_oses": list(INSTALLED_OS_CATALOG),
+            }
+        )
+        return 0
     print("anonymizers:")
     for kind in sorted(ANONYMIZER_REGISTRY):
         print(f"  {kind}")
@@ -213,27 +361,31 @@ def build_parser() -> argparse.ArgumentParser:
     validate = commands.add_parser("validate", help="run the §5.1 validation")
     validate.add_argument("--nyms", type=int, default=4)
     validate.add_argument("--idle", type=float, default=30.0)
+    add_common_args(validate)
     validate.set_defaults(func=cmd_validate)
 
     redteam = commands.add_parser("redteam", help="run the adversarial sweep")
     redteam.add_argument("--nyms", type=int, default=3)
+    add_common_args(redteam)
     redteam.set_defaults(func=cmd_redteam)
 
     demo = commands.add_parser("demo", help="narrated quickstart workflow")
+    add_common_args(demo)
     demo.set_defaults(func=cmd_demo)
 
     catalog = commands.add_parser("catalog", help="list the simulated world")
+    add_common_args(catalog)
     catalog.set_defaults(func=cmd_catalog)
 
     stats = commands.add_parser("stats", help="run a scenario, dump metrics")
     stats.add_argument("--nyms", type=int, default=2)
     stats.add_argument("--prefix", default="", help="only metrics under this prefix")
-    stats.add_argument("--json", action="store_true", help="emit canonical JSON")
-    stats.add_argument("--journal", metavar="PATH", help="also write the event journal (JSONL)")
+    add_common_args(stats, journal=True)
     stats.set_defaults(func=cmd_stats)
 
     trace = commands.add_parser("trace", help="run a scenario, print the span tree")
     trace.add_argument("--nyms", type=int, default=1)
+    add_common_args(trace)
     trace.set_defaults(func=cmd_trace)
 
     bench = commands.add_parser("bench", help="time hot paths vs the seed code")
@@ -249,6 +401,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--tag", help="run only benches carrying this tag")
     bench.add_argument("--out", metavar="PATH", help="write results JSON here")
     bench.add_argument("--list", action="store_true", help="list available benches")
+    add_common_args(bench)
     bench.set_defaults(func=cmd_bench)
 
     chaos = commands.add_parser(
@@ -257,10 +410,39 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--quick", action="store_true", help="shorter fault window, fewer churns"
     )
-    chaos.add_argument(
-        "--journal", metavar="PATH", help="also write the event journal (JSONL)"
-    )
+    add_common_args(chaos, journal=True)
     chaos.set_defaults(func=cmd_chaos)
+
+    fleet = commands.add_parser(
+        "fleet", help="schedule nymboxes across a simulated host cluster"
+    )
+    fleet.add_argument("--hosts", type=int, default=64, help="hosts in the fleet")
+    fleet.add_argument("--nyms", type=int, default=1000, help="nymboxes to launch")
+    fleet.add_argument(
+        "--policy",
+        default="ksm-aware",
+        choices=["first-fit", "least-loaded", "ksm-aware"],
+        help="placement policy under test (owns the journal)",
+    )
+    fleet.add_argument(
+        "--host-crashes", type=int, default=2, help="host-crash faults to inject"
+    )
+    fleet.add_argument(
+        "--no-compare",
+        action="store_true",
+        help="run only --policy instead of comparing all policies",
+    )
+    fleet.add_argument(
+        "--quick", action="store_true", help="small cluster (<=8 hosts, <=60 nyms)"
+    )
+    fleet.add_argument(
+        "--out",
+        metavar="PATH",
+        default="BENCH_fleet.json",
+        help="placement/savings report path (default BENCH_fleet.json)",
+    )
+    add_common_args(fleet, journal=True)
+    fleet.set_defaults(func=cmd_fleet)
     return parser
 
 

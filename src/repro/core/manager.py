@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import itertools
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -16,6 +17,7 @@ from repro.core.config import NymixConfig
 from repro.core.nym import Nym, NymUsageModel
 from repro.core.nymbox import NymBox, StartupPhases
 from repro.core.persistence import FsSnapshot, NymStore, StoreReceipt
+from repro.core.requests import NymRequest, StoreNymRequest
 from repro.errors import NymError, NymStateError, PersistenceError
 from repro.guest.browser import PageLoad
 from repro.guest.installed_os import INSTALLED_OS_CATALOG, InstalledOs
@@ -28,6 +30,34 @@ from repro.sim.clock import Timeline
 from repro.unionfs.layer import Layer
 from repro.vmm.hypervisor import Hypervisor
 from repro.vmm.vm import VirtualMachine, VmSpec
+
+
+def _legacy_positional_shim(
+    method: str, args: tuple, order: Tuple[str, ...], explicit: dict
+) -> dict:
+    """Map deprecated positional arguments onto their keyword names.
+
+    Returns ``explicit`` with the positionals folded in, warning once per
+    call site; a parameter given both ways is a ``TypeError`` exactly as
+    a normal signature would raise.
+    """
+    if len(args) > len(order):
+        raise TypeError(
+            f"{method}() takes at most {len(order)} legacy positional "
+            f"arguments ({len(args)} given)"
+        )
+    warnings.warn(
+        f"positional arguments to NymManager.{method}() are deprecated; "
+        f"pass keyword arguments or a request object instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    merged = dict(explicit)
+    for param, value in zip(order, args):
+        if merged.get(param) is not None:
+            raise TypeError(f"{method}() got multiple values for argument {param!r}")
+        merged[param] = value
+    return merged
 
 
 @dataclass
@@ -262,22 +292,57 @@ class NymManager:
             nymbox.startup.boot_vm_s + nymbox.startup.start_anonymizer_s
         )
 
+    _CREATE_NYM_LEGACY_ORDER = (
+        "name", "anonymizer", "usage", "anon_spec", "comm_spec",
+        "guard_manager", "chain_commvms",
+    )
+
     def create_nym(
         self,
+        *args,
+        request: Optional[NymRequest] = None,
         name: Optional[str] = None,
         anonymizer: Optional[str] = None,
-        usage: NymUsageModel = NymUsageModel.EPHEMERAL,
+        usage: Optional[NymUsageModel] = None,
         anon_spec: Optional[VmSpec] = None,
         comm_spec: Optional[VmSpec] = None,
         guard_manager: Optional[GuardManager] = None,
-        chain_commvms: bool = False,
+        chain_commvms: Optional[bool] = None,
     ) -> NymBox:
         """Start a fresh nym ("start a fresh nym" in the §3.5 workflow).
 
-        With ``chain_commvms`` and a composed transport like
-        ``"tor+dissent"``, each stage gets its own CommVM wired in serial
-        (§3.3) instead of stacking inside one CommVM.
+        All parameters are keyword-only.  A :class:`NymRequest` may be
+        passed (positionally or as ``request=``) as a template; explicit
+        keywords override its fields.  With ``chain_commvms`` and a
+        composed transport like ``"tor+dissent"``, each stage gets its own
+        CommVM wired in serial (§3.3) instead of stacking inside one
+        CommVM.
+
+        Legacy positional calls (``create_nym(name="alice", "tor")``) still
+        work through a shim that emits :class:`DeprecationWarning`.
         """
+        explicit = {
+            "name": name, "anonymizer": anonymizer, "usage": usage,
+            "anon_spec": anon_spec, "comm_spec": comm_spec,
+            "guard_manager": guard_manager, "chain_commvms": chain_commvms,
+        }
+        if args and isinstance(args[0], NymRequest):
+            if request is not None:
+                raise TypeError("create_nym() got two request objects")
+            request, args = args[0], args[1:]
+        if args:
+            explicit = _legacy_positional_shim(
+                "create_nym", args, self._CREATE_NYM_LEGACY_ORDER, explicit
+            )
+        request = (request or NymRequest()).merged(explicit)
+        name = request.name
+        anonymizer = request.anonymizer
+        usage = request.usage
+        anon_spec = request.anon_spec
+        comm_spec = request.comm_spec
+        guard_manager = request.guard_manager
+        chain_commvms = request.chain_commvms
+
         name = name or f"nym-{next(self._nym_counter)}"
         if name in self.nymboxes:
             raise NymError(f"a nymbox named {name!r} is already running")
@@ -326,20 +391,52 @@ class NymManager:
 
     # -- quasi-persistence (§3.5) -----------------------------------------------------------
 
+    _STORE_NYM_LEGACY_ORDER = (
+        "password", "provider_host", "account_username", "blob_name",
+    )
+
     def store_nym(
         self,
         nymbox: NymBox,
-        password: str,
+        *args,
+        request: Optional[StoreNymRequest] = None,
+        password: Optional[str] = None,
         provider_host: Optional[str] = None,
         account_username: Optional[str] = None,
         blob_name: Optional[str] = None,
     ) -> StoreReceipt:
         """The "store nym" workflow: seal the nym's state and put it away.
 
-        With a ``provider_host`` the blob goes to the cloud through the
-        nym's own anonymizer; with none it goes to local media (the §3.5
-        security-tradeoff alternative).
+        Everything after ``nymbox`` is keyword-only; a
+        :class:`StoreNymRequest` may be passed (positionally or as
+        ``request=``) as a template, with explicit keywords overriding its
+        fields.  With a ``provider_host`` the blob goes to the cloud
+        through the nym's own anonymizer; with none it goes to local media
+        (the §3.5 security-tradeoff alternative).
+
+        Legacy positional calls (``store_nym(box, "pw", "dropbox.com")``)
+        still work through a shim that emits :class:`DeprecationWarning`.
         """
+        explicit = {
+            "password": password, "provider_host": provider_host,
+            "account_username": account_username, "blob_name": blob_name,
+        }
+        if args and isinstance(args[0], StoreNymRequest):
+            if request is not None:
+                raise TypeError("store_nym() got two request objects")
+            request, args = args[0], args[1:]
+        if args:
+            explicit = _legacy_positional_shim(
+                "store_nym", args, self._STORE_NYM_LEGACY_ORDER, explicit
+            )
+        request = (request or StoreNymRequest()).merged(explicit)
+        password = request.password
+        provider_host = request.provider_host
+        account_username = request.account_username
+        blob_name = request.blob_name
+        if password is None:
+            raise PersistenceError("store_nym needs the nym's password")
+
         nym = nymbox.nym
         blob = blob_name or f"{nym.name}.nymbox"
         with self.obs.span("nymbox.store", nym=nym.name):
@@ -395,7 +492,7 @@ class NymManager:
 
     def snapshot_nym(self, nymbox: NymBox, password: str, **kwargs) -> StoreReceipt:
         """Store once and mark pre-configured: later sessions never re-save."""
-        receipt = self.store_nym(nymbox, password, **kwargs)
+        receipt = self.store_nym(nymbox, password=password, **kwargs)
         nymbox.nym.usage_model = NymUsageModel.PRECONFIGURED
         self.stored_nyms[nymbox.nym.name].usage_model = NymUsageModel.PRECONFIGURED
         return receipt
@@ -521,7 +618,7 @@ class NymManager:
             record = self.stored_nyms[nym.name]
             receipt = self.store_nym(
                 nymbox,
-                password,
+                password=password,
                 provider_host=record.provider_host,
                 account_username=record.account_username,
                 blob_name=record.blob_name,

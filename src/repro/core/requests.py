@@ -1,0 +1,62 @@
+"""Request objects for the redesigned :class:`NymManager` public API.
+
+The manager's entry points take keyword-only parameters; callers that
+build a nym configuration in one place and hand it around (the fleet
+scheduler, scenario scripts, tests with shared fixtures) pass one of
+these frozen request objects instead of re-threading six keywords.
+
+Explicit keyword arguments always win over the request's fields, so a
+request can serve as a template:
+
+    base = NymRequest(anonymizer="tor+dissent", chain_commvms=True)
+    manager.create_nym(base, name="alice")
+    manager.create_nym(base, name="bob")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from repro.anonymizers.tor.guard import GuardManager
+from repro.core.nym import NymUsageModel
+from repro.vmm.vm import VmSpec
+
+
+@dataclass(frozen=True)
+class NymRequest:
+    """Everything :meth:`NymManager.create_nym` needs to start one nym."""
+
+    name: Optional[str] = None
+    anonymizer: Optional[str] = None
+    usage: NymUsageModel = NymUsageModel.EPHEMERAL
+    anon_spec: Optional[VmSpec] = None
+    comm_spec: Optional[VmSpec] = None
+    guard_manager: Optional[GuardManager] = None
+    chain_commvms: bool = False
+
+    def merged(self, overrides: dict) -> "NymRequest":
+        """A copy with every non-``None`` override applied."""
+        values = {f.name: getattr(self, f.name) for f in fields(self)}
+        values.update({k: v for k, v in overrides.items() if v is not None})
+        return NymRequest(**values)
+
+
+@dataclass(frozen=True)
+class StoreNymRequest:
+    """Everything :meth:`NymManager.store_nym` needs to put a nym away.
+
+    ``provider_host=None`` keeps the sealed blob on local media (the §3.5
+    security-tradeoff alternative to anonymous cloud storage).
+    """
+
+    password: Optional[str] = None
+    provider_host: Optional[str] = None
+    account_username: Optional[str] = None
+    blob_name: Optional[str] = None
+
+    def merged(self, overrides: dict) -> "StoreNymRequest":
+        """A copy with every non-``None`` override applied."""
+        values = {f.name: getattr(self, f.name) for f in fields(self)}
+        values.update({k: v for k, v in overrides.items() if v is not None})
+        return StoreNymRequest(**values)

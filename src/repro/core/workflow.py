@@ -131,7 +131,7 @@ class NymManagerWorkflow:
             raise NymStateError("cannot save before cloud login")
         receipt = self.manager.store_nym(
             self.nymbox,
-            self._store_password,
+            password=self._store_password,
             provider_host=self._provider_host,
             account_username=self._account_username,
             blob_name=f"{self._store_name}.nymbox",

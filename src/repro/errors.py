@@ -116,3 +116,11 @@ class NymStateError(NymError):
 
 class PersistenceError(NymError):
     """Saving or restoring quasi-persistent nym state failed."""
+
+
+class FleetError(NymixError):
+    """Multi-host fleet scheduling errors."""
+
+
+class FleetCapacityError(FleetError):
+    """Admission control rejected a placement: no host can take the nym."""

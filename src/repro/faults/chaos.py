@@ -15,7 +15,7 @@ uses the faults package's retry machinery.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.cloud import make_dropbox
 from repro.core import NymManager, NymixConfig
@@ -128,7 +128,7 @@ def _run_step(manager: NymManager, spec, report: ChaosReport) -> None:
             return
         if kind == "cloud.upload":
             manager.store_nym(
-                box, NYM_PASSWORD,
+                box, password=NYM_PASSWORD,
                 provider_host=_PROVIDER, account_username=_ACCOUNT,
             )
             report.ok(kind, "snapshot stored through the interrupted upload")
@@ -156,20 +156,27 @@ def _run_step(manager: NymManager, spec, report: ChaosReport) -> None:
         report.fail(kind, f"{type(exc).__name__}: {exc}")
 
 
-def run_chaos(seed: int = 0, quick: bool = False) -> Tuple[NymManager, ChaosReport]:
-    """Run the full chaos scenario; returns the manager and its report."""
+def run_chaos(
+    seed: int = 0, quick: bool = False, duration_s: Optional[float] = None
+) -> Tuple[NymManager, ChaosReport]:
+    """Run the full chaos scenario; returns the manager and its report.
+
+    ``duration_s`` overrides the fault window (default 900 s, 300 s in
+    quick mode).
+    """
     manager = NymManager(NymixConfig(seed=seed))
     manager.add_cloud_provider(make_dropbox())
     manager.create_cloud_account(_PROVIDER, _ACCOUNT, "cloud-pw")
-    nymbox = manager.create_nym(NYM_NAME)
+    nymbox = manager.create_nym(name=NYM_NAME)
     manager.timed_browse(nymbox, _SITE)
     # Store once BEFORE arming: crash recovery needs a snapshot to reload,
     # and this baseline save runs on the seed's untouched happy path.
     manager.store_nym(
-        nymbox, NYM_PASSWORD, provider_host=_PROVIDER, account_username=_ACCOUNT
+        nymbox, password=NYM_PASSWORD, provider_host=_PROVIDER, account_username=_ACCOUNT
     )
 
-    duration_s = 300.0 if quick else 900.0
+    if duration_s is None:
+        duration_s = 300.0 if quick else 900.0
     plan = FaultPlan.seeded(
         manager.timeline.fork_rng("chaos-plan"),
         duration_s,

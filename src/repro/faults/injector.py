@@ -112,13 +112,14 @@ class FaultInjector:
             "tor.circuit_teardown": self._fire_tor_circuit_teardown,
             "net.link_flap": self._fire_net_link_flap,
             "vmm.crash": self._fire_vmm_crash,
+            "fleet.host_crash": self._fire_fleet_host_crash,
         }[spec.kind]
         handler(spec)
 
     def _live_nymboxes(self) -> List:
-        if self.manager is None:
+        boxes = getattr(self.manager, "nymboxes", None)
+        if not boxes:
             return []
-        boxes = self.manager.nymboxes
         return [boxes[name] for name in sorted(boxes)]
 
     def _victim_nymbox(self, target: str):
@@ -189,6 +190,20 @@ class FaultInjector:
             return
         box.crash()
         self._record(spec, outcome="crashed", target=box.nym.name)
+
+    def _fire_fleet_host_crash(self, spec: FaultSpec) -> None:
+        # Armed with a Fleet (or anything exposing crash_host) as the
+        # manager handle; an empty target lets the fleet pick the live
+        # host with the most residents.
+        crash_host = getattr(self.manager, "crash_host", None)
+        if crash_host is None:
+            self._record(spec, outcome="no_fleet")
+            return
+        host_id = crash_host(spec.target)
+        if host_id is None:
+            self._record(spec, outcome="no_target")
+            return
+        self._record(spec, outcome="host_crashed", target=host_id)
 
     # -- bookkeeping -----------------------------------------------------------
 

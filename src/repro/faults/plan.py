@@ -28,7 +28,13 @@ from repro.sim.rng import SeededRng
 
 #: Faults applied to the world at their scheduled time.
 TIMED_KINDS = frozenset(
-    {"tor.relay_churn", "tor.circuit_teardown", "net.link_flap", "vmm.crash"}
+    {
+        "tor.relay_churn",
+        "tor.circuit_teardown",
+        "net.link_flap",
+        "vmm.crash",
+        "fleet.host_crash",
+    }
 )
 #: Faults queued at their scheduled time and consumed by the next matching
 #: operation.
@@ -104,6 +110,7 @@ class FaultPlan:
         upload_failures: int = 1,
         download_failures: int = 0,
         vm_crashes: int = 1,
+        host_crashes: int = 0,
     ) -> "FaultPlan":
         """Draw a reproducible chaos schedule across ``duration_s`` seconds.
 
@@ -137,6 +144,7 @@ class FaultPlan:
         spread("net.link_flap", link_flaps, 0.15, 0.9,
                param=lambda r: r.uniform(2.0, 8.0))
         spread("vmm.crash", vm_crashes, 0.3, 0.9)
+        spread("fleet.host_crash", host_crashes, 0.3, 0.9)
         return cls(events)
 
     def __repr__(self) -> str:

@@ -1,0 +1,37 @@
+"""repro.fleet: deterministic multi-host nymbox scheduling.
+
+The paper's single i7/16 GB testbed, scaled out: a :class:`Fleet` owns
+N :class:`Hypervisor` hosts on one :class:`Timeline`, places nymboxes
+through pluggable policies (first-fit, least-loaded, KSM-aware), keeps
+hosts under memory-pressure watermarks by evacuating nyms through the
+§3.5 store-and-relaunch loop, and survives injected host crashes.
+``run_fleet`` is the cluster-scale scenario behind ``repro fleet``.
+"""
+
+from repro.fleet.fleet import Fleet, FleetNymbox, FleetStats
+from repro.fleet.host import HostHandle
+from repro.fleet.placement import (
+    PLACEMENT_POLICIES,
+    FirstFit,
+    KsmAware,
+    LeastLoaded,
+    PlacementPolicy,
+    make_policy,
+)
+from repro.fleet.scenario import FleetReport, PolicyResult, run_fleet
+
+__all__ = [
+    "Fleet",
+    "FleetNymbox",
+    "FleetStats",
+    "FleetReport",
+    "HostHandle",
+    "PLACEMENT_POLICIES",
+    "FirstFit",
+    "KsmAware",
+    "LeastLoaded",
+    "PlacementPolicy",
+    "PolicyResult",
+    "make_policy",
+    "run_fleet",
+]

@@ -1,0 +1,392 @@
+"""The fleet scheduler: N hypervisors, one timeline, deterministic placement.
+
+The paper runs Nymix on a single i7/16 GB machine; the ROADMAP's
+production north star needs many.  :class:`Fleet` owns a cluster of
+:class:`Hypervisor` hosts sharing one base image (and one
+:class:`Timeline`, so the whole cluster is bit-reproducible), admits
+nymboxes against per-host RAM, places them through a pluggable
+:class:`PlacementPolicy`, and keeps hosts below memory-pressure
+watermarks by evacuating nyms — the §3.5 quasi-persistence loop
+(store-nym → relaunch elsewhere) driven by `repro.faults` retry
+machinery.  Host crashes (the ``fleet.host_crash`` fault kind) evacuate
+every resident nym the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import FleetCapacityError, FleetError, RetryExhaustedError
+from repro.faults.retry import RetryPolicy, retry_call
+from repro.fleet.host import HostHandle
+from repro.fleet.placement import PlacementPolicy, make_policy
+from repro.net.internet import Internet
+from repro.sim.clock import Timeline
+from repro.vmm.baseimage import build_base_layer, published_merkle_root
+from repro.vmm.hypervisor import HostSpec, Hypervisor
+from repro.vmm.vm import MIB, VirtualMachine, VmSpec
+
+#: Evacuation relaunch: a few quick attempts on simulated time; capacity
+#: usually frees up as other evacuations land, not over long waits.
+RELAUNCH_RETRY = RetryPolicy(max_attempts=4, base_backoff_s=2.0, max_backoff_s=16.0)
+#: Crash recovery runs inside a timeline callback, where sleeping would
+#: rewind the interrupted sleep's clock — so retries are immediate.
+CRASH_RETRY = RetryPolicy(max_attempts=4, base_backoff_s=0.0, max_backoff_s=0.0)
+
+
+@dataclass
+class FleetNymbox:
+    """One scheduled nymbox: the AnonVM/CommVM pair and where it lives."""
+
+    name: str
+    image_id: str
+    host_id: str
+    anonvm: VirtualMachine
+    commvm: VirtualMachine
+    seq: int
+    extra_dirty_bytes: int = 0  # workload churn carried across relaunches
+    moves: int = 0
+
+    @property
+    def ram_bytes(self) -> int:
+        return self.anonvm.spec.ram_bytes + self.commvm.spec.ram_bytes
+
+
+@dataclass(frozen=True)
+class FleetStats:
+    """Cluster-wide accounting for one instant."""
+
+    hosts: int
+    hosts_up: int
+    nyms_resident: int
+    nyms_parked: int
+    placements: int
+    evacuations: int
+    host_crashes: int
+    used_bytes: int
+    total_bytes: int
+    ksm_saved_bytes: int
+    host_image_pairs: int
+
+    def export(self) -> Dict[str, object]:
+        return {
+            "hosts": self.hosts,
+            "hosts_up": self.hosts_up,
+            "nyms_resident": self.nyms_resident,
+            "nyms_parked": self.nyms_parked,
+            "placements": self.placements,
+            "evacuations": self.evacuations,
+            "host_crashes": self.host_crashes,
+            "used_bytes": self.used_bytes,
+            "total_bytes": self.total_bytes,
+            "ksm_saved_bytes": self.ksm_saved_bytes,
+            "used_mib": round(self.used_bytes / MIB, 1),
+            "ksm_saved_mib": round(self.ksm_saved_bytes / MIB, 1),
+            "host_image_pairs": self.host_image_pairs,
+        }
+
+
+class Fleet:
+    """A deterministic multi-host nymbox scheduler.
+
+    ``high_watermark``/``low_watermark`` are fractions of host RAM: a
+    placement that pushes a host past ``high`` triggers evacuation of its
+    newest residents until the host drops below ``low`` (or no other
+    host can take them).
+    """
+
+    def __init__(
+        self,
+        timeline: Timeline,
+        internet: Optional[Internet] = None,
+        hosts: int = 4,
+        policy: "PlacementPolicy | str" = "first-fit",
+        host_spec: Optional[HostSpec] = None,
+        anon_spec: Optional[VmSpec] = None,
+        comm_spec: Optional[VmSpec] = None,
+        high_watermark: float = 0.90,
+        low_watermark: float = 0.80,
+    ) -> None:
+        if hosts < 1:
+            raise FleetError(f"a fleet needs at least one host, got {hosts}")
+        if not 0.0 < low_watermark < high_watermark <= 1.0:
+            raise FleetError(
+                f"watermarks must satisfy 0 < low < high <= 1: "
+                f"low={low_watermark}, high={high_watermark}"
+            )
+        self.timeline = timeline
+        self.internet = internet if internet is not None else Internet(timeline)
+        self.policy = policy if isinstance(policy, PlacementPolicy) else make_policy(policy)
+        self.host_spec = host_spec or HostSpec()
+        self.anon_spec = anon_spec or VmSpec.anonvm()
+        self.comm_spec = comm_spec or VmSpec.commvm()
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.rng = timeline.fork_rng("fleet")
+
+        # One base image for the whole cluster: built once, Merkle root
+        # published once — exactly how a real fleet distributes it.
+        base_layer = build_base_layer()
+        merkle_root = published_merkle_root(base_layer)
+        width = len(str(hosts - 1))
+        self.hosts: Dict[str, HostHandle] = {}
+        for i in range(hosts):
+            host_id = f"host-{i:0{width}d}"
+            hv = Hypervisor(
+                timeline,
+                self.internet,
+                host=self.host_spec,
+                base_layer=base_layer,
+                merkle_root=merkle_root,
+            )
+            self.hosts[host_id] = HostHandle(host_id, hv)
+
+        self.nymboxes: Dict[str, FleetNymbox] = {}
+        self.parked: List[str] = []  # stored, awaiting capacity
+        self.placements = 0
+        self.evacuations = 0
+        self.crashes = 0
+        self._seq = 0
+        obs = timeline.obs
+        obs.event("fleet.created", hosts=hosts, policy=self.policy.name)
+        obs.metrics.gauge("fleet.hosts").set(hosts)
+
+    # -- admission + placement -------------------------------------------------
+
+    @property
+    def need_ram_bytes(self) -> int:
+        return self.anon_spec.ram_bytes + self.comm_spec.ram_bytes
+
+    def host_list(self) -> List[HostHandle]:
+        return [self.hosts[hid] for hid in sorted(self.hosts)]
+
+    @property
+    def footprint_bytes(self) -> int:
+        """RAM + writable-FS cost of one nymbox (the pressure a placement adds)."""
+        return (
+            self.need_ram_bytes
+            + self.anon_spec.writable_fs_bytes
+            + self.comm_spec.writable_fs_bytes
+        )
+
+    def _candidates(self, exclude: Optional[str] = None) -> List[HostHandle]:
+        """Hosts that can admit one more nymbox, watermark-aware.
+
+        Prefer hosts that stay under the high watermark after the
+        placement (otherwise the newest nym would bounce straight back
+        off); when the whole fleet is that full, fall back to anyone with
+        raw RAM headroom and let evacuation rebalance.
+        """
+        admissible = [
+            h
+            for h in self.host_list()
+            if h.host_id != exclude and h.admits(self.need_ram_bytes)
+        ]
+        calm = [
+            h
+            for h in admissible
+            if (h.used_bytes + self.footprint_bytes) / h.total_bytes
+            <= self.high_watermark
+        ]
+        return calm or admissible
+
+    def place(self, name: str, image_id: str) -> FleetNymbox:
+        """Admit and place a new nymbox, or raise :class:`FleetCapacityError`."""
+        if name in self.nymboxes:
+            raise FleetError(f"nym {name!r} is already placed")
+        host = self.policy.choose(self._candidates(), image_id)
+        if host is None:
+            self.timeline.obs.metrics.counter("fleet.admission_rejected").inc()
+            raise FleetCapacityError(
+                f"no host can admit {name!r} ({self.need_ram_bytes // MIB} MiB)"
+            )
+        self._seq += 1
+        box = self._materialize(name, image_id, host, seq=self._seq, advance=True)
+        self.placements += 1
+        obs = self.timeline.obs
+        obs.metrics.counter("fleet.placements").inc()
+        obs.event("fleet.place", nym=name, host=host.host_id,
+                  image=image_id, policy=self.policy.name)
+        self._relieve_pressure(host)
+        return box
+
+    def _materialize(
+        self, name: str, image_id: str, host: HostHandle, seq: int,
+        advance: bool, extra_dirty_bytes: int = 0, moves: int = 0,
+    ) -> FleetNymbox:
+        """Create, wire, and boot the VM pair on ``host``."""
+        hv = host.hypervisor
+        anonvm = hv.create_vm(self.anon_spec, name=f"{name}-anon", image_id=image_id)
+        try:
+            commvm = hv.create_vm(self.comm_spec, name=f"{name}-comm", image_id=image_id)
+        except Exception:
+            hv.destroy_vm(anonvm)
+            raise
+        hv.wire_nymbox(anonvm, commvm)
+        # The pair boots in parallel, so it costs max(anon, comm) = anon.
+        anonvm.boot(jitter_rng=self.rng, advance=advance)
+        commvm.boot(jitter_rng=self.rng, advance=False)
+        if extra_dirty_bytes:
+            anonvm.touch_memory(extra_dirty_bytes)
+        box = FleetNymbox(
+            name=name, image_id=image_id, host_id=host.host_id,
+            anonvm=anonvm, commvm=commvm, seq=seq,
+            extra_dirty_bytes=extra_dirty_bytes, moves=moves,
+        )
+        self.nymboxes[name] = box
+        host.residents[name] = box
+        self.timeline.obs.metrics.gauge("fleet.nyms_resident").set(len(self.nymboxes))
+        return box
+
+    def touch(self, name: str, dirty_bytes: int) -> None:
+        """Workload churn: the nym's AnonVM dirties private pages."""
+        box = self.nymboxes[name]
+        box.anonvm.touch_memory(dirty_bytes)
+        box.extra_dirty_bytes += dirty_bytes
+
+    def remove(self, name: str) -> None:
+        """Discard a nymbox entirely (the amnesia path)."""
+        box = self.nymboxes.pop(name, None)
+        if box is None:
+            return
+        host = self.hosts[box.host_id]
+        host.residents.pop(name, None)
+        if not host.crashed:
+            host.hypervisor.destroy_vm(box.anonvm)
+            host.hypervisor.destroy_vm(box.commvm)
+        self.timeline.obs.metrics.gauge("fleet.nyms_resident").set(len(self.nymboxes))
+
+    # -- evacuation (§3.5 store → relaunch) -----------------------------------
+
+    def _relieve_pressure(self, host: HostHandle) -> None:
+        """Evacuate newest residents until ``host`` is below the low mark."""
+        if host.pressure <= self.high_watermark:
+            return
+        obs = self.timeline.obs
+        obs.event("fleet.pressure", host=host.host_id,
+                  pressure=round(host.pressure, 4))
+        while host.pressure > self.low_watermark and host.residents:
+            victim = max(host.residents.values(), key=lambda b: b.seq)
+            if not self._evacuate(victim, advance=True):
+                break  # nowhere to go; stop rather than thrash
+
+    def _evacuate(self, box: FleetNymbox, advance: bool) -> bool:
+        """Store ``box`` off its host and relaunch it elsewhere.
+
+        Returns False when every retry found no capacity — the nym stays
+        parked in storage (still recoverable, just not resident).
+        """
+        source = self.hosts[box.host_id]
+        obs = self.timeline.obs
+        obs.event("fleet.evacuate", nym=box.name, source=source.host_id,
+                  reason="crash" if source.crashed else "pressure")
+        # Store step: the quasi-persistent state (its churned pages) is
+        # what the relaunch will carry over; then the source pair dies.
+        carried_dirty = box.extra_dirty_bytes
+        source.residents.pop(box.name, None)
+        del self.nymboxes[box.name]
+        if not source.crashed:
+            source.hypervisor.destroy_vm(box.anonvm)
+            source.hypervisor.destroy_vm(box.commvm)
+        self.evacuations += 1
+        obs.metrics.counter("fleet.evacuations").inc()
+
+        def relaunch() -> FleetNymbox:
+            target = self.policy.choose(
+                self._candidates(exclude=source.host_id), box.image_id
+            )
+            if target is None:
+                raise FleetCapacityError(
+                    f"no host can take evacuated nym {box.name!r}"
+                )
+            return self._materialize(
+                box.name, box.image_id, target, seq=box.seq, advance=advance,
+                extra_dirty_bytes=carried_dirty, moves=box.moves + 1,
+            )
+
+        try:
+            relocated = retry_call(
+                self.timeline, relaunch,
+                policy=RELAUNCH_RETRY if advance else CRASH_RETRY,
+                retryable=FleetCapacityError,
+                site="fleet.relaunch",
+            )
+        except RetryExhaustedError:
+            self.parked.append(box.name)
+            obs.metrics.counter("fleet.nyms_parked").inc()
+            obs.event("fleet.parked", nym=box.name)
+            return False
+        obs.event("fleet.relaunched", nym=box.name, source=source.host_id,
+                  target=relocated.host_id, moves=relocated.moves)
+        return True
+
+    # -- host failure ----------------------------------------------------------
+
+    def crash_host(self, host_id: str = "") -> Optional[str]:
+        """A host dies; every resident nym evacuates (fault kind
+        ``fleet.host_crash``).  Empty ``host_id`` picks the live host with
+        the most residents (maximum blast radius), deterministically.
+        """
+        if host_id:
+            host = self.hosts.get(host_id)
+        else:
+            live = [h for h in self.host_list() if not h.crashed]
+            host = max(live, key=lambda h: (len(h.residents), h.host_id)) if live else None
+        if host is None or host.crashed:
+            return None
+        host.crashed = True
+        self.crashes += 1
+        obs = self.timeline.obs
+        obs.metrics.counter("fleet.host_crashes").inc()
+        obs.event("fleet.host_crash", host=host.host_id,
+                  residents=len(host.residents))
+        # RAM is gone with the power; account it off without secure erase.
+        for vm in list(host.hypervisor.vms()):
+            if vm.state.value in ("running", "paused"):
+                vm.crash()
+        # Evacuate survivors' stored state oldest-first; relaunch boots
+        # overlap (advance=False) — the cluster restarts them in parallel.
+        for box in sorted(host.residents.values(), key=lambda b: b.seq):
+            self._evacuate(box, advance=False)
+        return host.host_id
+
+    # -- accounting -------------------------------------------------------------
+
+    def settle_ksm(self) -> None:
+        """Run every host's KSM scanner to convergence (for measurement)."""
+        for host in self.host_list():
+            if not host.crashed:
+                host.hypervisor.ksm.run_to_completion()
+
+    def host_image_pairs(self) -> int:
+        """How many (host, image) colonies exist — the KSM cost driver."""
+        return sum(len(h.images()) for h in self.host_list() if not h.crashed)
+
+    def stats(self) -> FleetStats:
+        live = [h for h in self.host_list() if not h.crashed]
+        used = sum(h.used_bytes for h in live)
+        saved = sum(h.ksm_saved_bytes for h in live)
+        stats = FleetStats(
+            hosts=len(self.hosts),
+            hosts_up=len(live),
+            nyms_resident=len(self.nymboxes),
+            nyms_parked=len(self.parked),
+            placements=self.placements,
+            evacuations=self.evacuations,
+            host_crashes=self.crashes,
+            used_bytes=used,
+            total_bytes=sum(h.total_bytes for h in live),
+            ksm_saved_bytes=saved,
+            host_image_pairs=self.host_image_pairs(),
+        )
+        obs = self.timeline.obs
+        obs.metrics.gauge("fleet.used_bytes").set(used)
+        obs.metrics.gauge("fleet.ksm_saved_bytes").set(saved)
+        return stats
+
+    def __repr__(self) -> str:
+        return (
+            f"Fleet(hosts={len(self.hosts)}, policy={self.policy.name}, "
+            f"resident={len(self.nymboxes)}, parked={len(self.parked)})"
+        )

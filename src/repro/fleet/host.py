@@ -1,0 +1,71 @@
+"""One host in the fleet: a `Hypervisor` plus scheduling bookkeeping."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.vmm.hypervisor import Hypervisor, MemorySnapshot
+
+
+class HostHandle:
+    """The fleet scheduler's view of one physical machine.
+
+    Wraps the host's :class:`Hypervisor` with what placement decisions
+    need: who lives here (``residents``), which base images those nyms
+    run (``images``), how much RAM is committed, and whether the host has
+    crashed.  All byte figures come from the hypervisor's own accounting
+    so the scheduler can never disagree with the memory model.
+    """
+
+    def __init__(self, host_id: str, hypervisor: Hypervisor) -> None:
+        self.host_id = host_id
+        self.hypervisor = hypervisor
+        self.residents: Dict[str, "FleetNymbox"] = {}  # noqa: F821 (fleet.py)
+        self.crashed = False
+
+    # -- capacity ------------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        return self.hypervisor.memory.total_bytes
+
+    @property
+    def free_ram_bytes(self) -> int:
+        """RAM headroom for admission (guest allocations, before KSM)."""
+        return self.hypervisor.memory.stats().free_bytes
+
+    @property
+    def used_bytes(self) -> int:
+        """Host RAM in use: guests + writable FS − KSM savings."""
+        return self.hypervisor.memory_snapshot().used_bytes
+
+    @property
+    def pressure(self) -> float:
+        """Fraction of physical RAM in use (the watermark input)."""
+        return self.used_bytes / self.total_bytes
+
+    @property
+    def ksm_saved_bytes(self) -> int:
+        return self.hypervisor.ksm.stats().bytes_saved
+
+    def memory_snapshot(self) -> MemorySnapshot:
+        return self.hypervisor.memory_snapshot()
+
+    # -- residency -----------------------------------------------------------
+
+    def images(self) -> Set[str]:
+        """Base images currently resident on this host."""
+        return {box.image_id for box in self.residents.values()}
+
+    def image_count(self, image_id: str) -> int:
+        return sum(1 for box in self.residents.values() if box.image_id == image_id)
+
+    def resident_names(self) -> List[str]:
+        return sorted(self.residents)
+
+    def admits(self, need_ram_bytes: int) -> bool:
+        return not self.crashed and self.free_ram_bytes >= need_ram_bytes
+
+    def __repr__(self) -> str:
+        state = "crashed" if self.crashed else f"{len(self.residents)} nyms"
+        return f"HostHandle({self.host_id}, {state}, pressure={self.pressure:.2f})"

@@ -1,0 +1,196 @@
+"""`run_fleet`: the cluster-scale capacity scenario behind `repro fleet`.
+
+Launches ~1000 nymboxes over 64 simulated hosts from one seeded arrival
+stream, injects host-crash faults, and measures what each placement
+policy does to cluster RAM — the paper's §5.2 samepage-merging effect
+promoted to a fleet-level placement question.  Every policy replays the
+*identical* workload on its own fresh :class:`Timeline` with the same
+seed, so the comparison isolates placement alone; the policy under test
+additionally exports a byte-reproducible event journal.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import FleetCapacityError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.fleet.fleet import Fleet, FleetStats
+from repro.fleet.placement import PLACEMENT_POLICIES
+from repro.sim.clock import Timeline
+from repro.vmm.vm import MIB
+from repro.workloads.fleet import fleet_workload
+
+
+@dataclass(frozen=True)
+class PolicyResult:
+    """One policy's end-of-run accounting."""
+
+    policy: str
+    stats: FleetStats
+    rejected: int
+    sim_seconds: float
+    journal_events: int
+
+    def export(self) -> Dict[str, object]:
+        return {
+            "policy": self.policy,
+            "rejected": self.rejected,
+            "sim_seconds": round(self.sim_seconds, 3),
+            "journal_events": self.journal_events,
+            **self.stats.export(),
+        }
+
+
+@dataclass
+class FleetReport:
+    """The BENCH_fleet.json payload."""
+
+    seed: int
+    hosts: int
+    nyms: int
+    primary_policy: str
+    results: List[PolicyResult] = field(default_factory=list)
+
+    def result(self, policy: str) -> PolicyResult:
+        for r in self.results:
+            if r.policy == policy:
+                return r
+        raise KeyError(policy)
+
+    @property
+    def ksm_aware_beats_first_fit(self) -> bool:
+        try:
+            return (
+                self.result("ksm-aware").stats.ksm_saved_bytes
+                > self.result("first-fit").stats.ksm_saved_bytes
+            )
+        except KeyError:
+            return False
+
+    def export(self) -> Dict[str, object]:
+        return {
+            "bench": "fleet",
+            "seed": self.seed,
+            "hosts": self.hosts,
+            "nyms": self.nyms,
+            "primary_policy": self.primary_policy,
+            "ksm_aware_beats_first_fit": self.ksm_aware_beats_first_fit,
+            "results": [r.export() for r in self.results],
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"fleet bench: {self.nyms} nyms over {self.hosts} hosts "
+            f"(seed {self.seed}, primary policy {self.primary_policy})",
+            f"{'policy':<14} {'resident':>8} {'parked':>6} {'evac':>5} "
+            f"{'crashes':>7} {'used MiB':>10} {'ksm MiB':>9} {'colonies':>8}",
+        ]
+        for r in self.results:
+            s = r.stats
+            lines.append(
+                f"{r.policy:<14} {s.nyms_resident:>8} {s.nyms_parked:>6} "
+                f"{s.evacuations:>5} {s.host_crashes:>7} "
+                f"{s.used_bytes / MIB:>10.0f} {s.ksm_saved_bytes / MIB:>9.0f} "
+                f"{s.host_image_pairs:>8}"
+            )
+        verdict = "yes" if self.ksm_aware_beats_first_fit else "NO"
+        lines.append(f"ksm-aware saves more RAM than first-fit: {verdict}")
+        return "\n".join(lines)
+
+
+def _run_policy(
+    policy: str,
+    seed: int,
+    hosts: int,
+    nyms: int,
+    host_crashes: int,
+    journal_path: Optional[str],
+    idle_s: float = 0.0,
+) -> PolicyResult:
+    """One complete fleet run for one policy, on its own timeline."""
+    timeline = Timeline(seed=seed)
+    fleet = Fleet(timeline, hosts=hosts, policy=policy)
+    arrivals = fleet_workload(timeline.fork_rng("fleet.workload"), nyms)
+
+    # Faults spread across the expected run length (arrivals advance time
+    # by interarrival gaps plus each anon boot, ~10 s per nym).
+    expected_s = max(60.0, nyms * 10.5)
+    plan = FaultPlan.seeded(
+        timeline.fork_rng("fleet.faults"),
+        duration_s=expected_s,
+        relay_churns=0, circuit_teardowns=0, link_flaps=0,
+        upload_failures=0, vm_crashes=0,
+        host_crashes=host_crashes,
+    )
+    FaultInjector(timeline, plan).arm(manager=fleet)
+
+    rejected = 0
+    for arrival in arrivals:
+        timeline.sleep(arrival.interarrival_s)
+        try:
+            fleet.place(arrival.name, arrival.image_id)
+        except FleetCapacityError:
+            rejected += 1
+            continue
+        if arrival.churn_bytes and arrival.name in fleet.nymboxes:
+            fleet.touch(arrival.name, arrival.churn_bytes)
+
+    if idle_s:
+        timeline.sleep(idle_s)
+    fleet.settle_ksm()
+    stats = fleet.stats()
+    timeline.obs.event(
+        "fleet.run_complete", policy=policy,
+        resident=stats.nyms_resident, ksm_saved_bytes=stats.ksm_saved_bytes,
+    )
+    journal_events = timeline.obs.journal.count()
+    if journal_path:
+        timeline.obs.journal.write_jsonl(journal_path)
+    return PolicyResult(
+        policy=policy,
+        stats=stats,
+        rejected=rejected,
+        sim_seconds=timeline.now,
+        journal_events=journal_events,
+    )
+
+
+def run_fleet(
+    seed: int = 0,
+    hosts: int = 64,
+    nyms: int = 1000,
+    policy: str = "ksm-aware",
+    host_crashes: int = 2,
+    compare: bool = True,
+    journal_path: Optional[str] = None,
+    out_path: Optional[str] = "BENCH_fleet.json",
+    idle_s: float = 0.0,
+) -> FleetReport:
+    """Run the fleet scenario; compare all policies on the same workload.
+
+    The ``policy`` under test runs first and owns the exported journal;
+    with ``compare`` the remaining registered policies replay the same
+    seed for the savings table.
+    """
+    policies = [policy] + (
+        [p for p in sorted(PLACEMENT_POLICIES) if p != policy] if compare else []
+    )
+    report = FleetReport(seed=seed, hosts=hosts, nyms=nyms, primary_policy=policy)
+    for name in policies:
+        report.results.append(
+            _run_policy(
+                name, seed=seed, hosts=hosts, nyms=nyms,
+                host_crashes=host_crashes,
+                journal_path=journal_path if name == policy else None,
+                idle_s=idle_s,
+            )
+        )
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(report.export(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return report

@@ -335,7 +335,7 @@ def _bench_nym_lifecycle(quick: bool) -> BenchResult:
 
     def lifecycle() -> None:
         counter[0] += 1
-        nymbox = manager.create_nym(f"bench-{counter[0]}")
+        nymbox = manager.create_nym(name=f"bench-{counter[0]}")
         manager.timed_browse(nymbox, "bbc.co.uk")
         manager.discard_nym(nymbox)
 

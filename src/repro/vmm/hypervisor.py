@@ -74,6 +74,8 @@ class Hypervisor:
         host: Optional[HostSpec] = None,
         verify_base_image: bool = False,
         ksm_enabled: bool = True,
+        base_layer: Optional[Layer] = None,
+        merkle_root: Optional[str] = None,
     ) -> None:
         self.timeline = timeline
         self.internet = internet
@@ -85,8 +87,12 @@ class Hypervisor:
             base_used_bytes=self.host.host_base_ram_bytes,
             ksm=self.ksm,
         )
-        self.base_layer: Layer = build_base_layer()
-        self.merkle_root = published_merkle_root(self.base_layer)
+        # A fleet shares one base layer (and its published Merkle root)
+        # across all its hosts; building it per host is pure waste.
+        self.base_layer: Layer = base_layer if base_layer is not None else build_base_layer()
+        self.merkle_root = (
+            merkle_root if merkle_root is not None else published_merkle_root(self.base_layer)
+        )
         self.verify_base_image = verify_base_image
         self.rng = timeline.fork_rng("hypervisor")
 

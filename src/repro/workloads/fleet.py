@@ -1,0 +1,71 @@
+"""The fleet workload: a deterministic stream of nymbox launch requests.
+
+Models a user population arriving at a production Nymix deployment:
+each arrival wants a nymbox from one of a few base images (the standard
+image dominates; hardened and legacy builds trail), browses enough to
+dirty some private pages, and arrives a bounded random interval after
+the previous user.  Every draw comes from a forked :class:`SeededRng`,
+so a seed fully determines the workload — the placement policies are
+then compared on *identical* request streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.sim.rng import SeededRng
+from repro.vmm.vm import MIB
+
+#: The image catalogue and its popularity mix: most users run the stock
+#: image; a hardened build and a legacy build split the rest.
+IMAGE_MIX: Tuple[Tuple[str, float], ...] = (
+    ("nymix-base", 0.60),
+    ("nymix-hardened", 0.30),
+    ("nymix-legacy", 0.10),
+)
+
+
+@dataclass(frozen=True)
+class NymArrival:
+    """One user's launch request."""
+
+    name: str
+    image_id: str
+    interarrival_s: float  # gap after the previous arrival
+    churn_bytes: int  # private pages the session will dirty
+
+
+def _draw_image(rng: SeededRng) -> str:
+    roll = rng.random()
+    acc = 0.0
+    for image_id, weight in IMAGE_MIX:
+        acc += weight
+        if roll < acc:
+            return image_id
+    return IMAGE_MIX[-1][0]
+
+
+def fleet_workload(
+    rng: SeededRng,
+    nyms: int,
+    mean_interarrival_s: float = 0.5,
+    max_churn_bytes: int = 48 * MIB,
+) -> List[NymArrival]:
+    """Draw the full arrival stream for a fleet run.
+
+    Churn stays well under the AnonVM's free-page budget so dirtying
+    never repurposes image-cache pages (which would muddy the KSM
+    placement comparison with workload noise).
+    """
+    arrivals: List[NymArrival] = []
+    for i in range(nyms):
+        arrivals.append(
+            NymArrival(
+                name=f"nym-{i:04d}",
+                image_id=_draw_image(rng),
+                interarrival_s=rng.uniform(0.0, 2.0 * mean_interarrival_s),
+                churn_bytes=rng.randint(0, max_churn_bytes // MIB) * MIB,
+            )
+        )
+    return arrivals

@@ -18,7 +18,7 @@ from repro.sim import SeededRng
 
 class TestFingerprinting:
     def test_identical_fingerprints_zero_bits(self, manager):
-        nyms = [manager.create_nym(f"n{i}") for i in range(3)]
+        nyms = [manager.create_nym(name=f"n{i}") for i in range(3)]
         vm_fps = [n.anonvm.fingerprint() for n in nyms]
         browser_fps = [n.browser.fingerprint for n in nyms]
         assert distinguishing_bits(vm_fps) == 0.0
@@ -50,7 +50,7 @@ class TestFingerprinting:
 
 class TestStaining:
     def test_stain_detected_while_nym_lives(self, manager):
-        nymbox = manager.create_nym("victim")
+        nymbox = manager.create_nym(name="victim")
         stain = EvercookieStain("track-123")
         planted = stain.plant(nymbox)
         assert planted == 5
@@ -58,28 +58,28 @@ class TestStaining:
 
     def test_ephemeral_nym_sheds_stain(self, manager):
         """§3.3: 'trackable stains disappear immediately when the nym does.'"""
-        nymbox = manager.create_nym("victim")
+        nymbox = manager.create_nym(name="victim")
         stain = EvercookieStain("track-123")
         stain.plant(nymbox)
         manager.discard_nym(nymbox)
-        fresh = manager.create_nym("victim")
+        fresh = manager.create_nym(name="victim")
         assert not stain.detected(fresh)
 
     def test_persistent_nym_carries_stain(self, manager):
         """The §3.5 trade-off: persistent mode preserves stains too."""
         manager.create_cloud_account("dropbox.com", "u", "p")
-        nymbox = manager.create_nym("victim")
+        nymbox = manager.create_nym(name="victim")
         stain = EvercookieStain("track-123")
         stain.plant(nymbox)
-        manager.store_nym(nymbox, "pw", provider_host="dropbox.com", account_username="u")
+        manager.store_nym(nymbox, password="pw", provider_host="dropbox.com", account_username="u")
         manager.discard_nym(nymbox)
         restored = manager.load_nym("victim", "pw")
         assert stain.detected(restored)
 
     def test_preconfigured_nym_sheds_stain_at_restore(self, manager):
         manager.create_cloud_account("dropbox.com", "u", "p")
-        nymbox = manager.create_nym("victim")
-        manager.snapshot_nym(nymbox, "pw", provider_host="dropbox.com", account_username="u")
+        nymbox = manager.create_nym(name="victim")
+        manager.snapshot_nym(nymbox, password="pw", provider_host="dropbox.com", account_username="u")
         stain = EvercookieStain("track-123")
         stain.plant(nymbox)  # infection AFTER the snapshot
         manager.close_session(nymbox)
@@ -89,20 +89,20 @@ class TestStaining:
 
 class TestExploits:
     def test_anonvm_compromise_learns_nothing_real(self, manager):
-        nymbox = manager.create_nym("victim")
+        nymbox = manager.create_nym(name="victim")
         findings = AnonVmCompromise(nymbox).run()
         assert findings.observed_ips == ["10.0.2.15"]
         assert findings.observed_macs == ["52:54:00:12:34:56"]
         assert not findings.knows_real_network_identity(manager.hypervisor.public_ip)
 
     def test_anonvm_probe_reaches_only_own_commvm(self, manager):
-        nymbox = manager.create_nym("victim")
-        manager.create_nym("other")
+        nymbox = manager.create_nym(name="victim")
+        manager.create_nym(name="other")
         findings = AnonVmCompromise(nymbox).run()
         assert findings.reachable_hosts == ["10.0.2.2"]
 
     def test_exfiltration_reveals_exit_only(self, manager):
-        nymbox = manager.create_nym("victim")
+        nymbox = manager.create_nym(name="victim")
         findings = AnonVmCompromise(nymbox).run()
         assert len(findings.exfiltration_paths) == 1
         assert "via-anonymizer" in findings.exfiltration_paths[0]
@@ -110,15 +110,15 @@ class TestExploits:
 
     def test_identical_findings_across_nyms(self, manager):
         """A compromised AnonVM cannot even tell *which* nym it is in."""
-        a = AnonVmCompromise(manager.create_nym("a")).run()
-        b = AnonVmCompromise(manager.create_nym("b")).run()
+        a = AnonVmCompromise(manager.create_nym(name="a")).run()
+        b = AnonVmCompromise(manager.create_nym(name="b")).run()
         assert a.observed_ips == b.observed_ips
         assert a.observed_macs == b.observed_macs
         assert a.hardware == b.hardware
 
     def test_commvm_compromise_leaks_public_ip_but_no_browser_state(self, manager):
         """§3.2: a compromised CommVM learns the public IP — and only that."""
-        nymbox = manager.create_nym("victim")
+        nymbox = manager.create_nym(name="victim")
         manager.timed_browse(nymbox, "twitter.com")
         nymbox.sign_in("twitter.com", "user", "pw")
         findings = CommVmCompromise(nymbox, manager.hypervisor.public_ip).run()

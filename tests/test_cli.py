@@ -96,3 +96,75 @@ class TestTraceCommand:
         first = capsys.readouterr().out
         main(["--seed", "4", "trace"])
         assert capsys.readouterr().out == first
+
+
+class TestCommonFlags:
+    def test_subcommand_seed_overrides_global(self, capsys):
+        main(["--seed", "1", "stats", "--seed", "3", "--nyms", "1", "--json"])
+        override = capsys.readouterr().out
+        main(["--seed", "3", "stats", "--nyms", "1", "--json"])
+        assert capsys.readouterr().out == override
+
+    def test_every_subcommand_accepts_common_flags(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions
+            if isinstance(a, __import__("argparse")._SubParsersAction)
+        )
+        for name, sub in subparsers.choices.items():
+            flags = {opt for action in sub._actions for opt in action.option_strings}
+            assert {"--seed", "--duration", "--json"} <= flags, name
+
+    def test_validate_json_report(self, capsys):
+        code = main(["validate", "--seed", "3", "--nyms", "1", "--idle", "5", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passed"] is True
+        assert payload["dns_leaks"] == 0
+
+    def test_catalog_json_report(self, capsys):
+        assert main(["catalog", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "tor" in payload["anonymizers"]
+        assert "gmail.com" in payload["websites"]
+
+    def test_duration_extends_the_run(self, capsys):
+        main(["stats", "--seed", "3", "--nyms", "1", "--json", "--duration", "0"])
+        base = json.loads(capsys.readouterr().out)
+        main(["stats", "--seed", "3", "--nyms", "1", "--json", "--duration", "120"])
+        longer = json.loads(capsys.readouterr().out)
+        assert longer == base  # idle time adds no metric churn, but is accepted
+
+
+class TestFleetCommand:
+    def test_fleet_quick_runs_and_reports(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_fleet.json"
+        code = main(["fleet", "--quick", "--seed", "7", "--out", str(out)])
+        assert code == 0
+        assert "ksm-aware saves more RAM than first-fit: yes" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["bench"] == "fleet"
+        assert payload["ksm_aware_beats_first_fit"] is True
+
+    def test_fleet_json_output(self, tmp_path, capsys):
+        code = main([
+            "fleet", "--seed", "7", "--hosts", "2", "--nyms", "6",
+            "--no-compare", "--host-crashes", "0", "--json",
+            "--out", str(tmp_path / "b.json"),
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["results"][0]["nyms_resident"] == 6
+
+    def test_fleet_journal_byte_identical(self, tmp_path):
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        for path in paths:
+            code = main([
+                "fleet", "--seed", "7", "--hosts", "2", "--nyms", "8",
+                "--no-compare", "--journal", str(path),
+                "--out", str(tmp_path / "bench.json"),
+            ])
+            assert code == 0
+        assert paths[0].read_bytes() == paths[1].read_bytes()

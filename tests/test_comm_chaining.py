@@ -7,7 +7,7 @@ from repro.core.validation import probe_isolation, validate_system
 
 @pytest.fixture
 def chained(manager):
-    return manager.create_nym("chained", anonymizer="tor+dissent", chain_commvms=True)
+    return manager.create_nym(name="chained", anonymizer="tor+dissent", chain_commvms=True)
 
 
 class TestChainConstruction:
@@ -28,7 +28,7 @@ class TestChainConstruction:
         assert chained.memory_bytes() >= (384 + 128 + 128) * 1024 * 1024
 
     def test_unchained_composition_uses_one_commvm(self, manager):
-        nymbox = manager.create_nym("stacked", anonymizer="tor+dissent")
+        nymbox = manager.create_nym(name="stacked", anonymizer="tor+dissent")
         assert nymbox.extra_commvms == []
 
 
@@ -49,7 +49,7 @@ class TestChainIsolation:
         assert ("chained-comm", "chained-comm2") in matrix.allowed_pairs
 
     def test_chain_isolated_from_other_nyms(self, manager, chained):
-        other = manager.create_nym("plain")
+        other = manager.create_nym(name="plain")
         hv = manager.hypervisor
         assert not hv.probe_cross_vm(chained.extra_commvms[0], other.commvm)
         assert probe_isolation(manager).clean

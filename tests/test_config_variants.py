@@ -20,8 +20,8 @@ class TestHostSpecKnobs:
     def test_uplink_rate_changes_download_times(self):
         slow = _manager(host=HostSpec(uplink_bps=5_000_000.0))
         fast = _manager(host=HostSpec(uplink_bps=50_000_000.0))
-        slow_nym = slow.create_nym("n")
-        fast_nym = fast.create_nym("n")
+        slow_nym = slow.create_nym(name="n")
+        fast_nym = fast.create_nym(name="n")
         slow_load = slow.timed_browse(slow_nym, "youtube.com")
         fast_load = fast.timed_browse(fast_nym, "youtube.com")
         assert slow_load.duration_s > fast_load.duration_s * 2
@@ -44,19 +44,19 @@ class TestAnonymityKnobs:
         large = _manager(tor_relay_count=80)
         assert len(small.directory) == 10
         assert len(large.directory) == 80
-        large_nym = large.create_nym("n")
+        large_nym = large.create_nym(name="n")
         assert large_nym.anonymizer.started
 
     def test_dissent_population(self):
         manager = _manager(dissent_clients=12, dissent_servers=5)
         assert manager.dcnet.num_clients == 12
         assert manager.dcnet.num_servers == 5
-        nymbox = manager.create_nym("d", anonymizer="dissent")
+        nymbox = manager.create_nym(name="d", anonymizer="dissent")
         assert nymbox.anonymizer.transmit_anonymously(b"x") == b"x"
 
     def test_default_anonymizer(self):
         manager = _manager(default_anonymizer="incognito")
-        assert manager.create_nym("n").anonymizer.kind == "incognito"
+        assert manager.create_nym(name="n").anonymizer.kind == "incognito"
 
     def test_deterministic_guards_config(self):
         """Within one Tor network, the restored guard set depends only on
@@ -67,14 +67,14 @@ class TestAnonymityKnobs:
             manager = NymManager(NymixConfig(seed=13, deterministic_guards=True))
             manager.add_cloud_provider(make_dropbox())
             manager.create_cloud_account("dropbox.com", "u", "p")
-            nymbox = manager.create_nym("alice")
+            nymbox = manager.create_nym(name="alice")
             manager.store_nym(
-                nymbox, "pw", provider_host="dropbox.com", account_username="u"
+                nymbox, password="pw", provider_host="dropbox.com", account_username="u"
             )
             manager.discard_nym(nymbox)
             # Perturb the deployment's RNG/time history before loading.
             for index in range(extra_nyms):
-                manager.discard_nym(manager.create_nym(f"noise-{index}"))
+                manager.discard_nym(manager.create_nym(name=f"noise-{index}"))
             restored = manager.load_nym("alice", "pw")
             return list(restored.anonymizer.guard_manager.guards)
 
@@ -85,14 +85,14 @@ class TestIntegrityKnobs:
     def test_verified_base_image_full_stack(self):
         """A whole manager with §3.4 verification on: everything still works."""
         manager = _manager(verify_base_image=True)
-        nymbox = manager.create_nym("v")
+        nymbox = manager.create_nym(name="v")
         load = manager.timed_browse(nymbox, "bbc.co.uk")
         assert load.payload_bytes > 0
         assert not manager.hypervisor.emergency_halted
 
     def test_ksm_disabled_config(self):
         manager = _manager(ksm_enabled=False)
-        manager.create_nym("a")
-        manager.create_nym("b")
+        manager.create_nym(name="a")
+        manager.create_nym(name="b")
         manager.hypervisor.ksm.run_to_completion()
         assert manager.hypervisor.memory_snapshot().ksm_pages_saved == 0

@@ -9,7 +9,7 @@ from repro.errors import PersistenceError
 
 @pytest.fixture
 def alice(manager):
-    nymbox = manager.create_nym("alice")
+    nymbox = manager.create_nym(name="alice")
     manager.timed_browse(nymbox, "twitter.com")
     nymbox.sign_in("twitter.com", "pseudo", "account-pw")
     return nymbox
@@ -72,7 +72,7 @@ class TestCloudStore:
     def test_store_and_load_roundtrip(self, manager, alice, dropbox_account):
         history_before = list(alice.browser.history)
         receipt = manager.store_nym(
-            alice, "nym-pw", provider_host="dropbox.com", account_username="anon991"
+            alice, password="nym-pw", provider_host="dropbox.com", account_username="anon991"
         )
         assert receipt.encrypted_bytes > 0
         manager.discard_nym(alice)
@@ -84,32 +84,32 @@ class TestCloudStore:
 
     def test_restored_nym_keeps_tor_guards(self, manager, alice, dropbox_account):
         guards = list(alice.anonymizer.guard_manager.guards)
-        manager.store_nym(alice, "pw", provider_host="dropbox.com", account_username="anon991")
+        manager.store_nym(alice, password="pw", provider_host="dropbox.com", account_username="anon991")
         manager.discard_nym(alice)
         restored = manager.load_nym("alice", "pw")
         assert restored.anonymizer.guard_manager.guards == guards
 
     def test_restored_start_is_warm(self, manager, alice, dropbox_account):
         fresh_tor = alice.startup.start_anonymizer_s
-        manager.store_nym(alice, "pw", provider_host="dropbox.com", account_username="anon991")
+        manager.store_nym(alice, password="pw", provider_host="dropbox.com", account_username="anon991")
         manager.discard_nym(alice)
         restored = manager.load_nym("alice", "pw")
         assert restored.startup.start_anonymizer_s < fresh_tor
 
     def test_load_records_ephemeral_phase(self, manager, alice, dropbox_account):
-        manager.store_nym(alice, "pw", provider_host="dropbox.com", account_username="anon991")
+        manager.store_nym(alice, password="pw", provider_host="dropbox.com", account_username="anon991")
         manager.discard_nym(alice)
         restored = manager.load_nym("alice", "pw")
         assert restored.startup.ephemeral_nym_s > 10.0
 
     def test_loader_nym_is_destroyed(self, manager, alice, dropbox_account):
-        manager.store_nym(alice, "pw", provider_host="dropbox.com", account_username="anon991")
+        manager.store_nym(alice, password="pw", provider_host="dropbox.com", account_username="anon991")
         manager.discard_nym(alice)
         manager.load_nym("alice", "pw")
         assert "alice-loader" not in manager.live_nyms()
 
     def test_provider_never_sees_user_ip(self, manager, alice, dropbox_account):
-        manager.store_nym(alice, "pw", provider_host="dropbox.com", account_username="anon991")
+        manager.store_nym(alice, password="pw", provider_host="dropbox.com", account_username="anon991")
         manager.discard_nym(alice)
         manager.load_nym("alice", "pw")
         provider = manager.providers["dropbox.com"]
@@ -118,7 +118,7 @@ class TestCloudStore:
             assert not ip.is_private()
 
     def test_provider_stores_only_ciphertext(self, manager, alice, dropbox_account):
-        manager.store_nym(alice, "pw", provider_host="dropbox.com", account_username="anon991")
+        manager.store_nym(alice, password="pw", provider_host="dropbox.com", account_username="anon991")
         blob = dropbox_account.blobs["alice.nymbox"]
         # The browser history mentions hostnames; the blob must not.
         assert b"twitter.com" not in blob.data
@@ -127,28 +127,28 @@ class TestCloudStore:
         from repro.errors import NymError
 
         with pytest.raises(NymError):
-            manager.store_nym(alice, "pw", provider_host="dropbox.com")
+            manager.store_nym(alice, password="pw", provider_host="dropbox.com")
 
     def test_load_unknown_nym(self, manager):
         with pytest.raises(PersistenceError):
             manager.load_nym("ghost", "pw")
 
     def test_load_while_running_rejected(self, manager, alice, dropbox_account):
-        manager.store_nym(alice, "pw", provider_host="dropbox.com", account_username="anon991")
+        manager.store_nym(alice, password="pw", provider_host="dropbox.com", account_username="anon991")
         with pytest.raises(Exception):
             manager.load_nym("alice", "pw")
 
 
 class TestLocalStore:
     def test_local_roundtrip(self, manager, alice):
-        manager.store_nym(alice, "pw")  # no provider: local media
+        manager.store_nym(alice, password="pw")  # no provider: local media
         manager.discard_nym(alice)
         restored = manager.load_nym("alice", "pw")
         assert restored.running
         assert restored.startup.ephemeral_nym_s < 10.0  # no download nym needed
 
     def test_local_leaves_record(self, manager, alice):
-        manager.store_nym(alice, "pw")
+        manager.store_nym(alice, password="pw")
         record = manager.stored_nyms["alice"]
         assert record.provider_host is None
 
@@ -156,27 +156,27 @@ class TestLocalStore:
 class TestUsageModels:
     def test_store_promotes_to_persistent(self, manager, alice, dropbox_account):
         assert alice.nym.usage_model is NymUsageModel.EPHEMERAL
-        manager.store_nym(alice, "pw", provider_host="dropbox.com", account_username="anon991")
+        manager.store_nym(alice, password="pw", provider_host="dropbox.com", account_username="anon991")
         assert alice.nym.usage_model is NymUsageModel.PERSISTENT
 
     def test_snapshot_marks_preconfigured(self, manager, alice, dropbox_account):
-        manager.snapshot_nym(alice, "pw", provider_host="dropbox.com", account_username="anon991")
+        manager.snapshot_nym(alice, password="pw", provider_host="dropbox.com", account_username="anon991")
         assert alice.nym.usage_model is NymUsageModel.PRECONFIGURED
 
     def test_close_session_persistent_resaves(self, manager, alice, dropbox_account):
-        manager.store_nym(alice, "pw", provider_host="dropbox.com", account_username="anon991")
+        manager.store_nym(alice, password="pw", provider_host="dropbox.com", account_username="anon991")
         cycles_before = manager.stored_nyms["alice"].save_cycles
         receipt = manager.close_session(alice, password="pw")
         assert receipt is not None
         assert manager.stored_nyms["alice"].save_cycles == cycles_before + 1
 
     def test_close_session_persistent_needs_password(self, manager, alice, dropbox_account):
-        manager.store_nym(alice, "pw", provider_host="dropbox.com", account_username="anon991")
+        manager.store_nym(alice, password="pw", provider_host="dropbox.com", account_username="anon991")
         with pytest.raises(PersistenceError):
             manager.close_session(alice)
 
     def test_close_session_preconfigured_discards(self, manager, alice, dropbox_account):
-        manager.snapshot_nym(alice, "pw", provider_host="dropbox.com", account_username="anon991")
+        manager.snapshot_nym(alice, password="pw", provider_host="dropbox.com", account_username="anon991")
         cycles_before = manager.stored_nyms["alice"].save_cycles
         receipt = manager.close_session(alice)
         assert receipt is None
@@ -185,14 +185,14 @@ class TestUsageModels:
     def test_preconfigured_session_changes_scrubbed(self, manager, alice, dropbox_account):
         """§3.5: a stain acquired in one pre-configured session is gone at
         the next restore."""
-        manager.snapshot_nym(alice, "pw", provider_host="dropbox.com", account_username="anon991")
+        manager.snapshot_nym(alice, password="pw", provider_host="dropbox.com", account_username="anon991")
         alice.anonvm.fs.write("/home/user/.cache/stain", b"malware marker")
         manager.close_session(alice)
         restored = manager.load_nym("alice", "pw")
         assert not restored.anonvm.fs.exists("/home/user/.cache/stain")
 
     def test_persistent_session_changes_survive(self, manager, alice, dropbox_account):
-        manager.store_nym(alice, "pw", provider_host="dropbox.com", account_username="anon991")
+        manager.store_nym(alice, password="pw", provider_host="dropbox.com", account_username="anon991")
         alice.anonvm.fs.write("/home/user/notes.txt", b"remember me")
         manager.close_session(alice, password="pw")
         restored = manager.load_nym("alice", "pw")

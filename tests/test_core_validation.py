@@ -11,22 +11,22 @@ from repro.core.validation import (
 
 class TestLeakValidation:
     def test_idle_system_is_clean(self, manager):
-        manager.create_nym("a")
-        manager.create_nym("b")
+        manager.create_nym(name="a")
+        manager.create_nym(name="b")
         result = validate_system(manager)
         assert result.passed, result.summary()
         assert result.leak_report.clean
         assert not result.anonvm_emitted_uplink_traffic
 
     def test_browsing_traffic_is_all_anonymizer_labelled(self, manager):
-        nymbox = manager.create_nym("a")
+        nymbox = manager.create_nym(name="a")
         manager.hypervisor.host_capture.clear()
         manager.timed_browse(nymbox, "bbc.co.uk")
         labels = set(manager.hypervisor.host_capture.by_label())
         assert labels <= {"anonymizer"}
 
     def test_leak_detected_if_raw_traffic_appears(self, manager):
-        manager.create_nym("a")
+        manager.create_nym(name="a")
         capture = manager.hypervisor.host_capture
 
         # Simulate a broken configuration that lets unlabeled traffic out
@@ -37,15 +37,15 @@ class TestLeakValidation:
         assert len(result.leak_report.leaks) == 1
 
     def test_summary_format(self, manager):
-        manager.create_nym("a")
+        manager.create_nym(name="a")
         result = validate_system(manager)
         assert "PASS" in result.summary()
 
 
 class TestIsolationMatrix:
     def test_only_own_pairs_allowed(self, manager):
-        manager.create_nym("a")
-        manager.create_nym("b")
+        manager.create_nym(name="a")
+        manager.create_nym(name="b")
         matrix = probe_isolation(manager)
         assert matrix.clean
         pair_names = set(matrix.allowed_pairs)
@@ -57,13 +57,13 @@ class TestIsolationMatrix:
         )
 
     def test_no_local_network_access(self, manager):
-        manager.create_nym("a")
+        manager.create_nym(name="a")
         matrix = probe_isolation(manager)
         assert matrix.local_network_reachable_from == []
 
     def test_matrix_scales_with_many_nyms(self, manager):
         for index in range(4):
-            manager.create_nym(f"nym{index}")
+            manager.create_nym(name=f"nym{index}")
         matrix = probe_isolation(manager)
         assert matrix.clean
         assert len(matrix.allowed_pairs) == 8  # 4 nyms x 2 directions
@@ -71,6 +71,6 @@ class TestIsolationMatrix:
 
 class TestDnsLeaks:
     def test_no_dns_leaks_by_construction(self, manager):
-        nymbox = manager.create_nym("a")
+        nymbox = manager.create_nym(name="a")
         manager.timed_browse(nymbox, "gmail.com")
         assert count_dns_leaks(manager) == 0

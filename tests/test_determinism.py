@@ -17,11 +17,11 @@ def _run_workflow(seed: int):
     manager = NymManager(NymixConfig(seed=seed))
     manager.add_cloud_provider(make_dropbox())
     manager.create_cloud_account("dropbox.com", "d-user", "pw")
-    nymbox = manager.create_nym("det")
+    nymbox = manager.create_nym(name="det")
     manager.timed_browse(nymbox, "facebook.com")
     nymbox.sign_in("facebook.com", "pseudo", "pw")
     receipt = manager.store_nym(
-        nymbox, "nym-pw", provider_host="dropbox.com", account_username="d-user"
+        nymbox, password="nym-pw", provider_host="dropbox.com", account_username="d-user"
     )
     trace = {
         "startup": nymbox.startup.as_dict(),
@@ -61,10 +61,10 @@ class TestDeterminism:
             manager = NymManager(NymixConfig(seed=seed))
             manager.add_cloud_provider(make_dropbox())
             account = manager.create_cloud_account("dropbox.com", "u", "p")
-            nymbox = manager.create_nym("det")
+            nymbox = manager.create_nym(name="det")
             manager.timed_browse(nymbox, "twitter.com")
             manager.store_nym(
-                nymbox, "pw", provider_host="dropbox.com", account_username="u"
+                nymbox, password="pw", provider_host="dropbox.com", account_username="u"
             )
             return account.blobs["det.nymbox"].data
 

@@ -91,7 +91,7 @@ class TestTcpDnsShim:
 
     def test_works_against_anonymizer_resolver(self, manager):
         """The actual §4.1 use: DNS over a TCP-only anonymizer."""
-        nymbox = manager.create_nym("shimmed")
+        nymbox = manager.create_nym(name="shimmed")
         shim = TcpDnsShim.over_resolver(nymbox.anonymizer.resolve)
         response = shim.resolve_udp_payload(encode_query(7, "twitter.com"))
         _, address = decode_answer(response)

@@ -19,11 +19,11 @@ class TestCloudFailures:
         tiny = CloudProvider("tinybox.example", "198.51.100.90", free_quota_bytes=1024)
         manager.add_cloud_provider(tiny)
         manager.create_cloud_account("tinybox.example", "u", "p")
-        nymbox = manager.create_nym("alice")
+        nymbox = manager.create_nym(name="alice")
         manager.timed_browse(nymbox, "twitter.com")
         with pytest.raises(QuotaExceededError):
             manager.store_nym(
-                nymbox, "pw", provider_host="tinybox.example", account_username="u"
+                nymbox, password="pw", provider_host="tinybox.example", account_username="u"
             )
         # The nym is still running and was resumed after the failed save.
         assert nymbox.running
@@ -31,14 +31,14 @@ class TestCloudFailures:
         # It can still be saved elsewhere.
         manager.create_cloud_account("dropbox.com", "u2", "p")
         receipt = manager.store_nym(
-            nymbox, "pw", provider_host="dropbox.com", account_username="u2"
+            nymbox, password="pw", provider_host="dropbox.com", account_username="u2"
         )
         assert receipt.encrypted_bytes > 0
 
     def test_tampered_cloud_blob_detected_at_load(self, manager):
         account = manager.create_cloud_account("dropbox.com", "u", "p")
-        nymbox = manager.create_nym("alice")
-        manager.store_nym(nymbox, "pw", provider_host="dropbox.com", account_username="u")
+        nymbox = manager.create_nym(name="alice")
+        manager.store_nym(nymbox, password="pw", provider_host="dropbox.com", account_username="u")
         manager.discard_nym(nymbox)
 
         # The provider (or a MITM) flips one ciphertext byte.
@@ -56,16 +56,16 @@ class TestCloudFailures:
 
     def test_wrong_password_at_load(self, manager):
         manager.create_cloud_account("dropbox.com", "u", "p")
-        nymbox = manager.create_nym("alice")
-        manager.store_nym(nymbox, "pw", provider_host="dropbox.com", account_username="u")
+        nymbox = manager.create_nym(name="alice")
+        manager.store_nym(nymbox, password="pw", provider_host="dropbox.com", account_username="u")
         manager.discard_nym(nymbox)
         with pytest.raises(PersistenceError):
             manager.load_nym("alice", "not-the-password")
         assert manager.live_nyms() == []
 
     def test_missing_local_blob(self, manager):
-        nymbox = manager.create_nym("alice")
-        manager.store_nym(nymbox, "pw")  # local
+        nymbox = manager.create_nym(name="alice")
+        manager.store_nym(nymbox, password="pw")  # local
         manager.discard_nym(nymbox)
         manager._local_blobs.clear()  # the USB stick was lost
         with pytest.raises(PersistenceError):
@@ -74,13 +74,13 @@ class TestCloudFailures:
 
 class TestNetworkFailures:
     def test_wire_down_breaks_browsing_loudly(self, manager):
-        nymbox = manager.create_nym("alice")
+        nymbox = manager.create_nym(name="alice")
         nymbox.wire.take_down()
         with pytest.raises(UnreachableError):
             nymbox.browse("twitter.com")
 
     def test_unknown_site_unreachable(self, manager):
-        nymbox = manager.create_nym("alice")
+        nymbox = manager.create_nym(name="alice")
         with pytest.raises(UnreachableError):
             nymbox.browse("no-such-site.example")
 
@@ -90,10 +90,10 @@ class TestResourceExhaustion:
         manager = NymManager(
             NymixConfig(seed=9, host=HostSpec(ram_bytes=3 * 1024 * MIB))
         )
-        first = manager.create_nym("first")  # ~512 MiB + 1 GiB host base
-        second = manager.create_nym("second")
+        first = manager.create_nym(name="first")  # ~512 MiB + 1 GiB host base
+        second = manager.create_nym(name="second")
         with pytest.raises(OutOfMemoryError):
-            manager.create_nym("third", anon_spec=VmSpec.anonvm(ram_bytes=1024 * MIB))
+            manager.create_nym(name="third", anon_spec=VmSpec.anonvm(ram_bytes=1024 * MIB))
         # Existing nyms keep working.
         assert first.running and second.running
         manager.timed_browse(first, "bbc.co.uk")
@@ -102,18 +102,18 @@ class TestResourceExhaustion:
         manager = NymManager(
             NymixConfig(seed=9, host=HostSpec(ram_bytes=3 * 1024 * MIB))
         )
-        a = manager.create_nym("a")
-        b = manager.create_nym("b")
+        a = manager.create_nym(name="a")
+        b = manager.create_nym(name="b")
         with pytest.raises(OutOfMemoryError):
-            manager.create_nym("c", anon_spec=VmSpec.anonvm(ram_bytes=1024 * MIB))
+            manager.create_nym(name="c", anon_spec=VmSpec.anonvm(ram_bytes=1024 * MIB))
         manager.discard_nym(a)
         manager.discard_nym(b)
-        c = manager.create_nym("c", anon_spec=VmSpec.anonvm(ram_bytes=1024 * MIB))
+        c = manager.create_nym(name="c", anon_spec=VmSpec.anonvm(ram_bytes=1024 * MIB))
         assert c.running
 
     def test_tmpfs_full_fails_writes_not_vm(self, manager):
         nymbox = manager.create_nym(
-            "tiny-disk", anon_spec=VmSpec.anonvm(disk_bytes=2 * MIB)
+            name="tiny-disk", anon_spec=VmSpec.anonvm(disk_bytes=2 * MIB)
         )
         from repro.errors import FileSystemError
 
@@ -124,14 +124,14 @@ class TestResourceExhaustion:
 
 class TestStateMachineAbuse:
     def test_double_discard_is_safe(self, manager):
-        nymbox = manager.create_nym("alice")
+        nymbox = manager.create_nym(name="alice")
         manager.discard_nym(nymbox)
         manager.discard_nym(nymbox)  # second teardown must not raise
 
     def test_browse_after_discard_rejected(self, manager):
         from repro.errors import NymStateError
 
-        nymbox = manager.create_nym("alice")
+        nymbox = manager.create_nym(name="alice")
         manager.discard_nym(nymbox)
         with pytest.raises(NymStateError):
             nymbox.browse("twitter.com")
@@ -142,9 +142,9 @@ class TestStateMachineAbuse:
         from repro.errors import VmStateError
 
         manager.create_cloud_account("dropbox.com", "u", "p")
-        nymbox = manager.create_nym("alice")
+        nymbox = manager.create_nym(name="alice")
         nymbox.pause()
         with pytest.raises(VmStateError):
             manager.store_nym(
-                nymbox, "pw", provider_host="dropbox.com", account_username="u"
+                nymbox, password="pw", provider_host="dropbox.com", account_username="u"
             )

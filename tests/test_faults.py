@@ -224,7 +224,7 @@ class TestInjector:
 
 class TestTimedFaultsAgainstManager:
     def test_vm_crash_and_link_flap_hit_named_nymbox(self, manager):
-        nymbox = manager.create_nym("victim")
+        nymbox = manager.create_nym(name="victim")
         plan = FaultPlan([
             FaultSpec(at_s=1.0, kind="net.link_flap", target="victim", param=4.0),
             FaultSpec(at_s=2.0, kind="vmm.crash", target="victim"),
@@ -240,7 +240,7 @@ class TestTimedFaultsAgainstManager:
         assert nymbox.wire.up
 
     def test_relay_churn_removes_current_exit(self, manager):
-        nymbox = manager.create_nym("churned")
+        nymbox = manager.create_nym(name="churned")
         tor = nymbox.anonymizer
         exit_nick = tor.current_circuit.exit.descriptor.nickname
         plan = FaultPlan([FaultSpec(at_s=1.0, kind="tor.relay_churn")])

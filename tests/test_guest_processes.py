@@ -6,30 +6,30 @@ from repro.guest.processes import process_fingerprint, process_table, ps_output
 
 class TestProcessTables:
     def test_anonvm_runs_browser_not_tor(self, manager):
-        nymbox = manager.create_nym("a")
+        nymbox = manager.create_nym(name="a")
         names = {p.name for p in process_table(nymbox.anonvm)}
         assert any("chromium" in n for n in names)
         assert "tor" not in names
 
     def test_commvm_runs_tor_not_browser(self, manager):
-        nymbox = manager.create_nym("a")
+        nymbox = manager.create_nym(name="a")
         names = {p.name for p in process_table(nymbox.commvm)}
         assert "tor" in names
         assert not any("chromium" in n for n in names)
 
     def test_identical_across_nyms(self, manager):
         """PID-for-PID identical: the process surface leaks zero bits."""
-        nyms = [manager.create_nym(f"n{i}") for i in range(3)]
+        nyms = [manager.create_nym(name=f"n{i}") for i in range(3)]
         fingerprints = [process_fingerprint(n.anonvm) for n in nyms]
         assert distinguishing_bits(fingerprints) == 0.0
 
     def test_ps_output_format(self, manager):
-        nymbox = manager.create_nym("a")
+        nymbox = manager.create_nym(name="a")
         out = ps_output(nymbox.anonvm)
         assert out.splitlines()[0].startswith("  PID")
         assert "chromium" in out
 
     def test_roles_differ_from_each_other(self, manager):
         """Roles are distinguishable (by design); instances are not."""
-        nymbox = manager.create_nym("a")
+        nymbox = manager.create_nym(name="a")
         assert process_fingerprint(nymbox.anonvm) != process_fingerprint(nymbox.commvm)

@@ -82,11 +82,11 @@ class TestFigure6Shape:
         sizes = {}
         for host in ("facebook.com", "blog.torproject.org"):
             name = f"nym-{host.split('.')[0]}"
-            nymbox = manager.create_nym(name)
+            nymbox = manager.create_nym(name=name)
             manager.timed_browse(nymbox, host)
             receipts = [
                 manager.store_nym(
-                    nymbox, "pw", provider_host="dropbox.com",
+                    nymbox, password="pw", provider_host="dropbox.com",
                     account_username="u6", blob_name=f"{name}.bin",
                 )
             ]
@@ -94,7 +94,7 @@ class TestFigure6Shape:
                 manager.timed_browse(nymbox, host)
                 receipts.append(
                     manager.store_nym(
-                        nymbox, "pw", provider_host="dropbox.com",
+                        nymbox, password="pw", provider_host="dropbox.com",
                         account_username="u6", blob_name=f"{name}.bin",
                     )
                 )
@@ -109,9 +109,9 @@ class TestFigure6Shape:
         """'a single save cycle ... tends to be small, in the order of
         megabytes' (§5.3, the pre-configured case)."""
         manager.create_cloud_account("dropbox.com", "u7", "p")
-        nymbox = manager.create_nym("tiny")
+        nymbox = manager.create_nym(name="tiny")
         receipt = manager.store_nym(
-            nymbox, "pw", provider_host="dropbox.com", account_username="u7"
+            nymbox, password="pw", provider_host="dropbox.com", account_username="u7"
         )
         assert receipt.encrypted_bytes < 8 * MIB
 
@@ -120,11 +120,11 @@ class TestFigure7Shape:
     def test_phase_ordering_across_usage_models(self, manager):
         manager.create_cloud_account("dropbox.com", "u8", "p")
 
-        fresh = manager.create_nym("fresh")
+        fresh = manager.create_nym(name="fresh")
         manager.timed_browse(fresh, "twitter.com")
         fresh_phases = fresh.startup
 
-        manager.store_nym(fresh, "pw", provider_host="dropbox.com", account_username="u8")
+        manager.store_nym(fresh, password="pw", provider_host="dropbox.com", account_username="u8")
         manager.discard_nym(fresh)
         persisted = manager.load_nym("fresh", "pw")
         manager.timed_browse(persisted, "twitter.com")
@@ -139,7 +139,7 @@ class TestFigure7Shape:
 
     def test_fresh_nym_within_paper_budget(self, manager):
         """§1: a nymbox loads within 15-25 seconds."""
-        nymbox = manager.create_nym("quick")
+        nymbox = manager.create_nym(name="quick")
         manager.timed_browse(nymbox, "twitter.com")
         assert 12.0 <= nymbox.startup.total_s <= 27.0
 

@@ -15,7 +15,7 @@ class TestBobTheDissident:
     def test_full_workflow(self, manager):
         # Bob opens a pseudonymous cloud account and a Twitter nym.
         manager.create_cloud_account("dropbox.com", "rand7781", "cloud-pw")
-        nym = manager.create_nym("bob-twitter")
+        nym = manager.create_nym(name="bob-twitter")
         manager.timed_browse(nym, "twitter.com")
         nym.sign_in("twitter.com", "tyrannistan_truth", "account-pw")
 
@@ -46,7 +46,7 @@ class TestBobTheDissident:
 
         # Bob stores the nym to the cloud and shuts down; nothing remains.
         manager.store_nym(
-            nym, "nym-pw", provider_host="dropbox.com", account_username="rand7781"
+            nym, password="nym-pw", provider_host="dropbox.com", account_username="rand7781"
         )
         manager.discard_nym(nym)
         assert manager.live_nyms() == []
@@ -64,7 +64,7 @@ class TestBobTheDissident:
             assert ip != manager.hypervisor.public_ip
 
     def test_browser_exploit_cannot_unmask_bob(self, manager):
-        nym = manager.create_nym("bob-twitter")
+        nym = manager.create_nym(name="bob-twitter")
         manager.timed_browse(nym, "twitter.com")
         findings = AnonVmCompromise(nym).run()
         assert not findings.knows_real_network_identity(manager.hypervisor.public_ip)
@@ -74,9 +74,9 @@ class TestAliceTheCompartmentalizer:
     """Alice runs work, family, and private-forum roles in parallel nyms."""
 
     def test_three_parallel_unlinkable_roles(self, manager):
-        work = manager.create_nym("alice-work")
-        family = manager.create_nym("alice-family")
-        forum = manager.create_nym("alice-forum", anonymizer="tor")
+        work = manager.create_nym(name="alice-work")
+        family = manager.create_nym(name="alice-family")
+        forum = manager.create_nym(name="alice-forum", anonymizer="tor")
 
         manager.timed_browse(work, "gmail.com")
         work.sign_in("gmail.com", "alice.pro", "pw1")
@@ -98,15 +98,15 @@ class TestAliceTheCompartmentalizer:
         assert result.passed, result.summary()
 
     def test_discarding_sensitive_role_leaves_others(self, manager):
-        work = manager.create_nym("alice-work")
-        forum = manager.create_nym("alice-forum")
+        work = manager.create_nym(name="alice-work")
+        forum = manager.create_nym(name="alice-forum")
         manager.timed_browse(forum, "blog.torproject.org")
         manager.discard_nym(forum)
         assert work.running
         manager.timed_browse(work, "gmail.com")  # unaffected
 
     def test_each_role_gets_own_circuits(self, manager):
-        nyms = [manager.create_nym(f"alice-{i}") for i in range(3)]
+        nyms = [manager.create_nym(name=f"alice-{i}") for i in range(3)]
         circuit_ids = {n.anonymizer.current_circuit.circ_id for n in nyms}
         assert len(circuit_ids) == 3
 
@@ -115,10 +115,10 @@ class TestHostOsDeniability:
     def test_usb_session_leaves_no_local_trace(self, manager):
         """Boot, browse, store to cloud, discard: local state is zero."""
         manager.create_cloud_account("drive.google.com", "anon5", "pw")
-        nym = manager.create_nym("sensitive")
+        nym = manager.create_nym(name="sensitive")
         manager.timed_browse(nym, "blog.torproject.org")
         manager.store_nym(
-            nym, "pw", provider_host="drive.google.com", account_username="anon5"
+            nym, password="pw", provider_host="drive.google.com", account_username="anon5"
         )
         manager.discard_nym(nym)
         # No nymboxes, no writable-layer bytes, no local blobs.

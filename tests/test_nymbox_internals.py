@@ -10,7 +10,7 @@ MIB = 1024 * 1024
 
 class TestAnonymizedFetcher:
     def test_every_request_crosses_the_wire(self, manager):
-        nymbox = manager.create_nym("a")
+        nymbox = manager.create_nym(name="a")
         before_tx = nymbox.anonvm.primary_nic.tx_frames
         manager.timed_browse(nymbox, "bbc.co.uk")
         manager.timed_browse(nymbox, "espn.com")
@@ -18,21 +18,21 @@ class TestAnonymizedFetcher:
         assert nymbox.anonvm.primary_nic.tx_frames == before_tx + 2
 
     def test_commvm_receives_socks_frames(self, manager):
-        nymbox = manager.create_nym("a")
+        nymbox = manager.create_nym(name="a")
         manager.timed_browse(nymbox, "bbc.co.uk")
         assert nymbox.commvm.primary_nic.rx_frames >= 1
 
     def test_wire_traffic_never_reaches_host_capture(self, manager):
         """The AnonVM->CommVM hop is hypervisor-internal (§4.2): the host
         uplink capture must see only NAT'd anonymizer flows."""
-        nymbox = manager.create_nym("a")
+        nymbox = manager.create_nym(name="a")
         manager.hypervisor.host_capture.clear()
         manager.timed_browse(nymbox, "bbc.co.uk")
         senders = {e.sender for e in manager.hypervisor.host_capture.entries}
         assert nymbox.anonvm.primary_nic.name not in senders
 
     def test_dns_goes_through_anonymizer(self, manager):
-        nymbox = manager.create_nym("a")
+        nymbox = manager.create_nym(name="a")
         # Resolution happens inside fetch; the anonymizer path advances
         # the clock by the circuit round trip.
         t0 = manager.timeline.now
@@ -42,13 +42,13 @@ class TestAnonymizedFetcher:
 
 class TestInbox:
     def test_inbox_is_per_nym(self, manager):
-        a = manager.create_nym("a")
-        b = manager.create_nym("b")
+        a = manager.create_nym(name="a")
+        b = manager.create_nym(name="b")
         a.inbox.write("/file", b"for-a")
         assert not b.inbox.exists("/file")
 
     def test_inbox_mounted_in_anonvm(self, manager):
-        nymbox = manager.create_nym("a")
+        nymbox = manager.create_nym(name="a")
         assert nymbox.inbox.name in nymbox.anonvm.shared_folders
 
 
@@ -67,19 +67,19 @@ class TestStartupPhases:
 
 class TestStateAccounting:
     def test_state_bytes_tracks_browsing(self, manager):
-        nymbox = manager.create_nym("a")
+        nymbox = manager.create_nym(name="a")
         before = nymbox.state_bytes()
         manager.timed_browse(nymbox, "facebook.com")
         assert nymbox.state_bytes() > before + 5 * MIB
 
     def test_memory_bytes_includes_ram_and_state(self, manager):
-        nymbox = manager.create_nym("a")
+        nymbox = manager.create_nym(name="a")
         assert nymbox.memory_bytes() >= (384 + 128) * MIB
 
 
 class TestBrowserEviction:
     def test_cache_never_exceeds_cap_under_pressure(self, manager):
-        nymbox = manager.create_nym("a")
+        nymbox = manager.create_nym(name="a")
         browser = Browser(
             vm=nymbox.anonvm,
             fetcher=nymbox.fetcher,
@@ -92,7 +92,7 @@ class TestBrowserEviction:
         assert browser.cache_bytes <= 15 * MIB
 
     def test_eviction_removes_files_from_fs(self, manager):
-        nymbox = manager.create_nym("a")
+        nymbox = manager.create_nym(name="a")
         browser = Browser(
             vm=nymbox.anonvm,
             fetcher=nymbox.fetcher,

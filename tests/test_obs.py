@@ -247,7 +247,7 @@ class TestTimelineIntegration:
 
 def _run_scenario(seed: int, observability: bool = True) -> NymManager:
     manager = NymManager(NymixConfig(seed=seed, observability=observability))
-    nymbox = manager.create_nym("obs-test")
+    nymbox = manager.create_nym(name="obs-test")
     manager.timed_browse(nymbox, "bbc.co.uk")
     manager.discard_nym(nymbox)
     return manager

@@ -11,14 +11,14 @@ MIB = 1024 * 1024
 class TestNymboxRuns:
     def test_default_anonvm_crashes_chromium(self, manager):
         """§5.2: the suite OOMs Chrome in a default-sized AnonVM."""
-        nymbox = manager.create_nym("small")
+        nymbox = manager.create_nym(name="small")
         result = run_in_nymbox(nymbox, manager.hypervisor.cpu)
         assert result.crashed
         assert "OOM" in result.reason
 
     def test_one_gib_anonvm_completes(self, manager):
         nymbox = manager.create_nym(
-            "big", anon_spec=VmSpec.anonvm(ram_bytes=REQUIRED_VM_RAM)
+            name="big", anon_spec=VmSpec.anonvm(ram_bytes=REQUIRED_VM_RAM)
         )
         result = run_in_nymbox(nymbox, manager.hypervisor.cpu)
         assert not result.crashed
@@ -26,7 +26,7 @@ class TestNymboxRuns:
 
     def test_run_advances_time(self, manager):
         nymbox = manager.create_nym(
-            "big", anon_spec=VmSpec.anonvm(ram_bytes=REQUIRED_VM_RAM)
+            name="big", anon_spec=VmSpec.anonvm(ram_bytes=REQUIRED_VM_RAM)
         )
         before = manager.timeline.now
         run_in_nymbox(nymbox, manager.hypervisor.cpu)
@@ -34,7 +34,7 @@ class TestNymboxRuns:
 
     def test_run_dirties_guest_memory(self, manager):
         nymbox = manager.create_nym(
-            "big", anon_spec=VmSpec.anonvm(ram_bytes=REQUIRED_VM_RAM)
+            name="big", anon_spec=VmSpec.anonvm(ram_bytes=REQUIRED_VM_RAM)
         )
         before = nymbox.anonvm.memory.stats().unique_pages
         run_in_nymbox(nymbox, manager.hypervisor.cpu)
@@ -42,11 +42,11 @@ class TestNymboxRuns:
 
     def test_contended_run_scores_lower(self, manager):
         nymbox = manager.create_nym(
-            "big", anon_spec=VmSpec.anonvm(ram_bytes=REQUIRED_VM_RAM)
+            name="big", anon_spec=VmSpec.anonvm(ram_bytes=REQUIRED_VM_RAM)
         )
         solo = run_in_nymbox(nymbox, manager.hypervisor.cpu, concurrent_nyms=1)
         nymbox2 = manager.create_nym(
-            "big2", anon_spec=VmSpec.anonvm(ram_bytes=REQUIRED_VM_RAM)
+            name="big2", anon_spec=VmSpec.anonvm(ram_bytes=REQUIRED_VM_RAM)
         )
         contended = run_in_nymbox(nymbox2, manager.hypervisor.cpu, concurrent_nyms=8)
         assert contended.score < solo.score

@@ -37,8 +37,8 @@ class TestRedTeam:
     def test_detects_seeded_breach(self, manager):
         """If isolation were broken, the sweep must say so: seed a fake
         cross-nym wire and watch the matrix exercise fail."""
-        a = manager.create_nym("breach-a")
-        b = manager.create_nym("breach-b")
+        a = manager.create_nym(name="breach-a")
+        b = manager.create_nym(name="breach-b")
         # Sabotage: wire a's AnonVM to b's AnonVM directly.
         from repro.net.link import VirtualWire
 

@@ -68,14 +68,14 @@ class TestRemanenceTracker:
 
 class TestManagerIntegration:
     def test_discard_records_remanence(self, manager):
-        nymbox = manager.create_nym("alice")
+        nymbox = manager.create_nym(name="alice")
         manager.discard_nym(nymbox)
         assert manager.remanence.total_residual_bytes > 0
         assert manager.remanence.evidence_of_nym("alice", AdversaryAccess.LIVE)
 
     def test_reboot_host_kills_nyms_and_clears_traces(self, manager):
-        manager.create_nym("a")
-        nymbox = manager.create_nym("b")
+        manager.create_nym(name="a")
+        nymbox = manager.create_nym(name="b")
         manager.discard_nym(nymbox)
         cleared = manager.reboot_host()
         assert cleared > 0
@@ -84,10 +84,10 @@ class TestManagerIntegration:
 
     def test_ephemeral_channels_config(self):
         manager = NymManager(NymixConfig(seed=2, ephemeral_channels=True))
-        nymbox = manager.create_nym("a")
+        nymbox = manager.create_nym(name="a")
         manager.discard_nym(nymbox)
         plain = NymManager(NymixConfig(seed=2))
-        nymbox2 = plain.create_nym("a")
+        nymbox2 = plain.create_nym(name="a")
         plain.discard_nym(nymbox2)
         assert (
             manager.remanence.total_residual_bytes

@@ -11,20 +11,20 @@ MIB = 1024 * 1024
 class TestManyNyms:
     def test_sixteen_simultaneous_nyms(self, manager):
         """~656 MB nominal per nymbox: 16 fit in 16 GB with the 1 GB base."""
-        nyms = [manager.create_nym(f"scale-{i}") for i in range(16)]
+        nyms = [manager.create_nym(name=f"scale-{i}") for i in range(16)]
         assert len(manager.live_nyms()) == 16
         snapshot = manager.hypervisor.memory_snapshot()
         assert snapshot.guest_ram_bytes == 16 * (384 + 128) * MIB
 
     def test_isolation_holds_at_scale(self, manager):
         for index in range(8):
-            manager.create_nym(f"scale-{index}")
+            manager.create_nym(name=f"scale-{index}")
         matrix = probe_isolation(manager)
         assert matrix.clean
         assert len(matrix.allowed_pairs) == 16
 
     def test_each_of_many_nyms_browses_independently(self, manager):
-        nyms = [manager.create_nym(f"scale-{i}") for i in range(6)]
+        nyms = [manager.create_nym(name=f"scale-{i}") for i in range(6)]
         for index, nymbox in enumerate(nyms):
             load = manager.timed_browse(nymbox, "bbc.co.uk")
             assert load.payload_bytes > 0
@@ -35,7 +35,7 @@ class TestManyNyms:
         created = []
         with pytest.raises(OutOfMemoryError):
             for index in range(40):  # will exhaust 16 GB well before 40
-                created.append(manager.create_nym(f"scale-{index}"))
+                created.append(manager.create_nym(name=f"scale-{index}"))
         assert len(created) >= 16
         # Every admitted nym still works.
         assert all(nymbox.running for nymbox in created)
@@ -44,7 +44,7 @@ class TestManyNyms:
         for index, kind in enumerate(
             ("tor", "dissent", "incognito", "tor", "stegotorus", "sweet")
         ):
-            nymbox = manager.create_nym(f"mix-{index}", anonymizer=kind)
+            nymbox = manager.create_nym(name=f"mix-{index}", anonymizer=kind)
             manager.timed_browse(nymbox, "bbc.co.uk")
         result = validate_system(manager)
         assert result.passed, result.summary()
@@ -53,7 +53,7 @@ class TestManyNyms:
         """Create/destroy cycles must not leak memory or names."""
         baseline = manager.hypervisor.memory.stats().guest_allocated_bytes
         for cycle in range(10):
-            nymbox = manager.create_nym("churn")
+            nymbox = manager.create_nym(name="churn")
             manager.timed_browse(nymbox, "slashdot.org")
             manager.discard_nym(nymbox)
         assert manager.hypervisor.memory.stats().guest_allocated_bytes == baseline

@@ -13,7 +13,7 @@ def entry():
 
 @pytest.fixture
 def infected(manager, entry):
-    nymbox = manager.create_nym("victim")
+    nymbox = manager.create_nym(name="victim")
     keylogger = GuestKeylogger()
     entry.keyloggers.append(keylogger)
     return nymbox, keylogger

@@ -8,7 +8,7 @@ from repro.errors import AnonymizerError
 
 @pytest.fixture
 def stego_nym(manager):
-    return manager.create_nym("stego", anonymizer="stegotorus")
+    return manager.create_nym(name="stego", anonymizer="stegotorus")
 
 
 class TestStegoTorusWrapper:
@@ -18,7 +18,7 @@ class TestStegoTorusWrapper:
         assert stego_nym.anonymizer.inner.kind == "tor"
 
     def test_wraps_alternative_inner(self, manager):
-        nymbox = manager.create_nym("stego-d", anonymizer="stegotorus:dissent")
+        nymbox = manager.create_nym(name="stego-d", anonymizer="stegotorus:dissent")
         assert nymbox.anonymizer.inner.kind == "dissent"
 
     def test_identity_protection_inherited(self, stego_nym, manager):
@@ -39,12 +39,12 @@ class TestStegoTorusWrapper:
     def test_state_roundtrip_preserves_guards(self, manager, stego_nym):
         guards = stego_nym.anonymizer.inner.guard_manager.guards
         state = stego_nym.anonymizer.export_state()
-        fresh = manager.create_nym("stego2", anonymizer="stegotorus")
+        fresh = manager.create_nym(name="stego2", anonymizer="stegotorus")
         fresh.anonymizer.import_state(state)
         assert fresh.anonymizer.inner.guard_manager.guards == guards
 
     def test_state_kind_checked(self, manager, stego_nym):
-        other = manager.create_nym("plain", anonymizer="tor")
+        other = manager.create_nym(name="plain", anonymizer="tor")
         with pytest.raises(AnonymizerError):
             stego_nym.anonymizer.import_state(other.anonymizer.export_state())
 
@@ -52,23 +52,23 @@ class TestStegoTorusWrapper:
 class TestDpiCensor:
     def test_blocks_bare_tor(self, manager):
         censor = DpiCensor()
-        tor_nym = manager.create_nym("bare-tor", anonymizer="tor")
+        tor_nym = manager.create_nym(name="bare-tor", anonymizer="tor")
         assert not censor.allows(tor_nym.anonymizer)
         assert censor.flows_blocked == 1
 
     def test_passes_stegotorus(self, manager):
         """The point of the camouflage: DPI sees plain HTTP."""
         censor = DpiCensor()
-        stego = manager.create_nym("hidden", anonymizer="stegotorus")
+        stego = manager.create_nym(name="hidden", anonymizer="stegotorus")
         assert censor.classify(stego.anonymizer) == "http"
         assert censor.allows(stego.anonymizer)
 
     def test_passes_incognito_and_sweet(self, manager):
         censor = DpiCensor()
-        assert censor.allows(manager.create_nym("i", anonymizer="incognito").anonymizer)
-        assert censor.allows(manager.create_nym("s", anonymizer="sweet").anonymizer)
+        assert censor.allows(manager.create_nym(name="i", anonymizer="incognito").anonymizer)
+        assert censor.allows(manager.create_nym(name="s", anonymizer="sweet").anonymizer)
 
     def test_custom_block_list(self, manager):
         censor = DpiCensor(blocked_protocols=("http",))
-        stego = manager.create_nym("hidden", anonymizer="stegotorus")
+        stego = manager.create_nym(name="hidden", anonymizer="stegotorus")
         assert not censor.allows(stego.anonymizer)

@@ -11,7 +11,7 @@ from repro.sim import Timeline
 
 @pytest.fixture
 def tor_nymbox(manager):
-    return manager.create_nym("lifecycle")
+    return manager.create_nym(name="lifecycle")
 
 
 class TestNewnymLifecycle:
@@ -158,7 +158,7 @@ class TestGuardRestore:
 class TestOneHopPath:
     def test_one_hop_path_ends_at_exit_relay(self, manager):
         nymbox = manager.create_nym(
-            "onehop", anonymizer="tor",
+            name="onehop", anonymizer="tor",
         )
         # Build a dedicated 1-hop client against the shared directory.
         from repro.anonymizers.tor.client import TorClient
@@ -180,7 +180,7 @@ class TestOneHopPath:
 
 class TestChurnAndCrashRecovery:
     def test_relay_churn_forces_rebuild_and_browse_survives(self, manager):
-        nymbox = manager.create_nym("churn-recover")
+        nymbox = manager.create_nym(name="churn-recover")
         tor = nymbox.anonymizer
         exit_nick = tor.current_circuit.exit.descriptor.nickname
         manager.directory.churn_relay(exit_nick)
@@ -191,11 +191,11 @@ class TestChurnAndCrashRecovery:
         assert tor.current_circuit.usable
 
     def test_crashed_nym_recovers_from_stored_state(self, manager):
-        nymbox = manager.create_nym("phoenix")
+        nymbox = manager.create_nym(name="phoenix")
         nymbox.browse("bbc.co.uk")
         manager.create_cloud_account("dropbox.com", "phx", "pw")
         manager.store_nym(
-            nymbox, "phx-pass", provider_host="dropbox.com", account_username="phx"
+            nymbox, password="phx-pass", provider_host="dropbox.com", account_username="phx"
         )
         history_before = len(nymbox.browser.history)
         nymbox.crash()
@@ -211,7 +211,7 @@ class TestChurnAndCrashRecovery:
         assert snapshot["vmm.vm.crashes"] >= 2
 
     def test_recover_requires_crash_and_stored_state(self, manager):
-        nymbox = manager.create_nym("unstored")
+        nymbox = manager.create_nym(name="unstored")
         with pytest.raises(NymStateError):
             manager.recover_nym("unstored", "pw")  # not crashed
         nymbox.crash()
@@ -219,7 +219,7 @@ class TestChurnAndCrashRecovery:
             manager.recover_nym("unstored", "pw")  # never stored
 
     def test_circuit_through_churned_relay_fails_loudly(self, manager):
-        nymbox = manager.create_nym("loud")
+        nymbox = manager.create_nym(name="loud")
         tor = nymbox.anonymizer
         circuit = tor.current_circuit
         manager.directory.churn_relay(circuit.exit.descriptor.nickname)

@@ -104,7 +104,7 @@ class TestDestinationIsolation:
 
 class TestClientIntegration:
     def test_socks_connect_honors_isolation(self, manager):
-        nymbox = manager.create_nym("iso")
+        nymbox = manager.create_nym(name="iso")
         tor = nymbox.anonymizer
         pool = tor.enable_stream_isolation(IsolationPolicy(isolate_destinations=True))
         tor.socks_connect("gmail.com")

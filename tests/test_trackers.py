@@ -16,7 +16,7 @@ def network(manager):
 class TestSingleProfileTracking:
     def test_one_browser_one_dossier(self, manager, network):
         """The pre-Nymix world: everything lands in one profile."""
-        nymbox = manager.create_nym("everything")
+        nymbox = manager.create_nym(name="everything")
         for hostname in ("facebook.com", "bbc.co.uk", "espn.com"):
             browse_with_trackers(manager, nymbox, hostname, [network])
         assert len(network.profiles) == 1
@@ -24,21 +24,21 @@ class TestSingleProfileTracking:
         assert network.can_link("facebook.com", "espn.com")
 
     def test_cookie_persists_across_visits(self, manager, network):
-        nymbox = manager.create_nym("everything")
+        nymbox = manager.create_nym(name="everything")
         a = browse_with_trackers(manager, nymbox, "facebook.com", [network])
         ids = set(network.profiles)
         browse_with_trackers(manager, nymbox, "facebook.com", [network])
         assert set(network.profiles) == ids  # same cookie reused
 
     def test_interest_segments(self, manager, network):
-        nymbox = manager.create_nym("everything")
+        nymbox = manager.create_nym(name="everything")
         browse_with_trackers(manager, nymbox, "facebook.com", [network])
         browse_with_trackers(manager, nymbox, "espn.com", [network])
         profile = next(iter(network.profiles.values()))
         assert {"social", "sports"} <= profile.interests()
 
     def test_not_embedded_not_observed(self, manager, network):
-        nymbox = manager.create_nym("everything")
+        nymbox = manager.create_nym(name="everything")
         browse_with_trackers(manager, nymbox, "gmail.com", [network])
         assert network.profiles == {}
 
@@ -46,8 +46,8 @@ class TestSingleProfileTracking:
 class TestPerNymCompartments:
     def test_roles_get_disjoint_dossiers(self, manager, network):
         """Alice's defense: one nym per role, tracker profiles disjoint."""
-        social = manager.create_nym("social")
-        news = manager.create_nym("news")
+        social = manager.create_nym(name="social")
+        news = manager.create_nym(name="news")
         browse_with_trackers(manager, social, "facebook.com", [network])
         browse_with_trackers(manager, social, "twitter.com", [network])
         browse_with_trackers(manager, news, "bbc.co.uk", [network])
@@ -56,11 +56,11 @@ class TestPerNymCompartments:
         assert network.can_link("facebook.com", "twitter.com")  # same role: fine
 
     def test_ephemeral_nym_resets_tracking_identity(self, manager, network):
-        nymbox = manager.create_nym("reader")
+        nymbox = manager.create_nym(name="reader")
         browse_with_trackers(manager, nymbox, "bbc.co.uk", [network])
         first_ids = set(network.profiles)
         manager.discard_nym(nymbox)
-        fresh = manager.create_nym("reader")
+        fresh = manager.create_nym(name="reader")
         browse_with_trackers(manager, fresh, "bbc.co.uk", [network])
         assert len(network.profiles) == 2  # new cookie, new stub
         assert set(network.profiles) != first_ids
@@ -69,9 +69,9 @@ class TestPerNymCompartments:
         """Persistence trades tracking-reset for convenience — within the
         role only, which is the §3.5 design point."""
         manager.create_cloud_account("dropbox.com", "u", "p")
-        nymbox = manager.create_nym("social")
+        nymbox = manager.create_nym(name="social")
         browse_with_trackers(manager, nymbox, "facebook.com", [network])
-        manager.store_nym(nymbox, "pw", provider_host="dropbox.com", account_username="u")
+        manager.store_nym(nymbox, password="pw", provider_host="dropbox.com", account_username="u")
         manager.discard_nym(nymbox)
         restored = manager.load_nym("social", "pw")
         # The jar came back, but our in-memory tracker-id map is the
@@ -83,6 +83,6 @@ class TestPerNymCompartments:
         for role, hostname in (
             ("a", "facebook.com"), ("b", "bbc.co.uk"), ("c", "espn.com"),
         ):
-            nymbox = manager.create_nym(role)
+            nymbox = manager.create_nym(name=role)
             browse_with_trackers(manager, nymbox, hostname, [network])
         assert network.largest_dossier() == 1

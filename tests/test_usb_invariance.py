@@ -21,10 +21,10 @@ class TestUsbInvariance:
         manager.create_cloud_account("dropbox.com", "u", "p")
         before = _usb_root(manager)
 
-        nymbox = manager.create_nym("busy")
+        nymbox = manager.create_nym(name="busy")
         manager.timed_browse(nymbox, "facebook.com")
         nymbox.sign_in("facebook.com", "pseudo", "pw")
-        manager.store_nym(nymbox, "pw", provider_host="dropbox.com", account_username="u")
+        manager.store_nym(nymbox, password="pw", provider_host="dropbox.com", account_username="u")
         manager.discard_nym(nymbox)
         restored = manager.load_nym("busy", "pw")
         manager.timed_browse(restored, "facebook.com")
@@ -39,7 +39,7 @@ class TestUsbInvariance:
         assert _usb_root(manager) == manager.hypervisor.merkle_root
 
     def test_guest_writes_cannot_drift_the_root(self, manager):
-        nymbox = manager.create_nym("writer")
+        nymbox = manager.create_nym(name="writer")
         nymbox.anonvm.fs.write("/etc/hostname", b"stained")
         nymbox.anonvm.fs.write("/usr/bin/chromium", b"patched")
         assert _usb_root(manager) == manager.hypervisor.merkle_root

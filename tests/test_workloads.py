@@ -99,13 +99,13 @@ class TestBrowsingSessions:
     def test_session_signs_in_where_required(self, manager):
         from repro.workloads.browsing import BrowsingSession
 
-        nymbox = manager.create_nym("s")
+        nymbox = manager.create_nym(name="s")
         BrowsingSession(hostname="gmail.com", sign_in=True).run(manager, nymbox)
         assert nymbox.browser.has_credentials_for("gmail.com")
 
     def test_session_skips_login_free_sites(self, manager):
         from repro.workloads.browsing import BrowsingSession
 
-        nymbox = manager.create_nym("s")
+        nymbox = manager.create_nym(name="s")
         BrowsingSession(hostname="bbc.co.uk", sign_in=True).run(manager, nymbox)
         assert not nymbox.browser.has_credentials_for("bbc.co.uk")
