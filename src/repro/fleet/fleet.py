@@ -107,6 +107,7 @@ class Fleet:
         comm_spec: Optional[VmSpec] = None,
         high_watermark: float = 0.90,
         low_watermark: float = 0.80,
+        flash_clone: bool = True,
     ) -> None:
         if hosts < 1:
             raise FleetError(f"a fleet needs at least one host, got {hosts}")
@@ -139,6 +140,7 @@ class Fleet:
                 host=self.host_spec,
                 base_layer=base_layer,
                 merkle_root=merkle_root,
+                zygote_cache=flash_clone,
             )
             self.hosts[host_id] = HostHandle(host_id, hv)
 
@@ -215,15 +217,18 @@ class Fleet:
         self, name: str, image_id: str, host: HostHandle, seq: int,
         advance: bool, extra_dirty_bytes: int = 0, moves: int = 0,
     ) -> FleetNymbox:
-        """Create, wire, and boot the VM pair on ``host``."""
+        """Create, wire, and boot the VM pair on ``host``.
+
+        The pair launches through the host's zygote cache: one template
+        per (spec, image) flavour per host, shared by every arrival and
+        by evacuation relaunches (which therefore clone instead of
+        cold-booting on the target host).
+        """
         hv = host.hypervisor
-        anonvm = hv.create_vm(self.anon_spec, name=f"{name}-anon", image_id=image_id)
-        try:
-            commvm = hv.create_vm(self.comm_spec, name=f"{name}-comm", image_id=image_id)
-        except Exception:
-            hv.destroy_vm(anonvm)
-            raise
-        hv.wire_nymbox(anonvm, commvm)
+        template = hv.nymbox_template(
+            self.anon_spec, self.comm_spec, image_id=image_id
+        )
+        anonvm, commvm, _wire = hv.flash_clone(template, name)
         # The pair boots in parallel, so it costs max(anon, comm) = anon.
         anonvm.boot(jitter_rng=self.rng, advance=advance)
         commvm.boot(jitter_rng=self.rng, advance=False)

@@ -110,10 +110,11 @@ def _run_policy(
     host_crashes: int,
     journal_path: Optional[str],
     idle_s: float = 0.0,
+    flash_clone: bool = True,
 ) -> PolicyResult:
     """One complete fleet run for one policy, on its own timeline."""
     timeline = Timeline(seed=seed)
-    fleet = Fleet(timeline, hosts=hosts, policy=policy)
+    fleet = Fleet(timeline, hosts=hosts, policy=policy, flash_clone=flash_clone)
     arrivals = fleet_workload(timeline.fork_rng("fleet.workload"), nyms)
 
     # Faults spread across the expected run length (arrivals advance time
@@ -169,6 +170,7 @@ def run_fleet(
     journal_path: Optional[str] = None,
     out_path: Optional[str] = "BENCH_fleet.json",
     idle_s: float = 0.0,
+    flash_clone: bool = True,
 ) -> FleetReport:
     """Run the fleet scenario; compare all policies on the same workload.
 
@@ -187,6 +189,7 @@ def run_fleet(
                 host_crashes=host_crashes,
                 journal_path=journal_path if name == policy else None,
                 idle_s=idle_s,
+                flash_clone=flash_clone,
             )
         )
     if out_path:

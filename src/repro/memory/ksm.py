@@ -89,8 +89,13 @@ class Ksm:
         # left switchable for the ablation benchmark.
         self.merge_zero_pages = merge_zero_pages
         self._guests: List[GuestMemory] = []
+        self._total_pages = 0
         self._scanned_pages = 0
-        # Incremental candidate index, revalidated against guest epochs.
+        # Incremental candidate index.  Each registered guest gets a dirty
+        # listener that flips the stale flag, so checking freshness is O(1)
+        # instead of an epoch walk over every guest; the epochs are still
+        # recorded at rebuild time for introspection and the perfbench
+        # seed-mode baseline.
         self._index_stale = True
         self._guest_epochs: Dict[int, int] = {}
         self._mergeable_shared = 0
@@ -104,19 +109,26 @@ class Ksm:
     def register(self, guest: GuestMemory) -> None:
         if guest not in self._guests:
             self._guests.append(guest)
+            self._total_pages += guest.total_pages
+            guest.add_dirty_listener(self._mark_index_stale)
             self._index_stale = True
 
     def unregister(self, guest: GuestMemory) -> None:
         if guest in self._guests:
             self._guests.remove(guest)
+            self._total_pages -= guest.total_pages
+            guest.remove_dirty_listener(self._mark_index_stale)
             self._guest_epochs.pop(id(guest), None)
             self._index_stale = True
+
+    def _mark_index_stale(self) -> None:
+        self._index_stale = True
 
     # -- scanning ------------------------------------------------------------
 
     @property
     def total_guest_pages(self) -> int:
-        return sum(guest.total_pages for guest in self._guests)
+        return self._total_pages
 
     @property
     def coverage(self) -> float:
@@ -172,13 +184,9 @@ class Ksm:
     # -- accounting ------------------------------------------------------------
 
     def _index_current(self) -> bool:
-        if self._index_stale:
-            return False
-        epochs = self._guest_epochs
-        for guest in self._guests:
-            if epochs.get(id(guest)) != guest.dirty_epoch:
-                return False
-        return True
+        # Dirty listeners flip ``_index_stale`` the moment any registered
+        # guest mutates, so freshness is the flag alone — no epoch walk.
+        return not self._index_stale
 
     def _rebuild_index(self) -> None:
         """Recompute the cross-guest merge candidates from content groups.

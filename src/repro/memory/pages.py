@@ -134,6 +134,25 @@ class GuestMemory:
         self._erased = False
         #: Monotonic mutation counter; consumers (KSM) cache against it.
         self.dirty_epoch = 0
+        #: Content runs are shared with a template (or clone) and must be
+        #: copied before the first in-place mutation.
+        self._cow_shared = False
+        self._dirty_listeners: List = []
+
+    # -- dirty listeners ---------------------------------------------------
+
+    def add_dirty_listener(self, callback) -> None:
+        """Call ``callback()`` after every mutation (epoch bump)."""
+        self._dirty_listeners.append(callback)
+
+    def remove_dirty_listener(self, callback) -> None:
+        if callback in self._dirty_listeners:
+            self._dirty_listeners.remove(callback)
+
+    def _bump_epoch(self) -> None:
+        self.dirty_epoch += 1
+        for callback in self._dirty_listeners:
+            callback()
 
     # -- introspection -----------------------------------------------------
 
@@ -182,6 +201,60 @@ class GuestMemory:
             image_pages=self._image_pages,
             unique_pages=self._unique_pages,
         )
+
+    # -- copy-on-write cloning ------------------------------------------------
+
+    def can_adopt(self, template: "GuestMemory") -> bool:
+        """True if this pristine guest can flash-adopt ``template``'s runs."""
+        return (
+            not self._erased
+            and self.dirty_epoch == 0
+            and self._zero_pages == self._total_pages
+            and self._total_pages == template._total_pages
+        )
+
+    def adopt_template(self, template: "GuestMemory") -> None:
+        """Take over a booted template's content runs, copy-on-write.
+
+        The run-length structures are shared by *reference*; both sides are
+        flagged so the first in-place mutation on either privatizes its
+        copy first.  Accounting (zero/image/unique counts) is copied, so
+        stats, page groups, and KSM merge candidates are indistinguishable
+        from a cold boot that replayed the template's map/dirty sequence.
+        """
+        if not self.can_adopt(template):
+            raise MemoryError_(
+                f"guest {self.owner_id}: only a pristine same-size guest "
+                f"can adopt a template"
+            )
+        self._image_runs = template._image_runs
+        self._unique_runs = template._unique_runs
+        template._cow_shared = True
+        self._cow_shared = True
+        self._zero_pages = template._zero_pages
+        self._image_pages = template._image_pages
+        self._unique_pages = template._unique_pages
+        self._unique_serial = template._unique_serial
+        self.dirty_epoch = template.dirty_epoch
+        for callback in self._dirty_listeners:
+            callback()
+
+    def clone(self, owner_id: str) -> "GuestMemory":
+        """A new guest sharing this guest's content runs copy-on-write."""
+        twin = GuestMemory(owner_id, pages_to_bytes(self._total_pages))
+        twin.adopt_template(self)
+        return twin
+
+    def _ensure_private(self) -> None:
+        """Deep-copy shared run structures before an in-place mutation."""
+        if not self._cow_shared:
+            return
+        self._image_runs = {
+            image_id: [run[:] for run in runs]
+            for image_id, runs in self._image_runs.items()
+        }
+        self._unique_runs = [run[:] for run in self._unique_runs]
+        self._cow_shared = False
 
     # -- mutation ------------------------------------------------------------
 
@@ -237,6 +310,8 @@ class GuestMemory:
     def map_image(self, image_id: str, size_bytes: int, first_block: int = 0) -> None:
         """Fill pages with shared disk-image content (page-cache of the base OS)."""
         pages = bytes_to_pages(size_bytes)
+        if pages:
+            self._ensure_private()
         self._take_pages(pages)
         if not pages:
             return
@@ -249,11 +324,13 @@ class GuestMemory:
         else:
             runs.append([first_block, first_block + pages, 1])
         self._image_pages += pages
-        self.dirty_epoch += 1
+        self._bump_epoch()
 
     def dirty(self, size_bytes: int) -> None:
         """Dirty pages with private content (writes by the guest workload)."""
         pages = bytes_to_pages(size_bytes)
+        if pages:
+            self._ensure_private()
         self._take_pages(pages)
         if not pages:
             return
@@ -264,7 +341,7 @@ class GuestMemory:
         else:
             self._unique_runs.append([lo, lo + pages])
         self._unique_pages += pages
-        self.dirty_epoch += 1
+        self._bump_epoch()
 
     def dirty_pages(self, pages: int) -> None:
         self.dirty(pages_to_bytes(pages))
@@ -278,5 +355,6 @@ class GuestMemory:
         self._unique_runs = []
         self._unique_pages = 0
         self._erased = True
-        self.dirty_epoch += 1
+        self._cow_shared = False
+        self._bump_epoch()
         return wiped

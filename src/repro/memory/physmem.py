@@ -52,6 +52,7 @@ class HostMemory:
         self.base_used_bytes = base_used_bytes
         self.ksm = ksm if ksm is not None else Ksm()
         self._guests: Dict[str, GuestMemory] = {}
+        self._allocated_pages = 0  # maintained by allocate/release
 
     # -- admission ------------------------------------------------------------
 
@@ -67,6 +68,7 @@ class HostMemory:
             )
         guest = GuestMemory(owner_id, size_bytes)
         self._guests[owner_id] = guest
+        self._allocated_pages += guest.total_pages
         self.ksm.register(guest)
         return guest
 
@@ -75,6 +77,7 @@ class HostMemory:
         guest = self._guests.pop(owner_id, None)
         if guest is None:
             return
+        self._allocated_pages -= guest.total_pages
         if secure:
             guest.secure_erase()
         self.ksm.unregister(guest)
@@ -88,7 +91,7 @@ class HostMemory:
     # -- accounting ------------------------------------------------------------
 
     def stats(self) -> HostMemoryStats:
-        allocated = pages_to_bytes(sum(g.total_pages for g in self._guests.values()))
+        allocated = pages_to_bytes(self._allocated_pages)
         return HostMemoryStats(
             total_bytes=self.total_bytes,
             base_used_bytes=self.base_used_bytes,

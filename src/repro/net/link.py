@@ -59,14 +59,20 @@ class VirtualWire:
         self._a.detach()
         self._b.detach()
 
-    def bring_up(self) -> None:
-        """Restore a downed wire: both NICs re-attach and frames flow again."""
+    def bring_up(self, quiet: bool = False) -> None:
+        """Restore a downed wire: both NICs re-attach and frames flow again.
+
+        ``quiet`` suppresses the journal event — used for housekeeping
+        re-attachment (the hypervisor's cached LAN wire), where an outage
+        recovery was never observed by anyone.
+        """
         if self._up:
             return
         self._a.attach(self)
         self._b.attach(self)
         self._up = True
-        self.timeline.obs.event("net.link.up", wire=self.name)
+        if not quiet:
+            self.timeline.obs.event("net.link.up", wire=self.name)
 
     def flap(self, down_for_s: float) -> None:
         """Take the wire down now and bring it back ``down_for_s`` later.

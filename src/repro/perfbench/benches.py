@@ -339,6 +339,8 @@ def _bench_nym_lifecycle(quick: bool) -> BenchResult:
         manager.timed_browse(nymbox, "bbc.co.uk")
         manager.discard_nym(nymbox)
 
+    for _ in range(2 if quick else 8):  # warm the manager's launch caches
+        lifecycle()
     budget = _budget(quick)
     iterations, seconds = measure(lifecycle, budget, min_iterations=2)
     return BenchResult(
@@ -348,6 +350,111 @@ def _bench_nym_lifecycle(quick: bool) -> BenchResult:
         iterations=iterations,
         seconds=seconds,
         notes="create_nym + one page load + discard_nym on a warm manager",
+    )
+
+
+def _bench_nym_launch(quick: bool) -> BenchResult:
+    """Steady-state create/discard throughput on a warm manager.
+
+    Live path: flash-cloned nymboxes (zygote memory templates, shared
+    mount layers) with precomputed-base keygen and warm ntor caches.
+    Baseline: the same manager code with ``flash_clone=False`` inside
+    :func:`seed_launch_mode` — cold boots, ladder keygen, no handshake
+    caches, and the seed O(N) accounting sums.
+    """
+    from repro.core import NymManager, NymixConfig
+    from repro.perfbench.legacy import seed_launch_mode
+
+    warmup = 8 if quick else 40
+
+    def make_loop(flash_clone: bool, warm: int):
+        manager = NymManager(NymixConfig(seed=11, flash_clone=flash_clone))
+        for _ in range(warm):
+            manager.discard_nym(manager.create_nym())
+
+        def launch() -> None:
+            manager.discard_nym(manager.create_nym())
+
+        return launch
+
+    budget = _budget(quick)
+    # The live loop warms deeper: cache fill (one keygen per distinct
+    # relay) is a one-time cost, and this bench measures steady state.
+    # The baseline has no caches, so its steady state needs no fill.
+    launch = make_loop(flash_clone=True, warm=warmup)
+    iterations, seconds = measure(launch, budget, min_iterations=2)
+    with seed_launch_mode():
+        seed_launch = make_loop(flash_clone=False, warm=2)
+        base_iters, base_seconds = measure(seed_launch, budget, min_iterations=2)
+    return BenchResult(
+        name="nym_launch",
+        tags=["scenario", "launch"],
+        unit="launch",
+        iterations=iterations,
+        seconds=seconds,
+        baseline_iterations=base_iters,
+        baseline_seconds=base_seconds,
+        notes=(
+            "create_nym + discard_nym on a warm manager; seed cold-boots "
+            "both VMs and runs full ntor handshakes per circuit hop"
+        ),
+        extra={"warmup_launches": warmup},
+    )
+
+
+def _bench_fleet_arrival(quick: bool) -> BenchResult:
+    """Multi-host placement throughput: nymboxes arriving across a fleet.
+
+    Live path: every host hypervisor flash-clones from its zygote
+    template and accounting is O(Δ).  Baseline: ``flash_clone=False``
+    fleets inside :func:`seed_accounting_mode` (crypto is untouched —
+    fleet placement does not build circuits).
+    """
+    from repro.fleet import Fleet
+    from repro.perfbench.legacy import seed_accounting_mode
+    from repro.sim.clock import Timeline
+    from repro.workloads.fleet import fleet_workload
+
+    hosts = 2 if quick else 4
+    arrivals = 8 if quick else 24
+
+    def make_arrival(flash_clone: bool):
+        def arrival() -> None:
+            timeline = Timeline(seed=5, observability=False)
+            fleet = Fleet(
+                timeline,
+                hosts=hosts,
+                policy="ksm-aware",
+                flash_clone=flash_clone,
+            )
+            workload = fleet_workload(timeline.fork_rng("bench.workload"), arrivals)
+            for item in workload:
+                fleet.place(item.name, item.image_id)
+            fleet.settle_ksm()
+
+        return arrival
+
+    budget = _budget(quick)
+    arrival = make_arrival(flash_clone=True)
+    arrival()  # warm per-process state before timing
+    iterations, seconds = measure(arrival, budget, min_iterations=2)
+    with seed_accounting_mode():
+        seed_arrival = make_arrival(flash_clone=False)
+        base_iters, base_seconds = measure(seed_arrival, budget, min_iterations=2)
+    return BenchResult(
+        name="fleet_arrival",
+        tags=["scenario", "fleet"],
+        unit="wave",
+        iterations=iterations,
+        seconds=seconds,
+        baseline_iterations=base_iters,
+        baseline_seconds=base_seconds,
+        notes=(
+            f"{arrivals} nymbox arrivals across {hosts} hosts with the "
+            "ksm-aware policy, then settle_ksm; seed cold-boots every "
+            "placement and re-sums accounting per admission check"
+        ),
+        extra={"hosts": hosts, "arrivals": arrivals},
     )
 
 
@@ -403,6 +510,18 @@ BENCHES: Dict[str, Bench] = {
             ["scenario"],
             "create/browse/discard one nym under wall-clock timing",
             _bench_nym_lifecycle,
+        ),
+        Bench(
+            "nym_launch",
+            ["scenario", "launch"],
+            "flash-cloned nym launches vs the seed cold-boot path",
+            _bench_nym_launch,
+        ),
+        Bench(
+            "fleet_arrival",
+            ["scenario", "fleet"],
+            "fleet placement waves vs cold boots with seed accounting",
+            _bench_fleet_arrival,
         ),
     ]
 }

@@ -18,6 +18,7 @@ side effects on the production paths.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.errors import MemoryError_
@@ -198,11 +199,117 @@ def legacy_onion_round_trip(
     return data
 
 
+# ---------------------------------------------------------------------------
+# Seed launch path: context managers that swap the live caches and O(Δ)
+# accounting back to the pre-flash-clone behaviour *in place*, so the
+# `nym_launch` / `fleet_arrival` baselines run the real manager and fleet
+# code with only the optimizations reverted.
+# ---------------------------------------------------------------------------
+
+
+@contextmanager
+def seed_crypto_mode():
+    """Run with the seed handshake costs: scalar-ladder keygen on every
+    ntor handshake, no relay-side memo, no client-side keyshare cache."""
+    import sys
+
+    from repro.anonymizers.tor import relay as relay_mod
+    from repro.anonymizers.tor.circuit import NTOR_CLIENT_CACHE
+
+    x25519_mod = sys.modules["repro.crypto.x25519"]
+    fixed_base_was = x25519_mod.fixed_base_enabled()
+    memo_was = relay_mod.handshake_memo_enabled()
+    cache_was = NTOR_CLIENT_CACHE.enabled
+    x25519_mod.set_fixed_base_enabled(False)
+    relay_mod.set_handshake_memo_enabled(False)
+    NTOR_CLIENT_CACHE.enabled = False
+    NTOR_CLIENT_CACHE.clear()
+    try:
+        yield
+    finally:
+        x25519_mod.set_fixed_base_enabled(fixed_base_was)
+        relay_mod.set_handshake_memo_enabled(memo_was)
+        NTOR_CLIENT_CACHE.enabled = cache_was
+        NTOR_CLIENT_CACHE.clear()
+
+
+def _seed_layer_used_bytes(self) -> int:
+    return sum(len(data) for data in self._files.values())
+
+
+def _seed_host_memory_stats(self):
+    from repro.memory.physmem import HostMemoryStats
+
+    allocated = pages_to_bytes(sum(g.total_pages for g in self._guests.values()))
+    return HostMemoryStats(
+        total_bytes=self.total_bytes,
+        base_used_bytes=self.base_used_bytes,
+        guest_allocated_bytes=allocated,
+        ksm_saved_bytes=self.ksm.stats().bytes_saved,
+    )
+
+
+def _seed_ksm_total_guest_pages(self) -> int:
+    return sum(guest.total_pages for guest in self._guests)
+
+
+def _seed_ksm_index_current(self) -> bool:
+    if self._index_stale:
+        return False
+    epochs = self._guest_epochs
+    for guest in self._guests:
+        if epochs.get(id(guest)) != guest.dirty_epoch:
+            return False
+    return True
+
+
+@contextmanager
+def seed_accounting_mode():
+    """Run with the seed O(N) accounting sums: `Layer.used_bytes` walks
+    every file, `HostMemory.stats` and `Ksm.total_guest_pages` walk every
+    guest, and `Ksm._index_current` re-walks dirty epochs per call."""
+    from repro.memory.ksm import Ksm
+    from repro.memory.physmem import HostMemory
+    from repro.unionfs.layer import Layer
+
+    saved = (
+        Layer.used_bytes,
+        HostMemory.stats,
+        Ksm.total_guest_pages,
+        Ksm._index_current,
+    )
+    Layer.used_bytes = property(_seed_layer_used_bytes)
+    HostMemory.stats = _seed_host_memory_stats
+    Ksm.total_guest_pages = property(_seed_ksm_total_guest_pages)
+    Ksm._index_current = _seed_ksm_index_current
+    try:
+        yield
+    finally:
+        (
+            Layer.used_bytes,
+            HostMemory.stats,
+            Ksm.total_guest_pages,
+            Ksm._index_current,
+        ) = saved
+
+
+@contextmanager
+def seed_launch_mode():
+    """The full pre-flash-clone launch path: seed crypto plus seed
+    accounting (callers additionally pass ``flash_clone=False`` so the
+    zygote cache is off and every launch cold-boots)."""
+    with seed_crypto_mode(), seed_accounting_mode():
+        yield
+
+
 __all__ = [
     "LegacyGuestMemory",
     "legacy_merge_candidates",
     "legacy_ksm_stats",
     "legacy_poly1305_mac",
     "legacy_onion_round_trip",
+    "seed_crypto_mode",
+    "seed_accounting_mode",
+    "seed_launch_mode",
     "PAGE_SIZE",
 ]

@@ -42,8 +42,14 @@ class Layer:
         self.read_only = read_only
         self._files: Dict[str, bytes] = {}
         self._whiteouts: Set[str] = set()
+        self._used_bytes = 0
         for path, data in (files or {}).items():
-            self._files[normalize_path(path)] = bytes(data)
+            path_n = normalize_path(path)
+            previous = self._files.get(path_n)
+            if previous is not None:
+                self._used_bytes -= len(previous)
+            self._files[path_n] = bytes(data)
+            self._used_bytes += len(data)
 
     # -- queries ---------------------------------------------------------------
 
@@ -74,7 +80,10 @@ class Layer:
 
     @property
     def used_bytes(self) -> int:
-        return sum(len(data) for data in self._files.values())
+        # Maintained incrementally by the mutators below: placement and
+        # admission decisions poll this per candidate host, so it must not
+        # cost O(files).
+        return self._used_bytes
 
     # -- mutation ------------------------------------------------------------
 
@@ -85,7 +94,11 @@ class Layer:
     def write(self, path: str, data: bytes) -> None:
         self._check_writable()
         path = normalize_path(path)
+        previous = self._files.get(path)
+        if previous is not None:
+            self._used_bytes -= len(previous)
         self._files[path] = bytes(data)
+        self._used_bytes += len(data)
         self._whiteouts.discard(path)
 
     def remove(self, path: str) -> None:
@@ -93,12 +106,15 @@ class Layer:
         path = normalize_path(path)
         if path not in self._files:
             raise FileSystemError(f"{path}: not present in layer {self.name!r}")
+        self._used_bytes -= len(self._files[path])
         del self._files[path]
 
     def add_whiteout(self, path: str) -> None:
         self._check_writable()
         path = normalize_path(path)
-        self._files.pop(path, None)
+        previous = self._files.pop(path, None)
+        if previous is not None:
+            self._used_bytes -= len(previous)
         self._whiteouts.add(path)
 
     def clear(self) -> int:
@@ -107,6 +123,7 @@ class Layer:
         freed = self.used_bytes
         self._files.clear()
         self._whiteouts.clear()
+        self._used_bytes = 0
         return freed
 
     def __repr__(self) -> str:

@@ -92,16 +92,24 @@ def build_vm_mount(
     anonymizer: str = "",
     merkle_root: Optional[bytes] = None,
     on_tamper=None,
+    config: Optional[Layer] = None,
+    bottom: Optional[Layer] = None,
 ) -> UnionMount:
     """Assemble the three-layer stack for one VM.
 
     With ``merkle_root`` given, the base layer is wrapped in the verified
     read path of §3.4 (shut down rather than boot from tampered media).
+    Callers that launch many VMs may pass pre-built ``config``/``bottom``
+    layers (both read-only, so sharing them across mounts is safe — the
+    hypervisor's zygote cache does this); only the tmpfs top is always
+    fresh.
     """
-    bottom: Layer = base
-    if merkle_root is not None:
-        bottom = VerifiedLayer(base, merkle_root, on_tamper=on_tamper)
-    config = build_config_layer(role, anonymizer)
+    if bottom is None:
+        bottom = base
+        if merkle_root is not None:
+            bottom = VerifiedLayer(base, merkle_root, on_tamper=on_tamper)
+    if config is None:
+        config = build_config_layer(role, anonymizer)
     tmpfs = TmpfsLayer(name=f"tmpfs({role.value})", capacity_bytes=tmpfs_bytes)
     return UnionMount([tmpfs, config, bottom])
 

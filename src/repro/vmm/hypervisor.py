@@ -8,6 +8,7 @@ from typing import Dict, List, Optional
 
 from repro.errors import HypervisorError, UnreachableError
 from repro.memory.ksm import Ksm
+from repro.memory.pages import GuestMemory
 from repro.memory.physmem import GIB, HostMemory
 from repro.net.addresses import (
     GATEWAY_IP,
@@ -24,9 +25,11 @@ from repro.net.nic import VirtualNic
 from repro.net.pcap import PacketCapture
 from repro.sim.clock import Timeline
 from repro.unionfs.layer import Layer
+from repro.unionfs.verify import VerifiedLayer
 from repro.vmm.baseimage import (
     NYMIX_IMAGE_ID,
     build_base_layer,
+    build_config_layer,
     build_vm_mount,
     published_merkle_root,
 )
@@ -46,6 +49,22 @@ class HostSpec:
     uplink_rtt_s: float = 0.080
     public_ip: str = "203.0.113.77"
     lan_mac: str = "00:16:3e:aa:bb:01"
+
+
+@dataclass(frozen=True)
+class NymboxTemplate:
+    """The zygote-cache key for one flavour of nymbox.
+
+    Two launches with equal templates share the same pre-booted memory
+    image and read-only mount layers on a given hypervisor; the template
+    itself carries no state, so it can be computed anywhere and passed
+    around freely.
+    """
+
+    anon_spec: VmSpec
+    comm_spec: VmSpec
+    anonymizer: str = ""
+    image_id: str = NYMIX_IMAGE_ID
 
 
 @dataclass(frozen=True)
@@ -76,6 +95,7 @@ class Hypervisor:
         ksm_enabled: bool = True,
         base_layer: Optional[Layer] = None,
         merkle_root: Optional[str] = None,
+        zygote_cache: bool = True,
     ) -> None:
         self.timeline = timeline
         self.internet = internet
@@ -104,23 +124,53 @@ class Hypervisor:
         self._vms: Dict[str, VirtualMachine] = {}
         self._nats: Dict[str, MasqueradeNat] = {}
         self._wires: List[VirtualWire] = []
+        # O(1) wire teardown: wires registered through the factory methods
+        # below are indexed by endpoint NIC and by position in ``_wires``.
+        self._wire_slots: Dict[int, int] = {}
+        self._wires_by_nic: Dict[VirtualNic, VirtualWire] = {}
         self._vm_counter = itertools.count(1)
         self.emergency_halted = False
         self.tamper_log: List[str] = []
 
+        #: Flash-clone launch path: pre-booted memory images and shared
+        #: read-only mount layers, keyed per (spec, role, anonymizer, image).
+        self.zygote_cache = zygote_cache
+        self._zygote_memories: Dict[tuple, GuestMemory] = {}
+        self._layer_cache: Dict[tuple, tuple] = {}
+
+        #: The host LAN wire, built once on the first DHCP handshake and
+        #: kept (torn down) between handshakes instead of leaking a fresh
+        #: server + tapped wire per call.
+        self._lan_wire: Optional[VirtualWire] = None
+        self._lan_client: Optional[DhcpClient] = None
+
     # -- host bring-up ------------------------------------------------------
 
     def acquire_lan_address(self) -> Ipv4Address:
-        """Run the host's DHCP handshake on a captured LAN wire."""
-        server_nic = VirtualNic(
-            "lan-dhcp-server", MacAddress.parse("00:16:3e:00:00:01"),
-            Ipv4Address.parse("192.168.1.1"),
-        )
-        wire = VirtualWire(self.timeline, self.lan_nic, server_nic, name="host-lan")
-        wire.add_tap(self.host_capture)
-        DhcpServer(self.timeline, server_nic, Ipv4Address.parse("192.168.1.100"))
-        client = DhcpClient(self.timeline, self.lan_nic)
-        return client.acquire()
+        """Run the host's DHCP handshake on a captured LAN wire.
+
+        The wire, DHCP server, and client are created once and reused for
+        subsequent handshakes (the server's lease table hands the same
+        address back); the wire is severed after each handshake so the
+        host is not left holding an open LAN link.
+        """
+        if self._lan_wire is None:
+            server_nic = VirtualNic(
+                "lan-dhcp-server", MacAddress.parse("00:16:3e:00:00:01"),
+                Ipv4Address.parse("192.168.1.1"),
+            )
+            self._lan_wire = VirtualWire(
+                self.timeline, self.lan_nic, server_nic, name="host-lan"
+            )
+            self._lan_wire.add_tap(self.host_capture)
+            DhcpServer(self.timeline, server_nic, Ipv4Address.parse("192.168.1.100"))
+            self._lan_client = DhcpClient(self.timeline, self.lan_nic)
+        else:
+            self._lan_wire.bring_up(quiet=True)
+        try:
+            return self._lan_client.acquire()
+        finally:
+            self._lan_wire.take_down()
 
     # -- tamper handling (verified boot, §3.4) -----------------------------------
 
@@ -135,6 +185,91 @@ class Hypervisor:
         for vm in list(self._vms.values()):
             if vm.state.value in ("running", "paused"):
                 vm.shutdown()
+
+    # -- zygote cache (flash-clone launch path) ---------------------------------
+
+    def nymbox_template(
+        self,
+        anon_spec: VmSpec,
+        comm_spec: VmSpec,
+        anonymizer: str = "",
+        image_id: str = NYMIX_IMAGE_ID,
+    ) -> NymboxTemplate:
+        """The template key for :meth:`flash_clone` launches."""
+        return NymboxTemplate(
+            anon_spec=anon_spec,
+            comm_spec=comm_spec,
+            anonymizer=anonymizer,
+            image_id=image_id,
+        )
+
+    def _zygote_memory(self, spec: VmSpec, image_id: str) -> GuestMemory:
+        """The pre-booted memory image for one (spec, image) flavour.
+
+        Built once by replaying exactly the map/dirty sequence a cold boot
+        performs, on a synthetic guest that is *not* registered with host
+        memory or KSM — it represents no resident VM, so Figure 3
+        accounting never sees it.  Clones adopt its content runs
+        copy-on-write at boot.
+        """
+        key = (spec, image_id)
+        zygote = self._zygote_memories.get(key)
+        if zygote is None:
+            zygote = GuestMemory(f"zygote({spec.role.value})", spec.ram_bytes)
+            if spec.image_cache_bytes:
+                zygote.map_image(image_id, spec.image_cache_bytes)
+            if spec.boot_dirty_bytes:
+                zygote.dirty(spec.boot_dirty_bytes)
+            self._zygote_memories[key] = zygote
+        return zygote
+
+    def _mount_layers(
+        self, role: VmRole, anonymizer: str, base: Layer
+    ) -> tuple:
+        """Memoized (config, bottom) mount layers for one VM flavour.
+
+        Both layers are read-only, so every clone of a flavour can share
+        the same objects — including the Merkle proof index a
+        ``VerifiedLayer`` builds, which is the expensive part of the
+        verified-boot check.
+        """
+        key = (role, anonymizer, id(base))
+        cached = self._layer_cache.get(key)
+        if cached is None:
+            bottom: Layer = base
+            if self.verify_base_image:
+                bottom = VerifiedLayer(base, self.merkle_root, on_tamper=self._on_tamper)
+            config = build_config_layer(role, anonymizer)
+            cached = (config, bottom)
+            self._layer_cache[key] = cached
+        return cached
+
+    def flash_clone(
+        self, template: NymboxTemplate, name: str
+    ) -> tuple:
+        """Launch one AnonVM + CommVM nymbox pair from ``template``.
+
+        Returns ``(anonvm, commvm, wire)``.  With the zygote cache enabled
+        the pair shares the template's mount layers and flash-adopts its
+        pre-booted memory at boot; with it disabled this is exactly the
+        cold-boot construction sequence — either way the resulting nymbox
+        is semantically identical.
+        """
+        anonvm = self.create_vm(
+            template.anon_spec, name=f"{name}-anon", image_id=template.image_id
+        )
+        try:
+            commvm = self.create_vm(
+                template.comm_spec,
+                name=f"{name}-comm",
+                anonymizer=template.anonymizer,
+                image_id=template.image_id,
+            )
+        except Exception:
+            self.destroy_vm(anonvm)
+            raise
+        wire = self.wire_nymbox(anonvm, commvm)
+        return anonvm, commvm, wire
 
     # -- VM factory ------------------------------------------------------------
 
@@ -152,14 +287,28 @@ class Hypervisor:
         if vm_id in self._vms:
             raise HypervisorError(f"VM id {vm_id!r} already exists")
         guest_memory = self.memory.allocate_guest(vm_id, spec.ram_bytes)
-        fs = build_vm_mount(
-            role=spec.role,
-            tmpfs_bytes=spec.writable_fs_bytes,
-            base=base_layer if base_layer is not None else self.base_layer,
-            anonymizer=anonymizer,
-            merkle_root=self.merkle_root if self.verify_base_image else None,
-            on_tamper=self._on_tamper,
-        )
+        base = base_layer if base_layer is not None else self.base_layer
+        template_memory: Optional[GuestMemory] = None
+        if self.zygote_cache:
+            config, bottom = self._mount_layers(spec.role, anonymizer, base)
+            fs = build_vm_mount(
+                role=spec.role,
+                tmpfs_bytes=spec.writable_fs_bytes,
+                base=base,
+                anonymizer=anonymizer,
+                config=config,
+                bottom=bottom,
+            )
+            template_memory = self._zygote_memory(spec, image_id)
+        else:
+            fs = build_vm_mount(
+                role=spec.role,
+                tmpfs_bytes=spec.writable_fs_bytes,
+                base=base,
+                anonymizer=anonymizer,
+                merkle_root=self.merkle_root if self.verify_base_image else None,
+                on_tamper=self._on_tamper,
+            )
         vm = VirtualMachine(
             timeline=self.timeline,
             vm_id=vm_id,
@@ -167,6 +316,7 @@ class Hypervisor:
             memory=guest_memory,
             fs=fs,
             image_id=image_id,
+            template_memory=template_memory,
         )
         self._vms[vm_id] = vm
         obs = self.timeline.obs
@@ -179,10 +329,14 @@ class Hypervisor:
         if vm.state.value in ("running", "paused", "created"):
             vm.shutdown()
         vm.fs.discard_changes()
-        for wire in list(self._wires):
-            if vm.nics and any(nic in wire.endpoints for nic in vm.nics):
+        # O(nics), not O(host wires): each registered wire is indexed by
+        # its endpoint NICs, so a fleet-scale teardown no longer rescans
+        # every wire on the host per destroyed VM.
+        for nic in vm.nics:
+            wire = self._wires_by_nic.get(nic)
+            if wire is not None:
                 wire.take_down()
-                self._wires.remove(wire)
+                self._unregister_wire(wire)
         self.memory.release_guest(vm.vm_id, secure=True)
         self._nats.pop(vm.vm_id, None)
         self._vms.pop(vm.vm_id, None)
@@ -196,6 +350,35 @@ class Hypervisor:
 
     def vms(self) -> List[VirtualMachine]:
         return list(self._vms.values())
+
+    # -- wire registry ------------------------------------------------------------
+
+    def _register_wire(self, wire: VirtualWire) -> None:
+        self._wire_slots[id(wire)] = len(self._wires)
+        self._wires.append(wire)
+        for nic in wire.endpoints:
+            self._wires_by_nic[nic] = wire
+
+    def _unregister_wire(self, wire: VirtualWire) -> None:
+        """Drop a registered wire in O(1) (swap-remove from ``_wires``)."""
+        for nic in wire.endpoints:
+            if self._wires_by_nic.get(nic) is wire:
+                del self._wires_by_nic[nic]
+        slot = self._wire_slots.pop(id(wire), None)
+        if slot is None:
+            # Not registered through the factory methods (tests poke
+            # ``_wires`` directly); fall back to a linear removal.
+            if wire in self._wires:
+                self._wires.remove(wire)
+                self._wire_slots = {
+                    id(w): i for i, w in enumerate(self._wires)
+                    if id(w) in self._wire_slots
+                }
+            return
+        last = self._wires.pop()
+        if last is not wire:
+            self._wires[slot] = last
+            self._wire_slots[id(last)] = slot
 
     # -- nymbox wiring (§4.2) -----------------------------------------------------
 
@@ -214,7 +397,7 @@ class Hypervisor:
             self.timeline, anon_nic, comm_inner,
             latency_s=0.0002, name=f"nymwire({anonvm.vm_id})",
         )
-        self._wires.append(wire)
+        self._register_wire(wire)
         return wire
 
     def wire_comm_chain(
@@ -245,7 +428,7 @@ class Hypervisor:
             self.timeline, up_nic, down_nic,
             latency_s=0.0002, name=f"chainwire({upstream.vm_id}->{downstream.vm_id})",
         )
-        self._wires.append(wire)
+        self._register_wire(wire)
         return wire
 
     def attach_nat(self, commvm: VirtualMachine) -> MasqueradeNat:

@@ -135,6 +135,7 @@ class VirtualMachine:
         memory: GuestMemory,
         fs: UnionMount,
         image_id: str,
+        template_memory: Optional[GuestMemory] = None,
     ) -> None:
         self.timeline = timeline
         self.vm_id = vm_id
@@ -142,6 +143,9 @@ class VirtualMachine:
         self.memory = memory
         self.fs = fs
         self.image_id = image_id
+        #: Pre-booted memory image to flash-adopt at boot time instead of
+        #: replaying map_image/dirty (the hypervisor's zygote cache).
+        self.template_memory = template_memory
         self.state = VmState.CREATED
         self.nics: List[VirtualNic] = []
         self.shared_folders: Dict[str, SharedFolder] = {}
@@ -172,10 +176,17 @@ class VirtualMachine:
         with obs.span("vm.boot", vm=self.vm_id, role=self.spec.role.value):
             if advance:
                 self.timeline.sleep(duration)
-            if self.spec.image_cache_bytes:
-                self.memory.map_image(self.image_id, self.spec.image_cache_bytes)
-            if self.spec.boot_dirty_bytes:
-                self.memory.dirty(self.spec.boot_dirty_bytes)
+            template = self.template_memory
+            if template is not None and self.memory.can_adopt(template):
+                # Flash clone: take the template's post-boot content runs
+                # copy-on-write — equivalent to replaying the map/dirty
+                # sequence below, without the per-boot run construction.
+                self.memory.adopt_template(template)
+            else:
+                if self.spec.image_cache_bytes:
+                    self.memory.map_image(self.image_id, self.spec.image_cache_bytes)
+                if self.spec.boot_dirty_bytes:
+                    self.memory.dirty(self.spec.boot_dirty_bytes)
             self.state = VmState.RUNNING
             self.booted_at = self.timeline.now
             self.last_boot_seconds = duration

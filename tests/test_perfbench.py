@@ -24,6 +24,8 @@ EXPECTED_BENCHES = {
     "event_queue_load",
     "fig3_scenario",
     "nym_lifecycle",
+    "nym_launch",
+    "fleet_arrival",
 }
 
 
