@@ -31,6 +31,7 @@ from repro.anonymizers.incognito import IncognitoMode
 from repro.anonymizers.sweet import SweetTunnel
 from repro.anonymizers.dissent.client import DissentClient
 from repro.anonymizers.tor.client import TorClient
+from repro.mixnet.client import MixnetClient
 
 __all__ = [
     "ANONYMIZER_REGISTRY",
@@ -43,4 +44,5 @@ __all__ = [
     "SweetTunnel",
     "DissentClient",
     "TorClient",
+    "MixnetClient",
 ]

@@ -20,6 +20,7 @@ from repro.net.addresses import Ipv4Address
 WIRE_PROTOCOLS = {
     "tor": "tls-tor",  # Tor's TLS handshake is fingerprintable
     "dissent": "dissent",
+    "mixnet": "mixnet",  # fixed-size packets on a steady clock are distinctive
     "incognito": "https",
     "sweet": "smtp",
     "stegotorus": "http",  # the whole point: looks like plain web traffic

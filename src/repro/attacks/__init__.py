@@ -14,6 +14,9 @@ adversary suite:
 * :mod:`repro.attacks.intersection` — long-term intersection attacks [40]
   and the entry-guard-rotation exposure model that motivates
   quasi-persistent Tor state (§3.5).
+* :mod:`repro.attacks.traffic_confirmation` — a global passive adversary
+  correlating ingress with egress timing across Tor, Dissent, and the
+  mixnet; the anonymity score behind ``repro sweep``.
 """
 
 from repro.attacks.fingerprinting import (
@@ -23,6 +26,10 @@ from repro.attacks.fingerprinting import (
 from repro.attacks.staining import EvercookieStain
 from repro.attacks.exploits import AnonVmCompromise, CommVmCompromise
 from repro.attacks.intersection import GuardExposureModel, IntersectionAttack
+from repro.attacks.traffic_confirmation import (
+    ConfirmationReport,
+    TrafficConfirmationAttack,
+)
 
 __all__ = [
     "distinguishing_bits",
@@ -32,4 +39,6 @@ __all__ = [
     "CommVmCompromise",
     "GuardExposureModel",
     "IntersectionAttack",
+    "ConfirmationReport",
+    "TrafficConfirmationAttack",
 ]

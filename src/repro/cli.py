@@ -11,6 +11,7 @@ Gives the reproduction an operator's console:
 * ``bench``     — time the simulator's hot paths against the seed code
 * ``chaos``     — run a seeded fault-injection scenario, print the survival report
 * ``fleet``     — place ~1000 nymboxes over a simulated 64-host cluster
+* ``sweep``     — chart anonymity/latency/overhead across Tor, Dissent, mixnet
 
 Every subcommand accepts the same three flags: ``--seed`` (overrides the
 global ``--seed``), ``--duration`` (extra simulated seconds before the
@@ -275,12 +276,16 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults.chaos import run_chaos
 
     manager, report = run_chaos(
-        seed=effective_seed(args), quick=args.quick, duration_s=args.duration
+        seed=effective_seed(args),
+        quick=args.quick,
+        duration_s=args.duration,
+        anonymizer=args.anonymizer,
     )
     if args.json:
         _emit_json(
             {
                 "seed": report.seed,
+                "anonymizer": report.anonymizer,
                 "survived": report.survived,
                 "planned": report.planned,
                 "injected": report.injected,
@@ -324,6 +329,27 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     if args.journal:
         print(f"journal -> {args.journal}", file=sys.stderr)
     return 0 if (args.no_compare or report.ksm_aware_beats_first_fit) else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweeps import run_sweep
+
+    report = run_sweep(
+        seed=effective_seed(args),
+        quick=args.quick,
+        idle_s=args.duration,
+        journal_path=args.journal,
+        out_path=args.out,
+    )
+    if args.json:
+        _emit_json(report.export())
+    else:
+        print(report.summary())
+        if args.out:
+            print(f"report -> {args.out}", file=sys.stderr)
+    if args.journal:
+        print(f"journal -> {args.journal}", file=sys.stderr)
+    return 0
 
 
 def cmd_catalog(args: argparse.Namespace) -> int:
@@ -411,8 +437,24 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--quick", action="store_true", help="shorter fault window, fewer churns"
     )
+    chaos.add_argument(
+        "--anonymizer",
+        choices=("tor", "mixnet"),
+        default="tor",
+        help="transport under test (mixnet adds mix-node churn faults)",
+    )
     add_common_args(chaos, journal=True)
     chaos.set_defaults(func=cmd_chaos)
+
+    sweep = commands.add_parser(
+        "sweep", help="chart the anonymity/latency/overhead tradeoff surface"
+    )
+    sweep.add_argument(
+        "--quick", action="store_true", help="2x2 mixnet grid and a short idle tail"
+    )
+    sweep.add_argument("--out", metavar="PATH", help="write the tradeoff JSON here")
+    add_common_args(sweep, journal=True)
+    sweep.set_defaults(func=cmd_sweep)
 
     fleet = commands.add_parser(
         "fleet", help="schedule nymboxes across a simulated host cluster"

@@ -25,6 +25,13 @@ class NymixConfig:
     tor_relay_count: int = 40
     dissent_clients: int = 8
     dissent_servers: int = 3
+    #: stratified mixnet deployment shape (built lazily on first use)
+    mixnet_layers: int = 3
+    mixnet_nodes_per_layer: int = 3
+    #: loop/drop cover packets per second each mixnet client emits
+    mixnet_cover_rate_pps: float = 1.0
+    #: mean of the exponential per-hop mixing delay
+    mixnet_mean_hop_delay_s: float = 0.05
     ksm_enabled: bool = True
     #: launch nymboxes from the hypervisor's zygote cache (pre-booted
     #: memory templates + shared read-only mount layers, adopted

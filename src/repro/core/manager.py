@@ -122,6 +122,9 @@ class NymManager:
             num_clients=self.config.dissent_clients,
             num_servers=self.config.dissent_servers,
         )
+        # The mixnet deployment is lazy: topology keygen costs L*M X25519
+        # operations, and most managers never launch a mixnet nym.
+        self._mixnet: Optional["MixTopology"] = None
         self.store = NymStore(self.timeline, self.timeline.fork_rng("store"))
         self.providers: Dict[str, CloudProvider] = {}
         self._accounts: Dict[Tuple[str, str], CloudAccount] = {}
@@ -199,9 +202,31 @@ class NymManager:
         elif kind == "dissent":
             kwargs["deployment"] = self.dcnet
             kwargs["client_index"] = next(self._dissent_slot) % self.dcnet.num_clients
+        elif kind == "mixnet":
+            kwargs["topology"] = self.mixnet_topology()
+            kwargs["cover_rate_pps"] = self.config.mixnet_cover_rate_pps
+            kwargs["mean_hop_delay_s"] = self.config.mixnet_mean_hop_delay_s
         return create_anonymizer(
             kind, self.timeline, self.internet, nat, rng, **kwargs
         )
+
+    def mixnet_topology(self, create: bool = True):
+        """The shared mix deployment, built on first use.
+
+        ``create=False`` peeks without building (the fault injector uses
+        this so a ``mixnet.node_crash`` against a mixnet-less run is a
+        recorded no-op instead of a surprise keygen).
+        """
+        if self._mixnet is None and create:
+            from repro.mixnet.topology import MixTopology
+
+            self._mixnet = MixTopology(
+                self.timeline.fork_rng("mixnet"),
+                layers=self.config.mixnet_layers,
+                nodes_per_layer=self.config.mixnet_nodes_per_layer,
+                obs=self.obs,
+            )
+        return self._mixnet
 
     # -- nym lifecycle -----------------------------------------------------------------
 

@@ -82,6 +82,10 @@ class CircuitError(AnonymizerError):
     """Tor circuit construction or extension failed."""
 
 
+class MixnetError(AnonymizerError):
+    """Mixnet packet processing or routing failed (dead node, replay, bad MAC)."""
+
+
 class TransientError(NymixError):
     """A failure expected to clear on retry (injected or environmental)."""
 

@@ -48,6 +48,7 @@ class ChaosReport:
     seed: int
     quick: bool
     planned: int
+    anonymizer: str = "tor"
     steps: List[StepResult] = field(default_factory=list)
     injected: List[dict] = field(default_factory=list)
     metrics: Dict[str, object] = field(default_factory=dict)
@@ -69,6 +70,7 @@ class ChaosReport:
     def summary(self) -> str:
         lines = [
             f"chaos run: seed={self.seed} quick={self.quick} "
+            f"anonymizer={self.anonymizer} "
             f"({self.planned} faults planned, {len(self.injected)} delivered)"
         ]
         lines.append("faults:")
@@ -107,6 +109,8 @@ _REPORT_METRIC_PREFIXES = (
     "net.link.flaps",
     "vmm.vm.crashes",
     "nym.recovered",
+    "mixnet.node.crashes",
+    "mixnet.reroutes",
 )
 
 
@@ -139,6 +143,9 @@ def _run_step(manager: NymManager, spec, report: ChaosReport) -> None:
             box = manager.nymboxes[NYM_NAME]
             box.browse(_SITE)
             report.ok(kind, "relaunched from stored state and browsing")
+        elif kind == "mixnet.node_crash":
+            box.browse(_SITE)
+            report.ok(kind, "rerouted through surviving mix nodes")
         else:
             box.browse(_SITE)
             report.ok(kind, "browsed through the fault")
@@ -157,17 +164,22 @@ def _run_step(manager: NymManager, spec, report: ChaosReport) -> None:
 
 
 def run_chaos(
-    seed: int = 0, quick: bool = False, duration_s: Optional[float] = None
+    seed: int = 0,
+    quick: bool = False,
+    duration_s: Optional[float] = None,
+    anonymizer: str = "tor",
 ) -> Tuple[NymManager, ChaosReport]:
     """Run the full chaos scenario; returns the manager and its report.
 
     ``duration_s`` overrides the fault window (default 900 s, 300 s in
-    quick mode).
+    quick mode).  ``anonymizer`` picks the transport under test: the
+    default Tor run is byte-identical to the pre-mixnet scenario, while
+    ``"mixnet"`` adds mix-node churn faults to the plan.
     """
     manager = NymManager(NymixConfig(seed=seed))
     manager.add_cloud_provider(make_dropbox())
     manager.create_cloud_account(_PROVIDER, _ACCOUNT, "cloud-pw")
-    nymbox = manager.create_nym(name=NYM_NAME)
+    nymbox = manager.create_nym(name=NYM_NAME, anonymizer=anonymizer)
     manager.timed_browse(nymbox, _SITE)
     # Store once BEFORE arming: crash recovery needs a snapshot to reload,
     # and this baseline save runs on the seed's untouched happy path.
@@ -186,9 +198,12 @@ def run_chaos(
         upload_failures=1,
         download_failures=1,
         vm_crashes=1,
+        mixnet_node_crashes=2 if anonymizer == "mixnet" else 0,
     )
     injector = FaultInjector(manager.timeline, plan).arm(manager)
-    report = ChaosReport(seed=seed, quick=quick, planned=len(plan))
+    report = ChaosReport(
+        seed=seed, quick=quick, planned=len(plan), anonymizer=anonymizer
+    )
 
     armed_at = manager.timeline.now
     for spec in plan:

@@ -113,6 +113,7 @@ class FaultInjector:
             "net.link_flap": self._fire_net_link_flap,
             "vmm.crash": self._fire_vmm_crash,
             "fleet.host_crash": self._fire_fleet_host_crash,
+            "mixnet.node_crash": self._fire_mixnet_node_crash,
         }[spec.kind]
         handler(spec)
 
@@ -204,6 +205,21 @@ class FaultInjector:
             self._record(spec, outcome="no_target")
             return
         self._record(spec, outcome="host_crashed", target=host_id)
+
+    def _fire_mixnet_node_crash(self, spec: FaultSpec) -> None:
+        # Reached through the manager's lazy accessor with create=False:
+        # a run that never launched a mixnet nym has no topology, and the
+        # fault must not conjure one just to break it.
+        topology_of = getattr(self.manager, "mixnet_topology", None)
+        topology = topology_of(create=False) if callable(topology_of) else None
+        if topology is None:
+            self._record(spec, outcome="no_mixnet")
+            return
+        crashed = topology.crash_node(spec.target)
+        if crashed is None:
+            self._record(spec, outcome="no_target")
+            return
+        self._record(spec, outcome="node_crashed", target=crashed)
 
     # -- bookkeeping -----------------------------------------------------------
 

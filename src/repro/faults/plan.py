@@ -34,6 +34,7 @@ TIMED_KINDS = frozenset(
         "net.link_flap",
         "vmm.crash",
         "fleet.host_crash",
+        "mixnet.node_crash",
     }
 )
 #: Faults queued at their scheduled time and consumed by the next matching
@@ -111,6 +112,7 @@ class FaultPlan:
         download_failures: int = 0,
         vm_crashes: int = 1,
         host_crashes: int = 0,
+        mixnet_node_crashes: int = 0,
     ) -> "FaultPlan":
         """Draw a reproducible chaos schedule across ``duration_s`` seconds.
 
@@ -145,6 +147,9 @@ class FaultPlan:
                param=lambda r: r.uniform(2.0, 8.0))
         spread("vmm.crash", vm_crashes, 0.3, 0.9)
         spread("fleet.host_crash", host_crashes, 0.3, 0.9)
+        # Appended last: earlier kinds' draws must not move when a plan
+        # adds mixnet churn, or existing same-seed journals would change.
+        spread("mixnet.node_crash", mixnet_node_crashes, 0.15, 0.9)
         return cls(events)
 
     def __repr__(self) -> str:

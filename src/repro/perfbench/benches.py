@@ -258,6 +258,58 @@ def _bench_chacha20_xor(quick: bool) -> BenchResult:
     )
 
 
+def _bench_mixnet_packet(quick: bool) -> BenchResult:
+    """Packets through a 3-layer mix: build, peel per hop, open.
+
+    Live path: the sender reuses one cached ephemeral exchange per node
+    and every node memoizes its half; baseline runs the same code inside
+    :func:`seed_mixnet_mode` — a fresh x25519 exchange per layer per
+    packet on both ends.
+    """
+    from repro.mixnet.packet import build_packet, open_body
+    from repro.mixnet.topology import MixTopology
+    from repro.perfbench.legacy import seed_mixnet_mode
+    from repro.sim.rng import SeededRng
+
+    topology = MixTopology(SeededRng(77), layers=3, nodes_per_layer=2)
+    payload = bytes(range(256)) * 2  # one 512 B application payload
+
+    def make_pump(rng: SeededRng):
+        path = topology.sample_path(rng)
+
+        def pump() -> bytes:
+            packet = build_packet(rng, path, payload)
+            for node in path:
+                _, packet = node.process(packet)
+            return open_body(packet)
+
+        return pump
+
+    pump = make_pump(SeededRng(78))
+    assert pump() == payload
+
+    budget = _budget(quick)
+    iterations, seconds = measure(pump, budget)
+    with seed_mixnet_mode():
+        seed_pump = make_pump(SeededRng(79))
+        assert seed_pump() == payload
+        base_iters, base_seconds = measure(seed_pump, budget)
+    return BenchResult(
+        name="mixnet_packet",
+        tags=["crypto", "mixnet"],
+        unit="packet",
+        iterations=iterations,
+        seconds=seconds,
+        baseline_iterations=base_iters,
+        baseline_seconds=base_seconds,
+        notes=(
+            "512 B payload, 3 layers: wrap + 3 peels + open; seed runs a "
+            "fresh x25519 exchange per layer on sender and node alike"
+        ),
+        extra={"layers": 3, "payload_bytes": len(payload)},
+    )
+
+
 # -- sim --------------------------------------------------------------------
 
 
@@ -492,6 +544,12 @@ BENCHES: Dict[str, Bench] = {
             ["crypto"],
             "bulk stream encryption vs the scalar block function",
             _bench_chacha20_xor,
+        ),
+        Bench(
+            "mixnet_packet",
+            ["crypto", "mixnet"],
+            "3-layer mix packet pump vs the seed per-packet key exchanges",
+            _bench_mixnet_packet,
         ),
         Bench(
             "event_queue_load",

@@ -294,6 +294,26 @@ def seed_accounting_mode():
 
 
 @contextmanager
+def seed_mixnet_mode():
+    """Run the mixnet packet path with seed costs: a fresh x25519
+    exchange per layer on the sender (no ephemeral-key cache) and a
+    fresh exchange per peel on every node (no per-node memo)."""
+    from repro.mixnet import packet as packet_mod
+
+    cache_was = packet_mod.SENDER_KEY_CACHE.enabled
+    memo_was = packet_mod.peel_memo_enabled()
+    packet_mod.SENDER_KEY_CACHE.enabled = False
+    packet_mod.SENDER_KEY_CACHE.clear()
+    packet_mod.set_peel_memo_enabled(False)
+    try:
+        yield
+    finally:
+        packet_mod.SENDER_KEY_CACHE.enabled = cache_was
+        packet_mod.SENDER_KEY_CACHE.clear()
+        packet_mod.set_peel_memo_enabled(memo_was)
+
+
+@contextmanager
 def seed_launch_mode():
     """The full pre-flash-clone launch path: seed crypto plus seed
     accounting (callers additionally pass ``flash_clone=False`` so the
@@ -311,5 +331,6 @@ __all__ = [
     "seed_crypto_mode",
     "seed_accounting_mode",
     "seed_launch_mode",
+    "seed_mixnet_mode",
     "PAGE_SIZE",
 ]

@@ -1,0 +1,34 @@
+"""The anonymity/latency/overhead sweep harness behind ``repro sweep``.
+
+One sweep runs the *same* seeded browsing workload through every point
+of a transport grid — Tor and Dissent as the paper's two baselines plus
+a grid of mixnet configurations (cover-traffic rate × mean hop delay ×
+layer count) — and scores each point three ways:
+
+* **latency** — mean page-load seconds over the fixed site list;
+* **bandwidth overhead** — carried bytes vs. what the transport actually
+  put on the wire (padding, batching, and cover traffic);
+* **anonymity** — the surviving candidate set under the
+  :mod:`repro.attacks.traffic_confirmation` global passive adversary,
+  plus the long-term intersection attack's convergence time.
+
+The output is the tradeoff surface the mixnet knobs buy: more cover and
+longer mixing delays grow the anonymity set and the overhead together.
+Every point runs in its own fresh :class:`repro.api.NymixSession` on the
+same seed, so the whole sweep — including each point's event journal —
+is byte-identical across same-seed runs.
+"""
+
+from repro.sweeps.grid import BASELINE_POINTS, SweepPoint, build_grid, mixnet_grid
+from repro.sweeps.harness import run_sweep
+from repro.sweeps.report import PointResult, SweepReport
+
+__all__ = [
+    "BASELINE_POINTS",
+    "SweepPoint",
+    "build_grid",
+    "mixnet_grid",
+    "run_sweep",
+    "PointResult",
+    "SweepReport",
+]

@@ -1,0 +1,100 @@
+"""Sweep grids: which transport configurations a sweep visits.
+
+A :class:`SweepPoint` freezes one transport configuration.  The two
+baseline points (Tor, Dissent) have no knobs; mixnet points span the
+cross product of cover rate, mean hop delay, and layer count.  Grids
+are plain tuples so a caller can slice, filter, or extend them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Sequence, Tuple
+
+from repro.errors import SimulationError
+
+#: the quick (CI-sized) mixnet grid: 2 cover rates x 2 hop delays
+QUICK_COVER_RATES = (0.5, 4.0)
+QUICK_HOP_DELAYS = (0.02, 0.2)
+#: the full grid adds a middle setting on each axis and a 5-layer column
+FULL_COVER_RATES = (0.5, 2.0, 8.0)
+FULL_HOP_DELAYS = (0.02, 0.05, 0.2)
+FULL_LAYER_COUNTS = (3, 5)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One transport configuration a sweep measures.
+
+    ``layers``/``cover_rate_pps``/``mean_hop_delay_s`` only shape mixnet
+    points; the baselines carry their defaults and ignore them.
+    """
+
+    anonymizer: str
+    layers: int = 3
+    cover_rate_pps: float = 1.0
+    mean_hop_delay_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.anonymizer not in ("tor", "dissent", "mixnet"):
+            raise SimulationError(
+                f"unsweepable transport {self.anonymizer!r} "
+                "(known: tor, dissent, mixnet)"
+            )
+        if self.layers < 1:
+            raise SimulationError(f"need at least one layer: {self.layers!r}")
+        if self.cover_rate_pps < 0 or self.mean_hop_delay_s < 0:
+            raise SimulationError("mixnet knobs must be non-negative")
+
+    @property
+    def label(self) -> str:
+        if self.anonymizer != "mixnet":
+            return self.anonymizer
+        return (
+            f"mixnet/L{self.layers}"
+            f"/c{self.cover_rate_pps:g}"
+            f"/d{self.mean_hop_delay_s:g}"
+        )
+
+    def export(self) -> dict:
+        return {
+            "label": self.label,
+            "anonymizer": self.anonymizer,
+            "layers": self.layers,
+            "cover_rate_pps": self.cover_rate_pps,
+            "mean_hop_delay_s": self.mean_hop_delay_s,
+        }
+
+
+#: the paper's two deployed transports, measured as-is
+BASELINE_POINTS: Tuple[SweepPoint, ...] = (
+    SweepPoint("tor"),
+    SweepPoint("dissent"),
+)
+
+
+def mixnet_grid(
+    cover_rates: Sequence[float],
+    hop_delays: Sequence[float],
+    layer_counts: Sequence[int] = (3,),
+) -> Tuple[SweepPoint, ...]:
+    """The cross product of the mixnet knobs, in deterministic order."""
+    return tuple(
+        SweepPoint(
+            "mixnet",
+            layers=layers,
+            cover_rate_pps=cover,
+            mean_hop_delay_s=delay,
+        )
+        for layers, cover, delay in product(layer_counts, cover_rates, hop_delays)
+    )
+
+
+def build_grid(quick: bool = False) -> Tuple[SweepPoint, ...]:
+    """Baselines plus the mixnet grid: 6 points quick, 20 full."""
+    if quick:
+        return BASELINE_POINTS + mixnet_grid(QUICK_COVER_RATES, QUICK_HOP_DELAYS)
+    return BASELINE_POINTS + mixnet_grid(
+        FULL_COVER_RATES, FULL_HOP_DELAYS, FULL_LAYER_COUNTS
+    )

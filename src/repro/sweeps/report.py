@@ -1,0 +1,114 @@
+"""Sweep results: one row per grid point, and the rendered tradeoff table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class PointResult:
+    """Everything one sweep point measured."""
+
+    label: str
+    anonymizer: str
+    layers: int
+    cover_rate_pps: float
+    mean_hop_delay_s: float
+    startup_s: float
+    mean_page_load_s: float
+    bytes_carried: int
+    cover_bytes: int
+    bandwidth_overhead: float
+    anonymity_set_size: int
+    mean_candidates: float
+    confirmed: bool
+    intersection_epochs: Optional[int]
+    journal_events: int
+
+    def export(self) -> dict:
+        return {
+            "label": self.label,
+            "anonymizer": self.anonymizer,
+            "layers": self.layers,
+            "cover_rate_pps": self.cover_rate_pps,
+            "mean_hop_delay_s": self.mean_hop_delay_s,
+            "startup_s": round(self.startup_s, 6),
+            "mean_page_load_s": round(self.mean_page_load_s, 6),
+            "bytes_carried": self.bytes_carried,
+            "cover_bytes": self.cover_bytes,
+            "bandwidth_overhead": round(self.bandwidth_overhead, 6),
+            "anonymity_set_size": self.anonymity_set_size,
+            "mean_candidates": round(self.mean_candidates, 3),
+            "confirmed": self.confirmed,
+            "intersection_epochs": self.intersection_epochs,
+            "journal_events": self.journal_events,
+        }
+
+
+@dataclass
+class SweepReport:
+    """One full sweep: the workload, the grid, and each point's scores."""
+
+    seed: int
+    quick: bool
+    sites: List[str]
+    idle_s: float
+    points: List[PointResult] = field(default_factory=list)
+
+    def export(self) -> dict:
+        return {
+            "seed": self.seed,
+            "quick": self.quick,
+            "workload_sites": list(self.sites),
+            "idle_s": self.idle_s,
+            "points": [point.export() for point in self.points],
+        }
+
+    def best_anonymity(self) -> Optional[PointResult]:
+        """The point the confirmation adversary resolved least."""
+        if not self.points:
+            return None
+        return max(
+            self.points,
+            key=lambda p: (p.anonymity_set_size, p.mean_candidates, p.label),
+        )
+
+    def fastest_unconfirmed(self) -> Optional[PointResult]:
+        """The lowest-latency point that still defeated confirmation."""
+        survivors = [p for p in self.points if not p.confirmed]
+        if not survivors:
+            return None
+        return min(survivors, key=lambda p: (p.mean_page_load_s, p.label))
+
+    def summary(self) -> str:
+        lines = [
+            f"sweep: seed={self.seed} quick={self.quick} "
+            f"({len(self.points)} points, "
+            f"workload: {', '.join(self.sites)}, idle {self.idle_s:g}s)",
+            f"  {'point':<24} {'load_s':>8} {'overhead':>9} "
+            f"{'anonset':>8} {'confirmed':>10}",
+        ]
+        for point in self.points:
+            lines.append(
+                f"  {point.label:<24} {point.mean_page_load_s:>8.2f} "
+                f"{point.bandwidth_overhead:>8.2f}x "
+                f"{point.anonymity_set_size:>8d} "
+                f"{'yes' if point.confirmed else 'no':>10}"
+            )
+        best = self.best_anonymity()
+        if best is not None:
+            lines.append(
+                f"largest anonymity set: {best.label} "
+                f"({best.anonymity_set_size} candidates, "
+                f"{best.bandwidth_overhead:.2f}x overhead)"
+            )
+        fastest = self.fastest_unconfirmed()
+        if fastest is None:
+            lines.append("no point defeated traffic confirmation")
+        else:
+            lines.append(
+                f"cheapest unconfirmed point: {fastest.label} "
+                f"({fastest.mean_page_load_s:.2f}s mean load)"
+            )
+        return "\n".join(lines)

@@ -49,6 +49,45 @@ class TestChaosSurvival:
         assert "retry" in text
 
 
+class TestChaosMixnet:
+    @pytest.fixture(scope="class")
+    def mixnet_run(self):
+        return run_chaos(seed=7, quick=True, anonymizer="mixnet")
+
+    def test_mixnet_scenario_survives(self, mixnet_run):
+        _, report = mixnet_run
+        assert report.anonymizer == "mixnet"
+        assert report.survived, report.summary()
+
+    def test_node_crashes_delivered_and_rerouted(self, mixnet_run):
+        _, report = mixnet_run
+        crashes = [
+            e for e in report.injected if e["kind"] == "mixnet.node_crash"
+        ]
+        assert len(crashes) == 2
+        assert all(e["outcome"] == "node_crashed" for e in crashes)
+        assert report.metrics.get("mixnet.node.crashes", 0) == 2
+        steps = [s for s in report.steps if s.kind == "mixnet.node_crash"]
+        assert steps and all(s.ok for s in steps)
+
+    def test_default_tor_plan_unchanged_by_the_new_kind(self):
+        """Adding mixnet churn must not move the tor run's fault draws."""
+        _, tor_report = run_chaos(seed=7, quick=True)
+        kinds = {e["kind"] for e in tor_report.injected}
+        assert "mixnet.node_crash" not in kinds
+        _, mixnet_report = run_chaos(seed=7, quick=True, anonymizer="mixnet")
+        tor_times = {
+            (e["kind"], e["at_s"])
+            for e in tor_report.injected
+        }
+        mixnet_times = {
+            (e["kind"], e["at_s"])
+            for e in mixnet_report.injected
+            if e["kind"] != "mixnet.node_crash"
+        }
+        assert tor_times == mixnet_times
+
+
 class TestChaosDeterminism:
     def test_same_seed_runs_produce_byte_identical_journals(self):
         manager_a, report_a = run_chaos(seed=11, quick=True)

@@ -21,6 +21,7 @@ EXPECTED_BENCHES = {
     "onion_throughput",
     "poly1305",
     "chacha20_xor",
+    "mixnet_packet",
     "event_queue_load",
     "fig3_scenario",
     "nym_lifecycle",
@@ -51,6 +52,7 @@ class TestRegistry:
             "onion_throughput",
             "poly1305",
             "chacha20_xor",
+            "mixnet_packet",
         }
 
     def test_unknown_name_rejected(self):

@@ -1,0 +1,142 @@
+"""The sweep harness: grids, scoring, reports, and journal determinism."""
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sweeps import SweepPoint, build_grid, mixnet_grid, run_sweep
+from repro.sweeps.grid import BASELINE_POINTS
+
+#: a tiny grid the tests can afford to run end to end
+TINY_POINTS = (
+    SweepPoint("tor"),
+    SweepPoint("mixnet", cover_rate_pps=2.0, mean_hop_delay_s=0.05),
+)
+TINY_SITES = ("bbc.co.uk",)
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep():
+    return run_sweep(seed=7, points=TINY_POINTS, sites=TINY_SITES, idle_s=5.0)
+
+
+class TestGrid:
+    def test_quick_grid_shape(self):
+        grid = build_grid(quick=True)
+        assert len(grid) == 6  # 2 baselines + 2x2 mixnet
+        assert grid[:2] == BASELINE_POINTS
+        assert all(p.anonymizer == "mixnet" for p in grid[2:])
+
+    def test_full_grid_shape(self):
+        grid = build_grid(quick=False)
+        assert len(grid) == 20  # 2 baselines + 2 layers x 3 covers x 3 delays
+
+    def test_labels_are_unique(self):
+        for grid in (build_grid(quick=True), build_grid(quick=False)):
+            labels = [point.label for point in grid]
+            assert len(labels) == len(set(labels))
+
+    def test_mixnet_grid_order_is_deterministic(self):
+        grid = mixnet_grid((1.0, 2.0), (0.1,), layer_counts=(3, 5))
+        assert [p.label for p in grid] == [
+            "mixnet/L3/c1/d0.1",
+            "mixnet/L3/c2/d0.1",
+            "mixnet/L5/c1/d0.1",
+            "mixnet/L5/c2/d0.1",
+        ]
+
+    def test_point_validation(self):
+        with pytest.raises(SimulationError):
+            SweepPoint("socks")
+        with pytest.raises(SimulationError):
+            SweepPoint("mixnet", layers=0)
+        with pytest.raises(SimulationError):
+            SweepPoint("mixnet", cover_rate_pps=-1.0)
+
+
+class TestScoring:
+    def test_every_point_scored(self, tiny_sweep):
+        assert [p.label for p in tiny_sweep.points] == [
+            "tor",
+            "mixnet/L3/c2/d0.05",
+        ]
+        for point in tiny_sweep.points:
+            assert point.mean_page_load_s > 0.0
+            assert point.bytes_carried > 0
+            assert point.bandwidth_overhead > 1.0
+            assert 1 <= point.anonymity_set_size <= 20
+            assert point.journal_events > 0
+
+    def test_mixnet_pays_latency_and_overhead_for_cover(self, tiny_sweep):
+        tor, mixnet = tiny_sweep.points
+        assert mixnet.mean_page_load_s > tor.mean_page_load_s
+        assert mixnet.bandwidth_overhead > tor.bandwidth_overhead
+        assert mixnet.cover_bytes > 0
+        assert tor.cover_bytes == 0
+
+    def test_tor_confirmed_in_the_report(self, tiny_sweep):
+        tor = tiny_sweep.points[0]
+        assert tor.confirmed
+        assert tor.anonymity_set_size == 1
+
+    def test_export_and_summary(self, tiny_sweep):
+        payload = tiny_sweep.export()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["workload_sites"] == list(TINY_SITES)
+        assert len(payload["points"]) == 2
+        text = tiny_sweep.summary()
+        assert "tor" in text
+        assert "mixnet/L3/c2/d0.05" in text
+        assert "largest anonymity set" in text
+
+
+class TestDeterminismAndFiles:
+    def test_same_seed_sweeps_write_identical_journals(self, tmp_path):
+        paths = []
+        for run in ("a", "b"):
+            path = tmp_path / f"sweep_{run}.jsonl"
+            run_sweep(
+                seed=11,
+                points=TINY_POINTS,
+                sites=TINY_SITES,
+                idle_s=3.0,
+                journal_path=str(path),
+            )
+            paths.append(path)
+        first, second = (p.read_bytes() for p in paths)
+        assert first == second
+        assert first  # not trivially empty
+
+    def test_journal_has_per_point_headers(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        run_sweep(
+            seed=11,
+            points=TINY_POINTS,
+            sites=TINY_SITES,
+            idle_s=3.0,
+            journal_path=str(path),
+        )
+        lines = path.read_text().splitlines()
+        headers = [
+            json.loads(line) for line in lines if "sweep_point" in line
+        ]
+        assert [h["sweep_point"] for h in headers] == [
+            "tor",
+            "mixnet/L3/c2/d0.05",
+        ]
+        # every line parses as JSON (headers and journal events alike)
+        for line in lines:
+            json.loads(line)
+
+    def test_out_path_writes_the_report(self, tmp_path):
+        out = tmp_path / "sweep.json"
+        report = run_sweep(
+            seed=11,
+            points=TINY_POINTS[:1],
+            sites=TINY_SITES,
+            idle_s=1.0,
+            out_path=str(out),
+        )
+        on_disk = json.loads(out.read_text())
+        assert on_disk == report.export()

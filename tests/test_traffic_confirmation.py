@@ -1,0 +1,91 @@
+"""The traffic-confirmation adversary: verdicts, tradeoffs, determinism."""
+
+import pytest
+
+from repro.attacks import TrafficConfirmationAttack
+from repro.attacks.traffic_confirmation import anonymity_after_packets
+from repro.errors import SimulationError
+from repro.sim.rng import SeededRng
+
+
+@pytest.fixture
+def attack(rng):
+    return TrafficConfirmationAttack(rng, senders=20, packets=10)
+
+
+class TestVerdicts:
+    def test_tor_is_confirmed(self, attack):
+        report = attack.run("tor")
+        assert report.confirmed
+        assert report.anonymity_set_size == 1
+
+    def test_dissent_holds_the_whole_group(self, attack):
+        report = attack.run("dissent")
+        assert not report.confirmed
+        assert report.anonymity_set_size == attack.senders
+        assert report.mean_candidates == attack.senders
+
+    def test_mixnet_without_cover_is_confirmed(self, attack):
+        report = attack.run("mixnet", cover_rate_pps=0.0)
+        assert report.confirmed
+
+    def test_heavy_cover_and_delay_defeat_confirmation(self, attack):
+        report = attack.run(
+            "mixnet", layers=5, mean_hop_delay_s=0.25, cover_rate_pps=8.0
+        )
+        assert not report.confirmed
+        assert report.anonymity_set_size > 1
+
+    def test_unknown_transport_rejected(self, attack):
+        with pytest.raises(SimulationError):
+            attack.run("carrier-pigeon")
+
+
+class TestTradeoffShape:
+    def test_anonymity_grows_with_cover_rate(self, rng):
+        sizes = []
+        for cover in (0.0, 2.0, 8.0):
+            attack = TrafficConfirmationAttack(
+                rng.fork(f"cover:{cover}"), senders=20, packets=10
+            )
+            report = attack.run(
+                "mixnet", mean_hop_delay_s=0.2, cover_rate_pps=cover
+            )
+            sizes.append(report.mean_candidates)
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > sizes[0]
+
+    def test_delay_widens_the_window(self, attack):
+        fast = attack.run("mixnet", mean_hop_delay_s=0.02)
+        slow = attack.run("mixnet", mean_hop_delay_s=0.5)
+        assert slow.window_s > fast.window_s
+        assert slow.mean_delay_s > fast.mean_delay_s
+
+    def test_analytic_expectation_matches_shape(self):
+        # More packets observed -> smaller expected candidate set.
+        few = anonymity_after_packets(20, 0.5, 2)
+        many = anonymity_after_packets(20, 0.5, 12)
+        assert few > many >= 1.0
+
+
+class TestConstruction:
+    def test_determinism(self):
+        runs = [
+            TrafficConfirmationAttack(SeededRng(5))
+            .run("mixnet", cover_rate_pps=2.0)
+            .export()
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_population_validation(self, rng):
+        with pytest.raises(SimulationError):
+            TrafficConfirmationAttack(rng, senders=1)
+        with pytest.raises(SimulationError):
+            TrafficConfirmationAttack(rng, packets=0)
+
+    def test_export_is_json_friendly(self, attack):
+        import json
+
+        payload = attack.run("tor").export()
+        assert json.loads(json.dumps(payload)) == payload
