@@ -194,6 +194,29 @@ def chacha20_keystream(key: bytes, nonce: bytes, length: int, counter: int = 0) 
     return stream[:length]
 
 
+def chacha20_keystreams(
+    keys: Sequence[bytes], nonce: bytes, length: int, counter: int = 0
+) -> List[bytes]:
+    """Every key's raw keystream in one batched dispatch (not folded).
+
+    Identical per-key output to calling :func:`chacha20_keystream` once per
+    key, but all ``len(keys) * n_blocks`` lanes run through the 20 rounds
+    in a single vectorized pass — the mixnet stream cache prefills a whole
+    circuit's layer streams with one call.
+    """
+    if not keys:
+        return []
+    if length < 0:
+        raise CryptoError(f"negative keystream length: {length}")
+    n_blocks = (length + 63) // 64
+    if length == 0 or len(keys) * n_blocks <= 4:
+        return [chacha20_keystream(key, nonce, length, counter) for key in keys]
+    words = _keystream_words_vectorized(list(keys), nonce, n_blocks, counter)
+    raw = words.astype("<u4").tobytes()
+    stride = n_blocks * 64
+    return [raw[i * stride : i * stride + length] for i in range(len(keys))]
+
+
 def chacha20_combined_keystream(
     keys: Sequence[bytes], nonce: bytes, length: int, counter: int = 0
 ) -> bytes:

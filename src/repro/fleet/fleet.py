@@ -15,16 +15,17 @@ every resident nym the same way.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import FleetCapacityError, FleetError, RetryExhaustedError
 from repro.faults.retry import RetryPolicy, retry_call
 from repro.fleet.host import HostHandle
-from repro.fleet.placement import PlacementPolicy, make_policy
+from repro.fleet.placement import PlacementPolicy, WaveView, make_policy
+from repro.memory.pages import bytes_to_pages, pages_to_bytes
 from repro.net.internet import Internet
 from repro.sim.clock import Timeline
 from repro.vmm.baseimage import build_base_layer, published_merkle_root
-from repro.vmm.hypervisor import HostSpec, Hypervisor
+from repro.vmm.hypervisor import HostSpec, Hypervisor, NymboxTemplate
 from repro.vmm.vm import MIB, VirtualMachine, VmSpec
 
 #: Evacuation relaunch: a few quick attempts on simulated time; capacity
@@ -33,6 +34,37 @@ RELAUNCH_RETRY = RetryPolicy(max_attempts=4, base_backoff_s=2.0, max_backoff_s=1
 #: Crash recovery runs inside a timeline callback, where sleeping would
 #: rewind the interrupted sleep's clock — so retries are immediate.
 CRASH_RETRY = RetryPolicy(max_attempts=4, base_backoff_s=0.0, max_backoff_s=0.0)
+
+
+@dataclass(frozen=True)
+class PlacementRequest:
+    """One arrival in a wave handed to :meth:`Fleet.place_many`."""
+
+    name: str
+    image_id: str
+
+
+#: Process-wide (base layer, Merkle root) for the default Nymix image.
+#: The layer is read-only, so sharing it across fleets is safe; the root
+#: hash walk is the expensive part of fleet construction.
+_BASE_IMAGE_CACHE: List[tuple] = []
+
+
+def _shared_base_image() -> tuple:
+    if not _BASE_IMAGE_CACHE:
+        layer = build_base_layer()
+        _BASE_IMAGE_CACHE.append((layer, published_merkle_root(layer)))
+    return _BASE_IMAGE_CACHE[0]
+
+
+def _as_request(item) -> PlacementRequest:
+    if isinstance(item, PlacementRequest):
+        return item
+    if isinstance(item, tuple):
+        name, image_id = item
+        return PlacementRequest(name=name, image_id=image_id)
+    # Anything arrival-shaped (e.g. workloads.fleet.NymArrival) works.
+    return PlacementRequest(name=item.name, image_id=item.image_id)
 
 
 @dataclass
@@ -127,9 +159,10 @@ class Fleet:
         self.rng = timeline.fork_rng("fleet")
 
         # One base image for the whole cluster: built once, Merkle root
-        # published once — exactly how a real fleet distributes it.
-        base_layer = build_base_layer()
-        merkle_root = published_merkle_root(base_layer)
+        # published once — exactly how a real fleet distributes it.  The
+        # layer is read-only and identical for every fleet, so it is
+        # memoized process-wide (rebuilding it re-hashes the whole tree).
+        base_layer, merkle_root = _shared_base_image()
         width = len(str(hosts - 1))
         self.hosts: Dict[str, HostHandle] = {}
         for i in range(hosts):
@@ -150,6 +183,29 @@ class Fleet:
         self.evacuations = 0
         self.crashes = 0
         self._seq = 0
+        # Incremental admission state: the host order is fixed at
+        # construction (hosts never join after init), and per-host
+        # admissibility/calm verdicts are cached keyed on each host's
+        # accounting token — a placement, removal, or KSM change bumps
+        # only that host's token, so admission checks re-derive nothing
+        # for untouched hosts.  Crashes are filtered via ``h.crashed``.
+        self._host_order: List[HostHandle] = [
+            self.hosts[hid] for hid in sorted(self.hosts)
+        ]
+        self._admission_cache: Dict[str, tuple] = {}
+        # One NymboxTemplate per image, shared by every host: the specs
+        # are fixed per fleet, and a stable template object lets each
+        # hypervisor reuse its per-template clone state across arrivals.
+        self._templates: Dict[str, NymboxTemplate] = {}
+        # Every materialize/destroy bumps this; place_many uses it to
+        # detect that exactly one accounting action happened per planned
+        # arrival (no evacuation, crash, or removal slipped in).
+        self._accounting_epoch = 0
+        # Predicted used-bytes delta of one placement: both guests'
+        # page-rounded RAM (KSM savings and FS writes are zero at boot).
+        self._used_delta_bytes = pages_to_bytes(
+            bytes_to_pages(self.anon_spec.ram_bytes)
+        ) + pages_to_bytes(bytes_to_pages(self.comm_spec.ram_bytes))
         obs = timeline.obs
         obs.event("fleet.created", hosts=hosts, policy=self.policy.name)
         obs.metrics.gauge("fleet.hosts").set(hosts)
@@ -161,7 +217,7 @@ class Fleet:
         return self.anon_spec.ram_bytes + self.comm_spec.ram_bytes
 
     def host_list(self) -> List[HostHandle]:
-        return [self.hosts[hid] for hid in sorted(self.hosts)]
+        return list(self._host_order)
 
     @property
     def footprint_bytes(self) -> int:
@@ -179,18 +235,35 @@ class Fleet:
         placement (otherwise the newest nym would bounce straight back
         off); when the whole fleet is that full, fall back to anyone with
         raw RAM headroom and let evacuation rebalance.
+
+        Verdicts are cached per host keyed on its accounting token: an
+        admission check after a placement recomputes only the one host
+        that changed instead of re-deriving the whole fleet's watermark
+        arithmetic per arrival.
         """
-        admissible = [
-            h
-            for h in self.host_list()
-            if h.host_id != exclude and h.admits(self.need_ram_bytes)
-        ]
-        calm = [
-            h
-            for h in admissible
-            if (h.used_bytes + self.footprint_bytes) / h.total_bytes
-            <= self.high_watermark
-        ]
+        need = self.need_ram_bytes
+        footprint = self.footprint_bytes
+        high = self.high_watermark
+        cache = self._admission_cache
+        admissible: List[HostHandle] = []
+        calm: List[HostHandle] = []
+        for h in self._host_order:
+            if h.crashed or h.host_id == exclude:
+                continue
+            token = h.hypervisor.accounting_token()
+            entry = cache.get(h.host_id)
+            if entry is None or entry[0] != token:
+                snap = h.memory_snapshot()
+                used = snap.used_bytes
+                free_ram = h.total_bytes - (used - snap.fs_bytes)
+                admits = free_ram >= need
+                calm_ok = admits and (used + footprint) / h.total_bytes <= high
+                entry = (token, admits, calm_ok)
+                cache[h.host_id] = entry
+            if entry[1]:
+                admissible.append(h)
+                if entry[2]:
+                    calm.append(h)
         return calm or admissible
 
     def place(self, name: str, image_id: str) -> FleetNymbox:
@@ -213,6 +286,106 @@ class Fleet:
         self._relieve_pressure(host)
         return box
 
+    def place_many(
+        self,
+        requests: Iterable,
+        on_reject: str = "raise",
+    ) -> List[Optional[FleetNymbox]]:
+        """Admit and place a whole arrival wave, batched.
+
+        Byte-identical-journal-equivalent to calling :meth:`place` once
+        per request in order (``on_reject="raise"``), or to wrapping each
+        call in ``try/except FleetCapacityError`` (``on_reject="skip"``,
+        where rejected requests yield ``None``).  The wave is *planned*
+        in one pass — per-host accounting pulled into numpy arrays once,
+        the policy's ``choose_batch`` assigning hosts against running
+        sums — then executed through the exact sequential machinery.
+
+        Execution is verified per arrival: the chosen host's used bytes
+        must land on the plan's prediction and exactly one accounting
+        action may have happened.  Any deviation (pressure evacuation, a
+        fault firing mid-boot, KSM drift) discards the remaining plan
+        and replans from live state, so equivalence never depends on the
+        predictions being right — only rejections and host choices ever
+        come from the plan, and those are re-derived whenever state
+        diverges.
+        """
+        if on_reject not in ("raise", "skip"):
+            raise FleetError(f"unknown on_reject mode {on_reject!r}")
+        reqs = [_as_request(item) for item in requests]
+        results: List[Optional[FleetNymbox]] = []
+        obs = self.timeline.obs
+        pos = 0
+        while pos < len(reqs):
+            plan = self._plan_wave(reqs[pos:])
+            diverged = False
+            for offset, (host_id, predicted_used) in enumerate(plan):
+                req = reqs[pos + offset]
+                if req.name in self.nymboxes:
+                    raise FleetError(f"nym {req.name!r} is already placed")
+                if host_id is None:
+                    obs.metrics.counter("fleet.admission_rejected").inc()
+                    if on_reject == "raise":
+                        raise FleetCapacityError(
+                            f"no host can admit {req.name!r} "
+                            f"({self.need_ram_bytes // MIB} MiB)"
+                        )
+                    results.append(None)
+                    continue
+                host = self.hosts[host_id]
+                epoch_before = self._accounting_epoch
+                self._seq += 1
+                box = self._materialize(
+                    req.name, req.image_id, host, seq=self._seq, advance=True
+                )
+                self.placements += 1
+                obs.metrics.counter("fleet.placements").inc()
+                obs.event("fleet.place", nym=req.name, host=host.host_id,
+                          image=req.image_id, policy=self.policy.name)
+                self._relieve_pressure(host)
+                results.append(box)
+                if (
+                    self._accounting_epoch != epoch_before + 1
+                    or host.used_bytes != predicted_used
+                ):
+                    pos += offset + 1
+                    diverged = True
+                    break
+            if not diverged:
+                pos += len(plan)
+        return results
+
+    def _plan_wave(
+        self, requests: Sequence[PlacementRequest]
+    ) -> List[Tuple[Optional[str], int]]:
+        """Plan ``(host_id, predicted used bytes after placement)`` per request.
+
+        Policies without batch support plan one arrival at a time through
+        the sequential reference path — still verified, just not batched.
+        """
+        if not self.policy.supports_batch:
+            host = self.policy.choose(self._candidates(), requests[0].image_id)
+            if host is None:
+                return [(None, 0)]
+            return [(host.host_id, host.used_bytes + self._used_delta_bytes)]
+        view = WaveView(
+            self._host_order,
+            need=self.need_ram_bytes,
+            footprint=self.footprint_bytes,
+            used_delta=self._used_delta_bytes,
+            high_watermark=self.high_watermark,
+        )
+        predicted = view.used.copy()
+        picks = self.policy.choose_batch(view, requests)
+        plan: List[Tuple[Optional[str], int]] = []
+        for pick in picks:
+            if pick is None:
+                plan.append((None, 0))
+            else:
+                predicted[pick] += self._used_delta_bytes
+                plan.append((self._host_order[pick].host_id, int(predicted[pick])))
+        return plan
+
     def _materialize(
         self, name: str, image_id: str, host: HostHandle, seq: int,
         advance: bool, extra_dirty_bytes: int = 0, moves: int = 0,
@@ -225,9 +398,12 @@ class Fleet:
         cold-booting on the target host).
         """
         hv = host.hypervisor
-        template = hv.nymbox_template(
-            self.anon_spec, self.comm_spec, image_id=image_id
-        )
+        template = self._templates.get(image_id)
+        if template is None:
+            template = hv.nymbox_template(
+                self.anon_spec, self.comm_spec, image_id=image_id
+            )
+            self._templates[image_id] = template
         anonvm, commvm, _wire = hv.flash_clone(template, name)
         # The pair boots in parallel, so it costs max(anon, comm) = anon.
         anonvm.boot(jitter_rng=self.rng, advance=advance)
@@ -240,7 +416,8 @@ class Fleet:
             extra_dirty_bytes=extra_dirty_bytes, moves=moves,
         )
         self.nymboxes[name] = box
-        host.residents[name] = box
+        host.add_resident(box)
+        self._accounting_epoch += 1
         self.timeline.obs.metrics.gauge("fleet.nyms_resident").set(len(self.nymboxes))
         return box
 
@@ -256,7 +433,8 @@ class Fleet:
         if box is None:
             return
         host = self.hosts[box.host_id]
-        host.residents.pop(name, None)
+        host.pop_resident(name)
+        self._accounting_epoch += 1
         if not host.crashed:
             host.hypervisor.destroy_vm(box.anonvm)
             host.hypervisor.destroy_vm(box.commvm)
@@ -289,7 +467,8 @@ class Fleet:
         # Store step: the quasi-persistent state (its churned pages) is
         # what the relaunch will carry over; then the source pair dies.
         carried_dirty = box.extra_dirty_bytes
-        source.residents.pop(box.name, None)
+        source.pop_resident(box.name)
+        self._accounting_epoch += 1
         del self.nymboxes[box.name]
         if not source.crashed:
             source.hypervisor.destroy_vm(box.anonvm)
@@ -341,6 +520,7 @@ class Fleet:
         if host is None or host.crashed:
             return None
         host.crashed = True
+        self._accounting_epoch += 1
         self.crashes += 1
         obs = self.timeline.obs
         obs.metrics.counter("fleet.host_crashes").inc()

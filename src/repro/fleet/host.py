@@ -15,6 +15,12 @@ class HostHandle:
     run (``images``), how much RAM is committed, and whether the host has
     crashed.  All byte figures come from the hypervisor's own accounting
     so the scheduler can never disagree with the memory model.
+
+    Accounting reads are cached against the hypervisor's
+    ``accounting_token()``: admission checks poll ``used_bytes`` /
+    ``free_ram_bytes`` per candidate host per arrival, and between
+    arrivals most hosts haven't changed — the cached
+    :class:`MemorySnapshot` is served until the token moves.
     """
 
     def __init__(self, host_id: str, hypervisor: Hypervisor) -> None:
@@ -22,6 +28,11 @@ class HostHandle:
         self.hypervisor = hypervisor
         self.residents: Dict[str, "FleetNymbox"] = {}  # noqa: F821 (fleet.py)
         self.crashed = False
+        self._snapshot: Optional[MemorySnapshot] = None
+        self._snapshot_token: Optional[tuple] = None
+        # Per-image resident counts, maintained by add/pop_resident so
+        # KsmAware placement never walks the resident dict per score.
+        self._image_counts: Dict[str, int] = {}
 
     # -- capacity ------------------------------------------------------------
 
@@ -32,12 +43,13 @@ class HostHandle:
     @property
     def free_ram_bytes(self) -> int:
         """RAM headroom for admission (guest allocations, before KSM)."""
-        return self.hypervisor.memory.stats().free_bytes
+        snap = self.memory_snapshot()
+        return self.total_bytes - (snap.used_bytes - snap.fs_bytes)
 
     @property
     def used_bytes(self) -> int:
         """Host RAM in use: guests + writable FS − KSM savings."""
-        return self.hypervisor.memory_snapshot().used_bytes
+        return self.memory_snapshot().used_bytes
 
     @property
     def pressure(self) -> float:
@@ -49,16 +61,38 @@ class HostHandle:
         return self.hypervisor.ksm.stats().bytes_saved
 
     def memory_snapshot(self) -> MemorySnapshot:
-        return self.hypervisor.memory_snapshot()
+        token = self.hypervisor.accounting_token()
+        if token != self._snapshot_token:
+            self._snapshot = self.hypervisor.memory_snapshot()
+            self._snapshot_token = token
+        return self._snapshot
 
     # -- residency -----------------------------------------------------------
 
+    def add_resident(self, box: "FleetNymbox") -> None:  # noqa: F821
+        self.residents[box.name] = box
+        self._image_counts[box.image_id] = self._image_counts.get(box.image_id, 0) + 1
+
+    def pop_resident(self, name: str) -> Optional["FleetNymbox"]:  # noqa: F821
+        box = self.residents.pop(name, None)
+        if box is not None:
+            remaining = self._image_counts.get(box.image_id, 0) - 1
+            if remaining > 0:
+                self._image_counts[box.image_id] = remaining
+            else:
+                self._image_counts.pop(box.image_id, None)
+        return box
+
     def images(self) -> Set[str]:
         """Base images currently resident on this host."""
-        return {box.image_id for box in self.residents.values()}
+        return set(self._image_counts)
 
     def image_count(self, image_id: str) -> int:
-        return sum(1 for box in self.residents.values() if box.image_id == image_id)
+        return self._image_counts.get(image_id, 0)
+
+    def image_counts(self) -> Dict[str, int]:
+        """Copy of the per-image resident counts (for wave planning)."""
+        return dict(self._image_counts)
 
     def resident_names(self) -> List[str]:
         return sorted(self.residents)

@@ -20,10 +20,18 @@ the guest set itself did.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.memory.pages import GuestMemory, pages_to_bytes
 from repro.obs import NULL_OBS
+
+try:  # numpy accelerates the duplicate sweep; the scalar path is the fallback
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the environment
+    _np = None
+
+#: Below this many (lo, hi, mult) runs the scalar sweep wins (no array setup).
+_VECTOR_SWEEP_THRESHOLD = 24
 
 
 @dataclass(frozen=True)
@@ -37,6 +45,11 @@ class KsmStats:
     @property
     def bytes_saved(self) -> int:
         return pages_to_bytes(self.pages_saved)
+
+
+#: Shared "nothing merged" result: the gated fast paths below return it
+#: on every pre-scan stats() call, so it must never be mutated.
+_ZERO_STATS = KsmStats(pages_shared=0, pages_sharing=0, pages_saved=0)
 
 
 def _sweep_duplicates(runs: Iterable[Tuple[int, int, int]]) -> Tuple[int, int]:
@@ -62,6 +75,49 @@ def _sweep_duplicates(runs: Iterable[Tuple[int, int, int]]) -> Tuple[int, int]:
             sharing += depth * width
         depth += delta
         prev_point = point
+    return shared, sharing
+
+
+def _sweep_duplicates_grouped(
+    group_ids: List[int], los: List[int], his: List[int], mults: List[int]
+) -> Tuple[int, int]:
+    """Vectorized :func:`_sweep_duplicates` over *all* content groups at once.
+
+    Each run ``i`` belongs to group ``group_ids[i]`` (one group per image
+    id); runs of different groups never merge.  The event sweep runs as
+    one lexsort + cumsum over the concatenated per-group event lists: a
+    group's deltas sum to zero, so depth returns to 0 at every group
+    boundary and the boundary mask only guards against negative widths.
+    Exact-equivalent to per-group :func:`_sweep_duplicates` (pinned by
+    tests/test_memory_equivalence.py).
+    """
+    if _np is None or len(los) < _VECTOR_SWEEP_THRESHOLD:
+        per_group: Dict[int, List[Tuple[int, int, int]]] = {}
+        for gid, lo, hi, mult in zip(group_ids, los, his, mults):
+            per_group.setdefault(gid, []).append((lo, hi, mult))
+        shared = 0
+        sharing = 0
+        for runs in per_group.values():
+            run_shared, run_sharing = _sweep_duplicates(runs)
+            shared += run_shared
+            sharing += run_sharing
+        return shared, sharing
+    n = len(los)
+    group = _np.fromiter(group_ids, dtype=_np.int64, count=n)
+    lo_arr = _np.fromiter(los, dtype=_np.int64, count=n)
+    hi_arr = _np.fromiter(his, dtype=_np.int64, count=n)
+    mult_arr = _np.fromiter(mults, dtype=_np.int64, count=n)
+    points = _np.concatenate([lo_arr, hi_arr])
+    deltas = _np.concatenate([mult_arr, -mult_arr])
+    groups2 = _np.concatenate([group, group])
+    order = _np.lexsort((points, groups2))
+    points = points[order]
+    groups2 = groups2[order]
+    depth = _np.cumsum(deltas[order])[:-1]
+    widths = points[1:] - points[:-1]
+    covered = (depth >= 2) & (groups2[1:] == groups2[:-1])
+    shared = int(widths[covered].sum())
+    sharing = int((widths[covered] * depth[covered]).sum())
     return shared, sharing
 
 
@@ -100,6 +156,14 @@ class Ksm:
         self._guest_epochs: Dict[int, int] = {}
         self._mergeable_shared = 0
         self._mergeable_sharing = 0
+        #: Bumped on every change that can alter ``stats()`` output
+        #: (guest set, dirty memory, scan coverage).  Snapshot caches key
+        #: on it — see ``Hypervisor.accounting_token``.
+        self.version = 0
+        # stats() memo: (version, coverage-gate flag) -> KsmStats.  The
+        # version covers every mutation, so a hit returns the previous
+        # (frozen) stats object without touching the index.
+        self._stats_cache: Optional[Tuple[int, bool, "KsmStats"]] = None
         self.obs = obs
         self._scan_passes = obs.metrics.counter("ksm.scan_passes")
         self._pages_sharing = obs.metrics.gauge("ksm.pages_sharing")
@@ -112,6 +176,7 @@ class Ksm:
             self._total_pages += guest.total_pages
             guest.add_dirty_listener(self._mark_index_stale)
             self._index_stale = True
+            self.version += 1
 
     def unregister(self, guest: GuestMemory) -> None:
         if guest in self._guests:
@@ -120,9 +185,11 @@ class Ksm:
             guest.remove_dirty_listener(self._mark_index_stale)
             self._guest_epochs.pop(id(guest), None)
             self._index_stale = True
+            self.version += 1
 
     def _mark_index_stale(self) -> None:
         self._index_stale = True
+        self.version += 1
 
     # -- scanning ------------------------------------------------------------
 
@@ -146,10 +213,13 @@ class Ksm:
         madvised regions.
         """
         if self.enabled:
-            self._scanned_pages = min(
+            scanned = min(
                 self._scanned_pages + self.pages_per_scan * passes,
                 self.total_guest_pages,
             )
+            if scanned != self._scanned_pages:
+                self._scanned_pages = scanned
+                self.version += 1
             self._scan_passes.inc(passes)
         return self._published_stats()
 
@@ -161,6 +231,7 @@ class Ksm:
                 # Only an actual catch-up scan counts as a pass; calling
                 # this with coverage already complete is a no-op.
                 self._scanned_pages = total
+                self.version += 1
                 self._scan_passes.inc()
         return self._published_stats()
 
@@ -171,6 +242,7 @@ class Ksm:
         diverge again and the scanner must re-earn its coverage.
         """
         self._scanned_pages = 0
+        self.version += 1
         self._coverage_resets.inc()
         self.obs.event("ksm.coverage_reset", guests=len(self._guests))
 
@@ -195,29 +267,56 @@ class Ksm:
         few dozen entries even for multi-GiB guest sets.
         """
         zero_total = 0
-        image_runs: Dict[str, List[Tuple[int, int, int]]] = {}
+        image_index: Dict[str, int] = {}
+        group_ids: List[int] = []
+        los: List[int] = []
+        his: List[int] = []
+        mults: List[int] = []
         for guest in self._guests:
             zero_total += guest.zero_pages
             for image_id, lo, hi, mult in guest.image_segments():
-                image_runs.setdefault(image_id, []).append((lo, hi, mult))
-        shared = 0
-        sharing = 0
+                gid = image_index.setdefault(image_id, len(image_index))
+                group_ids.append(gid)
+                los.append(lo)
+                his.append(hi)
+                mults.append(mult)
+        shared, sharing = _sweep_duplicates_grouped(group_ids, los, his, mults)
         if self.merge_zero_pages and zero_total >= 2:
             # All zero pages carry one content: a single physical page.
             shared += 1
             sharing += zero_total
-        for runs in image_runs.values():
-            run_shared, run_sharing = _sweep_duplicates(runs)
-            shared += run_shared
-            sharing += run_sharing
         self._mergeable_shared = shared
         self._mergeable_sharing = sharing
         self._guest_epochs = {id(g): g.dirty_epoch for g in self._guests}
         self._index_stale = False
 
+    #: Class-level gate for the zero-coverage fast path below; the
+    #: perfbench seed modes flip it off so baselines keep the seed cost.
+    _coverage_gate_enabled = True
+
+    #: Class-level gate for the version-keyed stats memo; the perfbench
+    #: seed modes flip it off so baselines recompute stats every call.
+    _stats_cache_enabled = True
+
     def stats(self) -> KsmStats:
+        gate = self._coverage_gate_enabled
+        if not self._stats_cache_enabled:
+            return self._compute_stats(gate)
+        cached = self._stats_cache
+        if cached is not None and cached[0] == self.version and cached[1] == gate:
+            return cached[2]
+        result = self._compute_stats(gate)
+        self._stats_cache = (self.version, gate, result)
+        return result
+
+    def _compute_stats(self, gate: bool) -> KsmStats:
         if not self.enabled:
-            return KsmStats(pages_shared=0, pages_sharing=0, pages_saved=0)
+            return _ZERO_STATS
+        if gate and self._scanned_pages == 0 and self._total_pages > 0:
+            # Nothing scanned yet: the coverage fraction is exactly 0.0,
+            # so both truncated counts are 0 whatever the index holds —
+            # skip the rebuild (it happens lazily on the first scan).
+            return _ZERO_STATS
         if not self._index_current():
             self._rebuild_index()
         shared = self._mergeable_shared

@@ -60,7 +60,7 @@ class HostMemory:
         """Admit a new guest of ``size_bytes`` RAM or raise OutOfMemoryError."""
         if owner_id in self._guests:
             raise OutOfMemoryError(f"guest {owner_id!r} already has memory allocated")
-        projected = self.stats().used_bytes + pages_to_bytes(bytes_to_pages(size_bytes))
+        projected = self._used_bytes_now() + pages_to_bytes(bytes_to_pages(size_bytes))
         if projected > self.total_bytes:
             raise OutOfMemoryError(
                 f"admitting {owner_id!r} ({size_bytes} B) would need {projected} B "
@@ -89,6 +89,15 @@ class HostMemory:
         return list(self._guests.values())
 
     # -- accounting ------------------------------------------------------------
+
+    def _used_bytes_now(self) -> int:
+        """Same arithmetic as ``stats().used_bytes`` without building the
+        snapshot dataclass (admission runs this on every guest launch)."""
+        return (
+            self.base_used_bytes
+            + pages_to_bytes(self._allocated_pages)
+            - self.ksm.stats().bytes_saved
+        )
 
     def stats(self) -> HostMemoryStats:
         allocated = pages_to_bytes(self._allocated_pages)

@@ -19,7 +19,7 @@ stream-encrypts the attached body with that key.  The client, holding
 all payload keys, removes every stratum at once.  A reply block spends
 itself on first use.
 
-Two process-global caches keep the hot path fast without touching the
+Three process-global caches keep the hot path fast without touching the
 seeded RNG stream (mirroring the ntor client cache / relay memo pair):
 
 * :data:`SENDER_KEY_CACHE` — client side, keyed by node public key.  A
@@ -27,6 +27,14 @@ seeded RNG stream (mirroring the ntor client cache / relay memo pair):
   whether the cache is warm, cold, or disabled.
 * the per-node peel memo, keyed by client ephemeral — gated by
   :func:`set_peel_memo_enabled` so perfbench baselines can turn it off.
+* :data:`MIX_STREAM_CACHE` — the ChaCha20 keystream and Poly1305
+  one-time key per layer key.  Layer keys are stable (see above) and the
+  nonce is fixed, so every packet under a key XORs against the *same*
+  keystream; caching it turns each wrap/peel into one XOR plus one MAC.
+  Cold entries for a whole path fill in a single vectorized dispatch
+  (:func:`repro.crypto.chacha20.chacha20_keystreams`).  Gated by
+  :func:`set_stream_cache_enabled`; outputs are byte-identical either
+  way (pinned by tests/test_mixnet_stream_cache.py).
 """
 
 from __future__ import annotations
@@ -35,9 +43,16 @@ import struct
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.crypto.aead import ChaCha20Poly1305
-from repro.crypto.chacha20 import chacha20_xor
+from repro.crypto.aead import ChaCha20Poly1305, _pad16_tail
+from repro.crypto.chacha20 import (
+    chacha20_keystream,
+    chacha20_keystreams,
+    chacha20_xor,
+    chacha20_xor_layers,
+    xor_bytes,
+)
 from repro.crypto.kdf import hkdf
+from repro.crypto.poly1305 import Poly1305, constant_time_equal
 from repro.crypto.x25519 import x25519, x25519_keypair
 from repro.errors import AuthenticationError, MixnetError
 from repro.sim.rng import SeededRng
@@ -101,6 +116,64 @@ class MixKeyCache:
 
 #: shared across every client in the process; perfbench baselines disable + clear
 SENDER_KEY_CACHE = MixKeyCache()
+
+class MixStreamCache:
+    """Cached ChaCha20 keystream + Poly1305 one-time key per layer key.
+
+    Every AEAD under a given layer key uses the fixed :data:`_NONCE`, so
+    its counter-0 block (the MAC's one-time key) and counter-1.. stream
+    (the cipher bytes) never change across packets.  One cache entry is
+    ``(otk, keystream)`` fetched in a single dispatch; an entry regrows
+    when a longer message comes through.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = True
+        self._by_key: Dict[bytes, Tuple[bytes, bytes]] = {}
+
+    def entry(self, key: bytes, length: int) -> Optional[Tuple[bytes, bytes]]:
+        if not self.enabled:
+            return None
+        entry = self._by_key.get(key)
+        if entry is None or len(entry[1]) < length:
+            raw = chacha20_keystream(key, _NONCE, 64 + length, counter=0)
+            entry = (raw[:32], raw[64:])
+            self._by_key[key] = entry
+        return entry
+
+    def prefill(self, keys: Sequence[bytes], length: int) -> None:
+        """Warm every missing/short entry in one vectorized dispatch."""
+        if not self.enabled:
+            return
+        missing = [
+            key
+            for key in dict.fromkeys(keys)
+            if key not in self._by_key or len(self._by_key[key][1]) < length
+        ]
+        if not missing:
+            return
+        for key, raw in zip(
+            missing, chacha20_keystreams(missing, _NONCE, 64 + length, counter=0)
+        ):
+            self._by_key[key] = (raw[:32], raw[64:])
+
+    def clear(self) -> None:
+        self._by_key.clear()
+
+
+#: shared across the process; perfbench baselines disable + clear
+MIX_STREAM_CACHE = MixStreamCache()
+
+
+def stream_cache_enabled() -> bool:
+    return MIX_STREAM_CACHE.enabled
+
+
+def set_stream_cache_enabled(enabled: bool) -> None:
+    MIX_STREAM_CACHE.enabled = enabled
+    if not enabled:
+        MIX_STREAM_CACHE.clear()
+
 
 #: node-side memo of derived keys per client ephemeral (set by perfbench)
 _PEEL_MEMO_ENABLED = True
@@ -188,9 +261,43 @@ def open_body(body: bytes) -> bytes:
     return body[start : start + length]
 
 
+def _stream_tag(otk: bytes, ciphertext: bytes, aad: bytes) -> bytes:
+    """RFC 8439 AEAD tag from a precomputed one-time key (exact framing)."""
+    mac = Poly1305(otk)
+    mac.update(aad)
+    mac.update(_pad16_tail(len(aad)))
+    mac.update(ciphertext)
+    mac.update(_pad16_tail(len(ciphertext)))
+    mac.update(struct.pack("<QQ", len(aad), len(ciphertext)))
+    return mac.tag()
+
+
+def _seal(key: bytes, plaintext: bytes, aad: bytes) -> bytes:
+    """``ChaCha20Poly1305(key).encrypt(_NONCE, ...)`` via the stream cache."""
+    entry = MIX_STREAM_CACHE.entry(key, len(plaintext))
+    if entry is None:
+        return ChaCha20Poly1305(key).encrypt(_NONCE, plaintext, aad)
+    otk, stream = entry
+    ciphertext = xor_bytes(plaintext, stream[: len(plaintext)])
+    return ciphertext + _stream_tag(otk, ciphertext, aad)
+
+
+def _open(key: bytes, sealed: bytes, aad: bytes) -> bytes:
+    """``ChaCha20Poly1305(key).decrypt(_NONCE, ...)`` via the stream cache."""
+    if len(sealed) < _TAG_BYTES:
+        raise AuthenticationError("ciphertext shorter than the AEAD tag")
+    entry = MIX_STREAM_CACHE.entry(key, len(sealed) - _TAG_BYTES)
+    if entry is None:
+        return ChaCha20Poly1305(key).decrypt(_NONCE, sealed, aad)
+    otk, stream = entry
+    ciphertext, tag = sealed[:-_TAG_BYTES], sealed[-_TAG_BYTES:]
+    if not constant_time_equal(tag, _stream_tag(otk, ciphertext, aad)):
+        raise AuthenticationError("AEAD tag verification failed")
+    return xor_bytes(ciphertext, stream[: len(ciphertext)])
+
+
 def _wrap_layer(eph_public: bytes, key: bytes, routing: bytes, inner: bytes) -> bytes:
-    sealed = ChaCha20Poly1305(key).encrypt(_NONCE, routing + inner, aad=eph_public)
-    return eph_public + sealed
+    return eph_public + _seal(key, routing + inner, aad=eph_public)
 
 
 def peel_layer(
@@ -205,7 +312,7 @@ def peel_layer(
     sealed = packet[_EPH_BYTES:]
     key = derive_node_key(node_private, eph_public, memo)
     try:
-        plain = ChaCha20Poly1305(key).decrypt(_NONCE, sealed, aad=eph_public)
+        plain = _open(key, sealed, aad=eph_public)
     except AuthenticationError as exc:
         raise MixnetError(f"packet failed authentication: {exc}") from exc
     routing = plain[:ROUTING_BYTES]
@@ -224,9 +331,19 @@ def build_packet(rng: SeededRng, hops: Sequence, payload: bytes) -> bytes:
     if not hops:
         raise MixnetError("a mixnet packet needs at least one hop")
     packet = encode_body(payload, rng.token_bytes(_PID_BYTES))
+    # Derive every hop key first (innermost-first: the RNG draw order of
+    # the layer-at-a-time loop), then warm the stream cache for the whole
+    # path in one vectorized dispatch before wrapping.
+    derived = [
+        derive_sender_key(rng, hops[index].public_key)
+        for index in range(len(hops) - 1, -1, -1)
+    ]
+    derived.reverse()  # back to hop order
+    outermost = ROUTING_BYTES + BODY_BYTES + (len(hops) - 1) * LAYER_OVERHEAD_BYTES
+    MIX_STREAM_CACHE.prefill([key for _, key in derived], outermost)
     for index in range(len(hops) - 1, -1, -1):
         next_hop = hops[index + 1].name if index + 1 < len(hops) else None
-        eph_public, key = derive_sender_key(rng, hops[index].public_key)
+        eph_public, key = derived[index]
         packet = _wrap_layer(eph_public, key, _encode_routing(next_hop), packet)
     return packet
 
@@ -255,14 +372,21 @@ def build_reply_block(rng: SeededRng, hops: Sequence) -> ReplyBlock:
     if not hops:
         raise MixnetError("a reply block needs at least one hop")
     payload_keys: List[bytes] = []
+    derived: List[Tuple[bytes, bytes]] = []
+    # First pass keeps the exact RNG draw order (payload key then hop key,
+    # innermost-first); the second pass wraps with a prefilled cache.
+    for index in range(len(hops) - 1, -1, -1):
+        payload_keys.insert(0, rng.token_bytes(_PAYLOAD_KEY_BYTES))
+        derived.insert(0, derive_sender_key(rng, hops[index].public_key))
+    layer_plain = ROUTING_BYTES + _PAYLOAD_KEY_BYTES
+    outermost = layer_plain + (len(hops) - 1) * (layer_plain + _EPH_BYTES + _TAG_BYTES)
+    MIX_STREAM_CACHE.prefill([key for _, key in derived], outermost)
     header = b""
     for index in range(len(hops) - 1, -1, -1):
-        payload_key = rng.token_bytes(_PAYLOAD_KEY_BYTES)
-        payload_keys.insert(0, payload_key)
         next_hop = hops[index + 1].name if index + 1 < len(hops) else None
-        eph_public, key = derive_sender_key(rng, hops[index].public_key)
+        eph_public, key = derived[index]
         header = _wrap_layer(
-            eph_public, key, _encode_routing(next_hop), payload_key + header
+            eph_public, key, _encode_routing(next_hop), payload_keys[index] + header
         )
     return ReplyBlock(
         first_hop=hops[0].name, header=header, payload_keys=tuple(payload_keys)
@@ -289,6 +413,6 @@ def open_reply(block: ReplyBlock, body: bytes) -> bytes:
     if block.used:
         raise MixnetError("reply block already used (single-use)")
     block.used = True
-    for payload_key in block.payload_keys:
-        body = chacha20_xor(payload_key, _NONCE, body)
-    return open_body(body)
+    # XOR is commutative: all strata come off in one combined-keystream
+    # dispatch instead of one pass per hop.
+    return open_body(chacha20_xor_layers(block.payload_keys, _NONCE, body))

@@ -237,6 +237,33 @@ def _seed_layer_used_bytes(self) -> int:
     return sum(len(data) for data in self._files.values())
 
 
+def _seed_hypervisor_memory_snapshot(self):
+    from repro.vmm.hypervisor import MemorySnapshot
+
+    stats = self.memory.stats()
+    ksm_stats = self.ksm.stats()
+    fs_bytes = sum(vm.fs_ram_bytes for vm in self._vms.values())
+    return MemorySnapshot(
+        used_bytes=stats.used_bytes + fs_bytes,
+        guest_ram_bytes=stats.guest_allocated_bytes,
+        fs_bytes=fs_bytes,
+        ksm_pages_sharing=ksm_stats.pages_sharing,
+        ksm_pages_saved=ksm_stats.pages_saved,
+    )
+
+
+_seed_token_serial = 0
+
+
+def _seed_accounting_token(self):
+    # Always fresh: every consumer cache keyed on the token (host snapshot
+    # cache, fleet admission cache) misses on each read, restoring the
+    # seed per-query accounting cost.
+    global _seed_token_serial
+    _seed_token_serial += 1
+    return (_seed_token_serial,)
+
+
 def _seed_host_memory_stats(self):
     from repro.memory.physmem import HostMemoryStats
 
@@ -247,6 +274,11 @@ def _seed_host_memory_stats(self):
         guest_allocated_bytes=allocated,
         ksm_saved_bytes=self.ksm.stats().bytes_saved,
     )
+
+
+def _seed_physmem_used_bytes_now(self) -> int:
+    # The seed admission check built the full stats snapshot per launch.
+    return _seed_host_memory_stats(self).used_bytes
 
 
 def _seed_ksm_total_guest_pages(self) -> int:
@@ -267,50 +299,112 @@ def _seed_ksm_index_current(self) -> bool:
 def seed_accounting_mode():
     """Run with the seed O(N) accounting sums: `Layer.used_bytes` walks
     every file, `HostMemory.stats` and `Ksm.total_guest_pages` walk every
-    guest, and `Ksm._index_current` re-walks dirty epochs per call."""
+    guest, `Ksm._index_current` re-walks dirty epochs per call,
+    `Hypervisor.memory_snapshot` re-sums writable FS bytes over every VM,
+    the accounting token is always fresh (defeating the host snapshot and
+    fleet admission caches), and KSM's zero-coverage stats gate and
+    version-keyed stats memo are both off."""
     from repro.memory.ksm import Ksm
     from repro.memory.physmem import HostMemory
     from repro.unionfs.layer import Layer
+    from repro.vmm.hypervisor import Hypervisor
 
     saved = (
         Layer.used_bytes,
         HostMemory.stats,
+        HostMemory._used_bytes_now,
         Ksm.total_guest_pages,
         Ksm._index_current,
+        Hypervisor.memory_snapshot,
+        Hypervisor.accounting_token,
+        Ksm._coverage_gate_enabled,
+        Ksm._stats_cache_enabled,
     )
     Layer.used_bytes = property(_seed_layer_used_bytes)
     HostMemory.stats = _seed_host_memory_stats
+    HostMemory._used_bytes_now = _seed_physmem_used_bytes_now
     Ksm.total_guest_pages = property(_seed_ksm_total_guest_pages)
     Ksm._index_current = _seed_ksm_index_current
+    Hypervisor.memory_snapshot = _seed_hypervisor_memory_snapshot
+    Hypervisor.accounting_token = _seed_accounting_token
+    Ksm._coverage_gate_enabled = False
+    Ksm._stats_cache_enabled = False
     try:
         yield
     finally:
         (
             Layer.used_bytes,
             HostMemory.stats,
+            HostMemory._used_bytes_now,
             Ksm.total_guest_pages,
             Ksm._index_current,
+            Hypervisor.memory_snapshot,
+            Hypervisor.accounting_token,
+            Ksm._coverage_gate_enabled,
+            Ksm._stats_cache_enabled,
         ) = saved
+
+
+def _seed_fleet_host_list(self):
+    return [self.hosts[hid] for hid in sorted(self.hosts)]
+
+
+def _seed_fleet_candidates(self, exclude=None):
+    admissible = [
+        h
+        for h in _seed_fleet_host_list(self)
+        if h.host_id != exclude and h.admits(self.need_ram_bytes)
+    ]
+    calm = [
+        h
+        for h in admissible
+        if (h.used_bytes + self.footprint_bytes) / h.total_bytes
+        <= self.high_watermark
+    ]
+    return calm or admissible
+
+
+@contextmanager
+def seed_admission_mode():
+    """The seed fleet-admission path: host lists rebuilt and the full
+    watermark arithmetic re-derived on every arrival (no token-keyed
+    verdict cache, no wave batching reaches `_candidates`), on top of the
+    seed accounting sums."""
+    from repro.fleet.fleet import Fleet
+
+    saved = (Fleet.host_list, Fleet._candidates)
+    Fleet.host_list = _seed_fleet_host_list
+    Fleet._candidates = _seed_fleet_candidates
+    try:
+        with seed_accounting_mode():
+            yield
+    finally:
+        Fleet.host_list, Fleet._candidates = saved
 
 
 @contextmanager
 def seed_mixnet_mode():
     """Run the mixnet packet path with seed costs: a fresh x25519
-    exchange per layer on the sender (no ephemeral-key cache) and a
-    fresh exchange per peel on every node (no per-node memo)."""
+    exchange per layer on the sender (no ephemeral-key cache), a fresh
+    exchange per peel on every node (no per-node memo), and a fresh
+    ChaCha20 keystream + Poly1305 one-time key per AEAD (no per-layer-key
+    stream cache)."""
     from repro.mixnet import packet as packet_mod
 
     cache_was = packet_mod.SENDER_KEY_CACHE.enabled
     memo_was = packet_mod.peel_memo_enabled()
+    stream_was = packet_mod.stream_cache_enabled()
     packet_mod.SENDER_KEY_CACHE.enabled = False
     packet_mod.SENDER_KEY_CACHE.clear()
     packet_mod.set_peel_memo_enabled(False)
+    packet_mod.set_stream_cache_enabled(False)
     try:
         yield
     finally:
         packet_mod.SENDER_KEY_CACHE.enabled = cache_was
         packet_mod.SENDER_KEY_CACHE.clear()
         packet_mod.set_peel_memo_enabled(memo_was)
+        packet_mod.set_stream_cache_enabled(stream_was)
 
 
 @contextmanager
@@ -330,6 +424,7 @@ __all__ = [
     "legacy_onion_round_trip",
     "seed_crypto_mode",
     "seed_accounting_mode",
+    "seed_admission_mode",
     "seed_launch_mode",
     "seed_mixnet_mode",
     "PAGE_SIZE",

@@ -43,6 +43,10 @@ class Layer:
         self._files: Dict[str, bytes] = {}
         self._whiteouts: Set[str] = set()
         self._used_bytes = 0
+        # Optional single observer of used-byte deltas.  The hypervisor
+        # attaches one to each VM's writable top layer so host-wide FS
+        # accounting stays O(1) per snapshot instead of O(VMs).
+        self._delta_listener = None
         for path, data in (files or {}).items():
             path_n = normalize_path(path)
             previous = self._files.get(path_n)
@@ -87,6 +91,14 @@ class Layer:
 
     # -- mutation ------------------------------------------------------------
 
+    def set_delta_listener(self, listener) -> None:
+        """Register (or clear, with ``None``) the used-bytes delta observer."""
+        self._delta_listener = listener
+
+    def _notify(self, delta: int) -> None:
+        if delta and self._delta_listener is not None:
+            self._delta_listener(delta)
+
     def _check_writable(self) -> None:
         if self.read_only:
             raise ReadOnlyError(f"layer {self.name!r} is read-only")
@@ -95,19 +107,23 @@ class Layer:
         self._check_writable()
         path = normalize_path(path)
         previous = self._files.get(path)
+        delta = len(data) - (len(previous) if previous is not None else 0)
         if previous is not None:
             self._used_bytes -= len(previous)
         self._files[path] = bytes(data)
         self._used_bytes += len(data)
         self._whiteouts.discard(path)
+        self._notify(delta)
 
     def remove(self, path: str) -> None:
         self._check_writable()
         path = normalize_path(path)
         if path not in self._files:
             raise FileSystemError(f"{path}: not present in layer {self.name!r}")
-        self._used_bytes -= len(self._files[path])
+        freed = len(self._files[path])
+        self._used_bytes -= freed
         del self._files[path]
+        self._notify(-freed)
 
     def add_whiteout(self, path: str) -> None:
         self._check_writable()
@@ -115,15 +131,17 @@ class Layer:
         previous = self._files.pop(path, None)
         if previous is not None:
             self._used_bytes -= len(previous)
+            self._notify(-len(previous))
         self._whiteouts.add(path)
 
     def clear(self) -> int:
         """Drop all files and whiteouts (tmpfs teardown).  Returns bytes freed."""
         self._check_writable()
-        freed = self.used_bytes
+        freed = self._used_bytes
         self._files.clear()
         self._whiteouts.clear()
         self._used_bytes = 0
+        self._notify(-freed)
         return freed
 
     def __repr__(self) -> str:

@@ -131,12 +131,19 @@ class Hypervisor:
         self._vm_counter = itertools.count(1)
         self.emergency_halted = False
         self.tamper_log: List[str] = []
+        # Writable-FS bytes across all resident VMs, maintained by delta
+        # listeners on each VM's top layer — keeps memory_snapshot() O(1).
+        self._fs_ram_bytes = 0
 
         #: Flash-clone launch path: pre-booted memory images and shared
         #: read-only mount layers, keyed per (spec, role, anonymizer, image).
         self.zygote_cache = zygote_cache
         self._zygote_memories: Dict[tuple, GuestMemory] = {}
         self._layer_cache: Dict[tuple, tuple] = {}
+        # flash_clone resolves a template's mount layers + zygote memories
+        # once and reuses them for every clone; keyed by template identity
+        # (the template itself is stored so a recycled id can't alias).
+        self._template_prep: Dict[int, tuple] = {}
 
         #: The host LAN wire, built once on the first DHCP handshake and
         #: kept (torn down) between handshakes instead of leaking a fresh
@@ -255,8 +262,30 @@ class Hypervisor:
         cold-boot construction sequence — either way the resulting nymbox
         is semantically identical.
         """
+        anon_prep = comm_prep = None
+        if self.zygote_cache:
+            cached = self._template_prep.get(id(template))
+            if cached is not None and cached[0] is template:
+                _, anon_prep, comm_prep = cached
+            else:
+                anon_prep = (
+                    self._mount_layers(template.anon_spec.role, "", self.base_layer),
+                    self._zygote_memory(template.anon_spec, template.image_id),
+                )
+                comm_prep = (
+                    self._mount_layers(
+                        template.comm_spec.role,
+                        template.anonymizer,
+                        self.base_layer,
+                    ),
+                    self._zygote_memory(template.comm_spec, template.image_id),
+                )
+                self._template_prep[id(template)] = (template, anon_prep, comm_prep)
         anonvm = self.create_vm(
-            template.anon_spec, name=f"{name}-anon", image_id=template.image_id
+            template.anon_spec,
+            name=f"{name}-anon",
+            image_id=template.image_id,
+            prepared=anon_prep,
         )
         try:
             commvm = self.create_vm(
@@ -264,6 +293,7 @@ class Hypervisor:
                 name=f"{name}-comm",
                 anonymizer=template.anonymizer,
                 image_id=template.image_id,
+                prepared=comm_prep,
             )
         except Exception:
             self.destroy_vm(anonvm)
@@ -280,7 +310,11 @@ class Hypervisor:
         anonymizer: str = "",
         base_layer: Optional[Layer] = None,
         image_id: str = NYMIX_IMAGE_ID,
+        prepared: Optional[tuple] = None,
     ) -> VirtualMachine:
+        """``prepared`` is flash_clone's pre-resolved ``((config, bottom),
+        zygote)`` bundle for this flavour — exactly what the zygote-cache
+        branch below would look up, minus the per-clone cache probes."""
         if self.emergency_halted:
             raise HypervisorError("hypervisor is halted (base image tamper detected)")
         vm_id = name or f"{spec.role.value}-{next(self._vm_counter)}"
@@ -289,7 +323,17 @@ class Hypervisor:
         guest_memory = self.memory.allocate_guest(vm_id, spec.ram_bytes)
         base = base_layer if base_layer is not None else self.base_layer
         template_memory: Optional[GuestMemory] = None
-        if self.zygote_cache:
+        if prepared is not None:
+            (config, bottom), template_memory = prepared
+            fs = build_vm_mount(
+                role=spec.role,
+                tmpfs_bytes=spec.writable_fs_bytes,
+                base=base,
+                anonymizer=anonymizer,
+                config=config,
+                bottom=bottom,
+            )
+        elif self.zygote_cache:
             config, bottom = self._mount_layers(spec.role, anonymizer, base)
             fs = build_vm_mount(
                 role=spec.role,
@@ -319,16 +363,28 @@ class Hypervisor:
             template_memory=template_memory,
         )
         self._vms[vm_id] = vm
+        if vm.fs.writable:
+            self._fs_ram_bytes += vm.fs.top.used_bytes
+            vm.fs.top.set_delta_listener(self._on_fs_delta)
         obs = self.timeline.obs
-        obs.metrics.counter("vmm.vm.created").inc()
-        obs.metrics.gauge("vmm.vms_live").set(len(self._vms))
+        if obs.enabled:
+            obs.metrics.counter("vmm.vm.created").inc()
+            obs.metrics.gauge("vmm.vms_live").set(len(self._vms))
         return vm
+
+    def _on_fs_delta(self, delta: int) -> None:
+        self._fs_ram_bytes += delta
 
     def destroy_vm(self, vm: VirtualMachine) -> None:
         """Shut down and securely erase a VM (the amnesia step of §3.4)."""
         if vm.state.value in ("running", "paused", "created"):
             vm.shutdown()
         vm.fs.discard_changes()
+        if vm.fs.writable:
+            # discard_changes cleared the top layer (the listener saw the
+            # delta); stop tracking it and drop any residual bytes.
+            vm.fs.top.set_delta_listener(None)
+            self._fs_ram_bytes -= vm.fs.top.used_bytes
         # O(nics), not O(host wires): each registered wire is indexed by
         # its endpoint NICs, so a fleet-scale teardown no longer rescans
         # every wire on the host per destroyed VM.
@@ -479,10 +535,19 @@ class Hypervisor:
 
     # -- accounting ----------------------------------------------------------------
 
+    def accounting_token(self) -> tuple:
+        """A value that changes whenever :meth:`memory_snapshot` could.
+
+        Covers guest allocations, KSM state (index staleness, scan
+        coverage, guest registration), and writable-FS bytes — callers
+        (the fleet's :class:`HostHandle`) cache snapshots keyed on it.
+        """
+        return (self.memory._allocated_pages, self.ksm.version, self._fs_ram_bytes)
+
     def memory_snapshot(self) -> MemorySnapshot:
         stats = self.memory.stats()
         ksm_stats = self.ksm.stats()
-        fs_bytes = sum(vm.fs_ram_bytes for vm in self._vms.values())
+        fs_bytes = self._fs_ram_bytes
         return MemorySnapshot(
             used_bytes=stats.used_bytes + fs_bytes,
             guest_ram_bytes=stats.guest_allocated_bytes,

@@ -203,3 +203,65 @@ class TestAeadFraming:
                 + struct.pack("<QQ", len(aad), len(ciphertext))
             )
             assert sealed[-16:] == legacy_poly1305_mac(otk, mac_data)
+
+
+class TestPoly1305LimbPath:
+    """The radix-2^26 limb path and widened batch window stay exact."""
+
+    @pytest.mark.parametrize(
+        "size",
+        # Straddle the limb-path dispatch (1024 B) and the 512-block
+        # batch window (8192 B), plus a multi-batch tail.
+        [1008, 1023, 1024, 1025, 1040, 8176, 8191, 8192, 8193, 8208, 20_000],
+    )
+    def test_limb_path_matches_seed_per_block_loop(self, size):
+        message = _pattern(size)
+        assert poly1305_mac(KEY, message) == legacy_poly1305_mac(KEY, message)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_keys_and_sizes_match_seed(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        for _ in range(20):
+            key = bytes(rng.randrange(256) for _ in range(32))
+            size = rng.randrange(0, 12_000)
+            message = bytes(rng.randrange(256) for _ in range(size))
+            assert poly1305_mac(key, message) == legacy_poly1305_mac(key, message)
+
+    def test_streaming_across_the_limb_threshold(self):
+        message = _pattern(5000)
+        mac = Poly1305(KEY)
+        mac.update(message[:700])     # scalar batch
+        mac.update(message[700:703])  # tail carry
+        mac.update(message[703:4000])  # limb path with carried tail
+        mac.update(message[4000:])
+        assert mac.tag() == legacy_poly1305_mac(KEY, message)
+
+    def test_power_table_shared_across_instances(self):
+        from repro.crypto.poly1305 import _POWER_CACHE
+
+        _POWER_CACHE.clear()
+        message = _pattern(4096)
+        first = poly1305_mac(KEY, message)
+        assert len(_POWER_CACHE) == 1
+        assert poly1305_mac(KEY, message) == first
+        assert len(_POWER_CACHE) == 1  # second MAC reused the same table
+
+
+class TestMultiKeyKeystreams:
+    def test_matches_per_key_keystream(self):
+        from repro.crypto.chacha20 import chacha20_keystream, chacha20_keystreams
+
+        keys = [KEY, KEY2, KEY3]
+        for length in (0, 1, 64, 65, 300, 1024):
+            batched = chacha20_keystreams(keys, NONCE, length, counter=5)
+            singles = [
+                chacha20_keystream(key, NONCE, length, counter=5) for key in keys
+            ]
+            assert batched == singles, length
+
+    def test_empty_key_list(self):
+        from repro.crypto.chacha20 import chacha20_keystreams
+
+        assert chacha20_keystreams([], NONCE, 100) == []

@@ -224,3 +224,77 @@ class TestKsmEquivalence:
         late = GuestMemory("late", 4 * MIB)
         ksm.register(late)
         assert ksm.coverage == pytest.approx(0.5)
+
+
+class TestGroupedSweepEquivalence:
+    """The one-shot vectorized sweep must match per-group scalar sweeps."""
+
+    def _scalar(self, group_ids, los, his, mults):
+        from repro.memory.ksm import _sweep_duplicates
+
+        per_group = {}
+        for gid, lo, hi, mult in zip(group_ids, los, his, mults):
+            per_group.setdefault(gid, []).append((lo, hi, mult))
+        shared = sharing = 0
+        for runs in per_group.values():
+            s, m = _sweep_duplicates(runs)
+            shared += s
+            sharing += m
+        return shared, sharing
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_random_run_sets_match_scalar(self, seed):
+        from repro.memory.ksm import _sweep_duplicates_grouped
+
+        rng = random.Random(seed)
+        for trial in range(30):
+            n = rng.randint(0, 120)  # spans both sides of the vector threshold
+            group_ids, los, his, mults = [], [], [], []
+            for _ in range(n):
+                lo = rng.randint(0, 500)
+                group_ids.append(rng.randint(0, 6))
+                los.append(lo)
+                his.append(lo + rng.randint(1, 80))
+                mults.append(rng.randint(1, 5))
+            assert _sweep_duplicates_grouped(group_ids, los, his, mults) == (
+                self._scalar(group_ids, los, his, mults)
+            ), (seed, trial)
+
+    def test_identical_endpoints_across_groups_do_not_merge(self):
+        from repro.memory.ksm import _sweep_duplicates_grouped
+
+        # Same [0, 10) run in 30 different groups: no within-group overlap,
+        # so nothing merges even though every point coincides globally.
+        n = 30
+        args = (list(range(n)), [0] * n, [10] * n, [1] * n)
+        assert _sweep_duplicates_grouped(*args) == (0, 0)
+
+    def test_zero_coverage_stats_gate_is_exact(self):
+        guests = _fig3_guest_set(GuestMemory)
+        ksm = Ksm(enabled=True, pages_per_scan=1)
+        for guest in guests:
+            ksm.register(guest)
+        gated = ksm.stats()  # coverage 0.0: fast path, no index rebuild
+        assert (gated.pages_shared, gated.pages_sharing, gated.pages_saved) == (
+            0,
+            0,
+            0,
+        )
+        legacy_guests = _fig3_guest_set(LegacyGuestMemory)
+        assert legacy_ksm_stats(legacy_guests, coverage=0.0) == (0, 0, 0)
+
+    def test_version_tracks_accounting_changes(self):
+        guest = GuestMemory("g", 4 * MIB)
+        ksm = Ksm(enabled=True)
+        before = ksm.version
+        ksm.register(guest)
+        assert ksm.version > before
+        before = ksm.version
+        guest.dirty(PAGE_SIZE)
+        assert ksm.version > before
+        before = ksm.version
+        ksm.run_to_completion()
+        assert ksm.version > before
+        before = ksm.version
+        ksm.run_to_completion()  # coverage already complete: no change
+        assert ksm.version == before

@@ -27,6 +27,7 @@ EXPECTED_BENCHES = {
     "nym_lifecycle",
     "nym_launch",
     "fleet_arrival",
+    "fleet_wave",
 }
 
 
