@@ -10,6 +10,7 @@ from repro.anonymizers.tor.relay import Relay
 from repro.crypto.chacha20 import chacha20_combined_keystream, xor_bytes
 from repro.crypto.x25519 import x25519, x25519_keypair
 from repro.errors import CircuitError
+from repro.runtime import evict_oldest, register_process_cache
 from repro.sim.clock import Timeline
 from repro.sim.rng import SeededRng
 
@@ -31,9 +32,18 @@ class NtorClientCache:
     disabled entirely.
     """
 
-    def __init__(self) -> None:
+    #: one keyshare per distinct relay onion key; bounded so a long-lived
+    #: process crossing many deployments cannot grow it without limit.
+    DEFAULT_MAX_ENTRIES = 65_536
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
         self.enabled = True
+        self.max_entries = max_entries
+        self.evictions = 0
         self._by_relay_key: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._by_relay_key)
 
     def lookup(self, relay_public: bytes):
         if not self.enabled:
@@ -45,6 +55,7 @@ class NtorClientCache:
     ) -> None:
         if self.enabled:
             self._by_relay_key[relay_public] = (client_public, keys)
+            self.evictions += evict_oldest(self._by_relay_key, self.max_entries)
 
     def clear(self) -> None:
         self._by_relay_key.clear()
@@ -53,6 +64,9 @@ class NtorClientCache:
 #: shared across every circuit in the process (see class docstring for
 #: why that is sound); perfbench baselines disable + clear it
 NTOR_CLIENT_CACHE = NtorClientCache()
+register_process_cache(
+    "tor.ntor_keyshares", NTOR_CLIENT_CACHE.clear, NTOR_CLIENT_CACHE.__len__
+)
 
 
 @dataclass

@@ -82,15 +82,27 @@ class NymixSession:
         return self
 
     def close(self) -> None:
-        """Tear down every live nymbox (amnesia), then seal the session."""
+        """Tear down every live nymbox (amnesia), then seal the session.
+
+        Closing also resets the process-global memo caches (ntor
+        keyshares, mixnet keys/keystreams, the shared base image): a
+        session's key material must not stay resident in a long-lived
+        worker after the session is gone.  The reset is invisible in the
+        journal — caches never feed the seeded RNG stream — it only costs
+        the next session its warm start.
+        """
+        from repro.runtime import reset_process_caches
+
         if self.closed or self._manager is None:
             self.closed = True
+            reset_process_caches()
             return
         manager = self._manager
         for name in sorted(manager.nymboxes):
             manager.discard_nym(manager.nymboxes[name])
         manager.obs.event("session.closed", nyms_stored=len(manager.stored_nyms))
         self.closed = True
+        reset_process_caches()
 
     def __enter__(self) -> "NymixSession":
         return self.open()

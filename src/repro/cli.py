@@ -11,6 +11,9 @@ Gives the reproduction an operator's console:
 * ``bench``     — time the simulator's hot paths against the seed code
 * ``chaos``     — run a seeded fault-injection scenario, print the survival report
 * ``fleet``     — place ~1000 nymboxes over a simulated 64-host cluster
+  (``--shards N`` runs the sharded scale-out path with streamed journal
+  spools and epoch-barrier checkpoints; ``--resume DIR`` continues a
+  killed sharded run)
 * ``sweep``     — chart anonymity/latency/overhead across Tor, Dissent, mixnet
 
 Every subcommand accepts the same three flags: ``--seed`` (overrides the
@@ -200,6 +203,11 @@ def _run_observed_scenario(args: argparse.Namespace, nyms: int) -> NymixSession:
 def cmd_stats(args: argparse.Namespace) -> int:
     nx = _run_observed_scenario(args, args.nyms)
     obs = nx.obs
+    # Surface journal health next to the metrics: a non-zero dropped
+    # count means the byte-identity oracle is truncated and any journal
+    # comparison for this run is meaningless.
+    obs.metrics.gauge("obs.journal.events").set(len(obs.journal))
+    obs.metrics.gauge("obs.journal.dropped").set(obs.journal.dropped)
     if args.journal and _write_journal(obs, args.journal):
         return 1
     if args.json:
@@ -303,6 +311,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 def cmd_fleet(args: argparse.Namespace) -> int:
     from repro.fleet import run_fleet
 
+    if args.resume or args.shards:
+        return _cmd_fleet_sharded(args)
     hosts = args.hosts
     nyms = args.nyms
     if args.quick:
@@ -329,6 +339,62 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     if args.journal:
         print(f"journal -> {args.journal}", file=sys.stderr)
     return 0 if (args.no_compare or report.ksm_aware_beats_first_fit) else 1
+
+
+def _cmd_fleet_sharded(args: argparse.Namespace) -> int:
+    """The scale-out path: ``repro fleet --shards N`` / ``--resume DIR``."""
+    from repro.fleet import resume_fleet_sharded, run_fleet_sharded
+
+    if args.resume:
+        report = resume_fleet_sharded(
+            args.resume, journal_path=args.journal, out_path=args.out
+        )
+    else:
+        scale_counts = None
+        if args.scale:
+            scale_counts = [int(c) for c in args.scale.split(",") if c.strip()]
+        shards = args.shards
+        nyms = args.nyms
+        hosts_per_shard = max(1, args.hosts // shards)
+        if args.quick:
+            shards = min(shards, 2)
+            hosts_per_shard = min(hosts_per_shard, 4)
+            nyms = min(nyms, 60)
+        report = run_fleet_sharded(
+            seed=effective_seed(args),
+            shards=shards,
+            hosts_per_shard=hosts_per_shard,
+            nyms=nyms,
+            policy=args.policy,
+            epoch_s=args.epoch_s,
+            host_crashes=args.host_crashes,
+            spool_dir=args.spool_dir,
+            checkpoint_dir=args.checkpoint_dir,
+            stop_after_epoch=args.stop_after_epoch,
+            journal_path=args.journal,
+            out_path=args.out,
+            flash_clone=not args.cold_boot,
+            scale_counts=scale_counts,
+        )
+    if args.json:
+        _emit_json(report.export())
+    else:
+        print(report.summary())
+        if args.out:
+            print(f"report -> {args.out}", file=sys.stderr)
+    if args.journal:
+        print(f"journal -> {args.journal}", file=sys.stderr)
+    if not report.result.completed:
+        checkpoint = args.resume or args.checkpoint_dir
+        hint = (
+            f"; resume with --resume {checkpoint}" if checkpoint
+            else " (no --checkpoint-dir: this run cannot be resumed)"
+        )
+        print(
+            f"stopped after epoch {report.result.epochs}{hint}",
+            file=sys.stderr,
+        )
+    return 0
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -489,6 +555,37 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default="BENCH_fleet.json",
         help="placement/savings report path (default BENCH_fleet.json)",
+    )
+    fleet.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="run the sharded scale-out path with N regions "
+        "(--hosts is split evenly across shards; 0 = classic single timeline)",
+    )
+    fleet.add_argument(
+        "--epoch-s", type=float, default=120.0, metavar="SECONDS",
+        help="simulated seconds between shard barriers (sharded path)",
+    )
+    fleet.add_argument(
+        "--spool-dir", default="fleet-spool", metavar="DIR",
+        help="directory for the streamed journal spools (sharded path)",
+    )
+    fleet.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="checkpoint the run at every epoch barrier into DIR (sharded path)",
+    )
+    fleet.add_argument(
+        "--stop-after-epoch", type=int, metavar="K",
+        help="stop after K epoch barriers (with --checkpoint-dir: the kill "
+        "half of kill/resume)",
+    )
+    fleet.add_argument(
+        "--resume", metavar="DIR",
+        help="resume a killed sharded run from its checkpoint directory",
+    )
+    fleet.add_argument(
+        "--scale", metavar="N,M,...",
+        help="also chart the capacity trajectory across these shard counts "
+        "(sharded path; writes the scale_trajectory section of --out)",
     )
     add_common_args(fleet, journal=True)
     fleet.set_defaults(func=cmd_fleet)

@@ -22,6 +22,10 @@ class ObservabilityError(NymixError):
     """Misuse of the metrics/tracing/journal subsystem."""
 
 
+class JournalOverflowError(ObservabilityError):
+    """An in-memory event journal hit ``max_events`` with overflow=error."""
+
+
 class CryptoError(NymixError):
     """Cryptographic failure (bad key sizes, failed authentication...)."""
 

@@ -6,6 +6,11 @@ through pluggable policies (first-fit, least-loaded, KSM-aware), keeps
 hosts under memory-pressure watermarks by evacuating nyms through the
 §3.5 store-and-relaunch loop, and survives injected host crashes.
 ``run_fleet`` is the cluster-scale scenario behind ``repro fleet``.
+
+Past one timeline's capacity, :mod:`repro.fleet.shard` partitions the
+fleet into regions synchronized at epoch barriers, streams every journal
+to a JSONL spool, and checkpoints whole runs for kill/resume;
+``run_fleet_sharded`` is the scenario behind ``repro fleet --shards N``.
 """
 
 from repro.fleet.fleet import Fleet, FleetNymbox, FleetStats
@@ -18,11 +23,29 @@ from repro.fleet.placement import (
     PlacementPolicy,
     make_policy,
 )
-from repro.fleet.scenario import FleetReport, PolicyResult, run_fleet
+from repro.fleet.scenario import (
+    FleetReport,
+    PolicyResult,
+    ShardedFleetReport,
+    resume_fleet_sharded,
+    run_fleet,
+    run_fleet_sharded,
+    scale_trajectory,
+)
+from repro.fleet.shard import (
+    FleetShard,
+    ShardConfig,
+    ShardedFleet,
+    ShardedRunResult,
+    combined_spool_bytes,
+    resume_sharded_fleet,
+    run_sharded_fleet,
+)
 
 __all__ = [
     "Fleet",
     "FleetNymbox",
+    "FleetShard",
     "FleetStats",
     "FleetReport",
     "HostHandle",
@@ -32,6 +55,16 @@ __all__ = [
     "LeastLoaded",
     "PlacementPolicy",
     "PolicyResult",
+    "ShardConfig",
+    "ShardedFleet",
+    "ShardedFleetReport",
+    "ShardedRunResult",
+    "combined_spool_bytes",
     "make_policy",
+    "resume_fleet_sharded",
+    "resume_sharded_fleet",
     "run_fleet",
+    "run_fleet_sharded",
+    "run_sharded_fleet",
+    "scale_trajectory",
 ]

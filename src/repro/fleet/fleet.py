@@ -23,6 +23,7 @@ from repro.fleet.host import HostHandle
 from repro.fleet.placement import PlacementPolicy, WaveView, make_policy
 from repro.memory.pages import bytes_to_pages, pages_to_bytes
 from repro.net.internet import Internet
+from repro.runtime import register_process_cache
 from repro.sim.clock import Timeline
 from repro.vmm.baseimage import build_base_layer, published_merkle_root
 from repro.vmm.hypervisor import HostSpec, Hypervisor, NymboxTemplate
@@ -46,7 +47,8 @@ class PlacementRequest:
 
 #: Process-wide (base layer, Merkle root) for the default Nymix image.
 #: The layer is read-only, so sharing it across fleets is safe; the root
-#: hash walk is the expensive part of fleet construction.
+#: hash walk is the expensive part of fleet construction.  Registered
+#: with the runtime cache registry so session teardown can release it.
 _BASE_IMAGE_CACHE: List[tuple] = []
 
 
@@ -55,6 +57,11 @@ def _shared_base_image() -> tuple:
         layer = build_base_layer()
         _BASE_IMAGE_CACHE.append((layer, published_merkle_root(layer)))
     return _BASE_IMAGE_CACHE[0]
+
+
+register_process_cache(
+    "fleet.base_image", _BASE_IMAGE_CACHE.clear, _BASE_IMAGE_CACHE.__len__
+)
 
 
 def _as_request(item) -> PlacementRequest:

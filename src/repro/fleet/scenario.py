@@ -12,6 +12,8 @@ additionally exports a byte-reproducible event journal.
 from __future__ import annotations
 
 import json
+import os
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -20,6 +22,13 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.fleet.fleet import Fleet, FleetStats
 from repro.fleet.placement import PLACEMENT_POLICIES
+from repro.fleet.shard import (
+    ShardConfig,
+    ShardedRunResult,
+    combined_spool_bytes,
+    resume_sharded_fleet,
+    run_sharded_fleet,
+)
 from repro.sim.clock import Timeline
 from repro.vmm.vm import MIB
 from repro.workloads.fleet import fleet_workload
@@ -197,3 +206,205 @@ def run_fleet(
             json.dump(report.export(), fh, indent=2, sort_keys=True)
             fh.write("\n")
     return report
+
+
+# -- the sharded scale path ---------------------------------------------------
+
+
+@dataclass
+class ShardedFleetReport:
+    """The BENCH_fleet.json payload for a sharded (scale-out) run.
+
+    On top of the simulation-side accounting this records the two
+    capacity numbers the scale story is about: **nyms per host** the
+    cluster sustains (resident / live hosts at the end of the run) and
+    **arrivals per wall-clock second** the simulator pushes through the
+    sharded path.  Wall-clock figures live only in this report — never
+    in the journals, which must stay byte-reproducible.
+    """
+
+    result: ShardedRunResult
+    wall_seconds: float
+    resumed: bool = False
+    trajectory: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def nyms_per_host(self) -> float:
+        merged = self.result.merged
+        hosts_up = merged["hosts_up"] or 1
+        return merged["nyms_resident"] / hosts_up
+
+    @property
+    def arrivals_per_sec(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.result.config.nyms / self.wall_seconds
+
+    def export(self) -> Dict[str, object]:
+        payload = {
+            "bench": "fleet-sharded",
+            **self.result.export(),
+            "resumed": self.resumed,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "nyms_per_host": round(self.nyms_per_host, 2),
+            "arrivals_per_sec": round(self.arrivals_per_sec, 1),
+        }
+        if self.trajectory:
+            payload["scale_trajectory"] = self.trajectory
+        return payload
+
+    def summary(self) -> str:
+        config = self.result.config
+        merged = self.result.merged
+        lines = [
+            f"sharded fleet: {config.nyms} nyms over {config.shards} shards x "
+            f"{config.hosts_per_shard} hosts (seed {config.seed}, "
+            f"policy {config.policy}, epoch {config.epoch_s:g} s)"
+            + (" [resumed]" if self.resumed else ""),
+            f"  epochs {self.result.epochs}, resident {merged['nyms_resident']}, "
+            f"parked {merged['nyms_parked']}, rejected {self.result.rejected}, "
+            f"evacuations {merged['evacuations']}, crashes {merged['host_crashes']}",
+            f"  RAM {merged['used_bytes'] / MIB:.0f} MiB used, "
+            f"{merged['ksm_saved_bytes'] / MIB:.0f} MiB KSM-saved across "
+            f"{merged['hosts_up']} live hosts",
+            f"  sustained {self.nyms_per_host:.1f} nyms/host, "
+            f"{self.arrivals_per_sec:.0f} arrivals/s wall, "
+            f"{self.result.journal_events} journal events streamed",
+        ]
+        if self.trajectory:
+            lines.append(
+                f"  {'shards':>6} {'hosts':>6} {'resident':>8} "
+                f"{'nyms/host':>9} {'arrivals/s':>10}"
+            )
+            for point in self.trajectory:
+                lines.append(
+                    f"  {point['shards']:>6} {point['hosts']:>6} "
+                    f"{point['nyms_resident']:>8} {point['nyms_per_host']:>9.1f} "
+                    f"{point['arrivals_per_sec']:>10.0f}"
+                )
+        return "\n".join(lines)
+
+
+def run_fleet_sharded(
+    seed: int = 0,
+    shards: int = 4,
+    hosts_per_shard: int = 16,
+    nyms: int = 2000,
+    policy: str = "ksm-aware",
+    epoch_s: float = 120.0,
+    host_crashes: int = 0,
+    spool_dir: str = "fleet-spool",
+    checkpoint_dir: Optional[str] = None,
+    stop_after_epoch: Optional[int] = None,
+    journal_path: Optional[str] = None,
+    out_path: Optional[str] = "BENCH_fleet.json",
+    flash_clone: bool = True,
+    scale_counts: Optional[List[int]] = None,
+) -> ShardedFleetReport:
+    """The scale-out scenario behind ``repro fleet --shards N``.
+
+    Runs one sharded fleet (optionally checkpointing every epoch and
+    optionally stopping early for the kill half of kill/resume) and, if
+    ``scale_counts`` is given, replays the same seed and nym count
+    across those shard counts to chart the capacity trajectory.
+    """
+    config = ShardConfig(
+        seed=seed, shards=shards, hosts_per_shard=hosts_per_shard, nyms=nyms,
+        policy=policy, epoch_s=epoch_s, host_crashes=host_crashes,
+        flash_clone=flash_clone,
+    )
+    start = time.perf_counter()
+    result = run_sharded_fleet(
+        config, spool_dir,
+        checkpoint_dir=checkpoint_dir, stop_after_epoch=stop_after_epoch,
+    )
+    report = ShardedFleetReport(
+        result=result, wall_seconds=time.perf_counter() - start
+    )
+    if scale_counts:
+        report.trajectory = scale_trajectory(
+            seed=seed, nyms=nyms, shard_counts=scale_counts,
+            hosts_per_shard=hosts_per_shard, policy=policy, epoch_s=epoch_s,
+            spool_root=spool_dir + "-scale", flash_clone=flash_clone,
+        )
+    if journal_path:
+        _write_combined_spools(result.spool_paths, journal_path)
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(report.export(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return report
+
+
+def resume_fleet_sharded(
+    checkpoint_dir: str,
+    journal_path: Optional[str] = None,
+    out_path: Optional[str] = "BENCH_fleet.json",
+) -> ShardedFleetReport:
+    """Resume a killed sharded run (``repro fleet --resume DIR``)."""
+    start = time.perf_counter()
+    _, result = resume_sharded_fleet(checkpoint_dir)
+    report = ShardedFleetReport(
+        result=result, wall_seconds=time.perf_counter() - start, resumed=True
+    )
+    if journal_path:
+        _write_combined_spools(result.spool_paths, journal_path)
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(report.export(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return report
+
+
+def scale_trajectory(
+    seed: int,
+    nyms: int,
+    shard_counts: List[int],
+    hosts_per_shard: int = 16,
+    policy: str = "ksm-aware",
+    epoch_s: float = 120.0,
+    spool_root: str = "fleet-spool-scale",
+    flash_clone: bool = True,
+) -> List[Dict[str, object]]:
+    """One trajectory point per shard count, same seed and nym count.
+
+    Records what the scale section of BENCH_fleet.json is for: the max
+    sustainable nyms/host and the wall-clock arrivals/sec at each shard
+    count, so the scale-out curve is a measured artifact, not a claim.
+    """
+    points: List[Dict[str, object]] = []
+    for count in shard_counts:
+        config = ShardConfig(
+            seed=seed, shards=count, hosts_per_shard=hosts_per_shard,
+            nyms=nyms, policy=policy, epoch_s=epoch_s, flash_clone=flash_clone,
+        )
+        spool_dir = os.path.join(spool_root, f"shards-{count:02d}")
+        start = time.perf_counter()
+        result = run_sharded_fleet(config, spool_dir)
+        wall = time.perf_counter() - start
+        merged = result.merged
+        hosts_up = merged["hosts_up"] or 1
+        points.append(
+            {
+                "shards": count,
+                "hosts": count * hosts_per_shard,
+                "nyms": nyms,
+                "epochs": result.epochs,
+                "nyms_resident": merged["nyms_resident"],
+                "rejected": result.rejected,
+                "nyms_per_host": round(merged["nyms_resident"] / hosts_up, 2),
+                "arrivals_per_sec": round(nyms / wall, 1) if wall > 0 else 0.0,
+                "wall_seconds": round(wall, 3),
+                "journal_events": result.journal_events,
+            }
+        )
+    return points
+
+
+def _write_combined_spools(spool_paths: List[str], journal_path: str) -> int:
+    """Write the canonical concatenation (coordinator first, shards in
+    id order) — the byte-comparable whole run."""
+    data = combined_spool_bytes(spool_paths)
+    with open(journal_path, "wb") as out:
+        out.write(data)
+    return len(data)

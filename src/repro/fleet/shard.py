@@ -1,0 +1,579 @@
+"""Sharded fleet scale-out: regions, epoch barriers, checkpoint/resume.
+
+One :class:`~repro.fleet.fleet.Fleet` on one in-memory
+:class:`~repro.sim.clock.Timeline` tops out around the 64-host/1000-nym
+scenario.  The paper's unlinkability story is about *populations* of
+nyms, so the scale path partitions the fleet into **shards**: each shard
+owns its own timeline, its own hosts, its own seeded RNG streams, and
+its own journal — streamed to a JSONL spool on disk through a bounded
+window — and a small coordinator advances all shards through coarse
+**epoch barriers**.
+
+Determinism is preserved by construction:
+
+* the global arrival stream is drawn once from the run seed and
+  partitioned round-robin, each arrival keeping its absolute arrival
+  time, so shard membership and timing are pure functions of the seed;
+* shards run strictly in shard-id order within every epoch, and the
+  coordinator records per-shard and merged accounting in that same
+  fixed order at each barrier — two same-seed runs produce
+  byte-identical spools, shard by shard;
+* host-crash faults are scheduled from a forked RNG onto (shard, epoch)
+  slots and fired inline at barriers, never through timeline callbacks,
+  which keeps every shard quiescent (empty event queue) at each barrier.
+
+That quiescence is what makes **checkpoint/resume** well-defined: at a
+barrier every shard is a closed object graph (timeline + fleet + cursor)
+with no pending callbacks, so it pickles whole.  A checkpoint directory
+holds one pickle per shard, the coordinator journal, and a manifest with
+every spool's byte offset.  Resume truncates each spool to its recorded
+offset (cutting anything a killed run wrote past the checkpoint) and
+continues the epoch loop; the concatenated journal bytes of a resumed
+run are identical to an uninterrupted same-seed run — pinned by
+tests/test_fleet_shard.py and the scale-smoke CI job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import FleetCapacityError, FleetError
+from repro.fleet.fleet import Fleet, FleetStats
+from repro.obs.journal import EventJournal
+from repro.sim.clock import Clock, Timeline
+from repro.sim.rng import SeededRng
+from repro.workloads.fleet import NymArrival, fleet_workload
+
+_MANIFEST = "manifest.json"
+_COORDINATOR_PKL = "coordinator.pkl"
+
+
+def combined_spool_bytes(spool_paths: List[str]) -> bytes:
+    """Concatenate spool files with a one-line JSON header per section.
+
+    The canonical order (coordinator first, then shards by id) comes
+    from the caller; the result is the byte-comparable whole-run record
+    used by tests and the scale-smoke CI gate.
+    """
+    chunks: List[bytes] = []
+    for path in spool_paths:
+        name = os.path.splitext(os.path.basename(path))[0]
+        chunks.append(
+            json.dumps({"journal": name}, sort_keys=True,
+                       separators=(",", ":")).encode() + b"\n"
+        )
+        with open(path, "rb") as handle:
+            chunks.append(handle.read())
+    return b"".join(chunks)
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Everything that determines a sharded run, bit for bit."""
+
+    seed: int = 0
+    shards: int = 4
+    hosts_per_shard: int = 16
+    nyms: int = 2000
+    policy: str = "ksm-aware"
+    epoch_s: float = 120.0
+    host_crashes: int = 0
+    flash_clone: bool = True
+    mean_interarrival_s: float = 0.5
+    journal_window: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise FleetError(f"a sharded fleet needs >= 1 shard, got {self.shards}")
+        if self.epoch_s <= 0:
+            raise FleetError(f"epoch_s must be positive, got {self.epoch_s}")
+
+    def shard_seed(self, shard_id: int) -> int:
+        """The per-shard timeline seed: a pure function of (seed, shard)."""
+        return SeededRng(self.seed).fork(f"fleet.shard.{shard_id}").seed
+
+    def export(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+def partition_arrivals(
+    config: ShardConfig,
+) -> List[List[Tuple[float, NymArrival]]]:
+    """Draw the global arrival stream and split it round-robin by shard.
+
+    Every arrival keeps its **absolute** arrival time (cumulative
+    interarrival gaps over the global stream), so the per-shard streams
+    stay aligned on one global clock and epoch membership is identical
+    no matter how many shards share the load.
+    """
+    rng = SeededRng(config.seed).fork("fleet.workload")
+    arrivals = fleet_workload(
+        rng, config.nyms, mean_interarrival_s=config.mean_interarrival_s
+    )
+    per_shard: List[List[Tuple[float, NymArrival]]] = [
+        [] for _ in range(config.shards)
+    ]
+    now = 0.0
+    for index, arrival in enumerate(arrivals):
+        now += arrival.interarrival_s
+        per_shard[index % config.shards].append((now, arrival))
+    return per_shard
+
+
+class FleetShard:
+    """One region: its own timeline, fleet, arrival slice, and spool."""
+
+    def __init__(
+        self,
+        config: ShardConfig,
+        shard_id: int,
+        spool_path: str,
+        arrivals: Optional[List[Tuple[float, NymArrival]]] = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.rejected = 0
+        self.cursor = 0
+        if arrivals is None:
+            arrivals = partition_arrivals(config)[shard_id]
+        self.arrivals = arrivals
+        self.timeline = Timeline(seed=config.shard_seed(shard_id))
+        self.timeline.obs.journal.stream_to(spool_path, window=config.journal_window)
+        self.fleet = Fleet(
+            self.timeline,
+            hosts=config.hosts_per_shard,
+            policy=config.policy,
+            flash_clone=config.flash_clone,
+        )
+        self.timeline.obs.event(
+            "shard.created", shard=shard_id, hosts=config.hosts_per_shard,
+            arrivals=len(self.arrivals),
+        )
+
+    @property
+    def journal(self) -> EventJournal:
+        return self.timeline.obs.journal
+
+    @property
+    def done(self) -> bool:
+        return self.cursor >= len(self.arrivals)
+
+    def run_epoch(self, epoch_end: float) -> int:
+        """Process every arrival due by ``epoch_end``; returns how many.
+
+        The shard clock advances through each arrival's absolute time
+        (boots may push it further — later arrivals then place
+        immediately, exactly like the single-timeline scenario), ends at
+        or past ``epoch_end``, and settles KSM so barrier accounting is
+        converged.  The event queue is empty on return.
+        """
+        placed = 0
+        timeline, fleet = self.timeline, self.fleet
+        while self.cursor < len(self.arrivals):
+            t_abs, arrival = self.arrivals[self.cursor]
+            if t_abs > epoch_end:
+                break
+            if t_abs > timeline.now:
+                timeline.sleep(t_abs - timeline.now)
+            try:
+                fleet.place(arrival.name, arrival.image_id)
+            except FleetCapacityError:
+                self.rejected += 1
+            else:
+                placed += 1
+                if arrival.churn_bytes and arrival.name in fleet.nymboxes:
+                    fleet.touch(arrival.name, arrival.churn_bytes)
+            self.cursor += 1
+        if epoch_end > timeline.now:
+            timeline.sleep(epoch_end - timeline.now)
+        fleet.settle_ksm()
+        return placed
+
+    def barrier_stats(self) -> FleetStats:
+        return self.fleet.stats()
+
+
+@dataclass
+class ShardedRunResult:
+    """What one :meth:`ShardedFleet.run` call accomplished."""
+
+    config: ShardConfig
+    epochs: int
+    completed: bool
+    rejected: int
+    merged: Dict[str, object]
+    shard_stats: List[Dict[str, object]] = field(default_factory=list)
+    journal_events: int = 0
+    spool_paths: List[str] = field(default_factory=list)
+
+    def export(self) -> Dict[str, object]:
+        return {
+            "config": self.config.export(),
+            "epochs": self.epochs,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "merged": self.merged,
+            "shards": self.shard_stats,
+            "journal_events": self.journal_events,
+        }
+
+
+class ShardedFleet:
+    """The coordinator: shards in lock-step over coarse epoch barriers."""
+
+    def __init__(
+        self,
+        config: ShardConfig,
+        spool_dir: str,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 1,
+    ) -> None:
+        self.config = config
+        self.spool_dir = str(spool_dir)
+        self.checkpoint_dir = str(checkpoint_dir) if checkpoint_dir else None
+        self.checkpoint_every = max(1, checkpoint_every)
+        os.makedirs(self.spool_dir, exist_ok=True)
+        if self.checkpoint_dir:
+            os.makedirs(self.checkpoint_dir, exist_ok=True)
+        self.epoch = 0
+        self._crash_plan = self._plan_crashes()
+        self._crashes_fired = 0
+        # The coordinator's own journal: merged accounting per barrier,
+        # streamed like every shard's.
+        self._coord_clock = Clock()
+        self._coord_journal = EventJournal(self._coord_clock)
+        self._coord_journal.stream_to(
+            self._spool_path("coordinator"), window=config.journal_window
+        )
+        per_shard = partition_arrivals(config)
+        self.shards: List[FleetShard] = [
+            FleetShard(
+                config, shard_id, self._spool_path(f"shard-{shard_id:02d}"),
+                arrivals=per_shard[shard_id],
+            )
+            for shard_id in range(config.shards)
+        ]
+        self._coord_journal.record(
+            "coord.created", shards=config.shards, nyms=config.nyms,
+            hosts=config.shards * config.hosts_per_shard, policy=config.policy,
+        )
+
+    # -- paths ---------------------------------------------------------------
+
+    def _spool_path(self, name: str) -> str:
+        return os.path.join(self.spool_dir, f"{name}.jsonl")
+
+    def spool_paths(self) -> List[str]:
+        """Coordinator first, then shards in id order — the canonical
+        concatenation order for combined journal bytes."""
+        return [self._spool_path("coordinator")] + [
+            self._spool_path(f"shard-{s.shard_id:02d}") for s in self.shards
+        ]
+
+    # -- fault schedule ------------------------------------------------------
+
+    def _plan_crashes(self) -> Dict[int, List[int]]:
+        """(epoch -> shard ids to crash), drawn once from a forked RNG."""
+        if not self.config.host_crashes:
+            return {}
+        rng = SeededRng(self.config.seed).fork("fleet.shard.crashes")
+        expected_end = self.config.nyms * self.config.mean_interarrival_s
+        max_epoch = max(1, int(expected_end / self.config.epoch_s))
+        plan: Dict[int, List[int]] = {}
+        for index in range(self.config.host_crashes):
+            epoch = rng.randint(1, max_epoch)
+            shard = index % self.config.shards
+            plan.setdefault(epoch, []).append(shard)
+        return plan
+
+    def _fire_crashes(self, epoch: int, final: bool) -> None:
+        due: List[int] = []
+        if final:
+            for pending_epoch in sorted(self._crash_plan):
+                if pending_epoch >= epoch:
+                    due.extend(self._crash_plan.pop(pending_epoch))
+        if epoch in self._crash_plan:
+            due.extend(self._crash_plan.pop(epoch))
+        for shard_id in due:
+            shard = self.shards[shard_id]
+            crashed = shard.fleet.crash_host()
+            self._crashes_fired += 1
+            self._coord_journal.record(
+                "coord.host_crash", shard=shard_id,
+                host=crashed if crashed else "",
+            )
+
+    # -- the epoch loop ------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return all(shard.done for shard in self.shards) and not self._crash_plan
+
+    def run(self, stop_after_epoch: Optional[int] = None) -> ShardedRunResult:
+        """Advance epochs until every shard drained (or an early stop).
+
+        ``stop_after_epoch`` halts after that many *additional* barriers
+        — the kill half of the kill/resume story; the run stays
+        resumable from its last checkpoint.
+        """
+        barriers = 0
+        while not self.done:
+            self.epoch += 1
+            barriers += 1
+            epoch_end = self.epoch * self.config.epoch_s
+            for shard in self.shards:  # fixed shard-id order
+                shard.run_epoch(epoch_end)
+            final = all(shard.done for shard in self.shards)
+            self._fire_crashes(self.epoch, final=final)
+            self._barrier(epoch_end)
+            if self.checkpoint_dir and self.epoch % self.checkpoint_every == 0:
+                self.checkpoint()
+            if stop_after_epoch is not None and barriers >= stop_after_epoch:
+                return self._result(completed=self.done)
+        return self._result(completed=True)
+
+    def _barrier(self, epoch_end: float) -> None:
+        """Merge per-shard accounting, in shard-id order, then flush."""
+        self._coord_clock.advance_to(epoch_end)
+        merged = self._merged_stats(record_per_shard=True)
+        self._coord_journal.record("coord.epoch_merged", epoch=self.epoch, **merged)
+        for shard in self.shards:
+            shard.journal.flush()
+        self._coord_journal.flush()
+
+    def _merged_stats(self, record_per_shard: bool = False) -> Dict[str, object]:
+        totals = {
+            "hosts_up": 0, "nyms_resident": 0, "nyms_parked": 0,
+            "placements": 0, "evacuations": 0, "host_crashes": 0,
+            "used_bytes": 0, "total_bytes": 0, "ksm_saved_bytes": 0,
+            "rejected": 0,
+        }
+        for shard in self.shards:
+            stats = shard.barrier_stats()
+            if record_per_shard:
+                self._coord_journal.record(
+                    "coord.shard_epoch", epoch=self.epoch, shard=shard.shard_id,
+                    placed=shard.cursor - shard.rejected,
+                    rejected=shard.rejected,
+                    resident=stats.nyms_resident,
+                    used_bytes=stats.used_bytes,
+                    ksm_saved_bytes=stats.ksm_saved_bytes,
+                    events=len(shard.journal),
+                )
+            totals["hosts_up"] += stats.hosts_up
+            totals["nyms_resident"] += stats.nyms_resident
+            totals["nyms_parked"] += stats.nyms_parked
+            totals["placements"] += stats.placements
+            totals["evacuations"] += stats.evacuations
+            totals["host_crashes"] += stats.host_crashes
+            totals["used_bytes"] += stats.used_bytes
+            totals["total_bytes"] += stats.total_bytes
+            totals["ksm_saved_bytes"] += stats.ksm_saved_bytes
+            totals["rejected"] += shard.rejected
+        return totals
+
+    def _result(self, completed: bool) -> ShardedRunResult:
+        merged = self._merged_stats()
+        shard_stats = []
+        for shard in self.shards:
+            stats = shard.barrier_stats()
+            shard_stats.append(
+                {
+                    "shard": shard.shard_id,
+                    "arrivals": len(shard.arrivals),
+                    "placed": shard.cursor - shard.rejected,
+                    "rejected": shard.rejected,
+                    "sim_seconds": round(shard.timeline.now, 3),
+                    "journal_events": len(shard.journal),
+                    **stats.export(),
+                }
+            )
+        return ShardedRunResult(
+            config=self.config,
+            epochs=self.epoch,
+            completed=completed,
+            rejected=merged["rejected"],
+            merged=merged,
+            shard_stats=shard_stats,
+            journal_events=self.journal_events(),
+            spool_paths=self.spool_paths(),
+        )
+
+    def journal_events(self) -> int:
+        return len(self._coord_journal) + sum(len(s.journal) for s in self.shards)
+
+    def close(self) -> None:
+        """Record the terminal merged event and seal every spool."""
+        merged = self._merged_stats()
+        self._coord_journal.record(
+            "coord.run_complete", epochs=self.epoch,
+            nyms_resident=merged["nyms_resident"],
+            ksm_saved_bytes=merged["ksm_saved_bytes"],
+            rejected=merged["rejected"],
+        )
+        for shard in self.shards:
+            shard.journal.close_spool()
+        self._coord_journal.close_spool()
+
+    # -- combined journal ----------------------------------------------------
+
+    def combined_journal_bytes(self) -> bytes:
+        """Coordinator spool + shard spools in shard-id order, with one
+        header line per section — the byte-comparable whole-run record."""
+        return combined_spool_bytes(self.spool_paths())
+
+    def write_combined(self, path: str) -> int:
+        data = self.combined_journal_bytes()
+        with open(path, "wb") as handle:
+            handle.write(data)
+        return len(data)
+
+    # -- checkpoint/resume ---------------------------------------------------
+
+    def checkpoint(self) -> str:
+        """Persist the whole run at the current barrier, atomically.
+
+        Journals were just flushed, so each shard is a quiescent object
+        graph; the manifest lands last (tmp + rename) so a directory
+        with a manifest is always internally consistent.
+        """
+        if not self.checkpoint_dir:
+            raise FleetError("this ShardedFleet has no checkpoint_dir")
+        for shard in self.shards:
+            if not shard.timeline.quiescent:
+                raise FleetError(
+                    f"shard {shard.shard_id} has pending events at the barrier"
+                )
+            self._write_atomic(
+                os.path.join(self.checkpoint_dir, f"shard-{shard.shard_id:02d}.pkl"),
+                pickle.dumps(shard),
+            )
+        self._write_atomic(
+            os.path.join(self.checkpoint_dir, _COORDINATOR_PKL),
+            pickle.dumps((self._coord_clock, self._coord_journal)),
+        )
+        manifest = {
+            "config": self.config.export(),
+            "epoch": self.epoch,
+            "crashes_fired": self._crashes_fired,
+            "crash_plan": {str(k): v for k, v in self._crash_plan.items()},
+            "spool_dir": self.spool_dir,
+            "coordinator": {
+                "spool": self._spool_path("coordinator"),
+                "offset": self._coord_journal.spool_offset,
+                "events": len(self._coord_journal),
+            },
+            "shards": [
+                {
+                    "id": shard.shard_id,
+                    "spool": shard.journal.spool_path,
+                    "offset": shard.journal.spool_offset,
+                    "events": len(shard.journal),
+                    "cursor": shard.cursor,
+                    "rejected": shard.rejected,
+                }
+                for shard in self.shards
+            ],
+        }
+        self._write_atomic(
+            os.path.join(self.checkpoint_dir, _MANIFEST),
+            (json.dumps(manifest, indent=2, sort_keys=True) + "\n").encode(),
+        )
+        return self.checkpoint_dir
+
+    @staticmethod
+    def _write_atomic(path: str, data: bytes) -> None:
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+
+    @classmethod
+    def resume(
+        cls, checkpoint_dir: str, checkpoint_every: int = 1
+    ) -> "ShardedFleet":
+        """Rebuild a run from its checkpoint directory.
+
+        Every spool is truncated to the offset the manifest recorded —
+        a killed run may have flushed window batches past the last
+        barrier, and those bytes must not survive into the resumed
+        journal.
+        """
+        manifest_path = os.path.join(checkpoint_dir, _MANIFEST)
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        sharded = cls.__new__(cls)
+        sharded.config = ShardConfig(**manifest["config"])
+        sharded.spool_dir = manifest["spool_dir"]
+        sharded.checkpoint_dir = str(checkpoint_dir)
+        sharded.checkpoint_every = max(1, checkpoint_every)
+        sharded.epoch = manifest["epoch"]
+        sharded._crashes_fired = manifest["crashes_fired"]
+        sharded._crash_plan = {
+            int(k): v for k, v in manifest["crash_plan"].items()
+        }
+        with open(os.path.join(checkpoint_dir, _COORDINATOR_PKL), "rb") as handle:
+            sharded._coord_clock, sharded._coord_journal = pickle.load(handle)
+        cls._truncate_spool(
+            manifest["coordinator"]["spool"], manifest["coordinator"]["offset"]
+        )
+        sharded.shards = []
+        for entry in manifest["shards"]:
+            with open(
+                os.path.join(checkpoint_dir, f"shard-{entry['id']:02d}.pkl"), "rb"
+            ) as handle:
+                shard = pickle.load(handle)
+            cls._truncate_spool(entry["spool"], entry["offset"])
+            sharded.shards.append(shard)
+        return sharded
+
+    @staticmethod
+    def _truncate_spool(path: str, offset: int) -> None:
+        with open(path, "r+b") as handle:
+            handle.truncate(offset)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedFleet(shards={len(self.shards)}, epoch={self.epoch}, "
+            f"nyms={self.config.nyms}, spool_dir={self.spool_dir!r})"
+        )
+
+
+def run_sharded_fleet(
+    config: ShardConfig,
+    spool_dir: str,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 1,
+    stop_after_epoch: Optional[int] = None,
+) -> ShardedRunResult:
+    """One-shot driver: build, run (possibly partially), seal spools."""
+    sharded = ShardedFleet(
+        config, spool_dir,
+        checkpoint_dir=checkpoint_dir, checkpoint_every=checkpoint_every,
+    )
+    result = sharded.run(stop_after_epoch=stop_after_epoch)
+    if result.completed:
+        sharded.close()
+    else:
+        # Killed mid-run: flush what we have but do not seal — the
+        # resumed run writes the terminal record.
+        for shard in sharded.shards:
+            shard.journal.flush()
+        sharded._coord_journal.flush()
+    return result
+
+
+def resume_sharded_fleet(
+    checkpoint_dir: str,
+    checkpoint_every: int = 1,
+    stop_after_epoch: Optional[int] = None,
+) -> Tuple[ShardedFleet, ShardedRunResult]:
+    """Resume from ``checkpoint_dir`` and (by default) run to completion."""
+    sharded = ShardedFleet.resume(checkpoint_dir, checkpoint_every=checkpoint_every)
+    result = sharded.run(stop_after_epoch=stop_after_epoch)
+    if result.completed:
+        sharded.close()
+    return sharded, result

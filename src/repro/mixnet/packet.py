@@ -55,6 +55,7 @@ from repro.crypto.kdf import hkdf
 from repro.crypto.poly1305 import Poly1305, constant_time_equal
 from repro.crypto.x25519 import x25519, x25519_keypair
 from repro.errors import AuthenticationError, MixnetError
+from repro.runtime import evict_oldest, register_process_cache
 from repro.sim.rng import SeededRng
 
 #: AEAD nonce — every layer key is single-purpose, so a fixed nonce is sound.
@@ -97,9 +98,18 @@ class MixKeyCache:
     cache is warm, cold, or disabled.
     """
 
-    def __init__(self) -> None:
+    #: one X25519 key pair per distinct node key — tiny entries, but a
+    #: long-lived process sees every deployment's nodes; bound it.
+    DEFAULT_MAX_ENTRIES = 65_536
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
         self.enabled = True
+        self.max_entries = max_entries
+        self.evictions = 0
         self._by_node_key: Dict[bytes, Tuple[bytes, bytes]] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_node_key)
 
     def lookup(self, node_public: bytes) -> Optional[Tuple[bytes, bytes]]:
         if not self.enabled:
@@ -109,6 +119,7 @@ class MixKeyCache:
     def store(self, node_public: bytes, eph_public: bytes, key: bytes) -> None:
         if self.enabled:
             self._by_node_key[node_public] = (eph_public, key)
+            self.evictions += evict_oldest(self._by_node_key, self.max_entries)
 
     def clear(self) -> None:
         self._by_node_key.clear()
@@ -116,6 +127,9 @@ class MixKeyCache:
 
 #: shared across every client in the process; perfbench baselines disable + clear
 SENDER_KEY_CACHE = MixKeyCache()
+register_process_cache(
+    "mixnet.sender_keys", SENDER_KEY_CACHE.clear, SENDER_KEY_CACHE.__len__
+)
 
 class MixStreamCache:
     """Cached ChaCha20 keystream + Poly1305 one-time key per layer key.
@@ -127,9 +141,17 @@ class MixStreamCache:
     when a longer message comes through.
     """
 
-    def __init__(self) -> None:
+    #: entries hold whole keystreams (KiBs each) — keep the bound tight.
+    DEFAULT_MAX_ENTRIES = 8_192
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
         self.enabled = True
+        self.max_entries = max_entries
+        self.evictions = 0
         self._by_key: Dict[bytes, Tuple[bytes, bytes]] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_key)
 
     def entry(self, key: bytes, length: int) -> Optional[Tuple[bytes, bytes]]:
         if not self.enabled:
@@ -139,6 +161,7 @@ class MixStreamCache:
             raw = chacha20_keystream(key, _NONCE, 64 + length, counter=0)
             entry = (raw[:32], raw[64:])
             self._by_key[key] = entry
+            self.evictions += evict_oldest(self._by_key, self.max_entries)
         return entry
 
     def prefill(self, keys: Sequence[bytes], length: int) -> None:
@@ -156,6 +179,7 @@ class MixStreamCache:
             missing, chacha20_keystreams(missing, _NONCE, 64 + length, counter=0)
         ):
             self._by_key[key] = (raw[:32], raw[64:])
+        self.evictions += evict_oldest(self._by_key, self.max_entries)
 
     def clear(self) -> None:
         self._by_key.clear()
@@ -163,6 +187,9 @@ class MixStreamCache:
 
 #: shared across the process; perfbench baselines disable + clear
 MIX_STREAM_CACHE = MixStreamCache()
+register_process_cache(
+    "mixnet.streams", MIX_STREAM_CACHE.clear, MIX_STREAM_CACHE.__len__
+)
 
 
 def stream_cache_enabled() -> bool:

@@ -35,11 +35,15 @@ class Observability:
 
     enabled = True
 
-    def __init__(self, clock=None, max_events: int = 250_000) -> None:
+    def __init__(
+        self, clock=None, max_events: int = 250_000, on_overflow: str = "error"
+    ) -> None:
         self.clock = clock if clock is not None else _FrozenClock()
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(self.clock)
-        self.journal = EventJournal(self.clock, max_events=max_events)
+        self.journal = EventJournal(
+            self.clock, max_events=max_events, on_overflow=on_overflow
+        )
 
     # -- conveniences ---------------------------------------------------------
 
@@ -196,8 +200,20 @@ class _NullTracer:
 class _NullJournal:
     dropped = 0
     max_events = 0
+    streaming = False
+    spool_path = None
+    spool_offset = 0
 
     def record(self, name: str, **fields) -> None:
+        return None
+
+    def stream_to(self, path, window: int = 8192) -> None:
+        return None
+
+    def flush(self) -> int:
+        return 0
+
+    def close_spool(self) -> None:
         return None
 
     def __len__(self) -> int:

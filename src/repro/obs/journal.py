@@ -7,9 +7,27 @@ same-seed runs of the same scenario export **byte-identical** journals —
 the journal is therefore both an audit log and a regression oracle
 (diff the JSONL of two runs to find the first divergence).
 
-The journal is bounded: past ``max_events`` the oldest-first guarantee
-is kept by dropping *new* records and counting them in ``dropped``, so a
-runaway loop cannot eat the host's memory.
+The journal is bounded.  What happens at the bound is explicit:
+
+* ``on_overflow="error"`` (the default) raises
+  :class:`~repro.errors.JournalOverflowError` — a run that outgrows its
+  journal fails loudly instead of silently truncating the byte-identity
+  oracle (two truncated journals still compare equal, which is exactly
+  how a determinism gate passes on garbage).
+* ``on_overflow="drop"`` restores the old behaviour for callers that
+  genuinely want a bounded sample; drops are counted in ``dropped``.
+* :meth:`stream_to` switches the journal to **streamed** mode: events
+  spill to a JSONL file on disk through a bounded in-memory window, the
+  cap no longer applies, and the final file bytes are identical to what
+  :meth:`write_jsonl` would have produced from an in-memory journal.
+  This is the scale path — a million-event run holds only ``window``
+  records in RAM.
+
+Streamed journals also support checkpoint/resume: :meth:`flush` makes
+the spool file a prefix-stable artifact, ``spool_offset`` reports the
+flushed byte count, and a pickled journal reattaches to its spool file
+(truncating any bytes written after the recorded offset) so a resumed
+run appends exactly where the checkpoint left off.
 """
 
 from __future__ import annotations
@@ -18,7 +36,11 @@ import json
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.errors import JournalOverflowError, ObservabilityError
 from repro.obs.metrics import validate_metric_name
+
+#: recognised overflow policies for in-memory journals
+_OVERFLOW_MODES = ("error", "drop")
 
 
 @dataclass(frozen=True)
@@ -42,35 +64,160 @@ class EventRecord:
 class EventJournal:
     """Append-only, sim-time-stamped event log for one simulation."""
 
-    def __init__(self, clock, max_events: int = 250_000) -> None:
+    def __init__(
+        self,
+        clock,
+        max_events: int = 250_000,
+        on_overflow: str = "error",
+    ) -> None:
+        if on_overflow not in _OVERFLOW_MODES:
+            raise ObservabilityError(
+                f"unknown on_overflow mode {on_overflow!r} "
+                f"(expected one of {_OVERFLOW_MODES})"
+            )
         self._clock = clock  # anything with a ``.now`` float property
         self.max_events = max_events
+        self.on_overflow = on_overflow
         self._events: List[EventRecord] = []
         self.dropped = 0
+        # Monotonic sequence across the whole run (flushed + windowed).
+        self._next_seq = 0
+        # Per-name totals survive spooling, so count() stays exact after
+        # flushed events leave memory (distinct names are few).
+        self._name_counts: Dict[str, int] = {}
+        # Streaming state: set by stream_to()/resume; None = in-memory.
+        self._spool_path: Optional[str] = None
+        self._spool_handle = None
+        self._window_limit = 0
+        self._flushed_events = 0
+        self._flushed_bytes = 0
 
     # -- recording ------------------------------------------------------------
+
+    @property
+    def streaming(self) -> bool:
+        return self._spool_path is not None
 
     def record(self, name: str, **fields) -> Optional[EventRecord]:
         """Append one event at the current simulated time."""
         validate_metric_name(name)
-        if len(self._events) >= self.max_events:
+        if not self.streaming and len(self._events) >= self.max_events:
+            if self.on_overflow == "error":
+                raise JournalOverflowError(
+                    f"event journal overflowed max_events={self.max_events} "
+                    f"(raise the cap, use on_overflow='drop', or spill to "
+                    f"disk with stream_to())"
+                )
             self.dropped += 1
             return None
         record = EventRecord(
-            seq=len(self._events),
+            seq=self._next_seq,
             t=self._clock.now,
             name=name,
             fields=tuple(sorted(fields.items())),
         )
+        self._next_seq += 1
+        self._name_counts[name] = self._name_counts.get(name, 0) + 1
         self._events.append(record)
+        if self.streaming and len(self._events) >= self._window_limit:
+            self.flush()
         return record
+
+    # -- streaming ------------------------------------------------------------
+
+    def stream_to(self, path, window: int = 8192) -> None:
+        """Spill this journal to a JSONL spool at ``path``.
+
+        From now on at most ``window`` records stay in memory; the cap
+        stops applying (disk is the bound).  Events already recorded are
+        carried into the spool, so the final file bytes are identical to
+        an in-memory run's :meth:`write_jsonl` output regardless of when
+        streaming was switched on or how often :meth:`flush` ran.
+        """
+        if self.streaming:
+            raise ObservabilityError(
+                f"journal already streams to {self._spool_path!r}"
+            )
+        if window < 1:
+            raise ObservabilityError(f"stream window must be >= 1, got {window}")
+        self._spool_path = str(path)
+        self._window_limit = window
+        self._spool_handle = open(self._spool_path, "wb")
+        self._flushed_events = 0
+        self._flushed_bytes = 0
+        if len(self._events) >= window:
+            self.flush()
+
+    def flush(self) -> int:
+        """Write the in-memory window to the spool; returns events written.
+
+        Flush timing never changes the spool's final bytes — it only
+        bounds memory and establishes checkpointable offsets.
+        """
+        if not self.streaming:
+            return 0
+        if not self._events:
+            return 0
+        handle = self._ensure_spool_handle()
+        data = "".join(e.to_json() + "\n" for e in self._events).encode()
+        handle.write(data)
+        handle.flush()
+        written = len(self._events)
+        self._flushed_events += written
+        self._flushed_bytes += len(data)
+        self._events.clear()
+        return written
+
+    def close_spool(self) -> None:
+        """Flush and release the spool file handle (the path stays set)."""
+        if not self.streaming:
+            return
+        self.flush()
+        if self._spool_handle is not None:
+            self._spool_handle.close()
+            self._spool_handle = None
+
+    def _ensure_spool_handle(self):
+        """(Re)open the spool, truncating past the recorded offset.
+
+        After an unpickle (checkpoint resume) the file may hold bytes a
+        killed run wrote beyond the checkpoint; they are cut so the
+        resumed journal appends exactly at the recorded offset.
+        """
+        if self._spool_handle is None:
+            handle = open(self._spool_path, "r+b")
+            handle.truncate(self._flushed_bytes)
+            handle.seek(self._flushed_bytes)
+            self._spool_handle = handle
+        return self._spool_handle
+
+    @property
+    def spool_path(self) -> Optional[str]:
+        return self._spool_path
+
+    @property
+    def spool_offset(self) -> int:
+        """Flushed byte count — the resume point a checkpoint records."""
+        return self._flushed_bytes
+
+    # -- checkpoint/resume ----------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = self.__dict__.copy()
+        state["_spool_handle"] = None  # reopened lazily on next flush
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
 
     # -- querying -------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._events)
+        """Total events recorded (flushed to the spool + still in memory)."""
+        return self._flushed_events + len(self._events)
 
     def __iter__(self) -> Iterator[EventRecord]:
+        """Iterate the in-memory window (everything, unless streaming)."""
         return iter(self._events)
 
     @property
@@ -78,7 +225,11 @@ class EventJournal:
         return list(self._events)
 
     def select(self, prefix: str = "") -> List[EventRecord]:
-        """Events whose name is ``prefix`` or sits under ``prefix.``."""
+        """In-memory events whose name is ``prefix`` or under ``prefix.``.
+
+        In streamed mode only the unflushed window is visible here; use
+        :meth:`count` (exact across the whole run) or read the spool.
+        """
         if not prefix:
             return list(self._events)
         dotted = prefix + "."
@@ -87,22 +238,45 @@ class EventJournal:
         ]
 
     def count(self, prefix: str = "") -> int:
-        return len(self.select(prefix))
+        """Exact event count by name prefix, including spooled events."""
+        if not prefix:
+            return self._flushed_events + len(self._events)
+        dotted = prefix + "."
+        return sum(
+            n
+            for name, n in self._name_counts.items()
+            if name == prefix or name.startswith(dotted)
+        )
 
     # -- export ---------------------------------------------------------------
 
     def export_jsonl(self) -> str:
-        """The whole journal as canonical JSON Lines (one event per line)."""
+        """The whole journal as canonical JSON Lines (one event per line).
+
+        Streamed journals flush and read the spool back, so the result is
+        byte-identical to an in-memory journal of the same run.
+        """
+        if self.streaming:
+            self.flush()
+            with open(self._spool_path, "rb") as handle:
+                data = handle.read(self._flushed_bytes)
+            return data.decode()[:-1] if data else ""
         return "\n".join(e.to_json() for e in self._events)
 
     def write_jsonl(self, path) -> int:
         """Write the journal to ``path``; returns the number of events."""
+        total = len(self)
+        if self.streaming:
+            self.flush()
+            if str(path) == self._spool_path:
+                return total
         text = self.export_jsonl()
         with open(path, "w") as handle:
             handle.write(text)
             if text:
                 handle.write("\n")
-        return len(self._events)
+        return total
 
     def __repr__(self) -> str:
-        return f"EventJournal({len(self._events)} events, dropped={self.dropped})"
+        mode = f", spool={self._spool_path!r}" if self.streaming else ""
+        return f"EventJournal({len(self)} events, dropped={self.dropped}{mode})"

@@ -578,6 +578,51 @@ def _bench_fleet_wave(quick: bool) -> BenchResult:
     )
 
 
+def _bench_fleet_shard(quick: bool) -> BenchResult:
+    """The sharded scale path end to end: epoch barriers + streamed spools.
+
+    Measures whole sharded runs — arrival placement across shard
+    timelines, barrier merges, and every journal streamed to a spool on
+    disk — the configuration the scale-smoke CI gate and the
+    BENCH_fleet scale trajectory run.  No seed counterpart exists (the
+    seed code has no sharded path), so only the live rate is recorded.
+    """
+    import shutil
+    import tempfile
+
+    from repro.fleet.shard import ShardConfig, run_sharded_fleet
+
+    shards = 2 if quick else 4
+    nyms = 60 if quick else 400
+    config = ShardConfig(
+        seed=11, shards=shards, hosts_per_shard=4, nyms=nyms, epoch_s=30.0
+    )
+
+    def run() -> None:
+        spool_dir = tempfile.mkdtemp(prefix="bench-shard-")
+        try:
+            run_sharded_fleet(config, spool_dir)
+        finally:
+            shutil.rmtree(spool_dir, ignore_errors=True)
+
+    budget = _budget(quick)
+    run()  # warm per-process state (zygote templates) before timing
+    iterations, seconds = measure(run, budget, min_iterations=2)
+    return BenchResult(
+        name="fleet_shard",
+        tags=["scenario", "fleet"],
+        unit="run",
+        iterations=iterations,
+        seconds=seconds,
+        notes=(
+            f"{nyms} arrivals over {shards} shards x 4 hosts with epoch "
+            "barriers, per-shard KSM settlement, and every journal "
+            "streamed to a JSONL spool (fresh spool dir per run)"
+        ),
+        extra={"shards": shards, "nyms": nyms, "epoch_s": config.epoch_s},
+    )
+
+
 # -- registry ---------------------------------------------------------------
 
 BENCHES: Dict[str, Bench] = {
@@ -654,6 +699,12 @@ BENCHES: Dict[str, Bench] = {
             ["scenario", "fleet"],
             "batched wave admission vs the seed per-arrival host scan",
             _bench_fleet_wave,
+        ),
+        Bench(
+            "fleet_shard",
+            ["scenario", "fleet"],
+            "sharded epoch-barrier runs with streamed journal spools",
+            _bench_fleet_shard,
         ),
     ]
 }

@@ -1,0 +1,80 @@
+"""Process-wide runtime state: the registry of cross-session caches.
+
+Several hot paths keep **process-global** memo caches — the ntor client
+keyshare cache, the mixnet sender-key and keystream caches, the shared
+base-image layer — because their contents are pure functions of seeded
+key material and identical across sessions.  Left unmanaged they have
+two failure modes at production scale:
+
+* they grow without bound (every distinct key ever seen stays resident),
+* they leak state across sessions in one process — a long-lived worker
+  serving many simulations carries every prior run's key material.
+
+Every such cache registers here.  :func:`reset_process_caches` drops
+them all (the :class:`~repro.api.NymixSession` close hook calls it), and
+each cache enforces its own ``max_entries`` bound with deterministic
+oldest-first eviction.  Cache state never feeds the seeded RNG stream,
+so journal bytes are identical whether a cache is warm, cold, bounded,
+or mid-eviction — pinned by tests/test_runtime_caches.py.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, NamedTuple
+
+
+class _RegisteredCache(NamedTuple):
+    name: str
+    clear: Callable[[], None]
+    size: Callable[[], int]
+
+
+_PROCESS_CACHES: Dict[str, _RegisteredCache] = {}
+
+
+def register_process_cache(
+    name: str, clear: Callable[[], None], size: Callable[[], int]
+) -> None:
+    """Register a process-global cache for reset/introspection.
+
+    ``clear`` drops every entry; ``size`` reports the current entry
+    count.  Re-registering a name replaces the previous registration
+    (modules may be reloaded in tests).
+    """
+    _PROCESS_CACHES[name] = _RegisteredCache(name, clear, size)
+
+
+def process_cache_sizes() -> Dict[str, int]:
+    """Current entry count of every registered process-global cache."""
+    return {name: cache.size() for name, cache in sorted(_PROCESS_CACHES.items())}
+
+
+def reset_process_caches() -> Dict[str, int]:
+    """Clear every registered cache; returns the sizes they had.
+
+    Safe at any point: caches only memoize derived values, never RNG
+    draws, so clearing them changes performance but not a single journal
+    byte.
+    """
+    sizes = process_cache_sizes()
+    for cache in _PROCESS_CACHES.values():
+        cache.clear()
+    return sizes
+
+
+def registered_cache_names() -> List[str]:
+    return sorted(_PROCESS_CACHES)
+
+
+def evict_oldest(entries: Dict, max_entries: int) -> int:
+    """Shrink ``entries`` to ``max_entries`` by insertion order (FIFO).
+
+    Deterministic: Python dicts iterate in insertion order, so which
+    entries go depends only on the call sequence — identical across
+    same-seed runs.  Returns the number of evictions.
+    """
+    evicted = 0
+    while len(entries) > max_entries:
+        entries.pop(next(iter(entries)))
+        evicted += 1
+    return evicted

@@ -1,0 +1,192 @@
+"""Sharded fleet scale-out: determinism, epoch barriers, kill/resume.
+
+The whole-run record of a sharded fleet is the canonical concatenation
+of its streamed spools (coordinator first, shards in id order).  These
+tests pin the three invariants the scale path promises:
+
+* same-seed runs are byte-identical, spool by spool;
+* flush timing (the streaming window) never changes a single byte;
+* a run killed at (or past) an epoch-barrier checkpoint and resumed —
+  even in a state pickled for a fresh process — finishes with exactly
+  the bytes of an uninterrupted run.
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet.shard import (
+    FleetShard,
+    ShardConfig,
+    ShardedFleet,
+    combined_spool_bytes,
+    partition_arrivals,
+    resume_sharded_fleet,
+    run_sharded_fleet,
+)
+
+CFG = dict(
+    seed=7, shards=3, hosts_per_shard=4, nyms=90, host_crashes=2, epoch_s=15.0
+)
+
+
+def run_to_completion(tmp_path, name, **overrides):
+    config = ShardConfig(**{**CFG, **overrides})
+    spool_dir = str(tmp_path / name)
+    result = run_sharded_fleet(config, spool_dir)
+    return config, spool_dir, result
+
+
+def combined(spool_dir, shards):
+    paths = [f"{spool_dir}/coordinator.jsonl"] + [
+        f"{spool_dir}/shard-{i:02d}.jsonl" for i in range(shards)
+    ]
+    return combined_spool_bytes(paths)
+
+
+class TestShardConfig:
+    def test_rejects_degenerate_configs(self):
+        with pytest.raises(FleetError):
+            ShardConfig(shards=0)
+        with pytest.raises(FleetError):
+            ShardConfig(epoch_s=0)
+
+    def test_shard_seeds_are_stable_and_distinct(self):
+        config = ShardConfig(**CFG)
+        seeds = [config.shard_seed(i) for i in range(config.shards)]
+        assert seeds == [ShardConfig(**CFG).shard_seed(i) for i in range(3)]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_partition_is_round_robin_with_absolute_times(self):
+        config = ShardConfig(**CFG)
+        per_shard = partition_arrivals(config)
+        assert sum(len(s) for s in per_shard) == config.nyms
+        # Arrival i lands on shard i % shards; absolute times are the
+        # cumulative interarrival sums, so each slice is increasing.
+        assert per_shard[0][0][1].name == "nym-0000"
+        assert per_shard[1][0][1].name == "nym-0001"
+        for slice_ in per_shard:
+            times = [t for t, _ in slice_]
+            assert times == sorted(times)
+        # The same nyms regardless of shard count, just redistributed.
+        one = partition_arrivals(ShardConfig(**{**CFG, "shards": 1}))
+        all_names = sorted(a.name for s in per_shard for _, a in s)
+        assert all_names == sorted(a.name for _, a in one[0])
+
+
+class TestShardedDeterminism:
+    def test_same_seed_runs_are_byte_identical(self, tmp_path):
+        config, dir_a, result_a = run_to_completion(tmp_path, "a")
+        _, dir_b, result_b = run_to_completion(tmp_path, "b")
+        bytes_a = combined(dir_a, config.shards)
+        assert bytes_a
+        assert bytes_a == combined(dir_b, config.shards)
+        assert result_a.export() == result_b.export()
+
+    def test_flush_window_never_changes_bytes(self, tmp_path):
+        config, dir_a, _ = run_to_completion(tmp_path, "w-default")
+        _, dir_b, _ = run_to_completion(tmp_path, "w-tiny", journal_window=1)
+        assert combined(dir_a, config.shards) == combined(dir_b, config.shards)
+
+    def test_run_places_every_nym_and_merges_accounting(self, tmp_path):
+        config, _, result = run_to_completion(tmp_path, "full")
+        assert result.completed
+        merged = result.merged
+        assert merged["nyms_resident"] + merged["nyms_parked"] == config.nyms
+        assert merged["host_crashes"] == config.host_crashes
+        shard_events = sum(s["journal_events"] for s in result.shard_stats)
+        coordinator_events = result.journal_events - shard_events
+        # The coordinator records one creation record plus, per epoch,
+        # one merged event and one per-shard event (and any crashes).
+        assert coordinator_events >= 1 + result.epochs * (1 + config.shards)
+        per_shard_resident = sum(s["nyms_resident"] for s in result.shard_stats)
+        assert per_shard_resident == merged["nyms_resident"]
+
+    def test_streamed_shard_journal_matches_in_memory_export(self, tmp_path):
+        # The spool on disk and the journal's own export must agree —
+        # the streamed journal IS the in-memory journal, just flushed.
+        config = ShardConfig(**CFG)
+        sharded = ShardedFleet(config, str(tmp_path / "x"))
+        sharded.run()
+        for shard in sharded.shards:
+            exported = shard.journal.export_jsonl()
+            with open(shard.journal.spool_path) as handle:
+                assert handle.read() == exported + "\n"
+        sharded.close()
+
+
+class TestKillResume:
+    def test_resume_from_checkpoint_is_byte_identical(self, tmp_path):
+        config, dir_a, _ = run_to_completion(tmp_path, "uninterrupted")
+        baseline = combined(dir_a, config.shards)
+
+        dir_b = str(tmp_path / "killed")
+        ck = str(tmp_path / "ck")
+        partial = run_sharded_fleet(
+            config, dir_b, checkpoint_dir=ck, stop_after_epoch=1
+        )
+        assert not partial.completed
+        assert partial.epochs == 1
+        _, resumed = resume_sharded_fleet(ck)
+        assert resumed.completed
+        assert combined(dir_b, config.shards) == baseline
+
+    def test_resume_truncates_bytes_written_past_the_checkpoint(self, tmp_path):
+        config, dir_a, _ = run_to_completion(tmp_path, "clean")
+        baseline = combined(dir_a, config.shards)
+
+        dir_b = str(tmp_path / "dirty")
+        ck = str(tmp_path / "ck-dirty")
+        sharded = ShardedFleet(config, dir_b, checkpoint_dir=ck)
+        sharded.run(stop_after_epoch=1)
+        # The "kill" lands mid-epoch-2: progress already flushed to the
+        # spools, but no checkpoint taken.  Resume must cut those bytes.
+        sharded.epoch += 1
+        for shard in sharded.shards:
+            shard.run_epoch(sharded.epoch * config.epoch_s)
+            shard.journal.flush()
+        _, resumed = resume_sharded_fleet(ck)
+        assert resumed.completed
+        assert combined(dir_b, config.shards) == baseline
+
+    def test_resume_round_trips_through_pickled_state(self, tmp_path):
+        # The checkpoint files must be self-contained: a shard unpickled
+        # from bytes (as a fresh process would) carries its cursor, RNG
+        # position, and journal counts.
+        config = ShardConfig(**CFG)
+        sharded = ShardedFleet(
+            config, str(tmp_path / "p"), checkpoint_dir=str(tmp_path / "p-ck")
+        )
+        sharded.run(stop_after_epoch=1)
+        shard = sharded.shards[0]
+        clone = pickle.loads(pickle.dumps(shard))
+        assert clone.cursor == shard.cursor
+        assert clone.timeline.now == shard.timeline.now
+        assert len(clone.journal) == len(shard.journal)
+        assert clone.fleet.placements == shard.fleet.placements
+
+    def test_checkpoint_requires_a_quiescent_barrier(self, tmp_path):
+        config = ShardConfig(**CFG)
+        sharded = ShardedFleet(
+            config, str(tmp_path / "q"), checkpoint_dir=str(tmp_path / "q-ck")
+        )
+        sharded.run(stop_after_epoch=1)
+        sharded.shards[0].timeline.after(1.0, lambda: None)
+        with pytest.raises(FleetError):
+            sharded.checkpoint()
+
+    def test_checkpoint_without_dir_raises(self, tmp_path):
+        sharded = ShardedFleet(ShardConfig(**CFG), str(tmp_path / "nd"))
+        with pytest.raises(FleetError):
+            sharded.checkpoint()
+
+
+class TestStandaloneShard:
+    def test_single_shard_processes_its_slice(self, tmp_path):
+        config = ShardConfig(**{**CFG, "host_crashes": 0})
+        shard = FleetShard(config, 1, str(tmp_path / "solo.jsonl"))
+        placed = shard.run_epoch(config.epoch_s * 50)
+        assert shard.done
+        assert placed == len(shard.arrivals)
+        assert shard.timeline.now >= config.epoch_s * 50

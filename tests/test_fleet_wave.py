@@ -148,6 +148,82 @@ class TestPlaceManyApi:
                 assert box.name == name
 
 
+class TestRejectionAccountingAudit:
+    """skip vs raise must agree with the sequential reference, rejection
+    by rejection — counters, journal bytes, and cached verdicts alike."""
+
+    MARKS = dict(high_watermark=1.0, low_watermark=0.99)  # no evacuation
+
+    @staticmethod
+    def _rejected_count(timeline):
+        return timeline.obs.metrics.counter("fleet.admission_rejected").value
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_skip_mode_counter_matches_sequential(self, policy):
+        requests = wave(80, images=2)
+        tl_a, fleet_a = build_fleet(policy, hosts=2, **self.MARKS)
+        boxes_a = run_sequential(fleet_a, requests)
+        rejected = sum(1 for box in boxes_a if box is None)
+        assert rejected > 0
+        tl_b, fleet_b = build_fleet(policy, hosts=2, **self.MARKS)
+        fleet_b.place_many(requests, on_reject="skip")
+        assert self._rejected_count(tl_a) == rejected
+        assert self._rejected_count(tl_b) == rejected
+        assert tl_a.obs.journal.export_jsonl() == tl_b.obs.journal.export_jsonl()
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_raise_mode_counter_matches_sequential(self, policy):
+        # The sequential reference stops at the first rejection; raise
+        # mode must have counted exactly as many rejections (one) and
+        # recorded exactly the same journal when it bailed.
+        requests = wave(80, images=2)
+        tl_a, fleet_a = build_fleet(policy, hosts=2, **self.MARKS)
+        with pytest.raises(FleetCapacityError):
+            for name, image_id in requests:
+                fleet_a.place(name, image_id)
+        tl_b, fleet_b = build_fleet(policy, hosts=2, **self.MARKS)
+        with pytest.raises(FleetCapacityError):
+            fleet_b.place_many(requests, on_reject="raise")
+        assert self._rejected_count(tl_a) == self._rejected_count(tl_b) == 1
+        assert tl_a.obs.journal.export_jsonl() == tl_b.obs.journal.export_jsonl()
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_mid_wave_capacity_error_leaves_caches_consistent(self, policy):
+        # After place_many raises mid-wave, the admission-verdict cache
+        # and every host's memory-snapshot cache must match a fresh
+        # recomputation from live hypervisor state.
+        tl, fleet = build_fleet(policy, hosts=2, **self.MARKS)
+        with pytest.raises(FleetCapacityError):
+            fleet.place_many(wave(80, images=2), on_reject="raise")
+        for host in fleet.host_list():
+            assert host.memory_snapshot() == host.hypervisor.memory_snapshot()
+        before = [h.host_id for h in fleet._candidates()]
+        cached = dict(fleet._admission_cache)
+        fleet._admission_cache.clear()
+        assert [h.host_id for h in fleet._candidates()] == before
+        assert fleet._admission_cache == cached
+
+    @pytest.mark.parametrize("on_reject", ["skip", "raise"])
+    def test_fleet_survives_mid_wave_rejection(self, on_reject):
+        # The fleet must keep working after a rejected wave: freeing
+        # space admits the next arrival, identically in both modes.
+        tl, fleet = build_fleet("first-fit", hosts=2, **self.MARKS)
+        requests = wave(80, images=2)
+        if on_reject == "raise":
+            with pytest.raises(FleetCapacityError):
+                fleet.place_many(requests, on_reject="raise")
+        else:
+            fleet.place_many(requests, on_reject="skip")
+        resident_before = len(fleet.nymboxes)
+        victim = sorted(fleet.nymboxes)[0]
+        fleet.remove(victim)
+        box = fleet.place("late-arrival", "img-0")
+        assert box is not None
+        assert len(fleet.nymboxes) == resident_before
+        with pytest.raises(FleetCapacityError):
+            fleet.place("over-capacity", "img-0")
+
+
 class TestIncrementalResidency:
     def test_image_counts_track_place_and_remove(self):
         _, fleet = build_fleet("ksm-aware")

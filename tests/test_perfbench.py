@@ -28,6 +28,7 @@ EXPECTED_BENCHES = {
     "nym_launch",
     "fleet_arrival",
     "fleet_wave",
+    "fleet_shard",
 }
 
 
