@@ -74,6 +74,10 @@ class Anonymizer:
         self.started = False
         self.startup_seconds: Optional[float] = None
         self.bytes_carried = 0
+        #: owning tenant for ingress shaping; empty = untenanted (no
+        #: shaping).  Set by the manager when a nym is created with a
+        #: tenant binding; consulted against ``timeline.tenancy``.
+        self.tenant = ""
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -111,6 +115,13 @@ class Anonymizer:
         path latency.
         """
         self._require_started()
+        # Tenant ingress shaping: wait out any token-bucket debt and
+        # strict-priority queueing before the send starts.  The no-op
+        # registry answers 0.0, so untenanted traffic pays nothing and
+        # the sleep below never fires for it (journal-neutral).
+        throttle_s = self.timeline.tenancy.shape(self.tenant)
+        if throttle_s > 0.0:
+            self.timeline.sleep(throttle_s)
         plan = self.plan(0)
         result = self.internet.fetch(
             hostname,
@@ -125,6 +136,9 @@ class Anonymizer:
         self.timeline.sleep(extra)
         self.bytes_carried += result.response.body_bytes
         self._record_flow(result.response.body_bytes, plan)
+        # Charge the completed transfer against the tenant's rate state
+        # (debt-based: the *next* send absorbs any overdraft as delay).
+        self.timeline.tenancy.record_sent(self.tenant, result.response.body_bytes)
         return result
 
     def _record_flow(self, payload_bytes: int, plan: TransferPlan) -> None:

@@ -15,12 +15,17 @@ Gives the reproduction an operator's console:
   spools and epoch-barrier checkpoints; ``--resume DIR`` continues a
   killed sharded run)
 * ``sweep``     — chart anonymity/latency/overhead across Tor, Dissent, mixnet
+* ``tenants``   — run the multi-tenant control-plane scenario: quotas,
+  launch/ingress rate limits, a reconciled mid-run policy update, and a
+  zero-loss rolling host drain
 
 Every subcommand accepts the same three flags: ``--seed`` (overrides the
 global ``--seed``), ``--duration`` (extra simulated seconds before the
 report, where the command has a timeline), and ``--json`` (a
-machine-readable report on stdout).  Commands are built on the
-:class:`repro.api.NymixSession` facade.
+machine-readable report on stdout).  ``fleet``, ``tenants``, ``chaos``,
+and ``sweep`` additionally share ``--tenant-config FILE`` — one JSON
+policy file, one parser (:func:`repro.tenancy.load_tenant_config`).
+Commands are built on the :class:`repro.api.NymixSession` facade.
 """
 
 from __future__ import annotations
@@ -63,6 +68,34 @@ def add_common_args(sub: argparse.ArgumentParser, journal: bool = False) -> None
         sub.add_argument(
             "--journal", metavar="PATH", help="also write the event journal (JSONL)"
         )
+
+
+def add_tenant_config_arg(sub: argparse.ArgumentParser) -> None:
+    """The shared ``--tenant-config FILE`` flag (fleet, tenants, chaos, sweep)."""
+    sub.add_argument(
+        "--tenant-config", metavar="FILE", default=None,
+        help="JSON tenant policy file (tenants, quotas, rate limits, "
+        "qos classes, autoscale)",
+    )
+
+
+def load_policies(args: argparse.Namespace):
+    """Parse ``--tenant-config`` into a FleetPolicies, or ``None``.
+
+    Exits with status 2 on a malformed file — a policy typo must not
+    silently run the scenario unlimited.
+    """
+    path = getattr(args, "tenant_config", None)
+    if not path:
+        return None
+    from repro.errors import TenancyError
+    from repro.tenancy.policy import load_tenant_config
+
+    try:
+        return load_tenant_config(path)
+    except TenancyError as exc:
+        print(f"--tenant-config: {exc}", file=sys.stderr)
+        raise SystemExit(2)
 
 
 def effective_seed(args: argparse.Namespace) -> int:
@@ -288,6 +321,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         quick=args.quick,
         duration_s=args.duration,
         anonymizer=args.anonymizer,
+        policies=load_policies(args),
     )
     if args.json:
         _emit_json(
@@ -329,6 +363,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         out_path=args.out,
         idle_s=args.duration or 0.0,
         flash_clone=not args.cold_boot,
+        policies=load_policies(args),
     )
     if args.json:
         _emit_json(report.export())
@@ -406,6 +441,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         idle_s=args.duration,
         journal_path=args.journal,
         out_path=args.out,
+        policies=load_policies(args),
     )
     if args.json:
         _emit_json(report.export())
@@ -416,6 +452,38 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.journal:
         print(f"journal -> {args.journal}", file=sys.stderr)
     return 0
+
+
+def cmd_tenants(args: argparse.Namespace) -> int:
+    from repro.tenancy.scenario import run_tenants
+
+    hosts = args.hosts
+    nyms = args.nyms
+    drain_hosts = args.drain_hosts
+    if args.quick:
+        hosts = min(hosts, 8)
+        nyms = min(nyms, 48)
+        drain_hosts = min(drain_hosts, 2)
+    report = run_tenants(
+        seed=effective_seed(args),
+        hosts=hosts,
+        nyms=nyms,
+        drain_hosts=drain_hosts,
+        placement=args.policy,
+        chaos=args.chaos,
+        journal_path=args.journal,
+        out_path=args.out,
+        policies=load_policies(args),
+    )
+    if args.json:
+        _emit_json(report.export())
+    else:
+        print(report.summary())
+        if args.out:
+            print(f"report -> {args.out}", file=sys.stderr)
+    if args.journal:
+        print(f"journal -> {args.journal}", file=sys.stderr)
+    return 0 if report.zero_lost else 1
 
 
 def cmd_catalog(args: argparse.Namespace) -> int:
@@ -510,6 +578,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="transport under test (mixnet adds mix-node churn faults)",
     )
     add_common_args(chaos, journal=True)
+    add_tenant_config_arg(chaos)
     chaos.set_defaults(func=cmd_chaos)
 
     sweep = commands.add_parser(
@@ -520,6 +589,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--out", metavar="PATH", help="write the tradeoff JSON here")
     add_common_args(sweep, journal=True)
+    add_tenant_config_arg(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
     fleet = commands.add_parser(
@@ -588,7 +658,43 @@ def build_parser() -> argparse.ArgumentParser:
         "(sharded path; writes the scale_trajectory section of --out)",
     )
     add_common_args(fleet, journal=True)
+    add_tenant_config_arg(fleet)
     fleet.set_defaults(func=cmd_fleet)
+
+    tenants = commands.add_parser(
+        "tenants", help="run the multi-tenant control-plane scenario"
+    )
+    tenants.add_argument("--hosts", type=int, default=64, help="hosts in the fleet")
+    tenants.add_argument(
+        "--nyms", type=int, default=240, help="tenant-attributed arrivals"
+    )
+    tenants.add_argument(
+        "--drain-hosts", type=int, default=8,
+        help="hosts to rolling-drain (upgrade) after the waves",
+    )
+    tenants.add_argument(
+        "--policy",
+        default="first-fit",
+        choices=["first-fit", "least-loaded", "ksm-aware"],
+        help="placement policy for the run",
+    )
+    tenants.add_argument(
+        "--chaos", action="store_true",
+        help="inject a tenant burst plus a drain-during-crash overlap",
+    )
+    tenants.add_argument(
+        "--quick", action="store_true",
+        help="small cluster (<=8 hosts, <=48 arrivals, 2 drains)",
+    )
+    tenants.add_argument(
+        "--out",
+        metavar="PATH",
+        default="BENCH_tenants.json",
+        help="per-tenant outcome report path (default BENCH_tenants.json)",
+    )
+    add_common_args(tenants, journal=True)
+    add_tenant_config_arg(tenants)
+    tenants.set_defaults(func=cmd_tenants)
     return parser
 
 

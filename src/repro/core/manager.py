@@ -334,6 +334,7 @@ class NymManager:
         comm_spec: Optional[VmSpec] = None,
         guard_manager: Optional[GuardManager] = None,
         chain_commvms: Optional[bool] = None,
+        tenant: Optional[str] = None,
     ) -> NymBox:
         """Start a fresh nym ("start a fresh nym" in the §3.5 workflow).
 
@@ -351,6 +352,7 @@ class NymManager:
             "name": name, "anonymizer": anonymizer, "usage": usage,
             "anon_spec": anon_spec, "comm_spec": comm_spec,
             "guard_manager": guard_manager, "chain_commvms": chain_commvms,
+            "tenant": tenant,
         }
         if args and isinstance(args[0], NymRequest):
             if request is not None:
@@ -368,6 +370,7 @@ class NymManager:
         comm_spec = request.comm_spec
         guard_manager = request.guard_manager
         chain_commvms = request.chain_commvms
+        tenant = request.tenant or ""
 
         name = name or f"nym-{next(self._nym_counter)}"
         if name in self.nymboxes:
@@ -377,6 +380,11 @@ class NymManager:
             name, kind, usage, anon_spec, comm_spec, guard_manager,
             chain_commvms=chain_commvms,
         )
+        # Session-level tenant binding: the outermost anonymizer carries
+        # it so the ingress shaper can meter this nym's sends.  Not
+        # persisted with stored nyms — a restore re-binds on creation.
+        nymbox.tenant = tenant
+        nymbox.anonymizer.tenant = tenant
         self._launch(nymbox)
         self.obs.metrics.counter("nym.created").inc()
         self.obs.metrics.gauge("nym.live").set(len(self.nymboxes))

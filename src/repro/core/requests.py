@@ -34,6 +34,9 @@ class NymRequest:
     comm_spec: Optional[VmSpec] = None
     guard_manager: Optional[GuardManager] = None
     chain_commvms: bool = False
+    #: owning tenant (session-level binding; consulted by the ingress
+    #: shaper via ``timeline.tenancy``).  None/"" = untenanted.
+    tenant: Optional[str] = None
 
     def merged(self, overrides: dict) -> "NymRequest":
         """A copy with every non-``None`` override applied."""

@@ -132,3 +132,19 @@ class FleetError(NymixError):
 
 class FleetCapacityError(FleetError):
     """Admission control rejected a placement: no host can take the nym."""
+
+
+class TenancyError(NymixError):
+    """Tenant control-plane errors (bad policy objects, unknown tenants)."""
+
+
+class TenantQuotaError(FleetCapacityError):
+    """Admission rejected a placement: the tenant is over quota.
+
+    Subclasses :class:`FleetCapacityError` so existing ``except
+    FleetCapacityError`` admission handlers keep working unchanged.
+    """
+
+
+class TenantRateLimitError(FleetCapacityError):
+    """Admission rejected a placement: the tenant's launch bucket is dry."""

@@ -168,18 +168,35 @@ def run_chaos(
     quick: bool = False,
     duration_s: Optional[float] = None,
     anonymizer: str = "tor",
+    policies=None,
 ) -> Tuple[NymManager, ChaosReport]:
     """Run the full chaos scenario; returns the manager and its report.
 
     ``duration_s`` overrides the fault window (default 900 s, 300 s in
     quick mode).  ``anonymizer`` picks the transport under test: the
     default Tor run is byte-identical to the pre-mixnet scenario, while
-    ``"mixnet"`` adds mix-node churn faults to the plan.
+    ``"mixnet"`` adds mix-node churn faults to the plan.  ``policies``
+    (a ``FleetPolicies``, e.g. from ``--tenant-config``) binds the chaos
+    nym to the first configured tenant and adds a tenant-burst fault, so
+    ingress shaping is exercised under fire; without it the run is
+    byte-identical to the tenancy-unaware scenario.
     """
     manager = NymManager(NymixConfig(seed=seed))
     manager.add_cloud_provider(make_dropbox())
     manager.create_cloud_account(_PROVIDER, _ACCOUNT, "cloud-pw")
-    nymbox = manager.create_nym(name=NYM_NAME, anonymizer=anonymizer)
+    tenant = ""
+    if policies is not None and policies.tenants:
+        from repro.tenancy.registry import TenantRegistry
+
+        registry = TenantRegistry(manager.timeline).attach()
+        registry.apply_initial(policies.tenants)
+        # Prefer a rate-limited tenant: the injected burst targets one,
+        # and the nym should be the one absorbing that debt as delay.
+        limited = [
+            t.name for t in policies.tenants if t.rate.ingress_bytes_per_s
+        ]
+        tenant = limited[0] if limited else policies.tenants[0].name
+    nymbox = manager.create_nym(name=NYM_NAME, anonymizer=anonymizer, tenant=tenant)
     manager.timed_browse(nymbox, _SITE)
     # Store once BEFORE arming: crash recovery needs a snapshot to reload,
     # and this baseline save runs on the seed's untouched happy path.
@@ -199,6 +216,7 @@ def run_chaos(
         download_failures=1,
         vm_crashes=1,
         mixnet_node_crashes=2 if anonymizer == "mixnet" else 0,
+        tenant_bursts=1 if tenant else 0,
     )
     injector = FaultInjector(manager.timeline, plan).arm(manager)
     report = ChaosReport(

@@ -113,7 +113,9 @@ class FaultInjector:
             "net.link_flap": self._fire_net_link_flap,
             "vmm.crash": self._fire_vmm_crash,
             "fleet.host_crash": self._fire_fleet_host_crash,
+            "fleet.host_drain": self._fire_fleet_host_drain,
             "mixnet.node_crash": self._fire_mixnet_node_crash,
+            "tenancy.tenant_burst": self._fire_tenancy_tenant_burst,
         }[spec.kind]
         handler(spec)
 
@@ -205,6 +207,38 @@ class FaultInjector:
             self._record(spec, outcome="no_target")
             return
         self._record(spec, outcome="host_crashed", target=host_id)
+
+    def _fire_fleet_host_drain(self, spec: FaultSpec) -> None:
+        # A surprise rolling-upgrade drain.  advance=False: this runs
+        # inside a timeline callback, where evacuation boots must overlap
+        # rather than sleep (the same constraint as crash recovery).  An
+        # empty target drains the serving host with the most residents.
+        drain_host = getattr(self.manager, "drain_host", None)
+        if drain_host is None:
+            self._record(spec, outcome="no_fleet")
+            return
+        host_id = drain_host(spec.target, advance=False)
+        if host_id is None:
+            self._record(spec, outcome="no_target")
+            return
+        self._record(spec, outcome="host_drained", target=host_id)
+
+    def _fire_tenancy_tenant_burst(self, spec: FaultSpec) -> None:
+        # Inject ingress-bucket debt: the tenant's traffic surges past
+        # its rate limit and subsequent sends absorb the debt as delay.
+        # ``param`` is the burst size in MiB; the victim is the named
+        # tenant, or the first rate-limited tenant in name order.
+        registry = getattr(self.timeline, "tenancy", None)
+        if registry is None or not getattr(registry, "active", False):
+            self._record(spec, outcome="no_tenancy")
+            return
+        tenants = [spec.target] if spec.target else sorted(registry.policies)
+        debt_bytes = int((spec.param if spec.param > 0 else 16.0) * 1024 * 1024)
+        for tenant in tenants:
+            if registry.burst(tenant, debt_bytes):
+                self._record(spec, outcome="burst", target=tenant)
+                return
+        self._record(spec, outcome="no_target")
 
     def _fire_mixnet_node_crash(self, spec: FaultSpec) -> None:
         # Reached through the manager's lazy accessor with create=False:

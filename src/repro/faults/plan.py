@@ -34,7 +34,9 @@ TIMED_KINDS = frozenset(
         "net.link_flap",
         "vmm.crash",
         "fleet.host_crash",
+        "fleet.host_drain",
         "mixnet.node_crash",
+        "tenancy.tenant_burst",
     }
 )
 #: Faults queued at their scheduled time and consumed by the next matching
@@ -113,6 +115,8 @@ class FaultPlan:
         vm_crashes: int = 1,
         host_crashes: int = 0,
         mixnet_node_crashes: int = 0,
+        host_drains: int = 0,
+        tenant_bursts: int = 0,
     ) -> "FaultPlan":
         """Draw a reproducible chaos schedule across ``duration_s`` seconds.
 
@@ -150,6 +154,11 @@ class FaultPlan:
         # Appended last: earlier kinds' draws must not move when a plan
         # adds mixnet churn, or existing same-seed journals would change.
         spread("mixnet.node_crash", mixnet_node_crashes, 0.15, 0.9)
+        # Appended after mixnet churn, same rule: the tenancy kinds'
+        # draws must not perturb any earlier kind's schedule.
+        spread("fleet.host_drain", host_drains, 0.2, 0.8)
+        spread("tenancy.tenant_burst", tenant_bursts, 0.2, 0.8,
+               param=lambda r: r.uniform(8.0, 64.0))  # burst debt, MiB
         return cls(events)
 
     def __repr__(self) -> str:

@@ -13,7 +13,14 @@ to a JSONL spool, and checkpoints whole runs for kill/resume;
 ``run_fleet_sharded`` is the scenario behind ``repro fleet --shards N``.
 """
 
-from repro.fleet.fleet import Fleet, FleetNymbox, FleetStats
+from repro.fleet.fleet import (
+    DrainReport,
+    Fleet,
+    FleetNymbox,
+    FleetStats,
+    PlacementRejection,
+    PlacementRequest,
+)
 from repro.fleet.host import HostHandle
 from repro.fleet.placement import (
     PLACEMENT_POLICIES,
@@ -43,8 +50,11 @@ from repro.fleet.shard import (
 )
 
 __all__ = [
+    "DrainReport",
     "Fleet",
     "FleetNymbox",
+    "PlacementRejection",
+    "PlacementRequest",
     "FleetShard",
     "FleetStats",
     "FleetReport",

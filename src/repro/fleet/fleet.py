@@ -4,20 +4,33 @@ The paper runs Nymix on a single i7/16 GB machine; the ROADMAP's
 production north star needs many.  :class:`Fleet` owns a cluster of
 :class:`Hypervisor` hosts sharing one base image (and one
 :class:`Timeline`, so the whole cluster is bit-reproducible), admits
-nymboxes against per-host RAM, places them through a pluggable
+nymboxes against per-host RAM *and* per-tenant policy (quotas and launch
+rate, via ``timeline.tenancy``), places them through a pluggable
 :class:`PlacementPolicy`, and keeps hosts below memory-pressure
 watermarks by evacuating nyms — the §3.5 quasi-persistence loop
 (store-nym → relaunch elsewhere) driven by `repro.faults` retry
-machinery.  Host crashes (the ``fleet.host_crash`` fault kind) evacuate
-every resident nym the same way.
+machinery.  Host crashes (the ``fleet.host_crash`` fault kind) and
+rolling drains (``fleet.host_drain``) evacuate resident nyms the same
+way, and hosts can join/leave after construction for autoscaling.
+
+Construction takes one declarative :class:`FleetPolicies` value; the old
+loose ``policy=`` / ``high_watermark=`` / ``low_watermark=`` kwargs
+survive as shims that emit ``DeprecationWarning``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import warnings
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import FleetCapacityError, FleetError, RetryExhaustedError
+from repro.errors import (
+    FleetCapacityError,
+    FleetError,
+    RetryExhaustedError,
+    TenantQuotaError,
+    TenantRateLimitError,
+)
 from repro.faults.retry import RetryPolicy, retry_call
 from repro.fleet.host import HostHandle
 from repro.fleet.placement import PlacementPolicy, WaveView, make_policy
@@ -25,6 +38,13 @@ from repro.memory.pages import bytes_to_pages, pages_to_bytes
 from repro.net.internet import Internet
 from repro.runtime import register_process_cache
 from repro.sim.clock import Timeline
+from repro.tenancy.policy import FleetPolicies
+from repro.tenancy.registry import (
+    REASON_CAPACITY,
+    REASON_QUOTA,
+    REASON_RATE,
+    TenantRegistry,
+)
 from repro.vmm.baseimage import build_base_layer, published_merkle_root
 from repro.vmm.hypervisor import HostSpec, Hypervisor, NymboxTemplate
 from repro.vmm.vm import MIB, VirtualMachine, VmSpec
@@ -36,6 +56,10 @@ RELAUNCH_RETRY = RetryPolicy(max_attempts=4, base_backoff_s=2.0, max_backoff_s=1
 #: rewind the interrupted sleep's clock — so retries are immediate.
 CRASH_RETRY = RetryPolicy(max_attempts=4, base_backoff_s=0.0, max_backoff_s=0.0)
 
+#: Sentinel distinguishing "not passed" from any real value in the
+#: deprecated Fleet constructor kwargs.
+_UNSET = object()
+
 
 @dataclass(frozen=True)
 class PlacementRequest:
@@ -43,6 +67,30 @@ class PlacementRequest:
 
     name: str
     image_id: str
+    tenant: str = ""
+
+
+@dataclass(frozen=True)
+class PlacementRejection:
+    """Why one arrival was turned away (``place_many(on_reject="skip")``).
+
+    Falsy on purpose: callers that used to get ``None`` for rejected
+    slots can keep writing ``if box:`` and now also learn the reason —
+    ``capacity`` (no host has room), ``quota`` (tenant over its nym/RAM
+    ceiling), or ``rate`` (tenant's launch bucket was dry).
+    """
+
+    name: str
+    image_id: str
+    tenant: str
+    reason: str
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: What place_many returns per arrival.
+PlacementResult = Union["FleetNymbox", PlacementRejection]
 
 
 #: Process-wide (base layer, Merkle root) for the default Nymix image.
@@ -68,10 +116,17 @@ def _as_request(item) -> PlacementRequest:
     if isinstance(item, PlacementRequest):
         return item
     if isinstance(item, tuple):
+        if len(item) == 3:
+            name, image_id, tenant = item
+            return PlacementRequest(name=name, image_id=image_id, tenant=tenant)
         name, image_id = item
         return PlacementRequest(name=name, image_id=image_id)
     # Anything arrival-shaped (e.g. workloads.fleet.NymArrival) works.
-    return PlacementRequest(name=item.name, image_id=item.image_id)
+    return PlacementRequest(
+        name=item.name,
+        image_id=item.image_id,
+        tenant=getattr(item, "tenant", ""),
+    )
 
 
 @dataclass
@@ -84,6 +139,7 @@ class FleetNymbox:
     anonvm: VirtualMachine
     commvm: VirtualMachine
     seq: int
+    tenant: str = ""
     extra_dirty_bytes: int = 0  # workload churn carried across relaunches
     moves: int = 0
 
@@ -107,16 +163,20 @@ class FleetStats:
     total_bytes: int
     ksm_saved_bytes: int
     host_image_pairs: int
+    hosts_draining: int = 0
+    host_drains: int = 0
 
     def export(self) -> Dict[str, object]:
         return {
             "hosts": self.hosts,
             "hosts_up": self.hosts_up,
+            "hosts_draining": self.hosts_draining,
             "nyms_resident": self.nyms_resident,
             "nyms_parked": self.nyms_parked,
             "placements": self.placements,
             "evacuations": self.evacuations,
             "host_crashes": self.host_crashes,
+            "host_drains": self.host_drains,
             "used_bytes": self.used_bytes,
             "total_bytes": self.total_bytes,
             "ksm_saved_bytes": self.ksm_saved_bytes,
@@ -126,13 +186,33 @@ class FleetStats:
         }
 
 
+@dataclass(frozen=True)
+class DrainReport:
+    """Outcome of a rolling drain: where every evacuated nym ended up."""
+
+    hosts: Tuple[str, ...]
+    evacuated: int
+    relaunched: int
+    parked: int
+    lost: int
+
+    def export(self) -> Dict[str, object]:
+        return {
+            "hosts": list(self.hosts),
+            "evacuated": self.evacuated,
+            "relaunched": self.relaunched,
+            "parked": self.parked,
+            "lost": self.lost,
+        }
+
+
 class Fleet:
     """A deterministic multi-host nymbox scheduler.
 
-    ``high_watermark``/``low_watermark`` are fractions of host RAM: a
-    placement that pushes a host past ``high`` triggers evacuation of its
-    newest residents until the host drops below ``low`` (or no other
-    host can take them).
+    ``policies.high_watermark``/``low_watermark`` are fractions of host
+    RAM: a placement that pushes a host past ``high`` triggers evacuation
+    of its newest residents until the host drops below ``low`` (or no
+    other host can take them).
     """
 
     def __init__(
@@ -140,66 +220,87 @@ class Fleet:
         timeline: Timeline,
         internet: Optional[Internet] = None,
         hosts: int = 4,
-        policy: "PlacementPolicy | str" = "first-fit",
+        policy=_UNSET,
         host_spec: Optional[HostSpec] = None,
         anon_spec: Optional[VmSpec] = None,
         comm_spec: Optional[VmSpec] = None,
-        high_watermark: float = 0.90,
-        low_watermark: float = 0.80,
+        high_watermark=_UNSET,
+        low_watermark=_UNSET,
         flash_clone: bool = True,
+        policies: Optional[FleetPolicies] = None,
+        tenancy: Optional[TenantRegistry] = None,
     ) -> None:
         if hosts < 1:
             raise FleetError(f"a fleet needs at least one host, got {hosts}")
-        if not 0.0 < low_watermark < high_watermark <= 1.0:
+        policies = self._resolve_policies(
+            policies, policy=policy,
+            high_watermark=high_watermark, low_watermark=low_watermark,
+        )
+        if not 0.0 < policies.low_watermark < policies.high_watermark <= 1.0:
             raise FleetError(
                 f"watermarks must satisfy 0 < low < high <= 1: "
-                f"low={low_watermark}, high={high_watermark}"
+                f"low={policies.low_watermark}, high={policies.high_watermark}"
             )
         self.timeline = timeline
         self.internet = internet if internet is not None else Internet(timeline)
-        self.policy = policy if isinstance(policy, PlacementPolicy) else make_policy(policy)
+        self.policies = policies
+        placement = policies.placement
+        self.policy = (
+            placement
+            if isinstance(placement, PlacementPolicy)
+            else make_policy(placement)
+        )
         self.host_spec = host_spec or HostSpec()
         self.anon_spec = anon_spec or VmSpec.anonvm()
         self.comm_spec = comm_spec or VmSpec.commvm()
-        self.high_watermark = high_watermark
-        self.low_watermark = low_watermark
+        self.high_watermark = policies.high_watermark
+        self.low_watermark = policies.low_watermark
+        self._flash_clone = flash_clone
         self.rng = timeline.fork_rng("fleet")
+
+        # The tenant control plane: an explicit registry wins, then any
+        # registry already attached to the timeline, then (only if the
+        # policy set names tenants) a fresh one; otherwise the shared
+        # no-op, so policy-free fleets pay and emit nothing.
+        if tenancy is not None:
+            self.tenancy = tenancy.attach()
+        elif timeline.tenancy.active:
+            self.tenancy = timeline.tenancy
+        elif policies.tenants:
+            self.tenancy = TenantRegistry(timeline).attach()
+        else:
+            self.tenancy = timeline.tenancy
+        if policies.tenants:
+            # Construction-time policies apply immediately, pre-traffic:
+            # there is no boundary to reconcile against yet.
+            self.tenancy.apply_initial(policies.tenants)
 
         # One base image for the whole cluster: built once, Merkle root
         # published once — exactly how a real fleet distributes it.  The
         # layer is read-only and identical for every fleet, so it is
         # memoized process-wide (rebuilding it re-hashes the whole tree).
-        base_layer, merkle_root = _shared_base_image()
         width = len(str(hosts - 1))
+        self._id_width = width
+        self._next_host_index = 0
         self.hosts: Dict[str, HostHandle] = {}
-        for i in range(hosts):
-            host_id = f"host-{i:0{width}d}"
-            hv = Hypervisor(
-                timeline,
-                self.internet,
-                host=self.host_spec,
-                base_layer=base_layer,
-                merkle_root=merkle_root,
-                zygote_cache=flash_clone,
-            )
-            self.hosts[host_id] = HostHandle(host_id, hv)
+        # Host order is join order (initial hosts sort by id); hosts may
+        # join (autoscale-up) or leave (drain + remove) after init, so
+        # per-host admission verdicts are cached keyed on each host's
+        # accounting token — a placement, removal, or KSM change bumps
+        # only that host's token, so admission checks re-derive nothing
+        # for untouched hosts.  Crashed/draining hosts are filtered by
+        # flag before the cache is consulted.
+        self._host_order: List[HostHandle] = []
+        self._admission_cache: Dict[str, tuple] = {}
+        self.add_hosts(hosts, announce=False)
 
         self.nymboxes: Dict[str, FleetNymbox] = {}
         self.parked: List[str] = []  # stored, awaiting capacity
         self.placements = 0
         self.evacuations = 0
         self.crashes = 0
+        self.drains = 0
         self._seq = 0
-        # Incremental admission state: the host order is fixed at
-        # construction (hosts never join after init), and per-host
-        # admissibility/calm verdicts are cached keyed on each host's
-        # accounting token — a placement, removal, or KSM change bumps
-        # only that host's token, so admission checks re-derive nothing
-        # for untouched hosts.  Crashes are filtered via ``h.crashed``.
-        self._host_order: List[HostHandle] = [
-            self.hosts[hid] for hid in sorted(self.hosts)
-        ]
-        self._admission_cache: Dict[str, tuple] = {}
         # One NymboxTemplate per image, shared by every host: the specs
         # are fixed per fleet, and a stable template object lets each
         # hypervisor reuse its per-template clone state across arrivals.
@@ -216,6 +317,91 @@ class Fleet:
         obs = timeline.obs
         obs.event("fleet.created", hosts=hosts, policy=self.policy.name)
         obs.metrics.gauge("fleet.hosts").set(hosts)
+
+        # The autoscaler tick is only scheduled when asked for, so fleets
+        # without an AutoscalePolicy keep byte-identical journals.
+        self.autoscaler = None
+        if policies.autoscale is not None:
+            from repro.tenancy.autoscale import Autoscaler
+
+            self.autoscaler = Autoscaler(self, policies.autoscale).start()
+
+    @staticmethod
+    def _resolve_policies(
+        policies: Optional[FleetPolicies], policy, high_watermark, low_watermark
+    ) -> FleetPolicies:
+        """Fold the deprecated loose kwargs into one FleetPolicies value."""
+        legacy = {}
+        if policy is not _UNSET:
+            legacy["placement"] = policy
+        if high_watermark is not _UNSET:
+            legacy["high_watermark"] = high_watermark
+        if low_watermark is not _UNSET:
+            legacy["low_watermark"] = low_watermark
+        if not legacy:
+            return policies if policies is not None else FleetPolicies()
+        if policies is not None:
+            raise FleetError(
+                "pass either policies=FleetPolicies(...) or the legacy "
+                f"kwargs, not both: {sorted(legacy)}"
+            )
+        warnings.warn(
+            "Fleet(policy=/high_watermark=/low_watermark=) is deprecated; "
+            "pass policies=FleetPolicies(placement=..., high_watermark=..., "
+            "low_watermark=...)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return replace(FleetPolicies(), **legacy)
+
+    # -- host membership -------------------------------------------------------
+
+    def add_hosts(self, count: int = 1, announce: bool = True) -> List[HostHandle]:
+        """Bring ``count`` fresh hosts into service (autoscale-up path)."""
+        base_layer, merkle_root = _shared_base_image()
+        added: List[HostHandle] = []
+        for _ in range(count):
+            index = self._next_host_index
+            self._next_host_index += 1
+            width = max(self._id_width, len(str(index)))
+            host_id = f"host-{index:0{width}d}"
+            hv = Hypervisor(
+                self.timeline,
+                self.internet,
+                host=self.host_spec,
+                base_layer=base_layer,
+                merkle_root=merkle_root,
+                zygote_cache=self._flash_clone,
+            )
+            handle = HostHandle(host_id, hv)
+            self.hosts[host_id] = handle
+            self._host_order.append(handle)
+            added.append(handle)
+        if announce:
+            obs = self.timeline.obs
+            obs.metrics.gauge("fleet.hosts").set(len(self.hosts))
+            obs.event("fleet.host_join", hosts=[h.host_id for h in added])
+        return added
+
+    def remove_host(self, host_id: str) -> None:
+        """Retire an empty host (autoscale-down / post-drain path)."""
+        host = self.hosts.get(host_id)
+        if host is None:
+            return
+        if host.residents:
+            raise FleetError(
+                f"cannot remove {host_id}: {len(host.residents)} residents"
+            )
+        del self.hosts[host_id]
+        self._host_order = [h for h in self._host_order if h.host_id != host_id]
+        self._admission_cache.pop(host_id, None)
+        obs = self.timeline.obs
+        obs.metrics.gauge("fleet.hosts").set(len(self.hosts))
+        obs.event("fleet.host_leave", host=host_id)
+
+    def serving_hosts(self) -> List[HostHandle]:
+        """Hosts that are up and accepting placements, in host order."""
+        return [h for h in self._host_order if h.serving]
 
     # -- admission + placement -------------------------------------------------
 
@@ -255,7 +441,7 @@ class Fleet:
         admissible: List[HostHandle] = []
         calm: List[HostHandle] = []
         for h in self._host_order:
-            if h.crashed or h.host_id == exclude:
+            if h.crashed or h.draining or h.host_id == exclude:
                 continue
             token = h.hypervisor.accounting_token()
             entry = cache.get(h.host_id)
@@ -273,19 +459,61 @@ class Fleet:
                     calm.append(h)
         return calm or admissible
 
-    def place(self, name: str, image_id: str) -> FleetNymbox:
-        """Admit and place a new nymbox, or raise :class:`FleetCapacityError`."""
+    def _tenant_admission(self, tenant: str) -> Optional[str]:
+        """Peek this tenant's quota/rate verdict for one more nym."""
+        return self.tenancy.admission_reason(tenant, self.need_ram_bytes)
+
+    def _note_rejected(self, req: PlacementRequest, reason: str) -> None:
+        obs = self.timeline.obs
+        if reason == REASON_CAPACITY:
+            obs.metrics.counter("fleet.admission_rejected").inc()
+        self.tenancy.note_rejected(req.tenant, reason)
+        if req.tenant:
+            obs.event(
+                "tenancy.reject",
+                nym=req.name,
+                tenant=req.tenant,
+                reason=reason,
+            )
+
+    @staticmethod
+    def _rejection_error(req: PlacementRequest, reason: str) -> FleetCapacityError:
+        """The typed error for a tenant-verdict rejection (quota or rate)."""
+        if reason == REASON_QUOTA:
+            return TenantQuotaError(
+                f"tenant {req.tenant!r} is over quota; rejected {req.name!r}"
+            )
+        return TenantRateLimitError(
+            f"tenant {req.tenant!r} launch bucket is dry; rejected {req.name!r}"
+        )
+
+    def place(self, name: str, image_id: str, tenant: str = "") -> FleetNymbox:
+        """Admit and place a new nymbox, or raise :class:`FleetCapacityError`.
+
+        Tenant verdicts come first (quota, then launch rate), raising the
+        :class:`TenantQuotaError` / :class:`TenantRateLimitError`
+        subclasses; capacity is checked last.
+        """
         if name in self.nymboxes:
             raise FleetError(f"nym {name!r} is already placed")
+        req = PlacementRequest(name, image_id, tenant)
+        reason = self._tenant_admission(tenant)
+        if reason is not None:
+            self._note_rejected(req, reason)
+            raise self._rejection_error(req, reason)
+        self.tenancy.consume_launch(tenant)
         host = self.policy.choose(self._candidates(), image_id)
         if host is None:
-            self.timeline.obs.metrics.counter("fleet.admission_rejected").inc()
+            self._note_rejected(req, REASON_CAPACITY)
             raise FleetCapacityError(
                 f"no host can admit {name!r} ({self.need_ram_bytes // MIB} MiB)"
             )
         self._seq += 1
-        box = self._materialize(name, image_id, host, seq=self._seq, advance=True)
+        box = self._materialize(
+            name, image_id, host, seq=self._seq, advance=True, tenant=tenant
+        )
         self.placements += 1
+        self.tenancy.note_admitted(tenant)
         obs = self.timeline.obs
         obs.metrics.counter("fleet.placements").inc()
         obs.event("fleet.place", nym=name, host=host.host_id,
@@ -297,55 +525,86 @@ class Fleet:
         self,
         requests: Iterable,
         on_reject: str = "raise",
-    ) -> List[Optional[FleetNymbox]]:
+    ) -> List[PlacementResult]:
         """Admit and place a whole arrival wave, batched.
 
         Byte-identical-journal-equivalent to calling :meth:`place` once
         per request in order (``on_reject="raise"``), or to wrapping each
         call in ``try/except FleetCapacityError`` (``on_reject="skip"``,
-        where rejected requests yield ``None``).  The wave is *planned*
-        in one pass — per-host accounting pulled into numpy arrays once,
-        the policy's ``choose_batch`` assigning hosts against running
-        sums — then executed through the exact sequential machinery.
+        where rejected requests yield a falsy :class:`PlacementRejection`
+        carrying the reason — ``capacity``, ``quota``, or ``rate``).  The
+        wave is *planned* in one pass — per-host accounting pulled into
+        numpy arrays once, tenant verdicts simulated against running
+        counters, the policy's ``choose_batch`` assigning hosts against
+        running sums — then executed through the exact sequential
+        machinery.
 
-        Execution is verified per arrival: the chosen host's used bytes
-        must land on the plan's prediction and exactly one accounting
-        action may have happened.  Any deviation (pressure evacuation, a
-        fault firing mid-boot, KSM drift) discards the remaining plan
-        and replans from live state, so equivalence never depends on the
-        predictions being right — only rejections and host choices ever
-        come from the plan, and those are re-derived whenever state
-        diverges.
+        Execution is verified per arrival: the live tenant verdict must
+        match the plan's, the chosen host's used bytes must land on the
+        plan's prediction, and exactly one accounting action may have
+        happened.  Any deviation (pressure evacuation, a fault firing
+        mid-boot, a token-bucket refill, KSM drift) discards the
+        remaining plan and replans from live state, so equivalence never
+        depends on the predictions being right — only rejections and
+        host choices ever come from the plan, and those are re-derived
+        whenever state diverges.
         """
         if on_reject not in ("raise", "skip"):
             raise FleetError(f"unknown on_reject mode {on_reject!r}")
         reqs = [_as_request(item) for item in requests]
-        results: List[Optional[FleetNymbox]] = []
+        results: List[PlacementResult] = []
         obs = self.timeline.obs
         pos = 0
         while pos < len(reqs):
             plan = self._plan_wave(reqs[pos:])
             diverged = False
-            for offset, (host_id, predicted_used) in enumerate(plan):
+            for offset, (host_id, predicted_used, planned_reason) in enumerate(plan):
                 req = reqs[pos + offset]
                 if req.name in self.nymboxes:
                     raise FleetError(f"nym {req.name!r} is already placed")
+                live_reason = self._tenant_admission(req.tenant)
+                if live_reason != planned_reason:
+                    # The plan's tenant verdict went stale (bucket refill,
+                    # quota freed by an evacuation): replan from here.
+                    # Nothing was executed for this arrival, so progress
+                    # is guaranteed — a fresh plan's first verdict is
+                    # computed from the same live state it runs against.
+                    pos += offset
+                    diverged = True
+                    break
+                if live_reason is not None:
+                    self._note_rejected(req, live_reason)
+                    if on_reject == "raise":
+                        raise self._rejection_error(req, live_reason)
+                    results.append(
+                        PlacementRejection(
+                            req.name, req.image_id, req.tenant, live_reason
+                        )
+                    )
+                    continue
+                self.tenancy.consume_launch(req.tenant)
                 if host_id is None:
-                    obs.metrics.counter("fleet.admission_rejected").inc()
+                    self._note_rejected(req, REASON_CAPACITY)
                     if on_reject == "raise":
                         raise FleetCapacityError(
                             f"no host can admit {req.name!r} "
                             f"({self.need_ram_bytes // MIB} MiB)"
                         )
-                    results.append(None)
+                    results.append(
+                        PlacementRejection(
+                            req.name, req.image_id, req.tenant, REASON_CAPACITY
+                        )
+                    )
                     continue
                 host = self.hosts[host_id]
                 epoch_before = self._accounting_epoch
                 self._seq += 1
                 box = self._materialize(
-                    req.name, req.image_id, host, seq=self._seq, advance=True
+                    req.name, req.image_id, host, seq=self._seq, advance=True,
+                    tenant=req.tenant,
                 )
                 self.placements += 1
+                self.tenancy.note_admitted(req.tenant)
                 obs.metrics.counter("fleet.placements").inc()
                 obs.event("fleet.place", nym=req.name, host=host.host_id,
                           image=req.image_id, policy=self.policy.name)
@@ -364,38 +623,90 @@ class Fleet:
 
     def _plan_wave(
         self, requests: Sequence[PlacementRequest]
-    ) -> List[Tuple[Optional[str], int]]:
-        """Plan ``(host_id, predicted used bytes after placement)`` per request.
+    ) -> List[Tuple[Optional[str], int, Optional[str]]]:
+        """Plan ``(host_id, predicted used bytes, tenant verdict)`` per request.
 
-        Policies without batch support plan one arrival at a time through
-        the sequential reference path — still verified, just not batched.
+        Tenant verdicts are simulated against running per-tenant counters
+        seeded from the registry's live accounts (quota-rejected arrivals
+        never reach the placement policy); host choices come from the
+        policy's batch planner.  Policies without batch support plan one
+        arrival at a time through the sequential reference path — still
+        verified, just not batched.
         """
+        sim: Dict[str, List[float]] = {}
+
+        def verdict(req: PlacementRequest) -> Optional[str]:
+            tenant = req.tenant
+            if not tenant:
+                return None
+            policy = self.tenancy.policy_for(tenant)
+            if policy.unlimited:
+                return None
+            state = sim.get(tenant)
+            if state is None:
+                state = list(self.tenancy.admission_snapshot(tenant))
+                sim[tenant] = state
+            quota = policy.quota
+            if quota.max_nyms is not None and state[0] + 1 > quota.max_nyms:
+                return REASON_QUOTA
+            if (
+                quota.max_ram_bytes is not None
+                and state[1] + self.need_ram_bytes > quota.max_ram_bytes
+            ):
+                return REASON_QUOTA
+            if policy.rate.launch_rate_per_s and state[2] < 1.0:
+                return REASON_RATE
+            state[0] += 1
+            state[1] += self.need_ram_bytes
+            state[2] -= 1.0
+            return None
+
         if not self.policy.supports_batch:
-            host = self.policy.choose(self._candidates(), requests[0].image_id)
+            req = requests[0]
+            reason = verdict(req)
+            if reason is not None:
+                return [(None, 0, reason)]
+            host = self.policy.choose(self._candidates(), req.image_id)
             if host is None:
-                return [(None, 0)]
-            return [(host.host_id, host.used_bytes + self._used_delta_bytes)]
-        view = WaveView(
-            self._host_order,
-            need=self.need_ram_bytes,
-            footprint=self.footprint_bytes,
-            used_delta=self._used_delta_bytes,
-            high_watermark=self.high_watermark,
-        )
-        predicted = view.used.copy()
-        picks = self.policy.choose_batch(view, requests)
-        plan: List[Tuple[Optional[str], int]] = []
-        for pick in picks:
+                return [(None, 0, None)]
+            return [(host.host_id, host.used_bytes + self._used_delta_bytes, None)]
+
+        verdicts = [verdict(req) for req in requests]
+        admitted = [
+            req for req, reason in zip(requests, verdicts) if reason is None
+        ]
+        picks: List[Optional[int]] = []
+        predicted = None
+        if admitted:
+            view = WaveView(
+                self._host_order,
+                need=self.need_ram_bytes,
+                footprint=self.footprint_bytes,
+                used_delta=self._used_delta_bytes,
+                high_watermark=self.high_watermark,
+            )
+            predicted = view.used.copy()
+            picks = self.policy.choose_batch(view, admitted)
+        plan: List[Tuple[Optional[str], int, Optional[str]]] = []
+        pick_iter = iter(picks)
+        for reason in verdicts:
+            if reason is not None:
+                plan.append((None, 0, reason))
+                continue
+            pick = next(pick_iter)
             if pick is None:
-                plan.append((None, 0))
+                plan.append((None, 0, None))
             else:
                 predicted[pick] += self._used_delta_bytes
-                plan.append((self._host_order[pick].host_id, int(predicted[pick])))
+                plan.append(
+                    (self._host_order[pick].host_id, int(predicted[pick]), None)
+                )
         return plan
 
     def _materialize(
         self, name: str, image_id: str, host: HostHandle, seq: int,
         advance: bool, extra_dirty_bytes: int = 0, moves: int = 0,
+        tenant: str = "",
     ) -> FleetNymbox:
         """Create, wire, and boot the VM pair on ``host``.
 
@@ -419,12 +730,13 @@ class Fleet:
             anonvm.touch_memory(extra_dirty_bytes)
         box = FleetNymbox(
             name=name, image_id=image_id, host_id=host.host_id,
-            anonvm=anonvm, commvm=commvm, seq=seq,
+            anonvm=anonvm, commvm=commvm, seq=seq, tenant=tenant,
             extra_dirty_bytes=extra_dirty_bytes, moves=moves,
         )
         self.nymboxes[name] = box
         host.add_resident(box)
         self._accounting_epoch += 1
+        self.tenancy.note_placed(tenant, box.ram_bytes)
         self.timeline.obs.metrics.gauge("fleet.nyms_resident").set(len(self.nymboxes))
         return box
 
@@ -442,6 +754,7 @@ class Fleet:
         host = self.hosts[box.host_id]
         host.pop_resident(name)
         self._accounting_epoch += 1
+        self.tenancy.note_removed(box.tenant, box.ram_bytes)
         if not host.crashed:
             host.hypervisor.destroy_vm(box.anonvm)
             host.hypervisor.destroy_vm(box.commvm)
@@ -469,14 +782,21 @@ class Fleet:
         """
         source = self.hosts[box.host_id]
         obs = self.timeline.obs
+        reason = (
+            "crash" if source.crashed
+            else "drain" if source.draining
+            else "pressure"
+        )
         obs.event("fleet.evacuate", nym=box.name, source=source.host_id,
-                  reason="crash" if source.crashed else "pressure")
+                  reason=reason)
         # Store step: the quasi-persistent state (its churned pages) is
         # what the relaunch will carry over; then the source pair dies.
         carried_dirty = box.extra_dirty_bytes
         source.pop_resident(box.name)
         self._accounting_epoch += 1
         del self.nymboxes[box.name]
+        self.tenancy.note_removed(box.tenant, box.ram_bytes)
+        self.tenancy.note_evacuated(box.tenant)
         if not source.crashed:
             source.hypervisor.destroy_vm(box.anonvm)
             source.hypervisor.destroy_vm(box.commvm)
@@ -494,6 +814,7 @@ class Fleet:
             return self._materialize(
                 box.name, box.image_id, target, seq=box.seq, advance=advance,
                 extra_dirty_bytes=carried_dirty, moves=box.moves + 1,
+                tenant=box.tenant,
             )
 
         try:
@@ -543,6 +864,118 @@ class Fleet:
             self._evacuate(box, advance=False)
         return host.host_id
 
+    # -- rolling drain / upgrade ----------------------------------------------
+
+    def drain_host(
+        self, host_id: str = "", advance: bool = True, remove: bool = False
+    ) -> Optional[str]:
+        """Take one host out of service, live-evacuating its residents.
+
+        The drain reuses the §3.5 store→relaunch machinery: each resident
+        is stored and relaunched on a serving host (oldest first), with
+        the draining host excluded from candidacy.  ``advance=False`` is
+        the timeline-callback-safe variant (fault kind
+        ``fleet.host_drain``, autoscale scale-down): relaunch boots
+        overlap instead of sleeping.  Empty ``host_id`` picks the serving
+        host with the most residents, deterministically.  Returns the
+        drained host id, or ``None`` if no host was eligible.
+        """
+        if host_id:
+            host = self.hosts.get(host_id)
+        else:
+            serving = self.serving_hosts()
+            host = (
+                max(serving, key=lambda h: (len(h.residents), h.host_id))
+                if serving
+                else None
+            )
+        if host is None or host.crashed or host.draining:
+            return None
+        host.draining = True
+        self.drains += 1
+        obs = self.timeline.obs
+        obs.metrics.counter("fleet.host_drains").inc()
+        obs.event("fleet.host_drain", host=host.host_id,
+                  residents=len(host.residents))
+        # Snapshot first: evacuations mutate ``residents``, and a host
+        # crash firing mid-drain (boots advance time) may beat us to
+        # some of them — the identity check skips anything already moved.
+        for box in sorted(host.residents.values(), key=lambda b: b.seq):
+            if self.nymboxes.get(box.name) is not box:
+                continue
+            self._evacuate(box, advance=advance)
+        if remove:
+            self.remove_host(host.host_id)
+        return host.host_id
+
+    def undrain_host(self, host_id: str) -> None:
+        """Return a drained host to service (post-upgrade)."""
+        host = self.hosts.get(host_id)
+        if host is None or not host.draining:
+            return
+        host.draining = False
+        self.timeline.obs.event("fleet.host_undrain", host=host_id)
+
+    def rolling_drain(
+        self,
+        host_ids: Optional[Sequence[str]] = None,
+        count: int = 0,
+        upgrade_s: float = 0.0,
+        return_to_service: bool = True,
+    ) -> DrainReport:
+        """Drain hosts one at a time (the rolling-upgrade loop).
+
+        Each host is drained, held out of service for ``upgrade_s``
+        simulated seconds (the upgrade window), then returned to service
+        before the next host starts — so cluster capacity only ever dips
+        by one host.  ``host_ids=None`` picks the first ``count`` serving
+        hosts in host order.  The report accounts for every evacuated
+        nym: relaunched elsewhere, parked (stored, awaiting capacity), or
+        lost — which the machinery guarantees never happens (evacuation
+        always stores before the source dies).
+        """
+        if host_ids is None:
+            serving = [h.host_id for h in self.serving_hosts()]
+            host_ids = serving[: count or len(serving)]
+        evacuated = relaunched = parked = lost = 0
+        drained: List[str] = []
+        for host_id in host_ids:
+            host = self.hosts.get(host_id)
+            if host is None or not host.serving:
+                continue
+            names = [
+                b.name
+                for b in sorted(host.residents.values(), key=lambda b: b.seq)
+            ]
+            if self.drain_host(host_id, advance=True) is None:
+                continue
+            drained.append(host_id)
+            evacuated += len(names)
+            for name in names:
+                if name in self.nymboxes:
+                    relaunched += 1
+                elif name in self.parked:
+                    parked += 1
+                else:
+                    lost += 1
+            if upgrade_s > 0:
+                self.timeline.sleep(upgrade_s)
+            if return_to_service:
+                self.undrain_host(host_id)
+        report = DrainReport(
+            hosts=tuple(drained), evacuated=evacuated,
+            relaunched=relaunched, parked=parked, lost=lost,
+        )
+        self.timeline.obs.event(
+            "fleet.drain_complete",
+            hosts=list(report.hosts),
+            evacuated=report.evacuated,
+            relaunched=report.relaunched,
+            parked=report.parked,
+            lost=report.lost,
+        )
+        return report
+
     # -- accounting -------------------------------------------------------------
 
     def settle_ksm(self) -> None:
@@ -571,6 +1004,8 @@ class Fleet:
             total_bytes=sum(h.total_bytes for h in live),
             ksm_saved_bytes=saved,
             host_image_pairs=self.host_image_pairs(),
+            hosts_draining=sum(1 for h in live if h.draining),
+            host_drains=self.drains,
         )
         obs = self.timeline.obs
         obs.metrics.gauge("fleet.used_bytes").set(used)

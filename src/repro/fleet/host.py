@@ -28,6 +28,9 @@ class HostHandle:
         self.hypervisor = hypervisor
         self.residents: Dict[str, "FleetNymbox"] = {}  # noqa: F821 (fleet.py)
         self.crashed = False
+        #: Draining hosts stay up (their residents evacuate live) but take
+        #: no new placements; cleared by ``Fleet.undrain_host``.
+        self.draining = False
         self._snapshot: Optional[MemorySnapshot] = None
         self._snapshot_token: Optional[tuple] = None
         # Per-image resident counts, maintained by add/pop_resident so
@@ -98,8 +101,21 @@ class HostHandle:
         return sorted(self.residents)
 
     def admits(self, need_ram_bytes: int) -> bool:
-        return not self.crashed and self.free_ram_bytes >= need_ram_bytes
+        return (
+            not self.crashed
+            and not self.draining
+            and self.free_ram_bytes >= need_ram_bytes
+        )
+
+    @property
+    def serving(self) -> bool:
+        """Up and accepting placements."""
+        return not self.crashed and not self.draining
 
     def __repr__(self) -> str:
-        state = "crashed" if self.crashed else f"{len(self.residents)} nyms"
+        state = (
+            "crashed" if self.crashed
+            else "draining" if self.draining
+            else f"{len(self.residents)} nyms"
+        )
         return f"HostHandle({self.host_id}, {state}, pressure={self.pressure:.2f})"

@@ -3,7 +3,7 @@
 Every policy is a pure, deterministic function of the candidate list —
 same fleet state, same answer — so whole-cluster runs stay bit-identical
 across seeds.  Candidates arrive pre-filtered by admission control (not
-crashed, enough free RAM) in ``host_id`` order.
+crashed, not draining, enough free RAM) in ``host_id`` order.
 
 The interesting one is :class:`KsmAware`: §5.2 of the paper shows
 samepage merging reclaiming most of a nymbox's image cache when guests
@@ -69,7 +69,7 @@ class WaveView:
         for i, host in enumerate(self.hosts):
             counts = host.image_counts()
             self.image_counts.append(counts)
-            if host.crashed:
+            if host.crashed or host.draining:
                 self.free_ram[i] = -1
                 continue
             snap = host.memory_snapshot()

@@ -30,6 +30,7 @@ from repro.fleet.shard import (
     run_sharded_fleet,
 )
 from repro.sim.clock import Timeline
+from repro.tenancy.policy import FleetPolicies
 from repro.vmm.vm import MIB
 from repro.workloads.fleet import fleet_workload
 
@@ -120,10 +121,16 @@ def _run_policy(
     journal_path: Optional[str],
     idle_s: float = 0.0,
     flash_clone: bool = True,
+    base_policies: Optional[FleetPolicies] = None,
 ) -> PolicyResult:
     """One complete fleet run for one policy, on its own timeline."""
     timeline = Timeline(seed=seed)
-    fleet = Fleet(timeline, hosts=hosts, policy=policy, flash_clone=flash_clone)
+    base = base_policies if base_policies is not None else FleetPolicies()
+    fleet = Fleet(
+        timeline, hosts=hosts,
+        policies=base.with_placement(policy),
+        flash_clone=flash_clone,
+    )
     arrivals = fleet_workload(timeline.fork_rng("fleet.workload"), nyms)
 
     # Faults spread across the expected run length (arrivals advance time
@@ -180,18 +187,21 @@ def run_fleet(
     out_path: Optional[str] = "BENCH_fleet.json",
     idle_s: float = 0.0,
     flash_clone: bool = True,
+    policies: Optional[FleetPolicies] = None,
 ) -> FleetReport:
     """Run the fleet scenario; compare all policies on the same workload.
 
     The ``policy`` under test runs first and owns the exported journal;
     with ``compare`` the remaining registered policies replay the same
-    seed for the savings table.
+    seed for the savings table.  ``policies`` (e.g. from
+    ``--tenant-config``) carries tenant/autoscale policy into every run;
+    its placement field is overridden per compared policy.
     """
-    policies = [policy] + (
+    compared = [policy] + (
         [p for p in sorted(PLACEMENT_POLICIES) if p != policy] if compare else []
     )
     report = FleetReport(seed=seed, hosts=hosts, nyms=nyms, primary_policy=policy)
-    for name in policies:
+    for name in compared:
         report.results.append(
             _run_policy(
                 name, seed=seed, hosts=hosts, nyms=nyms,
@@ -199,6 +209,7 @@ def run_fleet(
                 journal_path=journal_path if name == policy else None,
                 idle_s=idle_s,
                 flash_clone=flash_clone,
+                base_policies=policies,
             )
         )
     if out_path:

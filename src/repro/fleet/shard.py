@@ -46,6 +46,7 @@ from repro.fleet.fleet import Fleet, FleetStats
 from repro.obs.journal import EventJournal
 from repro.sim.clock import Clock, Timeline
 from repro.sim.rng import SeededRng
+from repro.tenancy.policy import FleetPolicies
 from repro.workloads.fleet import NymArrival, fleet_workload
 
 _MANIFEST = "manifest.json"
@@ -145,7 +146,7 @@ class FleetShard:
         self.fleet = Fleet(
             self.timeline,
             hosts=config.hosts_per_shard,
-            policy=config.policy,
+            policies=FleetPolicies(placement=config.policy),
             flash_clone=config.flash_clone,
         )
         self.timeline.obs.event(

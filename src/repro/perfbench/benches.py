@@ -466,6 +466,7 @@ def _bench_fleet_arrival(quick: bool) -> BenchResult:
     build circuits).
     """
     from repro.fleet import Fleet
+    from repro.tenancy.policy import FleetPolicies
     from repro.perfbench.legacy import seed_admission_mode
     from repro.sim.clock import Timeline
     from repro.workloads.fleet import fleet_workload
@@ -479,7 +480,7 @@ def _bench_fleet_arrival(quick: bool) -> BenchResult:
             fleet = Fleet(
                 timeline,
                 hosts=hosts,
-                policy="ksm-aware",
+                policies=FleetPolicies(placement="ksm-aware"),
                 flash_clone=flash_clone,
             )
             workload = fleet_workload(timeline.fork_rng("bench.workload"), arrivals)
@@ -526,6 +527,7 @@ def _bench_fleet_wave(quick: bool) -> BenchResult:
     rebuild (:func:`seed_admission_mode`), not cloning.
     """
     from repro.fleet import Fleet
+    from repro.tenancy.policy import FleetPolicies
     from repro.perfbench.legacy import seed_admission_mode
     from repro.sim.clock import Timeline
     from repro.workloads.fleet import fleet_workload
@@ -539,7 +541,7 @@ def _bench_fleet_wave(quick: bool) -> BenchResult:
             fleet = Fleet(
                 timeline,
                 hosts=hosts,
-                policy="ksm-aware",
+                policies=FleetPolicies(placement="ksm-aware"),
                 flash_clone=True,
             )
             workload = fleet_workload(timeline.fork_rng("bench.workload"), arrivals)

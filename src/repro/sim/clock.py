@@ -197,6 +197,7 @@ class Timeline:
     ) -> None:
         from repro.faults.injector import NULL_FAULTS
         from repro.obs import NULL_OBS, Observability
+        from repro.tenancy.registry import NULL_TENANCY
 
         self.clock = Clock(start=start)
         self.events = EventQueue(self.clock)
@@ -206,6 +207,10 @@ class Timeline:
         #: injecting — operation paths consult ``timeline.faults`` the same
         #: way they emit to ``timeline.obs``
         self.faults = NULL_FAULTS
+        #: the attached tenant registry, or the shared no-op when no
+        #: control plane is active — enforcement paths consult
+        #: ``timeline.tenancy`` like ``timeline.obs``/``timeline.faults``
+        self.tenancy = NULL_TENANCY
 
     @property
     def now(self) -> float:

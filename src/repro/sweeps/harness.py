@@ -29,7 +29,8 @@ _ONLINE_PROBABILITY = 0.5
 
 
 def _measure_point(
-    point: SweepPoint, seed: int, sites: Sequence[str], idle_s: float
+    point: SweepPoint, seed: int, sites: Sequence[str], idle_s: float,
+    policies=None,
 ) -> tuple:
     """Run the workload at one grid point; returns (result, journal_str)."""
     config = NymixConfig(
@@ -39,7 +40,19 @@ def _measure_point(
         mixnet_mean_hop_delay_s=point.mean_hop_delay_s,
     )
     with NymixSession(config, cloud_providers=False) as nx:
-        box = nx.create_nym(name="sweep", anonymizer=point.anonymizer)
+        tenant = ""
+        if policies is not None and policies.tenants:
+            # Each point gets its own fresh registry, like everything else
+            # in its world: the sweep nym runs as the first configured
+            # tenant, so its page loads pay that tenant's ingress shaping.
+            from repro.tenancy.registry import TenantRegistry
+
+            registry = TenantRegistry(nx.timeline).attach()
+            registry.apply_initial(policies.tenants)
+            tenant = policies.tenants[0].name
+        box = nx.create_nym(
+            name="sweep", anonymizer=point.anonymizer, tenant=tenant
+        )
         loads = []
         elapsed = []
         for site in sites:
@@ -117,13 +130,16 @@ def run_sweep(
     sites: Optional[Sequence[str]] = None,
     journal_path: Optional[str] = None,
     out_path: Optional[str] = None,
+    policies=None,
 ) -> SweepReport:
     """Sweep the grid and score every point; returns the full report.
 
     ``journal_path`` concatenates each point's event journal (prefixed
     by a one-line point header) into one JSONL file — two same-seed
     sweeps produce byte-identical files.  ``out_path`` writes the
-    machine-readable tradeoff report.
+    machine-readable tradeoff report.  ``policies`` (e.g. from
+    ``--tenant-config``) runs every point's nym as the first configured
+    tenant, with ingress shaping applied.
     """
     if points is None:
         points = build_grid(quick=quick)
@@ -137,7 +153,9 @@ def run_sweep(
     )
     journal_chunks: List[str] = []
     for point in points:
-        result, journal = _measure_point(point, seed, sites, idle_s)
+        result, journal = _measure_point(
+            point, seed, sites, idle_s, policies=policies
+        )
         report.points.append(result)
         header = json.dumps(
             {"sweep_point": point.label, "seed": seed}, sort_keys=True

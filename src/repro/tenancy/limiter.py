@@ -1,0 +1,109 @@
+"""Sim-time rate limiting primitives: token buckets and strict priority.
+
+Both models are *analytic*: nothing here schedules events.  Callers ask
+"how long must this wait?", sleep on their own timeline, then charge the
+cost.  That keeps the limiter usable from any context — including
+timeline callbacks, where sleeping is forbidden — and keeps same-seed
+runs byte-identical because every answer is a pure function of
+(state, now, cost).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class TokenBucket:
+    """A continuously refilling token bucket.
+
+    Two disciplines are offered:
+
+    * :meth:`try_consume` — classic reject-if-dry, used for launch
+      admission where the caller turns "no token" into a typed rejection.
+    * :meth:`charge` + :meth:`deficit_wait` — debt-based shaping for the
+      ingress path: a send is never refused, but it must first wait out
+      the debt left by earlier sends, which converges to the configured
+      rate while letting bursts through up to the bucket capacity.
+    """
+
+    __slots__ = ("rate", "capacity", "tokens", "stamp")
+
+    def __init__(self, rate: float, capacity: float, now: float = 0.0) -> None:
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self.tokens = float(capacity)
+        self.stamp = float(now)
+
+    def _refill(self, now: float) -> None:
+        if now > self.stamp:
+            self.tokens = min(
+                self.capacity, self.tokens + (now - self.stamp) * self.rate
+            )
+            self.stamp = now
+
+    def available(self, now: float) -> float:
+        """Token balance at ``now`` (may be negative under debt)."""
+        self._refill(now)
+        return self.tokens
+
+    def try_consume(self, now: float, cost: float = 1.0) -> bool:
+        """Take ``cost`` tokens if the balance covers them."""
+        self._refill(now)
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True
+        return False
+
+    def charge(self, now: float, cost: float) -> None:
+        """Take ``cost`` tokens unconditionally; the balance may go negative."""
+        self._refill(now)
+        self.tokens -= cost
+
+    def deficit_wait(self, now: float) -> float:
+        """Seconds until the balance returns to zero (0.0 if not in debt)."""
+        self._refill(now)
+        if self.tokens >= 0.0:
+            return 0.0
+        return -self.tokens / self.rate
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TokenBucket(rate={self.rate}, capacity={self.capacity}, "
+            f"tokens={self.tokens:.3f}@{self.stamp:.3f})"
+        )
+
+
+class PriorityLink:
+    """A shared link served in strict priority order.
+
+    Each class keeps a ``clear_at`` timestamp: the sim time its backlog
+    drains.  A send in class *p* may start only once every class with
+    priority <= *p* has cleared, so lower-numbered (better) classes are
+    never delayed by worse ones, while worse classes absorb the queueing.
+    """
+
+    __slots__ = ("capacity_bps", "clear_at")
+
+    def __init__(self, capacity_bps: float, classes: int = 3) -> None:
+        if capacity_bps <= 0:
+            raise ValueError(f"capacity_bps must be > 0: {capacity_bps}")
+        if classes < 1:
+            raise ValueError(f"need at least one class: {classes}")
+        self.capacity_bps = float(capacity_bps)
+        self.clear_at: List[float] = [0.0] * classes
+
+    def _start(self, now: float, priority: int) -> float:
+        return max(now, max(self.clear_at[: priority + 1]))
+
+    def queue_delay(self, now: float, priority: int) -> float:
+        """How long a class-``priority`` send must wait before starting."""
+        return max(0.0, self._start(now, priority) - now)
+
+    def charge(self, now: float, priority: int, payload_bytes: int) -> float:
+        """Occupy the link for one send; returns its service time."""
+        service_s = payload_bytes / self.capacity_bps
+        self.clear_at[priority] = self._start(now, priority) + service_s
+        return service_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PriorityLink(capacity={self.capacity_bps}, clear_at={self.clear_at})"

@@ -12,7 +12,7 @@ then compared on *identical* request streams.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.sim.rng import SeededRng
 from repro.vmm.vm import MIB
@@ -34,6 +34,7 @@ class NymArrival:
     image_id: str
     interarrival_s: float  # gap after the previous arrival
     churn_bytes: int  # private pages the session will dirty
+    tenant: str = ""  # owning tenant; empty = untenanted (legacy streams)
 
 
 def _draw_image(rng: SeededRng) -> str:
@@ -66,6 +67,56 @@ def fleet_workload(
                 image_id=_draw_image(rng),
                 interarrival_s=rng.uniform(0.0, 2.0 * mean_interarrival_s),
                 churn_bytes=rng.randint(0, max_churn_bytes // MIB) * MIB,
+            )
+        )
+    return arrivals
+
+
+def tenant_workload(
+    rng: SeededRng,
+    nyms: int,
+    tenants: Sequence[str],
+    weights: Optional[Sequence[float]] = None,
+    mean_interarrival_s: float = 0.5,
+    max_churn_bytes: int = 48 * MIB,
+) -> List[NymArrival]:
+    """Draw a multi-tenant arrival stream.
+
+    Same structure (and same per-arrival draw order) as
+    :func:`fleet_workload`, with each arrival additionally attributed to
+    one of ``tenants`` by a weighted draw — so tenant attribution costs
+    exactly one extra RNG draw per arrival and the stream stays fully
+    seed-determined.  ``weights`` defaults to uniform.
+    """
+    if not tenants:
+        raise ValueError("tenant_workload needs at least one tenant name")
+    if weights is None:
+        weights = [1.0] * len(tenants)
+    if len(weights) != len(tenants):
+        raise ValueError(
+            f"got {len(weights)} weights for {len(tenants)} tenants"
+        )
+    total = float(sum(weights))
+    arrivals: List[NymArrival] = []
+    for i in range(nyms):
+        image_id = _draw_image(rng)
+        interarrival_s = rng.uniform(0.0, 2.0 * mean_interarrival_s)
+        churn_bytes = rng.randint(0, max_churn_bytes // MIB) * MIB
+        roll = rng.random() * total
+        acc = 0.0
+        tenant = tenants[-1]
+        for name, weight in zip(tenants, weights):
+            acc += weight
+            if roll < acc:
+                tenant = name
+                break
+        arrivals.append(
+            NymArrival(
+                name=f"nym-{i:04d}",
+                image_id=image_id,
+                interarrival_s=interarrival_s,
+                churn_bytes=churn_bytes,
+                tenant=tenant,
             )
         )
     return arrivals

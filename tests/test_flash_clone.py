@@ -79,12 +79,15 @@ class TestCloneColdEquivalence:
 
     def test_fleet_stats_and_journals_identical(self):
         from repro.fleet import Fleet
+        from repro.tenancy.policy import FleetPolicies
         from repro.workloads.fleet import fleet_workload
 
         def run(flash_clone: bool):
             timeline = Timeline(seed=5)
             fleet = Fleet(
-                timeline, hosts=2, policy="ksm-aware", flash_clone=flash_clone
+                timeline, hosts=2,
+                policies=FleetPolicies(placement="ksm-aware"),
+                flash_clone=flash_clone,
             )
             workload = fleet_workload(timeline.fork_rng("wl"), 8)
             for item in workload:

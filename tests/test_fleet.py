@@ -10,6 +10,7 @@ from repro.faults.plan import FaultPlan, FaultSpec
 from repro.fleet import Fleet, make_policy, run_fleet
 from repro.fleet.placement import PLACEMENT_POLICIES
 from repro.sim.clock import Timeline
+from repro.tenancy.policy import FleetPolicies
 from repro.vmm.hypervisor import HostSpec
 from repro.vmm.vm import MIB
 
@@ -19,8 +20,11 @@ GIB = 1024 * MIB
 SMALL_HOST = HostSpec(ram_bytes=4 * GIB, host_base_ram_bytes=1 * GIB)
 
 
-def make_fleet(hosts=3, policy="first-fit", host_spec=SMALL_HOST, seed=11, **kw):
-    return Fleet(Timeline(seed=seed), hosts=hosts, policy=policy,
+def make_fleet(hosts=3, policy="first-fit", host_spec=SMALL_HOST, seed=11,
+               policies=None, **kw):
+    if policies is None:
+        policies = FleetPolicies(placement=policy)
+    return Fleet(Timeline(seed=seed), hosts=hosts, policies=policies,
                  host_spec=host_spec, **kw)
 
 
@@ -119,7 +123,19 @@ class TestAdmissionAndWatermarks:
 
     def test_invalid_watermarks_rejected(self):
         with pytest.raises(FleetError):
-            make_fleet(high_watermark=0.5, low_watermark=0.8)
+            make_fleet(policies=FleetPolicies(
+                high_watermark=0.5, low_watermark=0.8))
+
+    def test_legacy_kwargs_warn_but_work(self):
+        with pytest.warns(DeprecationWarning, match="policies=FleetPolicies"):
+            fleet = Fleet(Timeline(seed=2), hosts=2, policy="least-loaded",
+                          high_watermark=0.95, low_watermark=0.85,
+                          host_spec=SMALL_HOST)
+        assert fleet.policy.name == "least-loaded"
+        assert fleet.high_watermark == 0.95
+        with pytest.raises(FleetError, match="not both"):
+            Fleet(Timeline(seed=2), hosts=2, policy="first-fit",
+                  policies=FleetPolicies(), host_spec=SMALL_HOST)
 
 
 class TestHostCrash:
@@ -164,7 +180,8 @@ class TestHostCrash:
 
     def test_host_crash_fault_kind_fires_through_injector(self):
         timeline = Timeline(seed=3)
-        fleet = Fleet(timeline, hosts=2, policy="least-loaded",
+        fleet = Fleet(timeline, hosts=2,
+                      policies=FleetPolicies(placement="least-loaded"),
                       host_spec=SMALL_HOST)
         plan = FaultPlan([FaultSpec(at_s=5.0, kind="fleet.host_crash")])
         injector = FaultInjector(timeline, plan).arm(manager=fleet)

@@ -15,13 +15,20 @@ from repro.errors import FleetCapacityError, FleetError
 from repro.fleet.fleet import Fleet, PlacementRequest
 from repro.fleet.placement import PlacementPolicy
 from repro.sim.clock import Timeline
+from repro.tenancy.policy import FleetPolicies
 
 POLICIES = ["first-fit", "least-loaded", "ksm-aware"]
 
 
-def build_fleet(policy, seed=1234, hosts=4, **kwargs):
+def build_fleet(policy, seed=1234, hosts=4, high_watermark=0.90,
+                low_watermark=0.80, **kwargs):
     timeline = Timeline(seed=seed)
-    return timeline, Fleet(timeline, hosts=hosts, policy=policy, **kwargs)
+    policies = FleetPolicies(
+        placement=policy,
+        high_watermark=high_watermark,
+        low_watermark=low_watermark,
+    )
+    return timeline, Fleet(timeline, hosts=hosts, policies=policies, **kwargs)
 
 
 def wave(n, images=3):
