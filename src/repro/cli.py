@@ -7,13 +7,16 @@ Gives the reproduction an operator's console:
 * ``demo``      — the quickstart workflow, narrated
 * ``catalog``   — what the simulated world contains (sites, OSes, transports)
 * ``stats``     — run a scenario and dump the metrics snapshot
+  (``--scale DIR`` instead reads a sharded run's per-epoch metrics
+  spools back from its spool directory)
 * ``trace``     — run a scenario and print the sim-time span tree
 * ``bench``     — time the simulator's hot paths against the seed code
 * ``chaos``     — run a seeded fault-injection scenario, print the survival report
 * ``fleet``     — place ~1000 nymboxes over a simulated 64-host cluster
   (``--shards N`` runs the sharded scale-out path with streamed journal
-  spools and epoch-barrier checkpoints; ``--resume DIR`` continues a
-  killed sharded run)
+  spools and epoch-barrier checkpoints; ``--procs N`` spreads the shards
+  over N spawned OS workers with byte-identical journals; ``--resume
+  DIR`` continues a killed sharded run under either executor)
 * ``sweep``     — chart anonymity/latency/overhead across Tor, Dissent, mixnet
 * ``tenants``   — run the multi-tenant control-plane scenario: quotas,
   launch/ingress rate limits, a reconciled mid-run policy update, and a
@@ -233,7 +236,55 @@ def _run_observed_scenario(args: argparse.Namespace, nyms: int) -> NymixSession:
     return nx
 
 
+def _cmd_stats_scale(args: argparse.Namespace) -> int:
+    """``repro stats --scale DIR``: read a sharded run's metrics spools.
+
+    Renders the coordinator's merged per-epoch stream (one row per epoch
+    barrier) plus a per-shard event count, straight from the
+    ``*.metrics.jsonl`` spools a sharded run streamed to disk.
+    """
+    from repro.errors import FleetError
+    from repro.fleet.shard import load_scale_metrics
+    from repro.vmm.vm import MIB
+
+    try:
+        metrics = load_scale_metrics(args.scale)
+    except (FleetError, OSError) as exc:
+        print(f"--scale: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        _emit_json(metrics)
+        return 0
+    merged = metrics["merged"]
+    print(
+        f"sharded metrics: {args.scale} "
+        f"({len(merged)} epochs, {len(metrics['shards'])} shards)"
+    )
+    print(
+        f"  {'epoch':>5} {'resident':>8} {'rejected':>8} {'evac':>5} "
+        f"{'crashes':>7} {'used MiB':>9} {'ksm MiB':>8}"
+    )
+    for record in merged:
+        print(
+            f"  {record['epoch']:>5} {record['nyms_resident']:>8} "
+            f"{record['rejected']:>8} {record['evacuations']:>5} "
+            f"{record['host_crashes']:>7} "
+            f"{record['used_bytes'] / MIB:>9.0f} "
+            f"{record['ksm_saved_bytes'] / MIB:>8.0f}"
+        )
+    for name, records in metrics["shards"].items():
+        last = records[-1] if records else {}
+        print(
+            f"  {name}: {len(records)} snapshots, "
+            f"final resident {last.get('nyms_resident', 0)}, "
+            f"final ksm {last.get('ksm_saved_bytes', 0) / MIB:.0f} MiB"
+        )
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
+    if args.scale:
+        return _cmd_stats_scale(args)
     nx = _run_observed_scenario(args, args.nyms)
     obs = nx.obs
     # Surface journal health next to the metrics: a non-zero dropped
@@ -380,9 +431,15 @@ def _cmd_fleet_sharded(args: argparse.Namespace) -> int:
     """The scale-out path: ``repro fleet --shards N`` / ``--resume DIR``."""
     from repro.fleet import resume_fleet_sharded, run_fleet_sharded
 
+    procs = args.procs
+    if procs == 0:
+        from repro.fleet.parallel import default_procs
+
+        procs = default_procs()
     if args.resume:
         report = resume_fleet_sharded(
-            args.resume, journal_path=args.journal, out_path=args.out
+            args.resume, journal_path=args.journal, out_path=args.out,
+            procs=procs,
         )
     else:
         scale_counts = None
@@ -410,6 +467,7 @@ def _cmd_fleet_sharded(args: argparse.Namespace) -> int:
             out_path=args.out,
             flash_clone=not args.cold_boot,
             scale_counts=scale_counts,
+            procs=procs,
         )
     if args.json:
         _emit_json(report.export())
@@ -541,6 +599,11 @@ def build_parser() -> argparse.ArgumentParser:
     stats = commands.add_parser("stats", help="run a scenario, dump metrics")
     stats.add_argument("--nyms", type=int, default=2)
     stats.add_argument("--prefix", default="", help="only metrics under this prefix")
+    stats.add_argument(
+        "--scale", metavar="DIR",
+        help="read a sharded fleet run's per-epoch metrics spools from "
+        "its spool directory instead of running a scenario",
+    )
     add_common_args(stats, journal=True)
     stats.set_defaults(func=cmd_stats)
 
@@ -656,6 +719,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", metavar="N,M,...",
         help="also chart the capacity trajectory across these shard counts "
         "(sharded path; writes the scale_trajectory section of --out)",
+    )
+    fleet.add_argument(
+        "--procs", type=int, default=1, metavar="N",
+        help="run shards across N spawned OS worker processes (sharded "
+        "path; 0 = one per core; journal bytes are identical at any N)",
     )
     add_common_args(fleet, journal=True)
     add_tenant_config_arg(fleet)

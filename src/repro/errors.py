@@ -134,6 +134,22 @@ class FleetCapacityError(FleetError):
     """Admission control rejected a placement: no host can take the nym."""
 
 
+class ShardWorkerError(FleetError):
+    """A shard worker process failed or died mid-run.
+
+    Carries the shard the failure was observed on and the last epoch
+    barrier the coordinator completed — the run stays resumable from the
+    checkpoint taken at that barrier.
+    """
+
+    def __init__(
+        self, message: str, shard_id=None, last_barrier=None
+    ) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.last_barrier = last_barrier
+
+
 class TenancyError(NymixError):
     """Tenant control-plane errors (bad policy objects, unknown tenants)."""
 

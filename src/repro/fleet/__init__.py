@@ -11,6 +11,8 @@ Past one timeline's capacity, :mod:`repro.fleet.shard` partitions the
 fleet into regions synchronized at epoch barriers, streams every journal
 to a JSONL spool, and checkpoints whole runs for kill/resume;
 ``run_fleet_sharded`` is the scenario behind ``repro fleet --shards N``.
+:mod:`repro.fleet.parallel` runs those shards across spawned OS worker
+processes (``--procs N``) with byte-identical journals.
 """
 
 from repro.fleet.fleet import (
@@ -34,25 +36,31 @@ from repro.fleet.scenario import (
     FleetReport,
     PolicyResult,
     ShardedFleetReport,
+    bench_environment,
     resume_fleet_sharded,
     run_fleet,
     run_fleet_sharded,
     scale_trajectory,
 )
 from repro.fleet.shard import (
+    BarrierReport,
     FleetShard,
+    LocalShardHandle,
     ShardConfig,
     ShardedFleet,
     ShardedRunResult,
     combined_spool_bytes,
+    load_scale_metrics,
     resume_sharded_fleet,
     run_sharded_fleet,
 )
 
 __all__ = [
+    "BarrierReport",
     "DrainReport",
     "Fleet",
     "FleetNymbox",
+    "LocalShardHandle",
     "PlacementRejection",
     "PlacementRequest",
     "FleetShard",
@@ -69,7 +77,9 @@ __all__ = [
     "ShardedFleet",
     "ShardedFleetReport",
     "ShardedRunResult",
+    "bench_environment",
     "combined_spool_bytes",
+    "load_scale_metrics",
     "make_policy",
     "resume_fleet_sharded",
     "resume_sharded_fleet",

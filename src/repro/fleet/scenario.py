@@ -231,12 +231,16 @@ class ShardedFleetReport:
     cluster sustains (resident / live hosts at the end of the run) and
     **arrivals per wall-clock second** the simulator pushes through the
     sharded path.  Wall-clock figures live only in this report — never
-    in the journals, which must stay byte-reproducible.
+    in the journals, which must stay byte-reproducible.  The
+    ``environment`` block (worker processes used, cores available)
+    travels with every wall-clock number so a trajectory measured on a
+    single-core runner is never mistaken for a parallel speedup claim.
     """
 
     result: ShardedRunResult
     wall_seconds: float
     resumed: bool = False
+    procs: int = 1
     trajectory: List[Dict[str, object]] = field(default_factory=list)
 
     @property
@@ -256,6 +260,8 @@ class ShardedFleetReport:
             "bench": "fleet-sharded",
             **self.result.export(),
             "resumed": self.resumed,
+            "procs": self.procs,
+            "environment": bench_environment(self.procs),
             "wall_seconds": round(self.wall_seconds, 3),
             "nyms_per_host": round(self.nyms_per_host, 2),
             "arrivals_per_sec": round(self.arrivals_per_sec, 1),
@@ -270,7 +276,8 @@ class ShardedFleetReport:
         lines = [
             f"sharded fleet: {config.nyms} nyms over {config.shards} shards x "
             f"{config.hosts_per_shard} hosts (seed {config.seed}, "
-            f"policy {config.policy}, epoch {config.epoch_s:g} s)"
+            f"policy {config.policy}, epoch {config.epoch_s:g} s, "
+            f"procs {self.procs})"
             + (" [resumed]" if self.resumed else ""),
             f"  epochs {self.result.epochs}, resident {merged['nyms_resident']}, "
             f"parked {merged['nyms_parked']}, rejected {self.result.rejected}, "
@@ -284,12 +291,13 @@ class ShardedFleetReport:
         ]
         if self.trajectory:
             lines.append(
-                f"  {'shards':>6} {'hosts':>6} {'resident':>8} "
+                f"  {'shards':>6} {'procs':>5} {'hosts':>6} {'resident':>8} "
                 f"{'nyms/host':>9} {'arrivals/s':>10}"
             )
             for point in self.trajectory:
                 lines.append(
-                    f"  {point['shards']:>6} {point['hosts']:>6} "
+                    f"  {point['shards']:>6} {point.get('procs', 1):>5} "
+                    f"{point['hosts']:>6} "
                     f"{point['nyms_resident']:>8} {point['nyms_per_host']:>9.1f} "
                     f"{point['arrivals_per_sec']:>10.0f}"
                 )
@@ -311,6 +319,7 @@ def run_fleet_sharded(
     out_path: Optional[str] = "BENCH_fleet.json",
     flash_clone: bool = True,
     scale_counts: Optional[List[int]] = None,
+    procs: int = 1,
 ) -> ShardedFleetReport:
     """The scale-out scenario behind ``repro fleet --shards N``.
 
@@ -318,6 +327,11 @@ def run_fleet_sharded(
     optionally stopping early for the kill half of kill/resume) and, if
     ``scale_counts`` is given, replays the same seed and nym count
     across those shard counts to chart the capacity trajectory.
+    ``procs`` spreads the shards over that many spawned OS workers (an
+    executor choice only — the journal bytes are identical at any
+    value); the trajectory then charts every shard count at one worker
+    *and* at ``procs`` workers, so BENCH_fleet.json carries the measured
+    serial-vs-parallel curve, not a claim.
     """
     config = ShardConfig(
         seed=seed, shards=shards, hosts_per_shard=hosts_per_shard, nyms=nyms,
@@ -328,15 +342,17 @@ def run_fleet_sharded(
     result = run_sharded_fleet(
         config, spool_dir,
         checkpoint_dir=checkpoint_dir, stop_after_epoch=stop_after_epoch,
+        procs=procs,
     )
     report = ShardedFleetReport(
-        result=result, wall_seconds=time.perf_counter() - start
+        result=result, wall_seconds=time.perf_counter() - start, procs=procs
     )
     if scale_counts:
         report.trajectory = scale_trajectory(
             seed=seed, nyms=nyms, shard_counts=scale_counts,
             hosts_per_shard=hosts_per_shard, policy=policy, epoch_s=epoch_s,
             spool_root=spool_dir + "-scale", flash_clone=flash_clone,
+            procs_counts=sorted({1, procs}),
         )
     if journal_path:
         _write_combined_spools(result.spool_paths, journal_path)
@@ -351,12 +367,19 @@ def resume_fleet_sharded(
     checkpoint_dir: str,
     journal_path: Optional[str] = None,
     out_path: Optional[str] = "BENCH_fleet.json",
+    procs: int = 1,
 ) -> ShardedFleetReport:
-    """Resume a killed sharded run (``repro fleet --resume DIR``)."""
+    """Resume a killed sharded run (``repro fleet --resume DIR``).
+
+    ``procs`` is free to differ from the killed run's executor — a
+    checkpoint is mode-neutral, so a serial run resumes parallel and
+    vice versa with identical bytes.
+    """
     start = time.perf_counter()
-    _, result = resume_sharded_fleet(checkpoint_dir)
+    _, result = resume_sharded_fleet(checkpoint_dir, procs=procs)
     report = ShardedFleetReport(
-        result=result, wall_seconds=time.perf_counter() - start, resumed=True
+        result=result, wall_seconds=time.perf_counter() - start, resumed=True,
+        procs=procs,
     )
     if journal_path:
         _write_combined_spools(result.spool_paths, journal_path)
@@ -365,6 +388,21 @@ def resume_fleet_sharded(
             json.dump(report.export(), fh, indent=2, sort_keys=True)
             fh.write("\n")
     return report
+
+
+def bench_environment(procs: int = 1) -> Dict[str, object]:
+    """The execution-environment block wall-clock numbers travel with.
+
+    A speedup figure is meaningless without knowing how many workers ran
+    on how many cores — single-core runners legitimately show parallel
+    runs *slower* (spawn overhead, no parallelism), and the CI gates key
+    off ``cpu_count`` to skip the speedup assertion there while still
+    enforcing byte-identity.
+    """
+    return {
+        "procs": procs,
+        "cpu_count": os.cpu_count() or 1,
+    }
 
 
 def scale_trajectory(
@@ -376,39 +414,57 @@ def scale_trajectory(
     epoch_s: float = 120.0,
     spool_root: str = "fleet-spool-scale",
     flash_clone: bool = True,
+    procs_counts: Optional[List[int]] = None,
 ) -> List[Dict[str, object]]:
-    """One trajectory point per shard count, same seed and nym count.
+    """One trajectory point per (shard count, worker count), same seed.
 
     Records what the scale section of BENCH_fleet.json is for: the max
     sustainable nyms/host and the wall-clock arrivals/sec at each shard
     count, so the scale-out curve is a measured artifact, not a claim.
+    ``procs_counts`` adds the executor dimension — each shard count is
+    replayed under each worker count (capped at the shard count, since
+    extra workers would idle), and every point carries its ``procs`` and
+    environment block so the serial and parallel columns are comparable.
     """
     points: List[Dict[str, object]] = []
     for count in shard_counts:
-        config = ShardConfig(
-            seed=seed, shards=count, hosts_per_shard=hosts_per_shard,
-            nyms=nyms, policy=policy, epoch_s=epoch_s, flash_clone=flash_clone,
-        )
-        spool_dir = os.path.join(spool_root, f"shards-{count:02d}")
-        start = time.perf_counter()
-        result = run_sharded_fleet(config, spool_dir)
-        wall = time.perf_counter() - start
-        merged = result.merged
-        hosts_up = merged["hosts_up"] or 1
-        points.append(
-            {
-                "shards": count,
-                "hosts": count * hosts_per_shard,
-                "nyms": nyms,
-                "epochs": result.epochs,
-                "nyms_resident": merged["nyms_resident"],
-                "rejected": result.rejected,
-                "nyms_per_host": round(merged["nyms_resident"] / hosts_up, 2),
-                "arrivals_per_sec": round(nyms / wall, 1) if wall > 0 else 0.0,
-                "wall_seconds": round(wall, 3),
-                "journal_events": result.journal_events,
-            }
-        )
+        for procs in procs_counts or [1]:
+            effective_procs = max(1, min(procs, count))
+            if effective_procs != procs and effective_procs in (
+                procs_counts or [1]
+            ):
+                continue  # the capped point already exists; don't duplicate
+            config = ShardConfig(
+                seed=seed, shards=count, hosts_per_shard=hosts_per_shard,
+                nyms=nyms, policy=policy, epoch_s=epoch_s,
+                flash_clone=flash_clone,
+            )
+            spool_dir = os.path.join(
+                spool_root, f"shards-{count:02d}-procs-{effective_procs:02d}"
+            )
+            start = time.perf_counter()
+            result = run_sharded_fleet(
+                config, spool_dir, procs=effective_procs
+            )
+            wall = time.perf_counter() - start
+            merged = result.merged
+            hosts_up = merged["hosts_up"] or 1
+            points.append(
+                {
+                    "shards": count,
+                    "procs": effective_procs,
+                    "environment": bench_environment(effective_procs),
+                    "hosts": count * hosts_per_shard,
+                    "nyms": nyms,
+                    "epochs": result.epochs,
+                    "nyms_resident": merged["nyms_resident"],
+                    "rejected": result.rejected,
+                    "nyms_per_host": round(merged["nyms_resident"] / hosts_up, 2),
+                    "arrivals_per_sec": round(nyms / wall, 1) if wall > 0 else 0.0,
+                    "wall_seconds": round(wall, 3),
+                    "journal_events": result.journal_events,
+                }
+            )
     return points
 
 

@@ -31,6 +31,26 @@ offset (cutting anything a killed run wrote past the checkpoint) and
 continues the epoch loop; the concatenated journal bytes of a resumed
 run are identical to an uninterrupted same-seed run — pinned by
 tests/test_fleet_shard.py and the scale-smoke CI job.
+
+The coordinator drives shards through **handles**, and the handle is
+where execution modes split:
+
+* ``procs=1`` (the default) holds every :class:`FleetShard` in-process
+  behind a :class:`LocalShardHandle` — the serial path;
+* ``procs=N`` puts shards in spawned OS worker processes behind
+  :mod:`repro.fleet.parallel` proxies that speak a run-epoch /
+  crash-directive / barrier-stats / checkpoint / shutdown pipe protocol.
+
+Because shards share nothing (the Nymix isolation argument, promoted to
+regions) and only rendezvous at barriers, the two modes produce
+**byte-identical** combined journals for the same seed — the hard gate
+pinned by tests/test_fleet_parallel.py and the scale-smoke CI job.
+
+Alongside its journal, every shard streams a per-epoch **metrics**
+snapshot (``shard.metrics`` events: residency, RAM, KSM savings,
+placement counters at each barrier) to a sibling ``*.metrics.jsonl``
+spool; the coordinator merges them into its own ``metrics.jsonl``.
+``repro stats --scale DIR`` reads the spools back.
 """
 
 from __future__ import annotations
@@ -41,7 +61,7 @@ import pickle
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import FleetCapacityError, FleetError
+from repro.errors import FleetCapacityError, FleetError, ShardWorkerError
 from repro.fleet.fleet import Fleet, FleetStats
 from repro.obs.journal import EventJournal
 from repro.sim.clock import Clock, Timeline
@@ -62,7 +82,9 @@ def combined_spool_bytes(spool_paths: List[str]) -> bytes:
     """
     chunks: List[bytes] = []
     for path in spool_paths:
-        name = os.path.splitext(os.path.basename(path))[0]
+        name = os.path.basename(path)
+        if name.endswith(".jsonl"):
+            name = name[: -len(".jsonl")]
         chunks.append(
             json.dumps({"journal": name}, sort_keys=True,
                        separators=(",", ":")).encode() + b"\n"
@@ -74,7 +96,12 @@ def combined_spool_bytes(spool_paths: List[str]) -> bytes:
 
 @dataclass(frozen=True)
 class ShardConfig:
-    """Everything that determines a sharded run, bit for bit."""
+    """Everything that determines a sharded run, bit for bit.
+
+    Execution details that must *never* change the bytes — how many OS
+    processes run the shards, how often to checkpoint — deliberately
+    live outside this object.
+    """
 
     seed: int = 0
     shards: int = 4
@@ -125,8 +152,36 @@ def partition_arrivals(
     return per_shard
 
 
+@dataclass(frozen=True)
+class BarrierReport:
+    """One shard's rendezvous payload: everything the coordinator needs.
+
+    This is the whole coordinator-facing surface of a shard at a
+    barrier — and it is a plain picklable value, which is what lets the
+    shard itself live in another OS process.  The coordinator's merged
+    accounting is a pure function of these reports in shard-id order,
+    so serial and parallel runs cannot diverge.
+    """
+
+    shard_id: int
+    arrivals: int
+    cursor: int
+    rejected: int
+    done: bool
+    sim_now: float
+    journal_events: int
+    spool_offset: int
+    metrics_events: int
+    metrics_offset: int
+    stats: FleetStats
+
+    @property
+    def placed(self) -> int:
+        return self.cursor - self.rejected
+
+
 class FleetShard:
-    """One region: its own timeline, fleet, arrival slice, and spool."""
+    """One region: its own timeline, fleet, arrival slice, and spools."""
 
     def __init__(
         self,
@@ -134,6 +189,7 @@ class FleetShard:
         shard_id: int,
         spool_path: str,
         arrivals: Optional[List[Tuple[float, NymArrival]]] = None,
+        metrics_path: Optional[str] = None,
     ) -> None:
         self.shard_id = shard_id
         self.rejected = 0
@@ -143,6 +199,13 @@ class FleetShard:
         self.arrivals = arrivals
         self.timeline = Timeline(seed=config.shard_seed(shard_id))
         self.timeline.obs.journal.stream_to(spool_path, window=config.journal_window)
+        # The per-epoch metrics spool: one snapshot event per barrier,
+        # streamed beside the journal with the same window/checkpoint
+        # machinery.  Without a path it stays a small in-memory journal
+        # (standalone-shard tests).
+        self.metrics = EventJournal(self.timeline.clock)
+        if metrics_path:
+            self.metrics.stream_to(metrics_path, window=config.journal_window)
         self.fleet = Fleet(
             self.timeline,
             hosts=config.hosts_per_shard,
@@ -196,6 +259,119 @@ class FleetShard:
     def barrier_stats(self) -> FleetStats:
         return self.fleet.stats()
 
+    def report(self) -> BarrierReport:
+        """A side-effect-free rendezvous snapshot (no flush, no events)."""
+        return BarrierReport(
+            shard_id=self.shard_id,
+            arrivals=len(self.arrivals),
+            cursor=self.cursor,
+            rejected=self.rejected,
+            done=self.done,
+            sim_now=self.timeline.now,
+            journal_events=len(self.journal),
+            spool_offset=self.journal.spool_offset,
+            metrics_events=len(self.metrics),
+            metrics_offset=self.metrics.spool_offset,
+            stats=self.barrier_stats(),
+        )
+
+    def barrier(self, epoch: int) -> BarrierReport:
+        """The rendezvous: snapshot metrics, flush both spools, report.
+
+        Called once per epoch in shard-id order (by the coordinator in
+        serial mode, by the owning worker on a barrier-stats message in
+        parallel mode); either way the spool bytes come out identical.
+        """
+        stats = self.barrier_stats()
+        self.metrics.record(
+            "shard.metrics", epoch=epoch, shard=self.shard_id,
+            cursor=self.cursor, placed=self.cursor - self.rejected,
+            rejected=self.rejected, done=self.done,
+            journal_events=len(self.journal),
+            **stats.export(),
+        )
+        self.journal.flush()
+        self.metrics.flush()
+        return BarrierReport(
+            shard_id=self.shard_id,
+            arrivals=len(self.arrivals),
+            cursor=self.cursor,
+            rejected=self.rejected,
+            done=self.done,
+            sim_now=self.timeline.now,
+            journal_events=len(self.journal),
+            spool_offset=self.journal.spool_offset,
+            metrics_events=len(self.metrics),
+            metrics_offset=self.metrics.spool_offset,
+            stats=stats,
+        )
+
+    def flush_spools(self) -> None:
+        self.journal.flush()
+        self.metrics.flush()
+
+    def close_spools(self) -> None:
+        self.journal.close_spool()
+        self.metrics.close_spool()
+
+
+class LocalShardHandle:
+    """The in-process shard handle: the serial (``procs=1``) execution.
+
+    The coordinator only ever talks to handles; this one forwards every
+    call straight into a resident :class:`FleetShard`.  Its parallel
+    twin (:class:`repro.fleet.parallel.WorkerShardHandle`) speaks the
+    same surface over a pipe to a spawned worker.
+    """
+
+    pid: Optional[int] = None  # no worker process behind this handle
+
+    def __init__(self, shard: FleetShard) -> None:
+        self.shard = shard
+        self.shard_id = shard.shard_id
+        self.done = shard.done
+        self._pending_epoch_end: Optional[float] = None
+
+    def start_epoch(self, epoch_end: float) -> None:
+        self._pending_epoch_end = epoch_end
+
+    def finish_epoch(self) -> int:
+        if self._pending_epoch_end is None:
+            raise FleetError(
+                f"shard {self.shard_id}: finish_epoch without start_epoch"
+            )
+        epoch_end, self._pending_epoch_end = self._pending_epoch_end, None
+        placed = self.shard.run_epoch(epoch_end)
+        self.done = self.shard.done
+        return placed
+
+    def crash_host(self) -> Optional[str]:
+        return self.shard.fleet.crash_host()
+
+    def barrier(self, epoch: int) -> BarrierReport:
+        report = self.shard.barrier(epoch)
+        self.done = report.done
+        return report
+
+    def report(self) -> BarrierReport:
+        return self.shard.report()
+
+    def checkpoint_bytes(self) -> bytes:
+        if not self.shard.timeline.quiescent:
+            raise FleetError(
+                f"shard {self.shard_id} has pending events at the barrier"
+            )
+        return pickle.dumps(self.shard)
+
+    def flush(self) -> None:
+        self.shard.flush_spools()
+
+    def close(self) -> None:
+        self.shard.close_spools()
+
+    def shutdown(self) -> None:  # nothing to tear down in-process
+        pass
+
 
 @dataclass
 class ShardedRunResult:
@@ -223,7 +399,14 @@ class ShardedRunResult:
 
 
 class ShardedFleet:
-    """The coordinator: shards in lock-step over coarse epoch barriers."""
+    """The coordinator: shards in lock-step over coarse epoch barriers.
+
+    ``procs`` picks the executor: 1 keeps every shard in-process
+    (serial); N > 1 spreads shards round-robin over ``min(N, shards)``
+    spawned OS workers.  The choice never reaches the bytes — the
+    coordinator's accounting is a pure function of the
+    :class:`BarrierReport` stream, which is identical in both modes.
+    """
 
     def __init__(
         self,
@@ -231,6 +414,7 @@ class ShardedFleet:
         spool_dir: str,
         checkpoint_dir: Optional[str] = None,
         checkpoint_every: int = 1,
+        procs: int = 1,
     ) -> None:
         self.config = config
         self.spool_dir = str(spool_dir)
@@ -240,38 +424,93 @@ class ShardedFleet:
         if self.checkpoint_dir:
             os.makedirs(self.checkpoint_dir, exist_ok=True)
         self.epoch = 0
+        self.procs = max(1, min(int(procs), config.shards))
+        self._pool = None
         self._crash_plan = self._plan_crashes()
         self._crashes_fired = 0
         # The coordinator's own journal: merged accounting per barrier,
-        # streamed like every shard's.
+        # streamed like every shard's.  The metrics journal carries the
+        # merged per-epoch snapshot the shards' metrics spools roll into.
         self._coord_clock = Clock()
         self._coord_journal = EventJournal(self._coord_clock)
         self._coord_journal.stream_to(
             self._spool_path("coordinator"), window=config.journal_window
         )
+        self._coord_metrics = EventJournal(self._coord_clock)
+        self._coord_metrics.stream_to(
+            self.metrics_path("metrics"), window=config.journal_window
+        )
         per_shard = partition_arrivals(config)
-        self.shards: List[FleetShard] = [
-            FleetShard(
-                config, shard_id, self._spool_path(f"shard-{shard_id:02d}"),
-                arrivals=per_shard[shard_id],
-            )
-            for shard_id in range(config.shards)
-        ]
+        self.handles = self._build_handles(per_shard)
         self._coord_journal.record(
             "coord.created", shards=config.shards, nyms=config.nyms,
             hosts=config.shards * config.hosts_per_shard, policy=config.policy,
         )
+
+    def _build_handles(self, per_shard) -> List[object]:
+        if self.procs == 1:
+            return [
+                LocalShardHandle(
+                    FleetShard(
+                        self.config, shard_id,
+                        self._spool_path(f"shard-{shard_id:02d}"),
+                        arrivals=per_shard[shard_id],
+                        metrics_path=self.metrics_path(f"shard-{shard_id:02d}"),
+                    )
+                )
+                for shard_id in range(self.config.shards)
+            ]
+        from repro.fleet.parallel import WorkerPool
+
+        self._pool = WorkerPool(
+            self.config,
+            procs=self.procs,
+            spool_paths=[
+                self._spool_path(f"shard-{i:02d}")
+                for i in range(self.config.shards)
+            ],
+            metrics_paths=[
+                self.metrics_path(f"shard-{i:02d}")
+                for i in range(self.config.shards)
+            ],
+            per_shard_arrivals=per_shard,
+        )
+        self._pool.last_barrier = self.epoch
+        return list(self._pool.handles)
+
+    @property
+    def shards(self) -> List[FleetShard]:
+        """The resident shard objects — serial mode only.
+
+        In parallel mode the shards live in worker processes; everything
+        the coordinator needs crosses as :class:`BarrierReport` values.
+        """
+        if self.procs != 1:
+            raise FleetError(
+                "shards live in worker processes under procs>1; "
+                "use the handles/BarrierReport surface"
+            )
+        return [handle.shard for handle in self.handles]
 
     # -- paths ---------------------------------------------------------------
 
     def _spool_path(self, name: str) -> str:
         return os.path.join(self.spool_dir, f"{name}.jsonl")
 
+    def metrics_path(self, name: str) -> str:
+        return os.path.join(self.spool_dir, f"{name}.metrics.jsonl")
+
     def spool_paths(self) -> List[str]:
         """Coordinator first, then shards in id order — the canonical
         concatenation order for combined journal bytes."""
         return [self._spool_path("coordinator")] + [
-            self._spool_path(f"shard-{s.shard_id:02d}") for s in self.shards
+            self._spool_path(f"shard-{h.shard_id:02d}") for h in self.handles
+        ]
+
+    def metrics_paths(self) -> List[str]:
+        """Merged coordinator metrics first, then shards in id order."""
+        return [self.metrics_path("metrics")] + [
+            self.metrics_path(f"shard-{h.shard_id:02d}") for h in self.handles
         ]
 
     # -- fault schedule ------------------------------------------------------
@@ -299,8 +538,7 @@ class ShardedFleet:
         if epoch in self._crash_plan:
             due.extend(self._crash_plan.pop(epoch))
         for shard_id in due:
-            shard = self.shards[shard_id]
-            crashed = shard.fleet.crash_host()
+            crashed = self.handles[shard_id].crash_host()
             self._crashes_fired += 1
             self._coord_journal.record(
                 "coord.host_crash", shard=shard_id,
@@ -311,7 +549,7 @@ class ShardedFleet:
 
     @property
     def done(self) -> bool:
-        return all(shard.done for shard in self.shards) and not self._crash_plan
+        return all(handle.done for handle in self.handles) and not self._crash_plan
 
     def run(self, stop_after_epoch: Optional[int] = None) -> ShardedRunResult:
         """Advance epochs until every shard drained (or an early stop).
@@ -319,50 +557,77 @@ class ShardedFleet:
         ``stop_after_epoch`` halts after that many *additional* barriers
         — the kill half of the kill/resume story; the run stays
         resumable from its last checkpoint.
+
+        A worker process dying mid-epoch surfaces as
+        :class:`~repro.errors.ShardWorkerError` naming the shard and the
+        last completed barrier; the surviving workers are torn down, the
+        coordinator spools are flushed, and the run stays resumable from
+        its last checkpoint.
         """
+        try:
+            return self._run_epochs(stop_after_epoch)
+        except ShardWorkerError:
+            self._abort_workers()
+            raise
+
+    def _run_epochs(self, stop_after_epoch: Optional[int]) -> ShardedRunResult:
         barriers = 0
         while not self.done:
             self.epoch += 1
             barriers += 1
             epoch_end = self.epoch * self.config.epoch_s
-            for shard in self.shards:  # fixed shard-id order
-                shard.run_epoch(epoch_end)
-            final = all(shard.done for shard in self.shards)
+            # All shards advance to the barrier — concurrently when the
+            # handles front worker processes, in shard-id order when
+            # they are local.  Replies are collected in shard-id order
+            # either way.
+            for handle in self.handles:
+                handle.start_epoch(epoch_end)
+            for handle in self.handles:
+                handle.finish_epoch()
+            final = all(handle.done for handle in self.handles)
             self._fire_crashes(self.epoch, final=final)
-            self._barrier(epoch_end)
+            reports = self._barrier(epoch_end)
             if self.checkpoint_dir and self.epoch % self.checkpoint_every == 0:
-                self.checkpoint()
+                self.checkpoint(reports)
             if stop_after_epoch is not None and barriers >= stop_after_epoch:
                 return self._result(completed=self.done)
         return self._result(completed=True)
 
-    def _barrier(self, epoch_end: float) -> None:
-        """Merge per-shard accounting, in shard-id order, then flush."""
+    def _barrier(self, epoch_end: float) -> List[BarrierReport]:
+        """Rendezvous: collect per-shard reports, merge, record, flush."""
+        reports = [handle.barrier(self.epoch) for handle in self.handles]
         self._coord_clock.advance_to(epoch_end)
-        merged = self._merged_stats(record_per_shard=True)
+        merged = self._merged_from(reports, record_per_shard=True)
         self._coord_journal.record("coord.epoch_merged", epoch=self.epoch, **merged)
-        for shard in self.shards:
-            shard.journal.flush()
+        self._coord_metrics.record(
+            "coord.metrics", epoch=self.epoch, shards=len(reports), **merged
+        )
         self._coord_journal.flush()
+        self._coord_metrics.flush()
+        if self._pool is not None:
+            self._pool.last_barrier = self.epoch
+        return reports
 
-    def _merged_stats(self, record_per_shard: bool = False) -> Dict[str, object]:
+    def _merged_from(
+        self, reports: List[BarrierReport], record_per_shard: bool = False
+    ) -> Dict[str, object]:
         totals = {
             "hosts_up": 0, "nyms_resident": 0, "nyms_parked": 0,
             "placements": 0, "evacuations": 0, "host_crashes": 0,
             "used_bytes": 0, "total_bytes": 0, "ksm_saved_bytes": 0,
             "rejected": 0,
         }
-        for shard in self.shards:
-            stats = shard.barrier_stats()
+        for report in reports:
+            stats = report.stats
             if record_per_shard:
                 self._coord_journal.record(
-                    "coord.shard_epoch", epoch=self.epoch, shard=shard.shard_id,
-                    placed=shard.cursor - shard.rejected,
-                    rejected=shard.rejected,
+                    "coord.shard_epoch", epoch=self.epoch, shard=report.shard_id,
+                    placed=report.placed,
+                    rejected=report.rejected,
                     resident=stats.nyms_resident,
                     used_bytes=stats.used_bytes,
                     ksm_saved_bytes=stats.ksm_saved_bytes,
-                    events=len(shard.journal),
+                    events=report.journal_events,
                 )
             totals["hosts_up"] += stats.hosts_up
             totals["nyms_resident"] += stats.nyms_resident
@@ -373,23 +638,23 @@ class ShardedFleet:
             totals["used_bytes"] += stats.used_bytes
             totals["total_bytes"] += stats.total_bytes
             totals["ksm_saved_bytes"] += stats.ksm_saved_bytes
-            totals["rejected"] += shard.rejected
+            totals["rejected"] += report.rejected
         return totals
 
     def _result(self, completed: bool) -> ShardedRunResult:
-        merged = self._merged_stats()
+        reports = [handle.report() for handle in self.handles]
+        merged = self._merged_from(reports)
         shard_stats = []
-        for shard in self.shards:
-            stats = shard.barrier_stats()
+        for report in reports:
             shard_stats.append(
                 {
-                    "shard": shard.shard_id,
-                    "arrivals": len(shard.arrivals),
-                    "placed": shard.cursor - shard.rejected,
-                    "rejected": shard.rejected,
-                    "sim_seconds": round(shard.timeline.now, 3),
-                    "journal_events": len(shard.journal),
-                    **stats.export(),
+                    "shard": report.shard_id,
+                    "arrivals": report.arrivals,
+                    "placed": report.placed,
+                    "rejected": report.rejected,
+                    "sim_seconds": round(report.sim_now, 3),
+                    "journal_events": report.journal_events,
+                    **report.stats.export(),
                 }
             )
         return ShardedRunResult(
@@ -399,25 +664,56 @@ class ShardedFleet:
             rejected=merged["rejected"],
             merged=merged,
             shard_stats=shard_stats,
-            journal_events=self.journal_events(),
+            journal_events=len(self._coord_journal)
+            + sum(r.journal_events for r in reports),
             spool_paths=self.spool_paths(),
         )
 
     def journal_events(self) -> int:
-        return len(self._coord_journal) + sum(len(s.journal) for s in self.shards)
+        return len(self._coord_journal) + sum(
+            handle.report().journal_events for handle in self.handles
+        )
+
+    def flush(self) -> None:
+        """Flush every spool without sealing (the killed-mid-run path)."""
+        for handle in self.handles:
+            handle.flush()
+        self._coord_journal.flush()
+        self._coord_metrics.flush()
 
     def close(self) -> None:
         """Record the terminal merged event and seal every spool."""
-        merged = self._merged_stats()
+        reports = [handle.report() for handle in self.handles]
+        merged = self._merged_from(reports)
         self._coord_journal.record(
             "coord.run_complete", epochs=self.epoch,
             nyms_resident=merged["nyms_resident"],
             ksm_saved_bytes=merged["ksm_saved_bytes"],
             rejected=merged["rejected"],
         )
-        for shard in self.shards:
-            shard.journal.close_spool()
+        for handle in self.handles:
+            handle.close()
         self._coord_journal.close_spool()
+        self._coord_metrics.close_spool()
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Tear down worker processes, if any (idempotent)."""
+        for handle in self.handles:
+            handle.shutdown()
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def _abort_workers(self) -> None:
+        """A worker died: flush what the coordinator owns, kill the rest."""
+        try:
+            self._coord_journal.flush()
+            self._coord_metrics.flush()
+        finally:
+            if self._pool is not None:
+                self._pool.terminate()
+                self._pool = None
 
     # -- combined journal ----------------------------------------------------
 
@@ -425,6 +721,10 @@ class ShardedFleet:
         """Coordinator spool + shard spools in shard-id order, with one
         header line per section — the byte-comparable whole-run record."""
         return combined_spool_bytes(self.spool_paths())
+
+    def combined_metrics_bytes(self) -> bytes:
+        """The metrics spools, same canonical order and header scheme."""
+        return combined_spool_bytes(self.metrics_paths())
 
     def write_combined(self, path: str) -> int:
         data = self.combined_journal_bytes()
@@ -434,27 +734,35 @@ class ShardedFleet:
 
     # -- checkpoint/resume ---------------------------------------------------
 
-    def checkpoint(self) -> str:
+    def checkpoint(
+        self, reports: Optional[List[BarrierReport]] = None
+    ) -> str:
         """Persist the whole run at the current barrier, atomically.
 
         Journals were just flushed, so each shard is a quiescent object
         graph; the manifest lands last (tmp + rename) so a directory
-        with a manifest is always internally consistent.
+        with a manifest is always internally consistent.  The shard
+        pickles come through the handles, so a worker-resident shard is
+        serialized in its own process and shipped back whole.
         """
         if not self.checkpoint_dir:
             raise FleetError("this ShardedFleet has no checkpoint_dir")
-        for shard in self.shards:
-            if not shard.timeline.quiescent:
-                raise FleetError(
-                    f"shard {shard.shard_id} has pending events at the barrier"
-                )
+        for handle in self.handles:
             self._write_atomic(
-                os.path.join(self.checkpoint_dir, f"shard-{shard.shard_id:02d}.pkl"),
-                pickle.dumps(shard),
+                os.path.join(
+                    self.checkpoint_dir, f"shard-{handle.shard_id:02d}.pkl"
+                ),
+                handle.checkpoint_bytes(),
             )
+        if reports is None:
+            for handle in self.handles:
+                handle.flush()
+            reports = [handle.report() for handle in self.handles]
         self._write_atomic(
             os.path.join(self.checkpoint_dir, _COORDINATOR_PKL),
-            pickle.dumps((self._coord_clock, self._coord_journal)),
+            pickle.dumps(
+                (self._coord_clock, self._coord_journal, self._coord_metrics)
+            ),
         )
         manifest = {
             "config": self.config.export(),
@@ -466,17 +774,25 @@ class ShardedFleet:
                 "spool": self._spool_path("coordinator"),
                 "offset": self._coord_journal.spool_offset,
                 "events": len(self._coord_journal),
+                "metrics_spool": self.metrics_path("metrics"),
+                "metrics_offset": self._coord_metrics.spool_offset,
+                "metrics_events": len(self._coord_metrics),
             },
             "shards": [
                 {
-                    "id": shard.shard_id,
-                    "spool": shard.journal.spool_path,
-                    "offset": shard.journal.spool_offset,
-                    "events": len(shard.journal),
-                    "cursor": shard.cursor,
-                    "rejected": shard.rejected,
+                    "id": report.shard_id,
+                    "spool": self._spool_path(f"shard-{report.shard_id:02d}"),
+                    "offset": report.spool_offset,
+                    "events": report.journal_events,
+                    "metrics_spool": self.metrics_path(
+                        f"shard-{report.shard_id:02d}"
+                    ),
+                    "metrics_offset": report.metrics_offset,
+                    "metrics_events": report.metrics_events,
+                    "cursor": report.cursor,
+                    "rejected": report.rejected,
                 }
-                for shard in self.shards
+                for report in reports
             ],
         }
         self._write_atomic(
@@ -494,14 +810,20 @@ class ShardedFleet:
 
     @classmethod
     def resume(
-        cls, checkpoint_dir: str, checkpoint_every: int = 1
+        cls,
+        checkpoint_dir: str,
+        checkpoint_every: int = 1,
+        procs: int = 1,
     ) -> "ShardedFleet":
         """Rebuild a run from its checkpoint directory.
 
         Every spool is truncated to the offset the manifest recorded —
         a killed run may have flushed window batches past the last
         barrier, and those bytes must not survive into the resumed
-        journal.
+        journal.  ``procs`` picks the executor for the *resumed* half
+        independently of how the checkpointing run executed: a
+        checkpoint taken under ``procs=1`` resumes fine under
+        ``procs=4`` and vice versa, byte for byte.
         """
         manifest_path = os.path.join(checkpoint_dir, _MANIFEST)
         with open(manifest_path) as handle:
@@ -512,23 +834,47 @@ class ShardedFleet:
         sharded.checkpoint_dir = str(checkpoint_dir)
         sharded.checkpoint_every = max(1, checkpoint_every)
         sharded.epoch = manifest["epoch"]
+        sharded.procs = max(1, min(int(procs), sharded.config.shards))
+        sharded._pool = None
         sharded._crashes_fired = manifest["crashes_fired"]
         sharded._crash_plan = {
             int(k): v for k, v in manifest["crash_plan"].items()
         }
         with open(os.path.join(checkpoint_dir, _COORDINATOR_PKL), "rb") as handle:
-            sharded._coord_clock, sharded._coord_journal = pickle.load(handle)
-        cls._truncate_spool(
-            manifest["coordinator"]["spool"], manifest["coordinator"]["offset"]
-        )
-        sharded.shards = []
+            (
+                sharded._coord_clock,
+                sharded._coord_journal,
+                sharded._coord_metrics,
+            ) = pickle.load(handle)
+        coord = manifest["coordinator"]
+        cls._truncate_spool(coord["spool"], coord["offset"])
+        cls._truncate_spool(coord["metrics_spool"], coord["metrics_offset"])
+        pickle_paths = []
         for entry in manifest["shards"]:
-            with open(
-                os.path.join(checkpoint_dir, f"shard-{entry['id']:02d}.pkl"), "rb"
-            ) as handle:
-                shard = pickle.load(handle)
             cls._truncate_spool(entry["spool"], entry["offset"])
-            sharded.shards.append(shard)
+            cls._truncate_spool(entry["metrics_spool"], entry["metrics_offset"])
+            pickle_paths.append(
+                os.path.join(checkpoint_dir, f"shard-{entry['id']:02d}.pkl")
+            )
+        if sharded.procs == 1:
+            handles: List[object] = []
+            for path in pickle_paths:
+                with open(path, "rb") as handle:
+                    handles.append(LocalShardHandle(pickle.load(handle)))
+            sharded.handles = handles
+        else:
+            from repro.fleet.parallel import WorkerPool
+
+            sharded._pool = WorkerPool(
+                sharded.config,
+                procs=sharded.procs,
+                spool_paths=[e["spool"] for e in manifest["shards"]],
+                metrics_paths=[e["metrics_spool"] for e in manifest["shards"]],
+                per_shard_arrivals=None,
+                resume_pickles=pickle_paths,
+            )
+            sharded._pool.last_barrier = sharded.epoch
+            sharded.handles = list(sharded._pool.handles)
         return sharded
 
     @staticmethod
@@ -538,8 +884,9 @@ class ShardedFleet:
 
     def __repr__(self) -> str:
         return (
-            f"ShardedFleet(shards={len(self.shards)}, epoch={self.epoch}, "
-            f"nyms={self.config.nyms}, spool_dir={self.spool_dir!r})"
+            f"ShardedFleet(shards={len(self.handles)}, epoch={self.epoch}, "
+            f"nyms={self.config.nyms}, procs={self.procs}, "
+            f"spool_dir={self.spool_dir!r})"
         )
 
 
@@ -549,21 +896,26 @@ def run_sharded_fleet(
     checkpoint_dir: Optional[str] = None,
     checkpoint_every: int = 1,
     stop_after_epoch: Optional[int] = None,
+    procs: int = 1,
 ) -> ShardedRunResult:
     """One-shot driver: build, run (possibly partially), seal spools."""
     sharded = ShardedFleet(
         config, spool_dir,
         checkpoint_dir=checkpoint_dir, checkpoint_every=checkpoint_every,
+        procs=procs,
     )
-    result = sharded.run(stop_after_epoch=stop_after_epoch)
+    try:
+        result = sharded.run(stop_after_epoch=stop_after_epoch)
+    except ShardWorkerError:
+        sharded.shutdown()
+        raise
     if result.completed:
         sharded.close()
     else:
         # Killed mid-run: flush what we have but do not seal — the
         # resumed run writes the terminal record.
-        for shard in sharded.shards:
-            shard.journal.flush()
-        sharded._coord_journal.flush()
+        sharded.flush()
+        sharded.shutdown()
     return result
 
 
@@ -571,10 +923,61 @@ def resume_sharded_fleet(
     checkpoint_dir: str,
     checkpoint_every: int = 1,
     stop_after_epoch: Optional[int] = None,
+    procs: int = 1,
 ) -> Tuple[ShardedFleet, ShardedRunResult]:
     """Resume from ``checkpoint_dir`` and (by default) run to completion."""
-    sharded = ShardedFleet.resume(checkpoint_dir, checkpoint_every=checkpoint_every)
-    result = sharded.run(stop_after_epoch=stop_after_epoch)
+    sharded = ShardedFleet.resume(
+        checkpoint_dir, checkpoint_every=checkpoint_every, procs=procs
+    )
+    try:
+        result = sharded.run(stop_after_epoch=stop_after_epoch)
+    except ShardWorkerError:
+        sharded.shutdown()
+        raise
     if result.completed:
         sharded.close()
+    else:
+        sharded.flush()
+        sharded.shutdown()
     return sharded, result
+
+
+# -- metrics spools -----------------------------------------------------------
+
+
+def read_metrics_spool(path: str) -> List[Dict[str, object]]:
+    """Parse one ``*.metrics.jsonl`` spool back into event dicts."""
+    records: List[Dict[str, object]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def load_scale_metrics(spool_dir: str) -> Dict[str, object]:
+    """Read a sharded run's metrics spools back (``repro stats --scale``).
+
+    Returns the coordinator's merged per-epoch stream plus each shard's
+    own snapshots, keyed the way the spool directory lays them out.
+    """
+    merged_path = os.path.join(spool_dir, "metrics.metrics.jsonl")
+    if not os.path.exists(merged_path):
+        raise FleetError(
+            f"no merged metrics spool in {spool_dir!r} "
+            f"(expected {os.path.basename(merged_path)}; is this a "
+            f"sharded-fleet spool directory?)"
+        )
+    shards: Dict[str, List[Dict[str, object]]] = {}
+    for name in sorted(os.listdir(spool_dir)):
+        if name.startswith("shard-") and name.endswith(".metrics.jsonl"):
+            shard_key = name[: -len(".metrics.jsonl")]
+            shards[shard_key] = read_metrics_spool(
+                os.path.join(spool_dir, name)
+            )
+    return {
+        "spool_dir": spool_dir,
+        "merged": read_metrics_spool(merged_path),
+        "shards": shards,
+    }

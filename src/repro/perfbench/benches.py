@@ -405,6 +405,51 @@ def _bench_nym_lifecycle(quick: bool) -> BenchResult:
     )
 
 
+def _bench_content_draw(quick: bool) -> BenchResult:
+    """Bulk incompressible-content generation: the browse-path hot loop.
+
+    Profiling the flash-clone lifecycle shows ~80% of a warm
+    create/browse/discard sits in ``SeededRng.content_bytes`` filling
+    the browser cache (one ~717 KiB incompressible draw per cached MiB).
+    Live path: the vectorized numpy MT19937 mirror — bit-identical bytes
+    and stream position to the seed draw.  Baseline: the seed
+    pure-python ``random.Random.randbytes`` inside
+    :func:`seed_content_mode`.
+    """
+    from repro.perfbench.legacy import seed_content_mode
+    from repro.sim.rng import SeededRng
+
+    # The browser cache chunk: int(1 MiB * 0.7) incompressible bytes.
+    chunk = int(MIB * 0.7)
+    draws = 2 if quick else 8
+    rng = SeededRng(23)
+
+    def draw() -> None:
+        for _ in range(draws):
+            rng.content_bytes(chunk)
+
+    budget = _budget(quick)
+    iterations, seconds = measure(draw, budget, min_iterations=2)
+    with seed_content_mode():
+        base_iters, base_seconds = measure(draw, budget, min_iterations=2)
+    return BenchResult(
+        name="content_draw",
+        tags=["memory", "content"],
+        unit="draw",
+        iterations=iterations * draws,
+        seconds=seconds,
+        baseline_iterations=base_iters * draws,
+        baseline_seconds=base_seconds,
+        notes=(
+            f"{draws}x {chunk} B incompressible cache-content draws per "
+            "round; seed renders the byte stream through pure-python "
+            "getrandbits, live mirrors the identical MT19937 stream "
+            "through numpy"
+        ),
+        extra={"chunk_bytes": chunk, "draws_per_round": draws},
+    )
+
+
 def _bench_nym_launch(quick: bool) -> BenchResult:
     """Steady-state create/discard throughput on a warm manager.
 
@@ -588,9 +633,17 @@ def _bench_fleet_shard(quick: bool) -> BenchResult:
     disk — the configuration the scale-smoke CI gate and the
     BENCH_fleet scale trajectory run.  No seed counterpart exists (the
     seed code has no sharded path), so only the live rate is recorded.
+    On multi-core machines the serial run is re-measured against a
+    multiprocess (``procs``) run of the same seed and the wall-clock
+    ratio is recorded in ``extra`` — never gated here, because on
+    single-core runners spawn overhead legitimately makes the parallel
+    run slower (the byte-identity gate lives in the scale-smoke CI job
+    and tests/test_fleet_parallel.py, and holds on any core count).
     """
+    import os as _os
     import shutil
     import tempfile
+    import time as _time
 
     from repro.fleet.shard import ShardConfig, run_sharded_fleet
 
@@ -600,16 +653,39 @@ def _bench_fleet_shard(quick: bool) -> BenchResult:
         seed=11, shards=shards, hosts_per_shard=4, nyms=nyms, epoch_s=30.0
     )
 
-    def run() -> None:
+    def run(procs: int = 1) -> None:
         spool_dir = tempfile.mkdtemp(prefix="bench-shard-")
         try:
-            run_sharded_fleet(config, spool_dir)
+            run_sharded_fleet(config, spool_dir, procs=procs)
         finally:
             shutil.rmtree(spool_dir, ignore_errors=True)
 
     budget = _budget(quick)
     run()  # warm per-process state (zygote templates) before timing
     iterations, seconds = measure(run, budget, min_iterations=2)
+    cpu_count = _os.cpu_count() or 1
+    extra = {
+        "shards": shards,
+        "nyms": nyms,
+        "epoch_s": config.epoch_s,
+        "cpu_count": cpu_count,
+        "procs": 1,
+    }
+    if cpu_count > 1 and not quick:
+        procs = min(cpu_count, shards)
+        start = _time.perf_counter()
+        run(procs=procs)
+        parallel_wall = _time.perf_counter() - start
+        serial_wall = seconds / iterations
+        extra.update(
+            {
+                "procs": procs,
+                "parallel_wall_seconds": round(parallel_wall, 4),
+                "parallel_speedup": round(serial_wall / parallel_wall, 3)
+                if parallel_wall > 0
+                else 0.0,
+            }
+        )
     return BenchResult(
         name="fleet_shard",
         tags=["scenario", "fleet"],
@@ -621,7 +697,7 @@ def _bench_fleet_shard(quick: bool) -> BenchResult:
             "barriers, per-shard KSM settlement, and every journal "
             "streamed to a JSONL spool (fresh spool dir per run)"
         ),
-        extra={"shards": shards, "nyms": nyms, "epoch_s": config.epoch_s},
+        extra=extra,
     )
 
 
@@ -683,6 +759,12 @@ BENCHES: Dict[str, Bench] = {
             ["scenario"],
             "create/browse/discard one nym under wall-clock timing",
             _bench_nym_lifecycle,
+        ),
+        Bench(
+            "content_draw",
+            ["memory", "content"],
+            "bulk cache-content draws vs the seed pure-python randbytes",
+            _bench_content_draw,
         ),
         Bench(
             "nym_launch",

@@ -408,11 +408,28 @@ def seed_mixnet_mode():
 
 
 @contextmanager
+def seed_content_mode():
+    """Draw bulk pseudo-random content through the seed pure-python
+    ``random.Random.randbytes`` path instead of the vectorized numpy
+    MT19937 mirror.  The byte stream and the generator's stream position
+    are identical either way — only the wall-clock cost differs."""
+    from repro.sim import rng as rng_mod
+
+    was = rng_mod._numpy_content_enabled
+    rng_mod.set_numpy_content_enabled(False)
+    try:
+        yield
+    finally:
+        rng_mod.set_numpy_content_enabled(was)
+
+
+@contextmanager
 def seed_launch_mode():
     """The full pre-flash-clone launch path: seed crypto plus seed
-    accounting (callers additionally pass ``flash_clone=False`` so the
-    zygote cache is off and every launch cold-boots)."""
-    with seed_crypto_mode(), seed_accounting_mode():
+    accounting plus seed bulk-content draws (callers additionally pass
+    ``flash_clone=False`` so the zygote cache is off and every launch
+    cold-boots)."""
+    with seed_crypto_mode(), seed_accounting_mode(), seed_content_mode():
         yield
 
 
@@ -425,6 +442,7 @@ __all__ = [
     "seed_crypto_mode",
     "seed_accounting_mode",
     "seed_admission_mode",
+    "seed_content_mode",
     "seed_launch_mode",
     "seed_mixnet_mode",
     "PAGE_SIZE",

@@ -10,9 +10,91 @@ from __future__ import annotations
 
 import hashlib
 import random
+import sys
 from typing import List, Sequence, TypeVar
 
+try:  # pragma: no cover - exercised through content_bytes
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 T = TypeVar("T")
+
+#: Below this many bytes the pure-python path wins (state sync overhead).
+_NUMPY_CONTENT_MIN_BYTES = 4096
+
+#: Flipped off by perfbench's frozen-seed mode so the baseline measures
+#: the pure-python draw honestly; the byte stream is identical either way.
+_numpy_content_enabled = True
+
+
+def numpy_content_enabled() -> bool:
+    return _np is not None and _numpy_content_enabled
+
+
+def set_numpy_content_enabled(enabled: bool) -> None:
+    global _numpy_content_enabled
+    _numpy_content_enabled = enabled
+
+#: One reusable MT19937 bit generator; its state is overwritten from the
+#: caller's ``random.Random`` on every draw, so sharing it between
+#: independent streams is safe (and cheap — seeding a fresh generator per
+#: call would dominate the draw).
+_MT_SCRATCH = _np.random.MT19937(0) if _np is not None else None
+
+#: Persistent word buffer for draws up to 1 MiB.  ``random_raw`` always
+#: allocates its output, so large single draws churn the allocator (the
+#: multi-hundred-KiB temporaries mmap/munmap every call, which costs more
+#: than the generation itself on small-cache machines); drawing in
+#: modest chunks into one reused buffer keeps every per-call allocation
+#: allocator-pool sized.
+_MT_BUFFER = _np.empty(1 << 18, dtype=_np.uint32) if _np is not None else None
+
+#: Words per random_raw chunk (256 KiB) — measured sweet spot between
+#: python loop overhead and temporary-allocation churn.
+_MT_CHUNK_WORDS = 1 << 16
+
+
+def _numpy_randbytes(py_random: random.Random, n: int) -> bytes:
+    """``py_random.randbytes(n)``, computed by numpy's MT19937.
+
+    CPython's ``random.Random`` and numpy's MT19937 are the same
+    generator, so mirroring the 624-word state across, drawing the raw
+    32-bit outputs vectorized, and mirroring the advanced state back
+    produces the *identical* byte string and leaves ``py_random``
+    exactly where the pure-python draw would have — journals cannot
+    tell the difference.  ``randbytes`` is ``getrandbits(8n)`` rendered
+    little-endian: one raw word per 32 bits, the top word right-shifted
+    to the remaining bit count.
+    """
+    version, state, gauss_next = py_random.getstate()
+    mt_state = _MT_SCRATCH.state
+    mt_state["state"] = {
+        "key": _np.asarray(state[:-1], dtype=_np.uint32),
+        "pos": state[-1],
+    }
+    _MT_SCRATCH.state = mt_state
+    bits = 8 * n
+    words = (bits + 31) // 32
+    buf = (
+        _MT_BUFFER
+        if words <= len(_MT_BUFFER)
+        else _np.empty(words, dtype=_np.uint32)
+    )
+    for offset in range(0, words, _MT_CHUNK_WORDS):
+        count = min(_MT_CHUNK_WORDS, words - offset)
+        buf[offset : offset + count] = _MT_SCRATCH.random_raw(count)
+    if bits % 32:
+        buf[words - 1] >>= _np.uint32(32 - bits % 32)
+    if sys.byteorder == "little":
+        data = buf.view(_np.uint8)[:n].tobytes()
+    else:  # pragma: no cover - no big-endian CI runner
+        data = buf[:words].astype("<u4").tobytes()[:n]
+    advanced = _MT_SCRATCH.state["state"]
+    key = advanced["key"].tolist()
+    key.append(int(advanced["pos"]))
+    py_random.setstate((version, tuple(key), gauss_next))
+    return data
 
 
 class SeededRng:
@@ -63,7 +145,19 @@ class SeededRng:
         return self.token_bytes(n).hex()
 
     def content_bytes(self, n: int) -> bytes:
-        """Fast bulk pseudo-random (incompressible) content, e.g. cache files."""
+        """Fast bulk pseudo-random (incompressible) content, e.g. cache files.
+
+        Large draws route through numpy's MT19937 (bit-identical bytes,
+        bit-identical stream position — see :func:`_numpy_randbytes`);
+        small draws and numpy-less environments take the pure-python
+        path.  Either way the result is exactly ``randbytes(n)``.
+        """
+        if (
+            _np is not None
+            and _numpy_content_enabled
+            and n >= _NUMPY_CONTENT_MIN_BYTES
+        ):
+            return _numpy_randbytes(self._random, n)
         return self._random.randbytes(n)
 
     # -- distributions used by the timing models --------------------------

@@ -74,6 +74,25 @@ class TestShardConfig:
         all_names = sorted(a.name for s in per_shard for _, a in s)
         assert all_names == sorted(a.name for _, a in one[0])
 
+    def test_partition_is_a_pure_function_of_the_config(self):
+        # Repeated partitioning must yield identical streams — arrival
+        # names, times, churn, everything — or worker processes (which
+        # re-derive nothing, receiving their slices over the pipe) and
+        # local shards (which may re-partition) could diverge.
+        config = ShardConfig(**CFG)
+        assert partition_arrivals(config) == partition_arrivals(config)
+
+    def test_shard_seed_ignores_execution_details(self):
+        # shard_seed must depend on (seed, shard_id) only: the same
+        # shard keeps its RNG stream whether the run uses 1 process or
+        # 8, 3 shards or 30.
+        base = ShardConfig(**CFG)
+        reshaped = ShardConfig(**{**CFG, "shards": 30, "hosts_per_shard": 1})
+        assert [base.shard_seed(i) for i in range(3)] == [
+            reshaped.shard_seed(i) for i in range(3)
+        ]
+        assert base.shard_seed(0) != ShardConfig(**{**CFG, "seed": 8}).shard_seed(0)
+
 
 class TestShardedDeterminism:
     def test_same_seed_runs_are_byte_identical(self, tmp_path):

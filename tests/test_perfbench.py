@@ -24,6 +24,7 @@ EXPECTED_BENCHES = {
     "mixnet_packet",
     "event_queue_load",
     "fig3_scenario",
+    "content_draw",
     "nym_lifecycle",
     "nym_launch",
     "fleet_arrival",
